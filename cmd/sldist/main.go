@@ -1,0 +1,111 @@
+// Command sldist runs the paper's protocols on the goroutine-per-node
+// distributed engine: one goroutine per nonfaulty node, channels as
+// links. It reports the real communication cost (rounds, messages) of
+// the GS status protocol and then routes a batch of random unicasts hop
+// by hop, optionally killing nodes between batches to exercise the
+// state-change-driven recomputation.
+//
+// Usage:
+//
+//	sldist -n 7 -faults 10 -unicasts 50 -kills 2 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	safecube "repro"
+	"repro/internal/stats"
+)
+
+func main() {
+	n := flag.Int("n", 7, "cube dimension")
+	nFaults := flag.Int("faults", 0, "uniform random node faults")
+	unicasts := flag.Int("unicasts", 20, "random unicasts per batch")
+	kills := flag.Int("kills", 0, "fail-stop events (each followed by a GS recomputation and another batch)")
+	seed := flag.Uint64("seed", 1, "RNG seed")
+	async := flag.Bool("async", false, "use the asynchronous GS protocol (quiescence-driven) instead of n-1 synchronous rounds")
+	flag.Parse()
+
+	c, err := safecube.New(*n)
+	fatal(err)
+	if *nFaults > 0 {
+		fatal(c.InjectRandomFaults(*seed, *nFaults))
+	}
+	rng := stats.NewRNG(*seed ^ 0xD15717)
+
+	d := c.Distributed()
+	defer d.Close()
+
+	runGS := func() {
+		if *async {
+			d.RunGSAsync()
+		} else {
+			d.RunGS()
+		}
+	}
+	runGS()
+	fmt.Printf("%s\n", c)
+	if *async {
+		fmt.Printf("distributed async GS: %d level updates, %d messages\n",
+			d.Updates(), d.MessagesSent())
+	} else {
+		fmt.Printf("distributed GS: stabilized at round %d (bound n-1 = %d), %d messages\n",
+			d.StableRound(), *n-1, d.MessagesSent())
+	}
+
+	batch := func(label string) {
+		delivered, optimal, failed := 0, 0, 0
+		hops := 0
+		for i := 0; i < *unicasts; i++ {
+			src := safecube.NodeID(rng.Intn(c.Nodes()))
+			dst := safecube.NodeID(rng.Intn(c.Nodes()))
+			if c.NodeFaulty(src) || c.NodeFaulty(dst) || src == dst {
+				continue
+			}
+			r := d.Unicast(src, dst)
+			switch r.Outcome {
+			case safecube.Failure:
+				failed++
+			case safecube.Optimal:
+				delivered++
+				optimal++
+				hops += r.Hops()
+			default:
+				delivered++
+				hops += r.Hops()
+			}
+		}
+		avg := 0.0
+		if delivered > 0 {
+			avg = float64(hops) / float64(delivered)
+		}
+		fmt.Printf("%s: delivered %d (optimal %d), aborted-at-source %d, avg hops %.2f\n",
+			label, delivered, optimal, failed, avg)
+	}
+	batch("batch 0")
+
+	for k := 1; k <= *kills; k++ {
+		var victim safecube.NodeID
+		for {
+			victim = safecube.NodeID(rng.Intn(c.Nodes()))
+			if !c.NodeFaulty(victim) {
+				break
+			}
+		}
+		fatal(d.KillNode(victim))
+		before := d.MessagesSent()
+		runGS()
+		fmt.Printf("killed %s; state-change-driven GS recomputation: +%d messages\n",
+			c.Format(victim), d.MessagesSent()-before)
+		batch(fmt.Sprintf("batch %d", k))
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sldist:", err)
+		os.Exit(2)
+	}
+}

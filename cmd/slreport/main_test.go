@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFig1Render(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-experiment", "fig1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{
+		"E1:", "1110 -> 1111 -> 1101 -> 0101 -> 0001",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestCSVAndJSONModes(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-experiment", "table1", "-csv"}, &out, &bytes.Buffer{}); code != 0 {
+		t.Fatal("csv mode failed")
+	}
+	if !strings.HasPrefix(out.String(), "definition,") {
+		t.Errorf("csv output wrong: %q", out.String()[:40])
+	}
+	out.Reset()
+	if code := run([]string{"-experiment", "fig5", "-json"}, &out, &bytes.Buffer{}); code != 0 {
+		t.Fatal("json mode failed")
+	}
+	if !strings.Contains(out.String(), "\"id\": \"E9\"") {
+		t.Errorf("json output wrong:\n%s", out.String())
+	}
+}
+
+func TestCommaSeparatedSelection(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-experiment", "fig1, fig3"}, &out, &bytes.Buffer{}); code != 0 {
+		t.Fatal("multi selection failed")
+	}
+	if !strings.Contains(out.String(), "E1:") || !strings.Contains(out.String(), "E5:") {
+		t.Error("both selected tables should render")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-experiment", "nonsense"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown experiment") {
+		t.Error("error message missing")
+	}
+	if code := run([]string{"-badflag"}, &out, &errOut); code != 2 {
+		t.Error("bad flag should exit 2")
+	}
+}
+
+func TestSmallTrialSweep(t *testing.T) {
+	// A Monte-Carlo experiment with tiny trials still renders.
+	var out bytes.Buffer
+	if code := run([]string{"-experiment", "guarantee", "-trials", "3", "-seed", "5"}, &out, &bytes.Buffer{}); code != 0 {
+		t.Fatal("guarantee run failed")
+	}
+	if !strings.Contains(out.String(), "E6:") {
+		t.Error("table missing")
+	}
+}

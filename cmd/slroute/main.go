@@ -1,0 +1,216 @@
+// Command slroute performs one safety-level unicast in a faulty
+// hypercube and prints the admission decision and the path.
+//
+// Usage:
+//
+//	slroute -n 4 -faults 0011,0100,0110,1001 -from 1110 -to 0001
+//	slroute -n 4 -faults 0000,0100,1100,1110 -links 1000-1001 -from 1101 -to 1000
+//	slroute -n 7 -seed 7 -random 6 -from 0000000 -to 1111111 -levels
+//	slroute -radix 2x3x2 -faults 011,100,111,121 -from 010 -to 101
+//
+// Addresses are n-bit binary strings (or mixed-radix digit strings with
+// -radix), matching the paper's notation. Exit status: 0 delivered (or
+// no route requested), 1 unicast aborted, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	safecube "repro"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slroute:", err)
+		if code == 0 {
+			code = 2
+		}
+	}
+	os.Exit(code)
+}
+
+// run executes one invocation; it returns the process exit code plus
+// any usage/validation error. Split from main so the CLI is testable.
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("slroute", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	n := fs.Int("n", 4, "cube dimension")
+	radix := fs.String("radix", "", "generalized hypercube shape, e.g. 2x3x2 (dimension n-1 first, like the paper); overrides -n")
+	faultList := fs.String("faults", "", "comma-separated faulty node addresses")
+	linkList := fs.String("links", "", "comma-separated faulty links, each as addr-addr")
+	random := fs.Int("random", 0, "inject this many uniform random faults")
+	seed := fs.Uint64("seed", 1, "seed for -random")
+	from := fs.String("from", "", "source address (binary)")
+	to := fs.String("to", "", "destination address (binary)")
+	levels := fs.Bool("levels", false, "print the full safety-level table")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+
+	if *radix != "" {
+		return runGeneralized(out, *radix, *faultList, *from, *to)
+	}
+
+	c, err := safecube.New(*n)
+	if err != nil {
+		return 2, err
+	}
+	if *faultList != "" {
+		if err := c.FailNamed(splitList(*faultList)...); err != nil {
+			return 2, err
+		}
+	}
+	for _, l := range splitList(*linkList) {
+		ends := strings.SplitN(l, "-", 2)
+		if len(ends) != 2 {
+			return 2, fmt.Errorf("bad link %q, want addr-addr", l)
+		}
+		a, err := c.Parse(ends[0])
+		if err != nil {
+			return 2, err
+		}
+		b, err := c.Parse(ends[1])
+		if err != nil {
+			return 2, err
+		}
+		if err := c.FailLink(a, b); err != nil {
+			return 2, err
+		}
+	}
+	if *random > 0 {
+		if err := c.InjectRandomFaults(*seed, *random); err != nil {
+			return 2, err
+		}
+	}
+
+	lv := c.ComputeLevels()
+	fmt.Fprintf(out, "%s; levels stabilized in %d rounds; connected: %v\n",
+		c, lv.Rounds(), c.Connected())
+	if *levels {
+		for a := 0; a < c.Nodes(); a++ {
+			id := safecube.NodeID(a)
+			mark := ""
+			if c.NodeFaulty(id) {
+				mark = " (faulty)"
+			} else if lv.Safe(id) {
+				mark = " (safe)"
+			}
+			own := ""
+			if lv.OwnLevel(id) != lv.Level(id) {
+				own = fmt.Sprintf(" own=%d", lv.OwnLevel(id))
+			}
+			fmt.Fprintf(out, "  S(%s) = %d%s%s\n", c.Format(id), lv.Level(id), own, mark)
+		}
+	}
+
+	if *from == "" || *to == "" {
+		return 0, nil
+	}
+	src, err := c.Parse(*from)
+	if err != nil {
+		return 2, err
+	}
+	dst, err := c.Parse(*to)
+	if err != nil {
+		return 2, err
+	}
+
+	r := c.Unicast(src, dst)
+	fmt.Fprintf(out, "unicast %s -> %s: H = %d, condition %s, outcome %s\n",
+		*from, *to, r.Hamming, r.Condition, r.Outcome)
+	switch {
+	case r.Err != nil:
+		fmt.Fprintf(out, "  error: %v\n", r.Err)
+		return 1, nil
+	case r.Outcome == safecube.Failure:
+		fmt.Fprintln(out, "  aborted at the source: no admission condition held")
+		fmt.Fprintln(out, "  (cause: too many faults in the neighborhood, or a network partition)")
+		return 1, nil
+	default:
+		fmt.Fprintf(out, "  path (%d hops): %s\n", r.Hops(), r.PathString(c))
+		return 0, nil
+	}
+}
+
+// runGeneralized handles the Section 4.2 topology: parse the shape,
+// apply faults, and route.
+func runGeneralized(out io.Writer, shape, faultList, from, to string) (int, error) {
+	parts := strings.Split(shape, "x")
+	radix := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return 2, fmt.Errorf("bad radix %q: %v", p, err)
+		}
+		// The flag lists m_{n-1} first (paper notation); the API takes
+		// dimension 0 first.
+		radix[len(parts)-1-i] = v
+	}
+	g, err := safecube.NewGeneralized(radix...)
+	if err != nil {
+		return 2, err
+	}
+	if faultList != "" {
+		if err := g.FailNamed(splitList(faultList)...); err != nil {
+			return 2, err
+		}
+	}
+	lv := g.ComputeLevels()
+	fmt.Fprintf(out, "GH(%s), %d nodes, levels stabilized in %d rounds, connected: %v\n",
+		shape, g.Nodes(), lv.Rounds(), g.Connected())
+	for a := 0; a < g.Nodes(); a++ {
+		id := safecube.GNodeID(a)
+		mark := ""
+		if g.NodeFaulty(id) {
+			mark = " (faulty)"
+		} else if lv.Level(id) == g.Dim() {
+			mark = " (safe)"
+		}
+		fmt.Fprintf(out, "  S(%s) = %d%s\n", g.Format(id), lv.Level(id), mark)
+	}
+	if from == "" || to == "" {
+		return 0, nil
+	}
+	src, err := g.Parse(from)
+	if err != nil {
+		return 2, err
+	}
+	dst, err := g.Parse(to)
+	if err != nil {
+		return 2, err
+	}
+	r := g.Unicast(src, dst)
+	fmt.Fprintf(out, "unicast %s -> %s: distance %d, condition %s, outcome %s\n",
+		from, to, r.Distance, r.Condition, r.Outcome)
+	switch {
+	case r.Err != nil:
+		fmt.Fprintf(out, "  error: %v\n", r.Err)
+		return 1, nil
+	case r.Outcome == safecube.Failure:
+		fmt.Fprintln(out, "  aborted at the source: no admission condition held")
+		return 1, nil
+	default:
+		fmt.Fprintf(out, "  path (%d hops): %s\n", r.Hops(), r.PathString(g))
+		return 0, nil
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	var buf bytes.Buffer
+	code, err := run(args, &buf)
+	if err != nil && code != 2 {
+		t.Fatalf("unexpected error with code %d: %v", code, err)
+	}
+	return buf.String(), code
+}
+
+func TestPaperExampleCLI(t *testing.T) {
+	out, code := runCLI(t,
+		"-n", "4", "-faults", "0011,0100,0110,1001", "-from", "1110", "-to", "0001", "-levels")
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"stabilized in 2 rounds",
+		"S(0101) = 2",
+		"condition C1, outcome optimal",
+		"1110 -> 1111 -> 1101 -> 0101 -> 0001",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLinkFaultCLI(t *testing.T) {
+	out, code := runCLI(t,
+		"-n", "4", "-faults", "0000,0100,1100,1110", "-links", "1000-1001",
+		"-from", "1101", "-to", "1000")
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "1101 -> 1111 -> 1011 -> 1010 -> 1000") {
+		t.Errorf("Fig. 4 path missing:\n%s", out)
+	}
+	if !strings.Contains(out, "outcome suboptimal") {
+		t.Errorf("outcome missing:\n%s", out)
+	}
+}
+
+func TestAbortExitCode(t *testing.T) {
+	// Fig. 3 cross-partition request: clean abort, exit 1.
+	out, code := runCLI(t,
+		"-n", "4", "-faults", "0110,1010,1100,1111", "-from", "0111", "-to", "1110")
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "aborted at the source") {
+		t.Errorf("abort message missing:\n%s", out)
+	}
+	if !strings.Contains(out, "connected: false") {
+		t.Errorf("connectivity note missing:\n%s", out)
+	}
+}
+
+func TestGeneralizedCLI(t *testing.T) {
+	out, code := runCLI(t,
+		"-radix", "2x3x2", "-faults", "011,100,111,121", "-from", "010", "-to", "101")
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"GH(2x3x2), 12 nodes",
+		"S(110) = 1",
+		"010 -> 000 -> 001 -> 101",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-n", "0"},
+		{"-n", "4", "-faults", "xyz"},
+		{"-n", "4", "-links", "0000"},
+		{"-n", "4", "-links", "0000-0011"},
+		{"-n", "4", "-from", "xx", "-to", "0001"},
+		{"-n", "4", "-from", "0000", "-to", "xx"},
+		{"-radix", "2xq"},
+		{"-radix", "1x2"},
+		{"-radix", "2x2", "-faults", "99"},
+		{"-n", "4", "-random", "99"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		code, err := run(args, &buf)
+		if code != 2 || err == nil {
+			t.Errorf("args %v: code %d err %v, want usage failure", args, code, err)
+		}
+	}
+}
+
+func TestRandomInjectionCLI(t *testing.T) {
+	out, code := runCLI(t, "-n", "6", "-random", "5", "-seed", "3", "-from", "000000", "-to", "111111")
+	if code > 1 {
+		t.Fatalf("exit code %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "5 node faults") {
+		t.Errorf("fault count missing:\n%s", out)
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a, b ,, c ")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("splitList = %v", got)
+	}
+	if splitList("") != nil {
+		t.Error("empty list should be nil")
+	}
+}

@@ -1,0 +1,116 @@
+// Command slviz draws the safety levels of a faulty hypercube as a
+// Karnaugh-style Gray-code grid (adjacent cells are one hop apart) and,
+// optionally, annotates a routed unicast hop by hop.
+//
+// Usage:
+//
+//	slviz -n 4 -faults 0011,0100,0110,1001
+//	slviz -n 4 -faults 0000,0100,1100,1110 -links 1000-1001 -from 1101 -to 1000
+//	slviz -n 6 -random 8 -seed 3 -from 000000 -to 111111
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/faults"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "slviz:", err)
+		os.Exit(2)
+	}
+}
+
+// run executes one invocation; split from main so the CLI is testable.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("slviz", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	n := fs.Int("n", 4, "cube dimension (grid stays readable up to ~8)")
+	faultList := fs.String("faults", "", "comma-separated faulty node addresses")
+	linkList := fs.String("links", "", "comma-separated faulty links, each as addr-addr")
+	random := fs.Int("random", 0, "inject this many uniform random faults")
+	seed := fs.Uint64("seed", 1, "seed for -random")
+	from := fs.String("from", "", "source address for an annotated route")
+	to := fs.String("to", "", "destination address for an annotated route")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	c, err := topo.NewCube(*n)
+	if err != nil {
+		return err
+	}
+	set := faults.NewSet(c)
+	for _, a := range splitList(*faultList) {
+		id, err := c.Parse(a)
+		if err != nil {
+			return err
+		}
+		if err := set.FailNode(id); err != nil {
+			return err
+		}
+	}
+	for _, l := range splitList(*linkList) {
+		ends := strings.SplitN(l, "-", 2)
+		if len(ends) != 2 {
+			return fmt.Errorf("bad link %q, want addr-addr", l)
+		}
+		a, err := c.Parse(ends[0])
+		if err != nil {
+			return err
+		}
+		b, err := c.Parse(ends[1])
+		if err != nil {
+			return err
+		}
+		if err := set.FailLink(a, b); err != nil {
+			return err
+		}
+	}
+	if *random > 0 {
+		if err := faults.InjectUniform(set, stats.NewRNG(*seed), *random); err != nil {
+			return err
+		}
+	}
+
+	as := core.Compute(set, core.Options{})
+	fmt.Fprintf(out, "Q%d, faults %s, stabilized in %d rounds\n\n", *n, set, as.Rounds())
+	expt.RenderLevelMap(out, as)
+
+	if *from != "" && *to != "" {
+		src, err := c.Parse(*from)
+		if err != nil {
+			return err
+		}
+		dst, err := c.Parse(*to)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		r := core.NewRouter(as, nil).Unicast(src, dst)
+		expt.RenderRoute(out, as, r)
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestVizFig4(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-n", "4", "-faults", "0000,0100,1100,1110", "-links", "1000-1001",
+		"-from", "1101", "-to", "1000",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"stabilized in 2 rounds",
+		"!0/1", "!0/2", // the two N2 cells
+		"outcome=suboptimal",
+		"hop 1: 1101 -> 1111",
+		"spare",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVizRandomAndErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "5", "-random", "4", "-seed", "9"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Gray order") {
+		t.Error("legend missing")
+	}
+	for _, args := range [][]string{
+		{"-n", "0"},
+		{"-n", "4", "-faults", "zz"},
+		{"-n", "4", "-links", "0000"},
+		{"-n", "4", "-links", "0000-1111"},
+		{"-n", "4", "-from", "zz", "-to", "0001"},
+		{"-n", "4", "-from", "0000", "-to", "zz"},
+		{"-n", "4", "-random", "999"},
+		{"-nope"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Link faults: the paper's Section 4.1 / Fig. 4 scenario. A 4-cube has
+// four faulty nodes and one faulty link. The two end nodes of the dead
+// link (set N2) declare themselves faulty to the rest of the cube —
+// exposing safety level 0 — but keep routing with their own level,
+// computed once in the last round of the extended GS algorithm while
+// treating only the far end of the dead link as faulty.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	safecube "repro"
+)
+
+func main() {
+	cube := safecube.MustNew(4)
+	if err := cube.FailNamed("0000", "0100", "1100", "1110"); err != nil {
+		log.Fatal(err)
+	}
+	if err := cube.FailLink(cube.MustParse("1000"), cube.MustParse("1001")); err != nil {
+		log.Fatal(err)
+	}
+
+	levels := cube.ComputeLevels()
+	fmt.Println("node   public  own")
+	for a := 0; a < cube.Nodes(); a++ {
+		id := safecube.NodeID(a)
+		note := ""
+		if levels.OwnLevel(id) != levels.Level(id) {
+			note = "  <- N2: adjacent faulty link"
+		}
+		if cube.NodeFaulty(id) {
+			note = "  (faulty)"
+		}
+		fmt.Printf("%s   %d       %d%s\n",
+			cube.Format(id), levels.Level(id), levels.OwnLevel(id), note)
+	}
+
+	// The paper's walkthrough: 1101 must reach 1000 (H = 2). Both
+	// preferred neighbors are unusable (1100 faulty, 1001 publicly 0),
+	// so no Hamming path exists — but spare neighbor 1111 has level
+	// 4 >= H+1, admitting a suboptimal route of length H+2.
+	src, dst := cube.MustParse("1101"), cube.MustParse("1000")
+	fmt.Printf("\noptimal path 1101 -> 1000 survives: %v\n", cube.OptimalPathExists(src, dst))
+	r := cube.Unicast(src, dst)
+	fmt.Printf("unicast 1101 -> 1000: %s via %s\n", r.Outcome, r.Condition)
+	fmt.Printf("path (%d hops = H+2): %s\n", r.Hops(), r.PathString(cube))
+	fmt.Println("(paper: 1101 -> 1111 -> 1011 -> 1010 -> 1000)")
+
+	// An N2 node can still originate unicasts using its own level.
+	r2 := cube.Unicast(cube.MustParse("1001"), cube.MustParse("1011"))
+	fmt.Printf("\nunicast from N2 node 1001 -> 1011: %s, path %s\n",
+		r2.Outcome, r2.PathString(cube))
+}

@@ -1,0 +1,164 @@
+package safecube
+
+import (
+	"repro/internal/ghcube"
+	"repro/internal/stats"
+)
+
+// GNodeID identifies a node of a generalized hypercube in mixed-radix
+// row-major order (dimension 0 is the least significant digit).
+type GNodeID = ghcube.NodeID
+
+// Generalized is a faulty generalized hypercube GH(m_{n-1} x ... x m_0)
+// with Definition 4 safety levels (Section 4.2). Along each dimension i
+// the m_i nodes sharing all other coordinates are fully connected, so
+// every dimension is crossed in one hop and the distance between two
+// nodes is the number of differing coordinates.
+type Generalized struct {
+	g     *ghcube.Graph
+	as    *ghcube.Assignment
+	stale bool
+}
+
+// NewGeneralized builds GH with the given per-dimension radixes, listed
+// from dimension 0 upward (NewGeneralized(2, 3, 2) is the paper's
+// 2 x 3 x 2 example). Every radix must be at least 2.
+func NewGeneralized(radix ...int) (*Generalized, error) {
+	g, err := ghcube.New(radix)
+	if err != nil {
+		return nil, err
+	}
+	return &Generalized{g: g, stale: true}, nil
+}
+
+// MustNewGeneralized is NewGeneralized that panics on bad radixes.
+func MustNewGeneralized(radix ...int) *Generalized {
+	g, err := NewGeneralized(radix...)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Dim returns the number of dimensions.
+func (g *Generalized) Dim() int { return g.g.Dim() }
+
+// Nodes returns the total node count.
+func (g *Generalized) Nodes() int { return g.g.Nodes() }
+
+// Parse converts a digit-string address ("021") to a GNodeID.
+func (g *Generalized) Parse(addr string) (GNodeID, error) { return g.g.Parse(addr) }
+
+// MustParse is Parse that panics on malformed input.
+func (g *Generalized) MustParse(addr string) GNodeID { return g.g.MustParse(addr) }
+
+// Format renders a node as its digit string.
+func (g *Generalized) Format(a GNodeID) string { return g.g.Format(a) }
+
+// FailNode marks a node faulty.
+func (g *Generalized) FailNode(a GNodeID) error {
+	g.stale = true
+	return g.g.FailNode(a)
+}
+
+// FailNamed marks the nodes with the given digit-string addresses faulty.
+func (g *Generalized) FailNamed(addrs ...string) error {
+	for _, s := range addrs {
+		a, err := g.Parse(s)
+		if err != nil {
+			return err
+		}
+		if err := g.FailNode(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InjectRandomFaults fails exactly count healthy nodes uniformly using
+// the deterministic generator seeded by seed.
+func (g *Generalized) InjectRandomFaults(seed uint64, count int) error {
+	g.stale = true
+	return g.g.InjectUniform(stats.NewRNG(seed), count)
+}
+
+// NodeFaulty reports whether a node is faulty.
+func (g *Generalized) NodeFaulty(a GNodeID) bool { return g.g.NodeFaulty(a) }
+
+// Distance returns the number of coordinates in which two nodes differ.
+func (g *Generalized) Distance(a, b GNodeID) int { return g.g.Distance(a, b) }
+
+// GLevels is a computed Definition 4 assignment.
+type GLevels struct {
+	as *ghcube.Assignment
+}
+
+// ComputeLevels runs the extended GS algorithm to its fixpoint.
+func (g *Generalized) ComputeLevels() *GLevels {
+	if g.stale || g.as == nil {
+		g.as = ghcube.Compute(g.g)
+		g.stale = false
+	}
+	return &GLevels{as: g.as}
+}
+
+// Level returns S(a).
+func (l *GLevels) Level(a GNodeID) int { return l.as.Level(a) }
+
+// Rounds returns the rounds until stabilization (at most n-1).
+func (l *GLevels) Rounds() int { return l.as.Rounds() }
+
+// SafeSet returns the nodes at the maximum level n.
+func (l *GLevels) SafeSet() []GNodeID { return l.as.SafeSet() }
+
+// Verify checks the Definition 4 fixpoint condition at every node.
+func (l *GLevels) Verify() error { return l.as.Verify() }
+
+// GRoute is the result of a generalized-hypercube unicast.
+type GRoute struct {
+	Source, Dest GNodeID
+	// Distance is the number of differing coordinates.
+	Distance  int
+	Outcome   Outcome
+	Condition Condition
+	Path      []GNodeID
+	Err       error
+}
+
+// Hops returns the number of links traveled.
+func (r *GRoute) Hops() int {
+	if len(r.Path) == 0 {
+		return 0
+	}
+	return len(r.Path) - 1
+}
+
+// PathString renders the path in figure notation.
+func (r *GRoute) PathString(g *Generalized) string {
+	return ghcube.Path(r.Path).FormatWith(g.g)
+}
+
+// Unicast routes a message from s to d, computing levels if needed.
+func (g *Generalized) Unicast(s, d GNodeID) *GRoute {
+	lv := g.ComputeLevels()
+	r := ghcube.NewRouter(lv.as).Unicast(s, d)
+	return &GRoute{
+		Source:    r.Source,
+		Dest:      r.Dest,
+		Distance:  r.Distance,
+		Outcome:   r.Outcome,
+		Condition: r.Condition,
+		Path:      append([]GNodeID(nil), r.Path...),
+		Err:       r.Err,
+	}
+}
+
+// Feasibility evaluates the admission conditions without routing.
+func (g *Generalized) Feasibility(s, d GNodeID) (Condition, Outcome) {
+	lv := g.ComputeLevels()
+	return ghcube.NewRouter(lv.as).Feasibility(s, d)
+}
+
+// Connected reports whether all nonfaulty nodes of the generalized
+// hypercube form one component.
+func (g *Generalized) Connected() bool { return g.g.Connected() }

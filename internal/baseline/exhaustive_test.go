@@ -1,0 +1,170 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// forEachQ4FaultSet enumerates every fault set of exactly k nodes in Q4.
+func forEachQ4FaultSet(t *testing.T, k int, fn func(*faults.Set)) {
+	t.Helper()
+	c := topo.MustCube(4)
+	nodes := c.Nodes()
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		s := faults.NewSet(c)
+		for _, v := range idx {
+			if err := s.FailNode(topo.NodeID(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fn(s)
+		i := k - 1
+		for i >= 0 && idx[i] == nodes-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+func TestExhaustiveBaselineContractsQ4(t *testing.T) {
+	// Every baseline router, every fault set of size <= 3 in Q4, every
+	// pair: delivered walks are valid, never cross faults or dead
+	// links, and honor each scheme's own length bound.
+	c := topo.MustCube(4)
+	for k := 0; k <= 3; k++ {
+		forEachQ4FaultSet(t, k, func(s *faults.Set) {
+			routers := []Router{
+				NewLeeHayesRouter(s),
+				NewChiuWuRouter(s),
+				NewDFSRouter(s),
+				NewFreeDimRouter(s),
+				NewOracleRouter(s),
+			}
+			for src := 0; src < c.Nodes(); src++ {
+				sid := topo.NodeID(src)
+				if s.NodeFaulty(sid) {
+					continue
+				}
+				for dst := 0; dst < c.Nodes(); dst++ {
+					did := topo.NodeID(dst)
+					if s.NodeFaulty(did) {
+						continue
+					}
+					h := topo.Hamming(sid, did)
+					for _, rt := range routers {
+						res := rt.Route(sid, did)
+						if !res.Delivered {
+							continue
+						}
+						if !res.Path.Valid(c) {
+							t.Fatalf("%s: invalid walk (faults %s)", rt.Name(), s)
+						}
+						if res.Path[0] != sid || res.Path[len(res.Path)-1] != did {
+							t.Fatalf("%s: endpoints wrong", rt.Name())
+						}
+						for _, a := range res.Path {
+							if a != did && s.NodeFaulty(a) {
+								t.Fatalf("%s: walk crosses fault (faults %s)", rt.Name(), s)
+							}
+						}
+						switch rt.Name() {
+						case "lee-hayes":
+							if res.Hops > h+2 {
+								t.Fatalf("lee-hayes %d hops > H+2 (faults %s)", res.Hops, s)
+							}
+						case "chiu-wu":
+							if res.Hops > h+4 {
+								t.Fatalf("chiu-wu %d hops > H+4 (faults %s)", res.Hops, s)
+							}
+						case "bfs-oracle":
+							dist := faults.Distances(s, sid)
+							if res.Hops != dist[did] {
+								t.Fatalf("oracle %d hops != BFS %d", res.Hops, dist[did])
+							}
+						case "free-dimensions":
+							// Progressive: exactly H hops when delivered.
+							if res.Hops != h {
+								t.Fatalf("free-dim %d hops != H %d (faults %s)", res.Hops, h, s)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFreeDimensionsComputation(t *testing.T) {
+	c := topo.MustCube(4)
+	// No faults: every dimension free.
+	rt := NewFreeDimRouter(faults.NewSet(c))
+	if got := rt.FreeDimensions(); len(got) != 4 {
+		t.Errorf("fault-free free dims = %v", got)
+	}
+	// Faults 0000 and 0001 are adjacent along dimension 0: dim 0 is not
+	// free, the rest are (no other faulty pair).
+	s := faults.NewSet(c)
+	s.FailNodes(0, 1)
+	rt2 := NewFreeDimRouter(s)
+	free := rt2.FreeDimensions()
+	if len(free) != 3 || free[0] != 1 {
+		t.Errorf("free dims = %v, want [1 2 3]", free)
+	}
+	// A faulty link along dimension 2 disqualifies it.
+	s3 := faults.NewSet(c)
+	s3.FailLink(c.MustParse("0000"), c.MustParse("0100"))
+	rt3 := NewFreeDimRouter(s3)
+	for _, d := range rt3.FreeDimensions() {
+		if d == 2 {
+			t.Error("dimension with faulty link should not be free")
+		}
+	}
+}
+
+func TestFreeDimRouterBehavior(t *testing.T) {
+	c := topo.MustCube(5)
+	rng := stats.NewRNG(5151)
+	delivered, attempts := 0, 0
+	for trial := 0; trial < 40; trial++ {
+		s := faults.NewSet(c)
+		faults.InjectUniform(s, rng, rng.Intn(4))
+		rt := NewFreeDimRouter(s)
+		for pair := 0; pair < 20; pair++ {
+			src := topo.NodeID(rng.Intn(c.Nodes()))
+			dst := topo.NodeID(rng.Intn(c.Nodes()))
+			if s.NodeFaulty(src) || s.NodeFaulty(dst) {
+				continue
+			}
+			attempts++
+			if res := rt.Route(src, dst); res.Delivered {
+				delivered++
+				if res.Hops != topo.Hamming(src, dst) {
+					t.Fatal("progressive router must be optimal when it delivers")
+				}
+			}
+		}
+	}
+	if attempts == 0 || float64(delivered)/float64(attempts) < 0.85 {
+		t.Errorf("free-dim delivery %d/%d too low under light faults", delivered, attempts)
+	}
+	// Faulty endpoints rejected.
+	s := faults.NewSet(c)
+	s.FailNode(0)
+	rt := NewFreeDimRouter(s)
+	if res := rt.Route(0, 1); res.Admitted {
+		t.Error("faulty source should not be admitted")
+	}
+}

@@ -1,0 +1,427 @@
+package baseline
+
+import (
+	"repro/internal/faults"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// Result is the outcome of one baseline routing attempt, in a shape
+// comparable with the safety-level router's Route.
+type Result struct {
+	Delivered bool
+	// Admitted is false when the scheme's own applicability test
+	// rejected the unicast at the source (e.g. no safe node in the
+	// neighborhood). A non-admitted unicast moves no message.
+	Admitted bool
+	// Path is the walk the message traveled, including any backtracking
+	// (so it may repeat nodes for the DFS router).
+	Path topo.Path
+	// Hops is the total number of link traversals, counting backtrack
+	// moves; this is the "traffic" measure. For progressive routers it
+	// equals Path.Len().
+	Hops int
+}
+
+// Stretch returns Hops minus the Hamming distance — the detour overhead.
+func (r Result) Stretch(s, d topo.NodeID) int {
+	return r.Hops - topo.Hamming(s, d)
+}
+
+// Router is the common interface of all unicast schemes compared in the
+// experiments.
+type Router interface {
+	// Name identifies the scheme in tables.
+	Name() string
+	// Route attempts a unicast from s to d.
+	Route(s, d topo.NodeID) Result
+}
+
+// ---------------------------------------------------------------------
+// Lee–Hayes unicasting (ref [7]).
+//
+// The original scheme routes on the binary safe/unsafe status: a message
+// is admitted when the source is safe or has a safe neighbor, and is
+// forwarded preferring safe preferred neighbors, detouring via a safe
+// spare neighbor when every preferred neighbor is unusable. It delivers
+// within H+2 hops whenever the cube is not fully unsafe. In a
+// disconnected cube the safe set is empty (Theorem 4) and the scheme is
+// not applicable.
+// ---------------------------------------------------------------------
+
+// LeeHayesRouter routes messages using the Lee–Hayes safe-node map.
+type LeeHayesRouter struct {
+	set *faults.Set
+	m   *SafeMap
+}
+
+// NewLeeHayesRouter builds the router, computing the safe-node map.
+func NewLeeHayesRouter(set *faults.Set) *LeeHayesRouter {
+	return &LeeHayesRouter{set: set, m: LeeHayes(set)}
+}
+
+// Map exposes the underlying safe-node map.
+func (rt *LeeHayesRouter) Map() *SafeMap { return rt.m }
+
+// Name implements Router.
+func (rt *LeeHayesRouter) Name() string { return "lee-hayes" }
+
+// Route implements Router.
+func (rt *LeeHayesRouter) Route(s, d topo.NodeID) Result {
+	return safeNodeRoute(rt.set, rt.m, s, d, 2)
+}
+
+// ---------------------------------------------------------------------
+// Chiu–Wu unicasting (ref [4]) on the Wu–Fernandez safe-node set.
+//
+// Chiu and Wu extend the safe-node approach to the enhanced (larger)
+// Wu–Fernandez set and prove delivery within H+4 whenever the cube is
+// not fully unsafe. The routing skeleton is the same greedy-with-detour
+// scheme, with a larger detour allowance.
+// ---------------------------------------------------------------------
+
+// ChiuWuRouter routes messages using the Wu–Fernandez safe-node map.
+type ChiuWuRouter struct {
+	set *faults.Set
+	m   *SafeMap
+}
+
+// NewChiuWuRouter builds the router, computing the safe-node map.
+func NewChiuWuRouter(set *faults.Set) *ChiuWuRouter {
+	return &ChiuWuRouter{set: set, m: WuFernandez(set)}
+}
+
+// Map exposes the underlying safe-node map.
+func (rt *ChiuWuRouter) Map() *SafeMap { return rt.m }
+
+// Name implements Router.
+func (rt *ChiuWuRouter) Name() string { return "chiu-wu" }
+
+// Route implements Router.
+func (rt *ChiuWuRouter) Route(s, d topo.NodeID) Result {
+	return safeNodeRoute(rt.set, rt.m, s, d, 4)
+}
+
+// safeNodeRoute is the shared greedy-with-detour forwarding engine for
+// binary safe-node schemes. detourBudget bounds the extra hops beyond the
+// Hamming distance (2 for Lee–Hayes, 4 for Chiu–Wu).
+func safeNodeRoute(set *faults.Set, m *SafeMap, s, d topo.NodeID, detourBudget int) Result {
+	c := set.Cube()
+	if set.NodeFaulty(s) {
+		return Result{}
+	}
+	// Admission: the source or one of its nonfaulty neighbors is safe.
+	admitted := m.Safe(s)
+	for i := 0; i < c.Dim() && !admitted; i++ {
+		if m.Safe(c.Neighbor(s, i)) {
+			admitted = true
+		}
+	}
+	if !admitted {
+		return Result{}
+	}
+	res := Result{Admitted: true, Path: topo.Path{s}}
+	cur := s
+	budget := detourBudget
+	maxHops := topo.Hamming(s, d) + detourBudget
+	for hops := 0; hops <= maxHops; hops++ {
+		if cur == d {
+			res.Delivered = true
+			res.Hops = res.Path.Len()
+			return res
+		}
+		nav := topo.Nav(cur, d)
+		next, ok := pickSafeNodeHop(set, m, cur, d, nav, &budget)
+		if !ok {
+			res.Hops = res.Path.Len()
+			return res
+		}
+		res.Path = append(res.Path, next)
+		cur = next
+	}
+	res.Hops = res.Path.Len()
+	return res
+}
+
+// pickSafeNodeHop chooses the next hop: a safe preferred neighbor if one
+// exists, else a usable (nonfaulty) preferred neighbor, else — spending
+// detour budget — a safe spare neighbor, else any usable spare neighbor.
+// The final hop to the destination is always taken if the link works.
+func pickSafeNodeHop(set *faults.Set, m *SafeMap, cur, d topo.NodeID, nav topo.NavVector, budget *int) (topo.NodeID, bool) {
+	c := set.Cube()
+	if nav.Count() == 1 {
+		// Final delivery, even to an unsafe destination.
+		for i := 0; i < c.Dim(); i++ {
+			if nav.Bit(i) {
+				b := c.Neighbor(cur, i)
+				if !set.LinkFaulty(cur, b) && !set.NodeFaulty(b) {
+					return b, true
+				}
+				break
+			}
+		}
+	} else {
+		// Safe preferred neighbor first.
+		for i := 0; i < c.Dim(); i++ {
+			if nav.Bit(i) {
+				b := c.Neighbor(cur, i)
+				if m.Safe(b) && !set.LinkFaulty(cur, b) {
+					return b, true
+				}
+			}
+		}
+		// Any usable preferred neighbor.
+		for i := 0; i < c.Dim(); i++ {
+			if nav.Bit(i) {
+				b := c.Neighbor(cur, i)
+				if !set.NodeFaulty(b) && !set.LinkFaulty(cur, b) {
+					return b, true
+				}
+			}
+		}
+	}
+	// Detour via a safe spare neighbor.
+	if *budget >= 2 {
+		for i := 0; i < c.Dim(); i++ {
+			if !nav.Bit(i) {
+				b := c.Neighbor(cur, i)
+				if m.Safe(b) && !set.LinkFaulty(cur, b) {
+					*budget -= 2
+					return b, true
+				}
+			}
+		}
+		// Any usable spare neighbor as a last resort.
+		for i := 0; i < c.Dim(); i++ {
+			if !nav.Bit(i) {
+				b := c.Neighbor(cur, i)
+				if !set.NodeFaulty(b) && !set.LinkFaulty(cur, b) {
+					*budget -= 2
+					return b, true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+// ---------------------------------------------------------------------
+// Chen–Shin depth-first routing (ref [3]).
+// ---------------------------------------------------------------------
+
+// DFSRouter implements depth-first-search routing with backtracking: the
+// message carries the history of visited nodes; at each node untried
+// preferred dimensions are explored first, then spare dimensions, and the
+// message backtracks when every forward link is blocked. It delivers
+// whenever source and destination are connected, at the cost of
+// potentially long, history-carrying paths — exactly the trade-off the
+// paper's introduction describes.
+type DFSRouter struct {
+	set *faults.Set
+}
+
+// NewDFSRouter builds the router.
+func NewDFSRouter(set *faults.Set) *DFSRouter { return &DFSRouter{set: set} }
+
+// Name implements Router.
+func (rt *DFSRouter) Name() string { return "chen-shin-dfs" }
+
+// Route implements Router.
+func (rt *DFSRouter) Route(s, d topo.NodeID) Result {
+	set := rt.set
+	if set.NodeFaulty(s) {
+		return Result{}
+	}
+	res := Result{Admitted: true, Path: topo.Path{s}}
+	if s == d {
+		res.Delivered = true
+		return res
+	}
+	visited := make(map[topo.NodeID]bool, 64)
+	visited[s] = true
+	// stack holds the current DFS chain (the would-be final path).
+	stack := []topo.NodeID{s}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		next, ok := rt.bestUntried(cur, d, visited)
+		if !ok {
+			// Backtrack: pop and physically move back one hop.
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				res.Hops++
+				res.Path = append(res.Path, stack[len(stack)-1])
+			}
+			continue
+		}
+		visited[next] = true
+		stack = append(stack, next)
+		res.Hops++
+		res.Path = append(res.Path, next)
+		if next == d {
+			res.Delivered = true
+			return res
+		}
+	}
+	return res
+}
+
+// bestUntried returns the most promising unvisited usable neighbor:
+// preferred dimensions (lowest first), then spare dimensions. The final
+// hop to d is allowed even if d is faulty only when d is nonfaulty —
+// DFS as defined in ref [3] routes between nonfaulty nodes.
+func (rt *DFSRouter) bestUntried(cur, d topo.NodeID, visited map[topo.NodeID]bool) (topo.NodeID, bool) {
+	c := rt.set.Cube()
+	nav := topo.Nav(cur, d)
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < c.Dim(); i++ {
+			preferred := nav.Bit(i)
+			if (pass == 0) != preferred {
+				continue
+			}
+			b := c.Neighbor(cur, i)
+			if visited[b] || rt.set.NodeFaulty(b) || rt.set.LinkFaulty(cur, b) {
+				continue
+			}
+			return b, true
+		}
+	}
+	return 0, false
+}
+
+// ---------------------------------------------------------------------
+// Gordon–Stout sidetracking (ref [5]).
+// ---------------------------------------------------------------------
+
+// SidetrackRouter implements the randomized sidetracking heuristic: move
+// to a random usable preferred neighbor when one exists; otherwise
+// sidetrack to a random usable spare neighbor. There is no history and
+// no backtracking, so the walk can wander; a TTL bounds it.
+type SidetrackRouter struct {
+	set *faults.Set
+	rng *stats.RNG
+	// TTL is the maximum hops before the message is dropped. Zero means
+	// the default 4*n + 8.
+	TTL int
+}
+
+// NewSidetrackRouter builds the router with the given RNG (required —
+// the scheme is randomized).
+func NewSidetrackRouter(set *faults.Set, rng *stats.RNG) *SidetrackRouter {
+	return &SidetrackRouter{set: set, rng: rng}
+}
+
+// Name implements Router.
+func (rt *SidetrackRouter) Name() string { return "gordon-stout-sidetrack" }
+
+// Route implements Router.
+func (rt *SidetrackRouter) Route(s, d topo.NodeID) Result {
+	set, c := rt.set, rt.set.Cube()
+	if set.NodeFaulty(s) {
+		return Result{}
+	}
+	ttl := rt.TTL
+	if ttl == 0 {
+		ttl = 4*c.Dim() + 8
+	}
+	res := Result{Admitted: true, Path: topo.Path{s}}
+	cur := s
+	var cand []topo.NodeID
+	for hop := 0; hop < ttl; hop++ {
+		if cur == d {
+			res.Delivered = true
+			return res
+		}
+		nav := topo.Nav(cur, d)
+		cand = cand[:0]
+		for i := 0; i < c.Dim(); i++ {
+			if nav.Bit(i) {
+				b := c.Neighbor(cur, i)
+				if !set.NodeFaulty(b) && !set.LinkFaulty(cur, b) {
+					cand = append(cand, b)
+				}
+			}
+		}
+		if len(cand) == 0 {
+			// Sidetrack: random fault-free spare neighbor.
+			for i := 0; i < c.Dim(); i++ {
+				if !nav.Bit(i) {
+					b := c.Neighbor(cur, i)
+					if !set.NodeFaulty(b) && !set.LinkFaulty(cur, b) {
+						cand = append(cand, b)
+					}
+				}
+			}
+		}
+		if len(cand) == 0 {
+			return res // stranded
+		}
+		cur = cand[rt.rng.Intn(len(cand))]
+		res.Hops++
+		res.Path = append(res.Path, cur)
+	}
+	if cur == d {
+		res.Delivered = true
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------
+// Exact BFS oracle.
+// ---------------------------------------------------------------------
+
+// OracleRouter returns true shortest paths over the surviving subgraph.
+// It is global-information-based and serves as the ground-truth
+// comparator (what an omniscient router could do).
+type OracleRouter struct {
+	set *faults.Set
+}
+
+// NewOracleRouter builds the oracle.
+func NewOracleRouter(set *faults.Set) *OracleRouter { return &OracleRouter{set: set} }
+
+// Name implements Router.
+func (rt *OracleRouter) Name() string { return "bfs-oracle" }
+
+// Route implements Router.
+func (rt *OracleRouter) Route(s, d topo.NodeID) Result {
+	set, c := rt.set, rt.set.Cube()
+	if set.NodeFaulty(s) || set.NodeFaulty(d) {
+		return Result{}
+	}
+	// BFS from d back to s so the parent chain reads forward.
+	dist := make([]int, c.Nodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[d] = 0
+	queue := []topo.NodeID{d}
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		for i := 0; i < c.Dim(); i++ {
+			b := c.Neighbor(a, i)
+			if dist[b] >= 0 || set.NodeFaulty(b) || set.LinkFaulty(a, b) {
+				continue
+			}
+			dist[b] = dist[a] + 1
+			queue = append(queue, b)
+		}
+	}
+	if dist[s] < 0 {
+		return Result{Admitted: true} // disconnected: not deliverable
+	}
+	res := Result{Admitted: true, Delivered: true, Path: topo.Path{s}}
+	cur := s
+	for cur != d {
+		for i := 0; i < c.Dim(); i++ {
+			b := c.Neighbor(cur, i)
+			if dist[b] == dist[cur]-1 && !set.NodeFaulty(b) && !set.LinkFaulty(cur, b) {
+				cur = b
+				break
+			}
+		}
+		res.Path = append(res.Path, cur)
+		res.Hops++
+	}
+	return res
+}

@@ -1,0 +1,332 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+func checkWalk(t *testing.T, c *topo.Cube, set *faults.Set, s, d topo.NodeID, res Result, name string) {
+	t.Helper()
+	if !res.Delivered {
+		return
+	}
+	if !res.Path.Valid(c) {
+		t.Fatalf("%s: invalid walk", name)
+	}
+	if res.Path[0] != s || res.Path[len(res.Path)-1] != d {
+		t.Fatalf("%s: endpoints wrong", name)
+	}
+	for i := 1; i < len(res.Path); i++ {
+		if set.LinkFaulty(res.Path[i-1], res.Path[i]) {
+			t.Fatalf("%s: walk crosses faulty link", name)
+		}
+	}
+	for _, a := range res.Path {
+		if a != d && set.NodeFaulty(a) {
+			t.Fatalf("%s: walk crosses faulty node %s", name, c.Format(a))
+		}
+	}
+}
+
+func TestOracleShortestPaths(t *testing.T) {
+	rng := stats.NewRNG(606)
+	c := topo.MustCube(6)
+	for trial := 0; trial < 25; trial++ {
+		set := faults.NewSet(c)
+		faults.InjectUniform(set, rng, rng.Intn(15))
+		oracle := NewOracleRouter(set)
+		for pair := 0; pair < 30; pair++ {
+			s := topo.NodeID(rng.Intn(c.Nodes()))
+			d := topo.NodeID(rng.Intn(c.Nodes()))
+			if set.NodeFaulty(s) || set.NodeFaulty(d) {
+				continue
+			}
+			res := oracle.Route(s, d)
+			dist := faults.Distances(set, s)
+			if dist[d] < 0 {
+				if res.Delivered {
+					t.Fatalf("oracle delivered across a partition")
+				}
+				continue
+			}
+			if !res.Delivered {
+				t.Fatalf("oracle failed on connected pair")
+			}
+			if res.Hops != dist[d] {
+				t.Fatalf("oracle path length %d, BFS distance %d", res.Hops, dist[d])
+			}
+			checkWalk(t, c, set, s, d, res, "oracle")
+			if !res.Path.Simple() {
+				t.Fatal("oracle path must be simple")
+			}
+		}
+	}
+}
+
+func TestOracleRejectsFaultyEndpoints(t *testing.T) {
+	c := topo.MustCube(4)
+	set := faults.NewSet(c)
+	set.FailNode(3)
+	oracle := NewOracleRouter(set)
+	if res := oracle.Route(3, 0); res.Admitted || res.Delivered {
+		t.Error("faulty source should not be admitted")
+	}
+	if res := oracle.Route(0, 3); res.Admitted || res.Delivered {
+		t.Error("faulty destination should not be admitted")
+	}
+}
+
+func TestDFSAlwaysDeliversWhenConnected(t *testing.T) {
+	// Chen–Shin DFS is complete: it delivers iff source and destination
+	// are in the same component.
+	rng := stats.NewRNG(717)
+	c := topo.MustCube(6)
+	for trial := 0; trial < 25; trial++ {
+		set := faults.NewSet(c)
+		faults.InjectUniform(set, rng, 5+rng.Intn(25))
+		dfs := NewDFSRouter(set)
+		for pair := 0; pair < 25; pair++ {
+			s := topo.NodeID(rng.Intn(c.Nodes()))
+			d := topo.NodeID(rng.Intn(c.Nodes()))
+			if set.NodeFaulty(s) || set.NodeFaulty(d) {
+				continue
+			}
+			res := dfs.Route(s, d)
+			connected := faults.SameComponent(set, s, d)
+			if res.Delivered != connected {
+				t.Fatalf("trial %d: DFS delivered=%v, connected=%v (%s -> %s, faults %s)",
+					trial, res.Delivered, connected, c.Format(s), c.Format(d), set)
+			}
+			checkWalk(t, c, set, s, d, res, "dfs")
+			if res.Delivered && res.Hops < topo.Hamming(s, d) {
+				t.Fatalf("DFS beat the Hamming bound: %d < %d", res.Hops, topo.Hamming(s, d))
+			}
+		}
+	}
+}
+
+func TestDFSSelfAndFaultFree(t *testing.T) {
+	c := topo.MustCube(5)
+	set := faults.NewSet(c)
+	dfs := NewDFSRouter(set)
+	res := dfs.Route(7, 7)
+	if !res.Delivered || res.Hops != 0 {
+		t.Error("self route should deliver in 0 hops")
+	}
+	// Fault-free: DFS follows preferred dims first, so it is optimal.
+	res = dfs.Route(0, 21)
+	if !res.Delivered || res.Hops != topo.Hamming(0, 21) {
+		t.Errorf("fault-free DFS hops = %d, want %d", res.Hops, topo.Hamming(0, 21))
+	}
+	if set2 := func() *faults.Set { s2 := faults.NewSet(c); s2.FailNode(0); return s2 }(); true {
+		if res := NewDFSRouter(set2).Route(0, 1); res.Admitted {
+			t.Error("faulty source must not be admitted")
+		}
+	}
+}
+
+func TestDFSBacktrackCountsTraffic(t *testing.T) {
+	// Force a dead-end: source's preferred side is walled off so DFS
+	// must backtrack, making Hops exceed Path-to-destination length.
+	c := topo.MustCube(4)
+	set := faults.NewSet(c)
+	// s=0000, d=0011. Wall: 0001 healthy but its onward nodes faulty.
+	set.FailNodes(c.MustParseAll("0011")...)
+	// d faulty is rejected; instead build dead-end toward 1111:
+	set = faults.NewSet(c)
+	// Route 0000 -> 0011: fail 0111,1011 so the DFS that wanders into
+	// 0001 -> 0101... keep it simple: verify Hops >= Path.Len()-ish
+	set.FailNodes(c.MustParseAll("0010", "0101", "1001")...)
+	dfs := NewDFSRouter(set)
+	res := dfs.Route(c.MustParse("0000"), c.MustParse("0011"))
+	if !res.Delivered {
+		t.Fatal("should deliver")
+	}
+	if res.Hops != res.Path.Len() {
+		t.Errorf("Hops %d != walk length %d", res.Hops, res.Path.Len())
+	}
+}
+
+func TestSidetrackRouting(t *testing.T) {
+	rng := stats.NewRNG(818)
+	c := topo.MustCube(6)
+	delivered, attempts := 0, 0
+	for trial := 0; trial < 30; trial++ {
+		set := faults.NewSet(c)
+		faults.InjectUniform(set, rng, rng.Intn(6))
+		st := NewSidetrackRouter(set, rng.Split(uint64(trial)))
+		for pair := 0; pair < 20; pair++ {
+			s := topo.NodeID(rng.Intn(c.Nodes()))
+			d := topo.NodeID(rng.Intn(c.Nodes()))
+			if set.NodeFaulty(s) || set.NodeFaulty(d) {
+				continue
+			}
+			attempts++
+			res := st.Route(s, d)
+			if res.Delivered {
+				delivered++
+				checkWalk(t, c, set, s, d, res, "sidetrack")
+			}
+		}
+	}
+	if attempts == 0 {
+		t.Fatal("no attempts")
+	}
+	if float64(delivered)/float64(attempts) < 0.9 {
+		t.Errorf("sidetrack delivery rate %d/%d too low under light faults", delivered, attempts)
+	}
+}
+
+func TestSidetrackTTLBounds(t *testing.T) {
+	c := topo.MustCube(5)
+	set := faults.NewSet(c)
+	rng := stats.NewRNG(1)
+	st := NewSidetrackRouter(set, rng)
+	st.TTL = 3
+	res := st.Route(0, 31) // H = 5 > TTL = 3: cannot deliver
+	if res.Delivered {
+		t.Error("TTL-bound route should fail")
+	}
+	if res.Hops > 3 {
+		t.Errorf("walked %d hops past TTL", res.Hops)
+	}
+	// Stranded case: all neighbors faulty.
+	set2 := faults.NewSet(c)
+	faults.InjectIsolating(set2, 0)
+	st2 := NewSidetrackRouter(set2, rng)
+	res2 := st2.Route(0, 31)
+	if res2.Delivered || res2.Hops != 0 {
+		t.Error("stranded source should not move")
+	}
+}
+
+func TestLeeHayesRouterFaultFree(t *testing.T) {
+	c := topo.MustCube(5)
+	set := faults.NewSet(c)
+	lh := NewLeeHayesRouter(set)
+	res := lh.Route(0, 19)
+	if !res.Admitted || !res.Delivered {
+		t.Fatal("fault-free LH route should deliver")
+	}
+	if res.Hops != topo.Hamming(0, 19) {
+		t.Errorf("fault-free LH hops = %d, want H", res.Hops)
+	}
+}
+
+func TestLeeHayesRouterBoundsAndAdmission(t *testing.T) {
+	rng := stats.NewRNG(929)
+	c := topo.MustCube(7)
+	for trial := 0; trial < 20; trial++ {
+		set := faults.NewSet(c)
+		faults.InjectUniform(set, rng, rng.Intn(7))
+		lh := NewLeeHayesRouter(set)
+		for pair := 0; pair < 20; pair++ {
+			s := topo.NodeID(rng.Intn(c.Nodes()))
+			d := topo.NodeID(rng.Intn(c.Nodes()))
+			if set.NodeFaulty(s) || set.NodeFaulty(d) {
+				continue
+			}
+			res := lh.Route(s, d)
+			if res.Delivered && res.Hops > topo.Hamming(s, d)+2 {
+				t.Fatalf("LH delivered in %d hops > H+2 = %d",
+					res.Hops, topo.Hamming(s, d)+2)
+			}
+			checkWalk(t, c, set, s, d, res, "lee-hayes")
+		}
+	}
+}
+
+func TestChiuWuRouterBounds(t *testing.T) {
+	rng := stats.NewRNG(939)
+	c := topo.MustCube(7)
+	for trial := 0; trial < 20; trial++ {
+		set := faults.NewSet(c)
+		faults.InjectUniform(set, rng, rng.Intn(10))
+		cw := NewChiuWuRouter(set)
+		for pair := 0; pair < 20; pair++ {
+			s := topo.NodeID(rng.Intn(c.Nodes()))
+			d := topo.NodeID(rng.Intn(c.Nodes()))
+			if set.NodeFaulty(s) || set.NodeFaulty(d) {
+				continue
+			}
+			res := cw.Route(s, d)
+			if res.Delivered && res.Hops > topo.Hamming(s, d)+4 {
+				t.Fatalf("Chiu-Wu delivered in %d hops > H+4", res.Hops)
+			}
+			checkWalk(t, c, set, s, d, res, "chiu-wu")
+		}
+	}
+}
+
+func TestSafeNodeRoutersInapplicableWhenDisconnected(t *testing.T) {
+	// The paper's Theorem 4 consequence: the LH and Chiu–Wu unicasting
+	// algorithms cannot even be admitted anywhere in a disconnected
+	// cube, while the safety-level router still routes within the
+	// surviving component.
+	c := topo.MustCube(4)
+	set := faults.NewSet(c)
+	set.FailNodes(c.MustParseAll("0110", "1010", "1100", "1111")...) // Fig. 3
+	lh := NewLeeHayesRouter(set)
+	cw := NewChiuWuRouter(set)
+	for s := 0; s < c.Nodes(); s++ {
+		if set.NodeFaulty(topo.NodeID(s)) {
+			continue
+		}
+		for d := 0; d < c.Nodes(); d++ {
+			if s == d || set.NodeFaulty(topo.NodeID(d)) {
+				continue
+			}
+			if res := lh.Route(topo.NodeID(s), topo.NodeID(d)); res.Admitted {
+				t.Fatalf("LH admitted %s -> %s in a disconnected cube",
+					c.Format(topo.NodeID(s)), c.Format(topo.NodeID(d)))
+			}
+			if res := cw.Route(topo.NodeID(s), topo.NodeID(d)); res.Admitted {
+				t.Fatalf("Chiu-Wu admitted %s -> %s in a disconnected cube",
+					c.Format(topo.NodeID(s)), c.Format(topo.NodeID(d)))
+			}
+		}
+	}
+	// Safety-level routing still works inside the big component.
+	as := core.Compute(set, core.Options{})
+	rt := core.NewRouter(as, nil)
+	r := rt.Unicast(c.MustParse("0101"), c.MustParse("0000"))
+	if r.Outcome != core.Optimal {
+		t.Errorf("safety-level routing should still be optimal in-component: %v", r.Outcome)
+	}
+}
+
+func TestRouterNames(t *testing.T) {
+	c := topo.MustCube(3)
+	set := faults.NewSet(c)
+	rng := stats.NewRNG(1)
+	names := map[string]bool{}
+	for _, rt := range []Router{
+		NewLeeHayesRouter(set), NewChiuWuRouter(set),
+		NewDFSRouter(set), NewSidetrackRouter(set, rng), NewOracleRouter(set),
+	} {
+		if rt.Name() == "" || names[rt.Name()] {
+			t.Errorf("router name %q empty or duplicated", rt.Name())
+		}
+		names[rt.Name()] = true
+	}
+}
+
+func TestResultStretch(t *testing.T) {
+	res := Result{Delivered: true, Hops: 5}
+	if got := res.Stretch(0, 3); got != 3 { // H(0,3) = 2
+		t.Errorf("Stretch = %d, want 3", got)
+	}
+}
+
+func TestMapsExposed(t *testing.T) {
+	c := topo.MustCube(4)
+	set := faults.NewSet(c)
+	set.FailNode(0)
+	if NewLeeHayesRouter(set).Map() == nil || NewChiuWuRouter(set).Map() == nil {
+		t.Error("Map() should be non-nil")
+	}
+}

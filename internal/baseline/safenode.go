@@ -1,0 +1,138 @@
+// Package baseline implements the prior-work schemes the paper compares
+// safety levels against: the Lee–Hayes safe-node definition (Definition 2,
+// ref [7]), the Wu–Fernandez definition (Definition 3, ref [10]), routing
+// built on each, Chen–Shin depth-first fault-tolerant routing (ref [3]),
+// the Gordon–Stout sidetracking heuristic (ref [5]), and an exact BFS
+// oracle used as ground truth.
+package baseline
+
+import (
+	"repro/internal/faults"
+	"repro/internal/topo"
+)
+
+// SafeMap records the binary safe/unsafe status of every node under one
+// of the safe-node definitions, plus the number of synchronous rounds the
+// status-exchange fixpoint needed. Both definitions start from
+// "all nonfaulty nodes are safe" and monotonically mark nodes unsafe, so
+// the greatest fixpoint is unique.
+type SafeMap struct {
+	cube   *topo.Cube
+	safe   []bool
+	faulty []bool
+	rounds int
+}
+
+// Cube returns the topology the map is defined over.
+func (m *SafeMap) Cube() *topo.Cube { return m.cube }
+
+// Safe reports whether node a is safe. Faulty nodes are never safe.
+func (m *SafeMap) Safe(a topo.NodeID) bool { return m.safe[a] }
+
+// Rounds returns the number of synchronous status-exchange rounds until
+// the fixpoint stabilized. The paper: both definitions need O(n^2)
+// rounds in the worst case, versus n-1 for safety levels.
+func (m *SafeMap) Rounds() int { return m.rounds }
+
+// SafeSet returns the safe nodes in ascending order.
+func (m *SafeMap) SafeSet() []topo.NodeID {
+	var out []topo.NodeID
+	for a, s := range m.safe {
+		if s {
+			out = append(out, topo.NodeID(a))
+		}
+	}
+	return out
+}
+
+// SafeCount returns the number of safe nodes.
+func (m *SafeMap) SafeCount() int {
+	n := 0
+	for _, s := range m.safe {
+		if s {
+			n++
+		}
+	}
+	return n
+}
+
+// unsafeRule decides whether a nonfaulty node with the given neighbor
+// statistics must be marked unsafe.
+type unsafeRule func(faultyNeighbors, unsafeOrFaultyNeighbors int) bool
+
+// LeeHayes computes the safe-node map of Definition 2 (ref [7]): a
+// nonfaulty node is unsafe iff it has at least two unsafe or faulty
+// neighbors.
+func LeeHayes(set *faults.Set) *SafeMap {
+	return fixpoint(set, func(_, uf int) bool { return uf >= 2 })
+}
+
+// WuFernandez computes the safe-node map of Definition 3 (ref [10]): a
+// nonfaulty node is unsafe iff it has two faulty neighbors, or at least
+// three unsafe-or-faulty neighbors.
+func WuFernandez(set *faults.Set) *SafeMap {
+	return fixpoint(set, func(f, uf int) bool { return f >= 2 || uf >= 3 })
+}
+
+// fixpoint iterates the unsafe-marking rule synchronously until stable.
+// Link faults are incorporated the same way Section 4.1 treats them for
+// safety levels: a node with an adjacent faulty link counts as faulty to
+// everyone else (neither original definition models link faults, so this
+// is the natural conservative embedding).
+func fixpoint(set *faults.Set, rule unsafeRule) *SafeMap {
+	c := set.Cube()
+	nodes := c.Nodes()
+	m := &SafeMap{
+		cube:   c,
+		safe:   make([]bool, nodes),
+		faulty: make([]bool, nodes),
+	}
+	for a := 0; a < nodes; a++ {
+		id := topo.NodeID(a)
+		m.faulty[a] = set.NodeFaulty(id) || len(set.AdjacentFaultyLinks(id)) > 0
+		m.safe[a] = !m.faulty[a]
+	}
+	next := make([]bool, nodes)
+	for {
+		changed := false
+		for a := 0; a < nodes; a++ {
+			id := topo.NodeID(a)
+			if m.faulty[a] {
+				next[a] = false
+				continue
+			}
+			f, uf := 0, 0
+			for i := 0; i < c.Dim(); i++ {
+				b := c.Neighbor(id, i)
+				if m.faulty[b] {
+					f++
+					uf++
+				} else if !m.safe[b] {
+					uf++
+				}
+			}
+			stillSafe := m.safe[a] && !rule(f, uf)
+			next[a] = stillSafe
+			if stillSafe != m.safe[a] {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		copy(m.safe, next)
+		m.rounds++
+	}
+	return m
+}
+
+// Contains reports whether every safe node of m is also safe in other.
+// The paper's inclusion chain: LeeHayes ⊆ WuFernandez ⊆ {S(a) = n}.
+func (m *SafeMap) ContainedIn(other *SafeMap) bool {
+	for a, s := range m.safe {
+		if s && !other.safe[a] {
+			return false
+		}
+	}
+	return true
+}

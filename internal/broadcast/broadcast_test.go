@@ -1,0 +1,256 @@
+package broadcast
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+func assignment(t testing.TB, s *faults.Set) *core.Assignment {
+	t.Helper()
+	return core.Compute(s, core.Options{})
+}
+
+func TestFaultFreeBroadcastIsOptimal(t *testing.T) {
+	// No faults: the tree is a perfect spanning binomial tree — every
+	// node exactly once, N-1 messages, depth n.
+	for n := 1; n <= 8; n++ {
+		c := topo.MustCube(n)
+		s := faults.NewSet(c)
+		b := New(assignment(t, s), false)
+		res := b.Broadcast(0)
+		if len(res.Depth) != c.Nodes() {
+			t.Fatalf("n=%d: covered %d of %d", n, len(res.Depth), c.Nodes())
+		}
+		if res.Messages != c.Nodes()-1 {
+			t.Errorf("n=%d: %d messages, want %d", n, res.Messages, c.Nodes()-1)
+		}
+		if res.Rounds != n {
+			t.Errorf("n=%d: depth %d, want %d", n, res.Rounds, n)
+		}
+		if len(res.Missed) != 0 || !res.Covered() {
+			t.Errorf("n=%d: missed %v", n, res.Missed)
+		}
+		// Each node's depth equals its Hamming distance from the
+		// source in the fault-free binomial tree.
+		for a, d := range res.Depth {
+			if d != topo.Hamming(0, a) {
+				t.Fatalf("n=%d: depth of %d is %d, want %d", n, a, d, topo.Hamming(0, a))
+			}
+		}
+	}
+}
+
+func TestBroadcastFromFaultySource(t *testing.T) {
+	c := topo.MustCube(4)
+	s := faults.NewSet(c)
+	s.FailNode(5)
+	b := New(assignment(t, s), false)
+	res := b.Broadcast(5)
+	if len(res.Depth) != 0 || res.Messages != 0 {
+		t.Error("broadcast from a faulty source should be a no-op")
+	}
+}
+
+func TestFig1BroadcastFromSafeSource(t *testing.T) {
+	c := topo.MustCube(4)
+	s := faults.NewSet(c)
+	if err := s.FailNodes(c.MustParseAll("0011", "0100", "0110", "1001")...); err != nil {
+		t.Fatal(err)
+	}
+	as := assignment(t, s)
+	b := New(as, false)
+	for _, src := range as.SafeSet() {
+		res := b.Broadcast(src)
+		if len(res.Missed) != 0 {
+			t.Errorf("safe source %s missed %v", c.Format(src), res.Missed)
+		}
+		// 12 nonfaulty nodes in the component.
+		if len(res.Depth) != 12 {
+			t.Errorf("safe source %s covered %d, want 12", c.Format(src), len(res.Depth))
+		}
+		// Never more messages than live directed links.
+		if res.Messages > 12*4 {
+			t.Errorf("message count %d implausible", res.Messages)
+		}
+	}
+}
+
+func TestExhaustiveQ4SafeSourceCoverage(t *testing.T) {
+	// Empirical coverage claim: for every fault set of size <= 3 in Q4
+	// and every SAFE source, the tree alone reaches every reachable
+	// nonfaulty node. This is the broadcast analogue of the exhaustive
+	// unicast suite; any counterexample would fail loudly and the
+	// package documentation would need weakening.
+	c := topo.MustCube(4)
+	nodes := c.Nodes()
+	var idx [3]int
+	for k := 0; k <= 3; k++ {
+		comb := make([]int, k)
+		for i := range comb {
+			comb[i] = i
+		}
+		for {
+			s := faults.NewSet(c)
+			for _, v := range comb {
+				s.FailNode(topo.NodeID(v))
+			}
+			as := core.Compute(s, core.Options{})
+			b := New(as, false)
+			for _, src := range as.SafeSet() {
+				res := b.Broadcast(src)
+				if len(res.Missed) != 0 {
+					t.Fatalf("faults %s, safe source %s: missed %v",
+						s, c.Format(src), res.Missed)
+				}
+			}
+			i := k - 1
+			for i >= 0 && comb[i] == nodes-k+i {
+				i--
+			}
+			if i < 0 {
+				break
+			}
+			comb[i]++
+			for j := i + 1; j < k; j++ {
+				comb[j] = comb[j-1] + 1
+			}
+		}
+	}
+	_ = idx
+}
+
+func TestRandomizedSafeSourceCoverage(t *testing.T) {
+	// Larger cubes, random faults below n: every safe source covers.
+	rng := stats.NewRNG(112233)
+	for n := 5; n <= 8; n++ {
+		c := topo.MustCube(n)
+		for trial := 0; trial < 40; trial++ {
+			s := faults.NewSet(c)
+			faults.InjectUniform(s, rng, rng.Intn(n))
+			as := core.Compute(s, core.Options{})
+			safe := as.SafeSet()
+			if len(safe) == 0 {
+				continue
+			}
+			b := New(as, false)
+			src := safe[rng.Intn(len(safe))]
+			res := b.Broadcast(src)
+			if len(res.Missed) != 0 {
+				t.Fatalf("n=%d faults %s safe source %s: missed %d nodes",
+					n, s, c.Format(src), len(res.Missed))
+			}
+		}
+	}
+}
+
+func TestUnsafeSourceRepair(t *testing.T) {
+	// From an unsafe source the tree may miss nodes; repair must close
+	// the gap whenever unicast admission holds (always below n faults).
+	rng := stats.NewRNG(445566)
+	c := topo.MustCube(6)
+	sawMiss := false
+	for trial := 0; trial < 80; trial++ {
+		s := faults.NewSet(c)
+		faults.InjectUniform(s, rng, rng.Intn(6))
+		as := core.Compute(s, core.Options{})
+		b := New(as, true)
+		src := topo.NodeID(rng.Intn(c.Nodes()))
+		if s.NodeFaulty(src) {
+			continue
+		}
+		res := b.Broadcast(src)
+		if len(res.Missed) > 0 {
+			sawMiss = true
+		}
+		if !res.Covered() {
+			t.Fatalf("faults %s source %s: repair left %d of %d missed",
+				s, c.Format(src), len(res.Missed)-len(res.Repaired), len(res.Missed))
+		}
+		// Total coverage: every reachable nonfaulty node has a depth.
+		dist := faults.Distances(s, src)
+		for a, d := range dist {
+			if d >= 0 {
+				if _, ok := res.Depth[topo.NodeID(a)]; !ok {
+					t.Fatalf("node %d reachable but not covered", a)
+				}
+			}
+		}
+	}
+	_ = sawMiss // misses are possible but not required; coverage is the contract
+}
+
+func TestBroadcastRespectsFailStop(t *testing.T) {
+	// Faulty nodes receive nothing and relay nothing.
+	c := topo.MustCube(5)
+	s := faults.NewSet(c)
+	rng := stats.NewRNG(8)
+	faults.InjectUniform(s, rng, 4)
+	b := New(assignment(t, s), true)
+	res := b.Broadcast(pickHealthy(t, s, rng))
+	for a := range res.Depth {
+		if s.NodeFaulty(a) {
+			t.Errorf("faulty node %s received the broadcast", c.Format(a))
+		}
+	}
+}
+
+func TestBroadcastWithLinkFaults(t *testing.T) {
+	// Dead links are never crossed; N2 nodes are still reachable and
+	// covered (directly or via repair).
+	c := topo.MustCube(4)
+	s := faults.NewSet(c)
+	if err := s.FailNodes(c.MustParseAll("0000", "0100", "1100", "1110")...); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailLink(c.MustParse("1000"), c.MustParse("1001")); err != nil {
+		t.Fatal(err)
+	}
+	as := assignment(t, s)
+	b := New(as, true)
+	res := b.Broadcast(c.MustParse("1111"))
+	dist := faults.Distances(s, c.MustParse("1111"))
+	for a, d := range dist {
+		if d < 0 {
+			continue
+		}
+		if _, ok := res.Depth[topo.NodeID(a)]; !ok {
+			t.Errorf("reachable node %s not covered", c.Format(topo.NodeID(a)))
+		}
+	}
+}
+
+func TestDisconnectedBroadcastCoversComponentOnly(t *testing.T) {
+	// Fig. 3 cube: a broadcast from the big component covers exactly
+	// that component; the island is out of reach and NOT counted as
+	// missed (Missed only lists reachable nodes).
+	c := topo.MustCube(4)
+	s := faults.NewSet(c)
+	s.FailNodes(c.MustParseAll("0110", "1010", "1100", "1111")...)
+	b := New(assignment(t, s), true)
+	res := b.Broadcast(c.MustParse("0101"))
+	if _, ok := res.Depth[c.MustParse("1110")]; ok {
+		t.Error("island node cannot receive the broadcast")
+	}
+	if !res.Covered() {
+		t.Errorf("component broadcast should cover: missed %v repaired %v",
+			res.Missed, res.Repaired)
+	}
+	// 11 nonfaulty nodes in the big component.
+	if len(res.Depth) != 11 {
+		t.Errorf("covered %d nodes, want 11", len(res.Depth))
+	}
+}
+
+func pickHealthy(t testing.TB, s *faults.Set, rng *stats.RNG) topo.NodeID {
+	t.Helper()
+	for {
+		a := topo.NodeID(rng.Intn(s.Cube().Nodes()))
+		if !s.NodeFaulty(a) {
+			return a
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/topo"
+)
+
+// FuzzLevelFromSorted cross-checks the min-k formula against the
+// paper's literal Definition 1 predicate on arbitrary sequences.
+func FuzzLevelFromSorted(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{0, 0, 4, 4})
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 16 {
+			raw = raw[:16]
+		}
+		seq := make([]int, len(raw))
+		for i, v := range raw {
+			seq[i] = int(v % 17)
+		}
+		sort.Ints(seq)
+		got := LevelFromSorted(seq)
+		// Literal predicate.
+		n := len(seq)
+		ge := func(k int) bool {
+			for i := 0; i < k; i++ {
+				if seq[i] < i {
+					return false
+				}
+			}
+			return true
+		}
+		want := n
+		if !ge(n) {
+			want = -1
+			for k := 0; k < n; k++ {
+				if ge(k) && seq[k] == k-1 {
+					want = k
+					break
+				}
+			}
+		}
+		if got != want {
+			t.Fatalf("LevelFromSorted(%v) = %d, paper predicate %d", seq, got, want)
+		}
+	})
+}
+
+// FuzzComputeAndRoute drives the full pipeline from an arbitrary fault
+// bitmap: the fixpoint must verify, and every route must terminate with
+// a classified outcome and honor the length contract.
+func FuzzComputeAndRoute(f *testing.F) {
+	f.Add(uint32(0b0110000001011000), uint8(14), uint8(1))
+	f.Add(uint32(0), uint8(0), uint8(15))
+	f.Add(uint32(0xFFFF), uint8(3), uint8(9))
+	f.Fuzz(func(t *testing.T, mask uint32, srcRaw, dstRaw uint8) {
+		c := topo.MustCube(4)
+		s := faults.NewSet(c)
+		for a := 0; a < 16; a++ {
+			if mask&(1<<uint(a)) != 0 {
+				s.FailNode(topo.NodeID(a))
+			}
+		}
+		as := Compute(s, Options{})
+		if err := as.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		src := topo.NodeID(srcRaw % 16)
+		dst := topo.NodeID(dstRaw % 16)
+		rt := NewRouter(as, nil)
+		r := rt.Unicast(src, dst)
+		switch r.Outcome {
+		case Optimal:
+			if r.Len() != r.Hamming {
+				t.Fatalf("optimal length %d != H %d", r.Len(), r.Hamming)
+			}
+		case Suboptimal:
+			if r.Len() != r.Hamming+2 {
+				t.Fatalf("suboptimal length %d != H+2", r.Len())
+			}
+		case Failure:
+			// fine
+		default:
+			t.Fatalf("unclassified outcome %v", r.Outcome)
+		}
+		if r.Outcome != Failure && len(r.Path) > 2 {
+			for _, a := range r.Path[1 : len(r.Path)-1] {
+				if s.NodeFaulty(a) {
+					t.Fatalf("path crosses faulty node")
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,342 @@
+// Package core implements the paper's primary contribution: the safety
+// level of hypercube nodes (Definition 1), the GLOBAL_STATUS (GS)
+// iterative algorithm that computes it in at most n-1 rounds, the
+// EXTENDED_GLOBAL_STATUS (EGS) variant for cubes with faulty links
+// (Section 4.1), and the optimal/suboptimal unicasting algorithm built on
+// safety levels (Section 3), including its disconnected-cube feasibility
+// check (Section 3.3).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/topo"
+)
+
+// LevelFromSorted evaluates Definition 1 given the ascending-sorted
+// sequence of a nonfaulty node's neighbor safety levels. It returns n if
+// (S0..Sn-1) >= (0..n-1), otherwise the smallest k with S_k < k — which,
+// because the sequence is sorted and the prefix dominates (0..k-1),
+// necessarily has S_k = k-1 exactly as the paper states the condition.
+func LevelFromSorted(sorted []int) int {
+	for i, s := range sorted {
+		if s < i {
+			return i
+		}
+	}
+	return len(sorted)
+}
+
+// LevelFromNeighbors evaluates Definition 1 from an unsorted neighbor
+// level sequence. scratch, if non-nil and large enough, avoids an
+// allocation; callers in hot loops pass a reusable buffer.
+func LevelFromNeighbors(levels []int, scratch []int) int {
+	if cap(scratch) < len(levels) {
+		scratch = make([]int, len(levels))
+	}
+	scratch = scratch[:len(levels)]
+	copy(scratch, levels)
+	sort.Ints(scratch)
+	return LevelFromSorted(scratch)
+}
+
+// Assignment holds the safety level of every node of one faulty cube.
+//
+// Without link faults every node has a single level. With link faults
+// (computed by EGS) the paper distinguishes two views: the public level a
+// node exposes to its neighbors — 0 for every node with an adjacent
+// faulty link (the set N2) — and the node's own level, which an N2 node
+// computes for itself by treating only the far ends of its faulty links
+// as faulty. Public and Own coincide for every node outside N2.
+type Assignment struct {
+	cube   *topo.Cube
+	set    *faults.Set
+	public []int
+	own    []int
+	// rounds is the number of synchronous information-exchange rounds
+	// after which no level changed (the statistic plotted in Fig. 2).
+	rounds int
+	// stableAt[a] is the first round after which node a's level never
+	// changes again (0 = the initial value was already final). Used to
+	// validate Property 1: a k-safe node stabilizes by round k.
+	stableAt []int
+}
+
+// Cube returns the topology the assignment is defined over.
+func (as *Assignment) Cube() *topo.Cube { return as.cube }
+
+// Faults returns the fault set the assignment was computed against.
+func (as *Assignment) Faults() *faults.Set { return as.set }
+
+// Level returns the public safety level of node a: the value a's
+// neighbors observe. Faulty nodes and nodes with adjacent faulty links
+// report 0.
+func (as *Assignment) Level(a topo.NodeID) int { return as.public[a] }
+
+// OwnLevel returns node a's own view of its safety level. It differs
+// from Level(a) only for nonfaulty nodes with adjacent faulty links,
+// which consider themselves regular healthy nodes (Section 4.1).
+func (as *Assignment) OwnLevel(a topo.NodeID) int { return as.own[a] }
+
+// Rounds returns how many synchronous rounds GS/EGS needed before the
+// levels stabilized. A fault-free cube needs 0 rounds.
+func (as *Assignment) Rounds() int { return as.rounds }
+
+// StableRound returns the first round after which node a's level is
+// final.
+func (as *Assignment) StableRound(a topo.NodeID) int { return as.stableAt[a] }
+
+// Safe reports whether node a is safe, i.e. has the maximum level n.
+func (as *Assignment) Safe(a topo.NodeID) bool { return as.public[a] == as.cube.Dim() }
+
+// SafeSet returns all safe nodes in ascending order.
+func (as *Assignment) SafeSet() []topo.NodeID {
+	var out []topo.NodeID
+	for a := 0; a < as.cube.Nodes(); a++ {
+		if as.public[a] == as.cube.Dim() {
+			out = append(out, topo.NodeID(a))
+		}
+	}
+	return out
+}
+
+// Levels returns a copy of the public level table indexed by node ID.
+func (as *Assignment) Levels() []int {
+	return append([]int(nil), as.public...)
+}
+
+// Options tune the GS computation. The zero value reproduces the paper's
+// algorithm exactly.
+type Options struct {
+	// MaxRounds caps the number of iterations (the paper's D). Zero
+	// means the Corollary bound n-1, which is always sufficient. A
+	// smaller cap deliberately truncates convergence; the ablation
+	// experiments use it to show what an under-provisioned D costs.
+	MaxRounds int
+}
+
+// Compute runs GS (or EGS when the fault set contains link faults) and
+// returns the stabilized assignment. The computation is the synchronous
+// version of the paper's algorithm: every node updates simultaneously
+// from its neighbors' previous-round levels, starting from the
+// all-nonfaulty-nodes-are-n-safe initialization.
+func Compute(set *faults.Set, opts Options) *Assignment {
+	if set.HasLinkFaults() {
+		return computeEGS(set, opts)
+	}
+	return computeGS(set, opts)
+}
+
+func maxRounds(c *topo.Cube, opts Options) int {
+	if opts.MaxRounds > 0 {
+		return opts.MaxRounds
+	}
+	d := c.Dim() - 1
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// computeGS implements Algorithm GLOBAL_STATUS for node faults only.
+func computeGS(set *faults.Set, opts Options) *Assignment {
+	c := set.Cube()
+	n := c.Dim()
+	nodes := c.Nodes()
+	cur := make([]int, nodes)
+	for a := 0; a < nodes; a++ {
+		if set.NodeFaulty(topo.NodeID(a)) {
+			cur[a] = 0
+		} else {
+			cur[a] = n
+		}
+	}
+	as := &Assignment{
+		cube:     c,
+		set:      set,
+		stableAt: make([]int, nodes),
+	}
+	as.rounds = iterate(c, set, cur, as.stableAt, maxRounds(c, opts), nil)
+	as.public = cur
+	as.own = cur
+	return as
+}
+
+// iterate runs synchronous NODE_STATUS rounds in place over cur until no
+// level changes or the round cap is hit, and returns the number of rounds
+// executed before stability. frozen, if non-nil, marks nodes whose level
+// never updates (EGS freezes the N2 nodes at 0 during the N1 phase).
+func iterate(c *topo.Cube, set *faults.Set, cur []int, stableAt []int, cap int, frozen []bool) int {
+	nodes := c.Nodes()
+	n := c.Dim()
+	next := make([]int, nodes)
+	neigh := make([]int, n)
+	scratch := make([]int, n)
+	rounds := 0
+	for r := 1; r <= cap; r++ {
+		changed := false
+		for a := 0; a < nodes; a++ {
+			id := topo.NodeID(a)
+			if set.NodeFaulty(id) || (frozen != nil && frozen[a]) {
+				next[a] = cur[a]
+				continue
+			}
+			for i := 0; i < n; i++ {
+				neigh[i] = cur[c.Neighbor(id, i)]
+			}
+			v := LevelFromNeighbors(neigh, scratch)
+			next[a] = v
+			if v != cur[a] {
+				changed = true
+				if stableAt != nil {
+					stableAt[a] = r
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+		rounds = r
+		copy(cur, next)
+	}
+	return rounds
+}
+
+// computeEGS implements Algorithm EXTENDED_GLOBAL_STATUS (Section 4.1).
+// Nodes in N2 (nonfaulty, with at least one adjacent faulty link) start
+// at level 0 and stay frozen through the N1 rounds — every other node
+// treats them as faulty. In the final round each N2 node runs
+// NODE_STATUS once for itself, treating the far end of each of its
+// faulty links as faulty but using its other neighbors' public levels.
+func computeEGS(set *faults.Set, opts Options) *Assignment {
+	c := set.Cube()
+	n := c.Dim()
+	nodes := c.Nodes()
+	cur := make([]int, nodes)
+	frozen := make([]bool, nodes)
+	for a := 0; a < nodes; a++ {
+		id := topo.NodeID(a)
+		switch {
+		case set.NodeFaulty(id):
+			cur[a] = 0
+		case len(set.AdjacentFaultyLinks(id)) > 0:
+			cur[a] = 0
+			frozen[a] = true
+		default:
+			cur[a] = n
+		}
+	}
+	as := &Assignment{
+		cube:     c,
+		set:      set,
+		stableAt: make([]int, nodes),
+	}
+	as.rounds = iterate(c, set, cur, as.stableAt, maxRounds(c, opts), frozen)
+	as.public = cur
+
+	// Final round: each N2 node computes its own level once.
+	own := append([]int(nil), cur...)
+	neigh := make([]int, n)
+	scratch := make([]int, n)
+	for a := 0; a < nodes; a++ {
+		id := topo.NodeID(a)
+		if !frozen[a] {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			b := c.Neighbor(id, i)
+			if set.LinkFaulty(id, b) {
+				neigh[i] = 0
+			} else {
+				neigh[i] = cur[b]
+			}
+		}
+		own[a] = LevelFromNeighbors(neigh, scratch)
+	}
+	as.own = own
+	return as
+}
+
+// Verify checks that the assignment satisfies the paper's fixpoint
+// condition at every node: faulty nodes are 0-safe and every nonfaulty
+// node's level equals Definition 1 applied to its neighbors' levels.
+// For EGS assignments the public view is checked over N1 and the own
+// view over N2. It returns nil when the assignment is consistent;
+// Theorem 1 guarantees the consistent assignment is unique.
+func (as *Assignment) Verify() error {
+	c := as.cube
+	n := c.Dim()
+	neigh := make([]int, n)
+	for a := 0; a < c.Nodes(); a++ {
+		id := topo.NodeID(a)
+		if as.set.NodeFaulty(id) {
+			if as.public[a] != 0 || as.own[a] != 0 {
+				return fmt.Errorf("core: faulty node %s has nonzero level", c.Format(id))
+			}
+			continue
+		}
+		inN2 := len(as.set.AdjacentFaultyLinks(id)) > 0
+		if inN2 {
+			if as.public[a] != 0 {
+				return fmt.Errorf("core: N2 node %s exposes nonzero public level %d", c.Format(id), as.public[a])
+			}
+			for i := 0; i < n; i++ {
+				b := c.Neighbor(id, i)
+				if as.set.LinkFaulty(id, b) {
+					neigh[i] = 0
+				} else {
+					neigh[i] = as.public[b]
+				}
+			}
+			if want := LevelFromNeighbors(neigh, nil); as.own[a] != want {
+				return fmt.Errorf("core: N2 node %s own level %d, Definition 1 gives %d", c.Format(id), as.own[a], want)
+			}
+			continue
+		}
+		for i := 0; i < n; i++ {
+			neigh[i] = as.public[c.Neighbor(id, i)]
+		}
+		if want := LevelFromNeighbors(neigh, nil); as.public[a] != want {
+			return fmt.Errorf("core: node %s level %d, Definition 1 gives %d", c.Format(id), as.public[a], want)
+		}
+	}
+	return nil
+}
+
+// UnsafeNonfaulty returns the nonfaulty nodes whose level is below n.
+func (as *Assignment) UnsafeNonfaulty() []topo.NodeID {
+	var out []topo.NodeID
+	for a := 0; a < as.cube.Nodes(); a++ {
+		id := topo.NodeID(a)
+		if !as.set.NodeFaulty(id) && as.public[a] < as.cube.Dim() {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// CheckProperty2 validates Property 2: in a faulty n-cube with fewer
+// than n faulty nodes (and no link faults), every nonfaulty but unsafe
+// node has a safe neighbor. It returns an error naming the first
+// violating node; callers should only invoke it when the precondition
+// (NodeFaults < n, LinkFaults == 0) holds.
+func (as *Assignment) CheckProperty2() error {
+	c := as.cube
+	n := c.Dim()
+	for _, a := range as.UnsafeNonfaulty() {
+		hasSafe := false
+		for i := 0; i < n; i++ {
+			if as.public[c.Neighbor(a, i)] == n {
+				hasSafe = true
+				break
+			}
+		}
+		if !hasSafe {
+			return fmt.Errorf("core: unsafe node %s has no safe neighbor (faults=%d)",
+				c.Format(a), as.set.NodeFaults())
+		}
+	}
+	return nil
+}

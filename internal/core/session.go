@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/topo"
+)
+
+// Session is an in-flight unicast that advances one hop per Step call,
+// so a caller can interleave fault events with message progress — the
+// demand-driven maintenance scenario of Section 2.2: "in case of
+// occurrence of a new faulty node that affects a unicast, this unicast
+// might either be aborted or be re-routed from the current node after
+// all the safety levels are stabilized."
+//
+// The session consults the router's fault oracle at every hop, so a
+// node that died after admission is seen immediately; the safety levels
+// themselves may be stale until the caller recomputes them and calls
+// Reroute. A Step that finds every usable preferred neighbor gone
+// returns ErrBlocked instead of guessing.
+type Session struct {
+	rt   *Router
+	dest topo.NodeID
+	cur  topo.NodeID
+	nav  topo.NavVector
+	path topo.Path
+	// detour marks that the C3 spare hop is still owed from the most
+	// recent admission.
+	pendingSpare bool
+	done         bool
+	// reroutes counts how many times the session was re-admitted.
+	reroutes int
+}
+
+// ErrBlocked reports that the next hop could not be chosen because
+// every usable preferred neighbor is gone — the signal to recompute
+// safety levels and Reroute (or abort).
+var ErrBlocked = fmt.Errorf("core: route blocked; recompute levels and reroute")
+
+// Start admits a unicast from s to d and returns the in-flight session.
+// A Failure admission returns the condition result and a nil session.
+func (rt *Router) Start(s, d topo.NodeID) (*Session, Condition, Outcome) {
+	cond, out := rt.Feasibility(s, d)
+	if out == Failure || rt.as.set.NodeFaulty(s) {
+		if rt.as.set.NodeFaulty(s) {
+			return nil, CondNone, Failure
+		}
+		return nil, cond, out
+	}
+	return &Session{
+		rt:           rt,
+		dest:         d,
+		cur:          s,
+		nav:          topo.Nav(s, d),
+		path:         topo.Path{s},
+		pendingSpare: cond == CondC3,
+		done:         s == d,
+	}, cond, out
+}
+
+// Done reports whether the message has arrived.
+func (s *Session) Done() bool { return s.done }
+
+// At returns the node currently holding the message.
+func (s *Session) At() topo.NodeID { return s.cur }
+
+// Path returns the walk traveled so far (including reroute segments).
+func (s *Session) Path() topo.Path { return append(topo.Path(nil), s.path...) }
+
+// Hops returns the hops traveled so far.
+func (s *Session) Hops() int { return s.path.Len() }
+
+// Reroutes returns how many times the session was re-admitted after a
+// blockage.
+func (s *Session) Reroutes() int { return s.reroutes }
+
+// Step advances the message one hop. It returns true when the message
+// has arrived. ErrBlocked means no usable preferred neighbor remains
+// under the current fault oracle — recompute levels and call Reroute.
+func (s *Session) Step() (bool, error) {
+	if s.done {
+		return true, nil
+	}
+	if s.pendingSpare {
+		dim := s.rt.pickSpare(s.cur, s.nav)
+		s.pendingSpare = false
+		return s.move(dim)
+	}
+	dim, ok := s.rt.pickPreferred(s.cur, s.nav)
+	if !ok {
+		return false, ErrBlocked
+	}
+	return s.move(dim)
+}
+
+// move executes the hop along dim.
+func (s *Session) move(dim int) (bool, error) {
+	next := s.rt.as.cube.Neighbor(s.cur, dim)
+	if s.rt.as.set.NodeFaulty(next) && s.nav.Count() != 1 {
+		// The chosen intermediate died between decision and hop; treat
+		// as a blockage rather than walking into a dead node.
+		return false, ErrBlocked
+	}
+	s.nav = s.nav.Flip(dim)
+	s.cur = next
+	s.path = append(s.path, next)
+	if s.nav.Zero() {
+		s.done = true
+	}
+	return s.done, nil
+}
+
+// Reroute re-admits the unicast from the current node against a fresh
+// assignment (compute it after the fault oracle changed). On success
+// the session continues from here — possibly with a new C3 detour; on
+// Failure the message is stuck at the current node (the paper's "might
+// be aborted" branch) and the session stays blocked.
+func (s *Session) Reroute(as *Assignment) (Condition, Outcome) {
+	if s.done {
+		return CondC1, Optimal
+	}
+	rt := NewRouter(as, s.rt.tie)
+	cond, out := rt.Feasibility(s.cur, s.dest)
+	if out == Failure {
+		return cond, out
+	}
+	s.rt = rt
+	s.nav = topo.Nav(s.cur, s.dest)
+	s.pendingSpare = cond == CondC3
+	s.reroutes++
+	return cond, out
+}
+
+// Run drives the session to completion or blockage, returning the
+// arrival state (convenience for tests and callers without mid-flight
+// events).
+func (s *Session) Run() (bool, error) {
+	for !s.done {
+		if _, err := s.Step(); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}

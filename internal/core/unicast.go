@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/topo"
+)
+
+// Outcome classifies a unicast attempt, mirroring the three exits of
+// Algorithm UNICASTING_AT_SOURCE_NODE.
+type Outcome int
+
+const (
+	// Optimal: the source met C1 or C2 and the message traveled a
+	// Hamming-distance path.
+	Optimal Outcome = iota
+	// Suboptimal: only C3 held; the message took a spare first hop and
+	// traveled H(s,d)+2 hops.
+	Suboptimal
+	// Failure: none of C1, C2, C3 held; the unicast was aborted at the
+	// source. The paper: "the cause of failure can be either too many
+	// faulty nodes in the neighborhood or a network partition."
+	Failure
+)
+
+// String renders the outcome for tables and traces.
+func (o Outcome) String() string {
+	switch o {
+	case Optimal:
+		return "optimal"
+	case Suboptimal:
+		return "suboptimal"
+	case Failure:
+		return "failure"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Condition identifies which source-side safety test admitted a unicast.
+type Condition int
+
+const (
+	// CondNone: no condition held; unicast aborted.
+	CondNone Condition = iota
+	// CondC1: S(s) >= H(s, d).
+	CondC1
+	// CondC2: some preferred neighbor has level >= H(s, d) - 1.
+	CondC2
+	// CondC3: some spare neighbor has level >= H(s, d) + 1.
+	CondC3
+)
+
+// String renders the condition name used in the paper.
+func (c Condition) String() string {
+	switch c {
+	case CondC1:
+		return "C1"
+	case CondC2:
+		return "C2"
+	case CondC3:
+		return "C3"
+	default:
+		return "none"
+	}
+}
+
+// TieBreak selects among equally-safest candidate neighbors. The paper
+// leaves the choice open ("say 1111 along dimension 0"); the policy is
+// pluggable so the ablation experiments can quantify that freedom.
+type TieBreak func(dims []int) int
+
+// LowestDim picks the smallest candidate dimension. It is the default
+// and makes every route deterministic.
+func LowestDim(dims []int) int { return dims[0] }
+
+// HighestDim picks the largest candidate dimension.
+func HighestDim(dims []int) int { return dims[len(dims)-1] }
+
+// Hop records one forwarding decision of the unicast algorithm.
+type Hop struct {
+	From topo.NodeID
+	To   topo.NodeID
+	// Dim is the dimension crossed.
+	Dim int
+	// Nav is the navigation vector sent along with the message
+	// (already updated for this hop).
+	Nav topo.NavVector
+	// Spare marks the single detour hop of a suboptimal unicast.
+	Spare bool
+}
+
+// Route is the result of one unicast attempt.
+type Route struct {
+	Source    topo.NodeID
+	Dest      topo.NodeID
+	Hamming   int
+	Outcome   Outcome
+	Condition Condition
+	Path      topo.Path
+	Hops      []Hop
+	// Err carries a transport-level anomaly: the algorithm was admitted
+	// at the source but a forwarding step found no usable preferred
+	// neighbor. With a consistent assignment this cannot happen when a
+	// condition held (Theorem 3); it is surfaced rather than panicking
+	// so that deliberately inconsistent ablations (truncated GS rounds)
+	// can observe the consequence.
+	Err error
+}
+
+// Len returns the number of hops traveled, or 0 for a failed unicast.
+func (r *Route) Len() int { return r.Path.Len() }
+
+// Router executes safety-level unicasts over one computed assignment.
+type Router struct {
+	as  *Assignment
+	tie TieBreak
+	// maxHops guards against forwarding loops if the caller routes on a
+	// deliberately inconsistent assignment.
+	maxHops int
+}
+
+// NewRouter returns a Router over assignment as using tie-break policy
+// tie (nil means LowestDim).
+func NewRouter(as *Assignment, tie TieBreak) *Router {
+	if tie == nil {
+		tie = LowestDim
+	}
+	return &Router{as: as, tie: tie, maxHops: as.cube.Dim() + 3}
+}
+
+// Assignment returns the safety-level assignment the router consults.
+func (rt *Router) Assignment() *Assignment { return rt.as }
+
+// Feasibility evaluates the source-side admission test for a unicast
+// from s to d and returns the first condition that holds, in the
+// algorithm's order C1, C2, C3, together with the outcome class it
+// implies. It does not move any message.
+func (rt *Router) Feasibility(s, d topo.NodeID) (Condition, Outcome) {
+	as, c := rt.as, rt.as.cube
+	nav := topo.Nav(s, d)
+	h := nav.Count()
+	if h == 0 {
+		return CondC1, Optimal
+	}
+	// Section 4.1 exclusion: the far end of an adjacent faulty link is
+	// not covered by the source's own level (every length-1 "optimal
+	// path" to it is the dead link itself), so a distance-1 unicast to
+	// it can only be admitted suboptimally via C3.
+	deadLinkDest := h == 1 && as.set.LinkFaulty(s, d)
+	if !deadLinkDest {
+		if as.OwnLevel(s) >= h {
+			return CondC1, Optimal
+		}
+		for i := 0; i < c.Dim(); i++ {
+			if nav.Bit(i) && rt.neighborLevel(s, i) >= h-1 {
+				return CondC2, Optimal
+			}
+		}
+	}
+	for i := 0; i < c.Dim(); i++ {
+		if !nav.Bit(i) && rt.neighborLevel(s, i) >= h+1 {
+			return CondC3, Suboptimal
+		}
+	}
+	return CondNone, Failure
+}
+
+// neighborLevel is the safety level of s's neighbor along dim as s
+// observes it: the public level, with one addition from Section 4.1 — a
+// node never forwards across one of its own faulty links, so the far end
+// of a faulty link is observed as level 0 regardless of its public value.
+func (rt *Router) neighborLevel(s topo.NodeID, dim int) int {
+	b := rt.as.cube.Neighbor(s, dim)
+	if rt.as.set.LinkFaulty(s, b) {
+		return 0
+	}
+	return rt.as.Level(b)
+}
+
+// Unicast routes a message from s to d and returns the full trace.
+// s must be nonfaulty. d may be any node: the paper delivers the final
+// hop even to a faulty or N2 destination (Theorem 2 proof, j = 1 case,
+// and footnote to Section 4.1).
+func (rt *Router) Unicast(s, d topo.NodeID) *Route {
+	as, c := rt.as, rt.as.cube
+	r := &Route{Source: s, Dest: d, Hamming: topo.Hamming(s, d)}
+	if !c.Contains(s) || !c.Contains(d) {
+		r.Outcome = Failure
+		r.Err = fmt.Errorf("core: node outside cube")
+		return r
+	}
+	if as.set.NodeFaulty(s) {
+		r.Outcome = Failure
+		r.Err = fmt.Errorf("core: source %s is faulty", c.Format(s))
+		return r
+	}
+	cond, outcome := rt.Feasibility(s, d)
+	r.Condition = cond
+	r.Outcome = outcome
+	if outcome == Failure {
+		return r
+	}
+	r.Path = topo.Path{s}
+	if s == d {
+		return r
+	}
+
+	nav := topo.Nav(s, d)
+	cur := s
+	if cond == CondC3 {
+		// Suboptimal first hop: the spare neighbor with the highest
+		// safety level among those meeting the C3 threshold.
+		dim := rt.pickSpare(cur, nav)
+		nav = nav.Flip(dim) // setting the bit: the detour must be undone
+		cur = c.Neighbor(cur, dim)
+		r.Hops = append(r.Hops, Hop{From: s, To: cur, Dim: dim, Nav: nav, Spare: true})
+		r.Path = append(r.Path, cur)
+	}
+	for hops := 0; !nav.Zero(); hops++ {
+		if hops > rt.maxHops {
+			r.Err = fmt.Errorf("core: forwarding exceeded %d hops (inconsistent levels?)", rt.maxHops)
+			r.Outcome = Failure
+			return r
+		}
+		dim, ok := rt.pickPreferred(cur, nav)
+		if !ok {
+			r.Err = fmt.Errorf("core: node %s has no usable preferred neighbor (nav %0*b)",
+				c.Format(cur), c.Dim(), nav)
+			r.Outcome = Failure
+			return r
+		}
+		nav = nav.Flip(dim)
+		next := c.Neighbor(cur, dim)
+		r.Hops = append(r.Hops, Hop{From: cur, To: next, Dim: dim, Nav: nav})
+		r.Path = append(r.Path, next)
+		cur = next
+	}
+	return r
+}
+
+// pickPreferred chooses the preferred dimension whose neighbor has the
+// highest safety level, breaking ties with the router policy. When the
+// navigation vector has a single remaining bit the neighbor is the
+// destination itself and is chosen unconditionally (final delivery);
+// otherwise intermediate candidates must be traversable: nonfaulty and
+// not across a faulty link.
+func (rt *Router) pickPreferred(cur topo.NodeID, nav topo.NavVector) (int, bool) {
+	c := rt.as.cube
+	if nav.Count() == 1 {
+		for i := 0; i < c.Dim(); i++ {
+			if nav.Bit(i) {
+				// Final hop: delivered even to a faulty destination,
+				// but not across a faulty link.
+				if rt.as.set.LinkFaulty(cur, c.Neighbor(cur, i)) {
+					return 0, false
+				}
+				return i, true
+			}
+		}
+	}
+	best := -1
+	var cand []int
+	for i := 0; i < c.Dim(); i++ {
+		if !nav.Bit(i) {
+			continue
+		}
+		b := c.Neighbor(cur, i)
+		if rt.as.set.NodeFaulty(b) || rt.as.set.LinkFaulty(cur, b) {
+			continue
+		}
+		lv := rt.as.Level(b)
+		switch {
+		case lv > best:
+			best = lv
+			cand = cand[:0]
+			cand = append(cand, i)
+		case lv == best:
+			cand = append(cand, i)
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return rt.tie(cand), true
+}
+
+// pickSpare chooses the spare dimension whose neighbor has the highest
+// safety level among those satisfying C3 (level >= H+1).
+func (rt *Router) pickSpare(cur topo.NodeID, nav topo.NavVector) int {
+	c := rt.as.cube
+	h := nav.Count()
+	best := -1
+	var cand []int
+	for i := 0; i < c.Dim(); i++ {
+		if nav.Bit(i) {
+			continue
+		}
+		lv := rt.neighborLevel(cur, i)
+		if lv < h+1 {
+			continue
+		}
+		switch {
+		case lv > best:
+			best = lv
+			cand = cand[:0]
+			cand = append(cand, i)
+		case lv == best:
+			cand = append(cand, i)
+		}
+	}
+	return rt.tie(cand)
+}

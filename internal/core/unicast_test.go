@@ -1,0 +1,397 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+func router(t testing.TB, s *faults.Set) *Router {
+	t.Helper()
+	return NewRouter(Compute(s, Options{}), nil)
+}
+
+func TestOutcomeAndConditionStrings(t *testing.T) {
+	if Optimal.String() != "optimal" || Suboptimal.String() != "suboptimal" || Failure.String() != "failure" {
+		t.Error("outcome strings wrong")
+	}
+	if Outcome(9).String() == "" {
+		t.Error("unknown outcome should still render")
+	}
+	if CondC1.String() != "C1" || CondC2.String() != "C2" || CondC3.String() != "C3" || CondNone.String() != "none" {
+		t.Error("condition strings wrong")
+	}
+}
+
+// Section 3.2, first worked example: s = 1110, d = 0001 in the Fig. 1
+// cube. S(1110) = 4 = H, C1 holds; the paper's trace (with the paper's
+// own tie-break choice "say 1111 along dimension 0", which LowestDim
+// reproduces) is 1110 -> 1111 -> 1101 -> 0101 -> 0001.
+func TestPaperExampleOptimalC1(t *testing.T) {
+	c, s := fig1(t)
+	rt := router(t, s)
+	src, dst := c.MustParse("1110"), c.MustParse("0001")
+
+	cond, out := rt.Feasibility(src, dst)
+	if cond != CondC1 || out != Optimal {
+		t.Fatalf("feasibility = %v/%v, want C1/optimal", cond, out)
+	}
+	r := rt.Unicast(src, dst)
+	if r.Outcome != Optimal || r.Err != nil {
+		t.Fatalf("outcome = %v, err = %v", r.Outcome, r.Err)
+	}
+	want := "1110 -> 1111 -> 1101 -> 0101 -> 0001"
+	if got := r.Path.FormatWith(c); got != want {
+		t.Errorf("path = %s, want %s", got, want)
+	}
+	if r.Len() != 4 || r.Len() != r.Hamming {
+		t.Errorf("length %d, want Hamming %d", r.Len(), r.Hamming)
+	}
+	// Navigation vector bookkeeping: first hop resets bit 0.
+	if r.Hops[0].Nav != topo.NavVector(c.MustParse("1110")) {
+		t.Errorf("nav after hop 1 = %04b, want 1110", r.Hops[0].Nav)
+	}
+	if !r.Hops[len(r.Hops)-1].Nav.Zero() {
+		t.Error("final nav should be zero")
+	}
+}
+
+// Section 3.2, second worked example: s = 0001, d = 1100. S(0001) = 1 <
+// H = 3 but preferred neighbors 0000 and 0101 have level 2 = H-1, so C2
+// admits an optimal unicast; the paper's path is 0001 -> 0000 -> 1000 ->
+// 1100.
+func TestPaperExampleOptimalC2(t *testing.T) {
+	c, s := fig1(t)
+	rt := router(t, s)
+	src, dst := c.MustParse("0001"), c.MustParse("1100")
+
+	cond, out := rt.Feasibility(src, dst)
+	if cond != CondC2 || out != Optimal {
+		t.Fatalf("feasibility = %v/%v, want C2/optimal", cond, out)
+	}
+	r := rt.Unicast(src, dst)
+	if r.Outcome != Optimal || r.Err != nil {
+		t.Fatalf("outcome = %v, err = %v", r.Outcome, r.Err)
+	}
+	want := "0001 -> 0000 -> 1000 -> 1100"
+	if got := r.Path.FormatWith(c); got != want {
+		t.Errorf("path = %s, want %s", got, want)
+	}
+}
+
+// Section 3.3, Fig. 3 examples in the disconnected cube.
+func TestFig3DisconnectedRouting(t *testing.T) {
+	c, s := fig3(t)
+	rt := router(t, s)
+
+	// s1 = 0101 -> d1 = 0000: H = 2 = S(0101), C1, optimal.
+	r1 := rt.Unicast(c.MustParse("0101"), c.MustParse("0000"))
+	if r1.Outcome != Optimal || r1.Condition != CondC1 {
+		t.Errorf("0101->0000: %v/%v", r1.Outcome, r1.Condition)
+	}
+	if r1.Len() != 2 {
+		t.Errorf("0101->0000 length %d", r1.Len())
+	}
+
+	// s2 = 0111 -> d2 = 1011: S(0111) = 1 < H = 2, but preferred
+	// neighbor 0011 has level 2 > H-1: C2, optimal.
+	r2 := rt.Unicast(c.MustParse("0111"), c.MustParse("1011"))
+	if r2.Outcome != Optimal || r2.Condition != CondC2 {
+		t.Errorf("0111->1011: %v/%v", r2.Outcome, r2.Condition)
+	}
+	if r2.Len() != 2 {
+		t.Errorf("0111->1011 length %d", r2.Len())
+	}
+	// The admitted route must go through 0011 (the other preferred
+	// neighbor 1111 is faulty).
+	if r2.Path[1] != c.MustParse("0011") {
+		t.Errorf("0111->1011 via %s, want 0011", c.Format(r2.Path[1]))
+	}
+
+	// Destination 1110 is in the other part: C1 fails (S(0111)=1 < 2),
+	// C2 fails (preferred 0110 and 1111 are faulty), C3 fails (spare
+	// 0101 and 0011 have level 2 < H+1 = 3): abort at the source.
+	r3 := rt.Unicast(c.MustParse("0111"), c.MustParse("1110"))
+	if r3.Outcome != Failure || r3.Condition != CondNone {
+		t.Errorf("0111->1110: %v/%v, want failure/none", r3.Outcome, r3.Condition)
+	}
+	if r3.Err != nil {
+		t.Errorf("source-side abort should carry no transport error, got %v", r3.Err)
+	}
+	if len(r3.Path) != 0 {
+		t.Error("failed unicast should have no path")
+	}
+
+	// Any unicast *initiated at* the island 1110 fails too: S(1110)=1,
+	// every neighbor faulty.
+	r4 := rt.Unicast(c.MustParse("1110"), c.MustParse("0000"))
+	if r4.Outcome != Failure {
+		t.Errorf("1110->0000: %v, want failure", r4.Outcome)
+	}
+}
+
+func TestUnicastToSelf(t *testing.T) {
+	c, s := fig1(t)
+	rt := router(t, s)
+	r := rt.Unicast(c.MustParse("0101"), c.MustParse("0101"))
+	if r.Outcome != Optimal || r.Len() != 0 || len(r.Path) != 1 {
+		t.Errorf("self unicast: %v len %d", r.Outcome, r.Len())
+	}
+}
+
+func TestUnicastFromFaultySource(t *testing.T) {
+	c, s := fig1(t)
+	rt := router(t, s)
+	r := rt.Unicast(c.MustParse("0011"), c.MustParse("0000"))
+	if r.Outcome != Failure || r.Err == nil {
+		t.Error("faulty source should fail with error")
+	}
+}
+
+func TestUnicastOutsideCube(t *testing.T) {
+	_, s := fig1(t)
+	rt := router(t, s)
+	r := rt.Unicast(500, 0)
+	if r.Outcome != Failure || r.Err == nil {
+		t.Error("out-of-cube source should fail with error")
+	}
+}
+
+func TestUnicastToFaultyNeighborDelivers(t *testing.T) {
+	// Theorem 2 base case: a node reaches all its neighbors, faulty or
+	// not. A distance-1 unicast to a faulty destination is delivered.
+	c, s := fig1(t)
+	rt := router(t, s)
+	r := rt.Unicast(c.MustParse("0001"), c.MustParse("0011"))
+	if r.Outcome != Optimal || r.Err != nil {
+		t.Errorf("unicast to faulty neighbor: %v err=%v", r.Outcome, r.Err)
+	}
+	if r.Len() != 1 {
+		t.Errorf("length = %d", r.Len())
+	}
+}
+
+func TestSuboptimalRouting(t *testing.T) {
+	// Build a scenario where only C3 holds: source with low level whose
+	// preferred neighbors are all weak but a spare neighbor is strong.
+	// In Q4 fail 3 nodes around the source's preferred side.
+	c := topo.MustCube(4)
+	s := faults.NewSet(c)
+	// Source 0000, dest 0011 (H=2). Kill 0001 and 0010 (both preferred
+	// neighbors): optimal impossible, C1 fails (S(0000) drops), C2
+	// fails. Spare neighbors 0100 and 1000 keep high levels.
+	if err := s.FailNodes(c.MustParseAll("0001", "0010")...); err != nil {
+		t.Fatal(err)
+	}
+	rt := router(t, s)
+	src, dst := c.MustParse("0000"), c.MustParse("0011")
+	if lv := rt.Assignment().Level(src); lv >= 2 {
+		t.Fatalf("S(0000) = %d, scenario broken", lv)
+	}
+	cond, out := rt.Feasibility(src, dst)
+	if cond != CondC3 || out != Suboptimal {
+		t.Fatalf("feasibility = %v/%v, want C3/suboptimal", cond, out)
+	}
+	r := rt.Unicast(src, dst)
+	if r.Outcome != Suboptimal || r.Err != nil {
+		t.Fatalf("outcome %v err %v", r.Outcome, r.Err)
+	}
+	if r.Len() != r.Hamming+2 {
+		t.Errorf("suboptimal length %d, want H+2 = %d", r.Len(), r.Hamming+2)
+	}
+	if !r.Hops[0].Spare {
+		t.Error("first hop should be the spare detour")
+	}
+	for _, h := range r.Hops[1:] {
+		if h.Spare {
+			t.Error("only the first hop may be spare")
+		}
+	}
+	if !r.Path.Valid(c) || !r.Path.Simple() {
+		t.Error("suboptimal path must be a simple valid path")
+	}
+	// No intermediate node is faulty.
+	for _, a := range r.Path[1 : len(r.Path)-1] {
+		if s.NodeFaulty(a) {
+			t.Errorf("intermediate %s is faulty", c.Format(a))
+		}
+	}
+}
+
+func TestTieBreakPolicies(t *testing.T) {
+	c, s := fig1(t)
+	as := Compute(s, Options{})
+	low := NewRouter(as, LowestDim)
+	high := NewRouter(as, HighestDim)
+	src, dst := c.MustParse("1110"), c.MustParse("0001")
+	rl := low.Unicast(src, dst)
+	rh := high.Unicast(src, dst)
+	if rl.Outcome != Optimal || rh.Outcome != Optimal {
+		t.Fatal("both policies should route optimally")
+	}
+	if rl.Len() != rh.Len() {
+		t.Errorf("both optimal paths must have length H: %d vs %d", rl.Len(), rh.Len())
+	}
+	// The first hop choices differ: three preferred neighbors tie at
+	// level 4 (dims 0, 1, 2).
+	if rl.Path[1] == rh.Path[1] {
+		t.Error("tie-break policies should pick different first hops here")
+	}
+	if rl.Path[1] != c.MustParse("1111") {
+		t.Errorf("LowestDim first hop = %s, want 1111", c.Format(rl.Path[1]))
+	}
+	if rh.Path[1] != c.MustParse("1010") {
+		t.Errorf("HighestDim first hop = %s, want 1010", c.Format(rh.Path[1]))
+	}
+}
+
+func TestGuaranteeBelowNFaults(t *testing.T) {
+	// Theorem 3 + Property 2: with fewer than n faults every unicast
+	// between nonfaulty nodes is admitted (optimal or suboptimal) and
+	// the delivered path length is H or H+2.
+	rng := stats.NewRNG(31337)
+	for n := 3; n <= 8; n++ {
+		c := topo.MustCube(n)
+		for trial := 0; trial < 25; trial++ {
+			s := faults.NewSet(c)
+			faults.InjectUniform(s, rng, rng.Intn(n))
+			rt := router(t, s)
+			for pair := 0; pair < 40; pair++ {
+				src := topo.NodeID(rng.Intn(c.Nodes()))
+				dst := topo.NodeID(rng.Intn(c.Nodes()))
+				if s.NodeFaulty(src) || s.NodeFaulty(dst) {
+					continue
+				}
+				r := rt.Unicast(src, dst)
+				if r.Outcome == Failure {
+					t.Fatalf("n=%d faults=%d: unicast %s -> %s failed (%v)",
+						n, s.NodeFaults(), c.Format(src), c.Format(dst), r.Err)
+				}
+				checkDelivered(t, c, s, r)
+			}
+		}
+	}
+}
+
+// checkDelivered validates the transport invariants of a delivered route.
+func checkDelivered(t *testing.T, c *topo.Cube, s *faults.Set, r *Route) {
+	t.Helper()
+	if r.Err != nil {
+		t.Fatalf("route error: %v", r.Err)
+	}
+	if !r.Path.Valid(c) {
+		t.Fatalf("invalid path %v", r.Path)
+	}
+	if !r.Path.Simple() {
+		t.Fatalf("non-simple path %s", r.Path.FormatWith(c))
+	}
+	if r.Path[0] != r.Source || r.Path[len(r.Path)-1] != r.Dest {
+		t.Fatalf("path endpoints wrong")
+	}
+	switch r.Outcome {
+	case Optimal:
+		if r.Len() != r.Hamming {
+			t.Fatalf("optimal route has length %d != H %d", r.Len(), r.Hamming)
+		}
+	case Suboptimal:
+		if r.Len() != r.Hamming+2 {
+			t.Fatalf("suboptimal route has length %d != H+2 %d", r.Len(), r.Hamming+2)
+		}
+	}
+	if len(r.Path) > 2 {
+		for _, a := range r.Path[1 : len(r.Path)-1] {
+			if s.NodeFaulty(a) {
+				t.Fatalf("path crosses faulty node %s", c.Format(a))
+			}
+		}
+	}
+}
+
+func TestHeavyFaultsEitherRouteOrDetectablyFail(t *testing.T) {
+	// Beyond n-1 faults the algorithm may fail, but it must fail at the
+	// source (no transport error) and every admitted route must deliver
+	// with the promised length.
+	rng := stats.NewRNG(777)
+	c := topo.MustCube(6)
+	for trial := 0; trial < 60; trial++ {
+		s := faults.NewSet(c)
+		faults.InjectUniform(s, rng, 6+rng.Intn(20))
+		rt := router(t, s)
+		for pair := 0; pair < 40; pair++ {
+			src := topo.NodeID(rng.Intn(c.Nodes()))
+			dst := topo.NodeID(rng.Intn(c.Nodes()))
+			if s.NodeFaulty(src) || s.NodeFaulty(dst) {
+				continue
+			}
+			r := rt.Unicast(src, dst)
+			if r.Outcome == Failure {
+				if r.Err != nil {
+					t.Fatalf("trial %d: admitted route hit transport failure: %v (faults %s)",
+						trial, r.Err, s)
+				}
+				continue
+			}
+			checkDelivered(t, c, s, r)
+		}
+	}
+}
+
+func TestOptimalAdmissionImpliesOptimalPathExists(t *testing.T) {
+	// Soundness of C1/C2 against the ground-truth oracle: when the
+	// router promises an optimal unicast, an optimal path must exist.
+	rng := stats.NewRNG(13)
+	c := topo.MustCube(6)
+	for trial := 0; trial < 50; trial++ {
+		s := faults.NewSet(c)
+		faults.InjectUniform(s, rng, rng.Intn(12))
+		rt := router(t, s)
+		for pair := 0; pair < 60; pair++ {
+			src := topo.NodeID(rng.Intn(c.Nodes()))
+			dst := topo.NodeID(rng.Intn(c.Nodes()))
+			if s.NodeFaulty(src) || s.NodeFaulty(dst) {
+				continue
+			}
+			if _, out := rt.Feasibility(src, dst); out == Optimal {
+				if !faults.HasOptimalPath(s, src, dst) {
+					t.Fatalf("trial %d: optimal admitted %s->%s but no optimal path (faults %s)",
+						trial, c.Format(src), c.Format(dst), s)
+				}
+			}
+		}
+	}
+}
+
+func TestFeasibilityZeroDistance(t *testing.T) {
+	_, s := fig1(t)
+	rt := router(t, s)
+	cond, out := rt.Feasibility(5, 5)
+	if cond != CondC1 || out != Optimal {
+		t.Errorf("self feasibility = %v/%v", cond, out)
+	}
+}
+
+func TestRouterOnTruncatedAssignmentFailsSafely(t *testing.T) {
+	// Routing on a deliberately inconsistent assignment (GS truncated
+	// to 1 round) may make bad promises; the router must not panic or
+	// loop — it reports a transport error via Route.Err.
+	c := topo.MustCube(5)
+	s := faults.NewSet(c)
+	rng := stats.NewRNG(99)
+	faults.InjectUniform(s, rng, 8)
+	as := Compute(s, Options{MaxRounds: 1})
+	rt := NewRouter(as, nil)
+	for src := 0; src < c.Nodes(); src++ {
+		for dst := 0; dst < c.Nodes(); dst += 3 {
+			if s.NodeFaulty(topo.NodeID(src)) {
+				continue
+			}
+			r := rt.Unicast(topo.NodeID(src), topo.NodeID(dst))
+			// Whatever happens must terminate with a classified result.
+			if r.Outcome != Optimal && r.Outcome != Suboptimal && r.Outcome != Failure {
+				t.Fatal("unclassified outcome")
+			}
+		}
+	}
+}

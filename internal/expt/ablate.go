@@ -1,0 +1,152 @@
+package expt
+
+import (
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// TieBreakAblation (E12a) quantifies the freedom the paper leaves in
+// "select a preferred neighbor with the highest safety level": both
+// deterministic policies must keep identical outcome classes and path
+// lengths (Theorem 3 does not depend on the choice), but they spread
+// traffic differently. The measure is the maximum per-link load when
+// many unicasts run on the same faulty cube.
+func TieBreakAblation(cfg Config) *Table {
+	cfg = cfg.withDefaults(60)
+	const n = 7
+	c := topo.MustCube(n)
+	t := &Table{
+		ID:     "E12a",
+		Title:  "Tie-break ablation (7-cube, faults = n-1, all-pairs sample)",
+		Header: []string{"policy", "delivered", "avg len", "max link load", "outcome mismatches"},
+	}
+	rng := stats.NewRNG(cfg.Seed + 13)
+
+	type res struct {
+		delivered int
+		lengths   stats.Accumulator
+		maxLoad   stats.Accumulator
+	}
+	results := map[string]*res{"lowest-dim": {}, "highest-dim": {}}
+	mismatches := 0
+
+	for trial := 0; trial < cfg.Trials; trial++ {
+		s := faults.NewSet(c)
+		if err := faults.InjectUniform(s, rng, n-1); err != nil {
+			panic(err)
+		}
+		as := core.Compute(s, core.Options{})
+		low := core.NewRouter(as, core.LowestDim)
+		high := core.NewRouter(as, core.HighestDim)
+
+		loads := map[string]map[faults.Link]int{
+			"lowest-dim":  {},
+			"highest-dim": {},
+		}
+		for pair := 0; pair < 60; pair++ {
+			src := topo.NodeID(rng.Intn(c.Nodes()))
+			dst := topo.NodeID(rng.Intn(c.Nodes()))
+			if s.NodeFaulty(src) || s.NodeFaulty(dst) || src == dst {
+				continue
+			}
+			rl := low.Unicast(src, dst)
+			rh := high.Unicast(src, dst)
+			if rl.Outcome != rh.Outcome {
+				mismatches++
+			}
+			for name, r := range map[string]*core.Route{"lowest-dim": rl, "highest-dim": rh} {
+				if r.Outcome == core.Failure {
+					continue
+				}
+				results[name].delivered++
+				results[name].lengths.Add(float64(r.Len()))
+				for i := 1; i < len(r.Path); i++ {
+					loads[name][faults.Link{A: r.Path[i-1], B: r.Path[i]}.Normalize()]++
+				}
+			}
+		}
+		for name, lm := range loads {
+			max := 0
+			for _, v := range lm {
+				if v > max {
+					max = v
+				}
+			}
+			results[name].maxLoad.Add(float64(max))
+		}
+	}
+	for _, name := range []string{"lowest-dim", "highest-dim"} {
+		r := results[name]
+		t.AddRow(name, r.delivered, r.lengths.Mean(), r.maxLoad.Mean(), mismatches)
+	}
+	t.Note("outcome classes must agree between policies (mismatches = 0); only the physical paths differ")
+	return t
+}
+
+// TruncatedGSAblation (E12c) asks what an under-provisioned D (the GS
+// iteration cap) costs: with D below the Corollary bound n-1, levels can
+// be over-optimistic, the source check can admit unicasts it should not,
+// and deliveries can exceed the promised H/H+2 or hit transport errors.
+func TruncatedGSAblation(cfg Config) *Table {
+	cfg = cfg.withDefaults(150)
+	const n = 7
+	c := topo.MustCube(n)
+	t := &Table{
+		ID:     "E12c",
+		Title:  "GS round budget ablation (7-cube, 12 clustered faults)",
+		Header: []string{"D", "wrong levels %", "admission errors", "transport errors", "broken guarantees"},
+	}
+	rng := stats.NewRNG(cfg.Seed + 14)
+	for d := 1; d <= n-1; d++ {
+		wrongLevels, totalLevels := 0, 0
+		admissionErr, transportErr, brokenLen := 0, 0, 0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			s := faults.NewSet(c)
+			if err := faults.InjectClustered(s, rng, 12, 4); err != nil {
+				panic(err)
+			}
+			exact := core.Compute(s, core.Options{})
+			trunc := core.Compute(s, core.Options{MaxRounds: d})
+			for a := 0; a < c.Nodes(); a++ {
+				totalLevels++
+				if trunc.Level(topo.NodeID(a)) != exact.Level(topo.NodeID(a)) {
+					wrongLevels++
+				}
+			}
+			rt := core.NewRouter(trunc, nil)
+			exactRt := core.NewRouter(exact, nil)
+			for pair := 0; pair < 10; pair++ {
+				src := topo.NodeID(rng.Intn(c.Nodes()))
+				dst := topo.NodeID(rng.Intn(c.Nodes()))
+				if s.NodeFaulty(src) || s.NodeFaulty(dst) || src == dst {
+					continue
+				}
+				_, truncOut := rt.Feasibility(src, dst)
+				_, exactOut := exactRt.Feasibility(src, dst)
+				if truncOut != exactOut {
+					admissionErr++
+				}
+				r := rt.Unicast(src, dst)
+				if r.Err != nil {
+					transportErr++
+					continue
+				}
+				switch r.Outcome {
+				case core.Optimal:
+					if r.Len() != r.Hamming {
+						brokenLen++
+					}
+				case core.Suboptimal:
+					if r.Len() != r.Hamming+2 {
+						brokenLen++
+					}
+				}
+			}
+		}
+		t.AddRow(d, pct(wrongLevels, totalLevels), admissionErr, transportErr, brokenLen)
+	}
+	t.Note("at D = n-1 every column must be 0 (Corollary to Property 1)")
+	return t
+}

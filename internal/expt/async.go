@@ -1,0 +1,82 @@
+package expt
+
+import (
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// AsyncVsSync (E11b) compares the two distributed implementations of
+// the GS status protocol that Section 2.2 describes: the synchronous
+// n-1-round exchange versus the asynchronous quiescence-driven variant,
+// on identical fault sets. Both must reach the same fixpoint; the
+// asynchronous mode only pays for levels that actually change, so its
+// message count collapses when faults are few or scattered.
+func AsyncVsSync(cfg Config) *Table {
+	cfg = cfg.withDefaults(15)
+	t := &Table{
+		ID:    "E11b",
+		Title: "Synchronous vs. asynchronous GS (message cost to the same fixpoint)",
+		Header: []string{"n", "faults", "placement", "sync msgs", "async msgs",
+			"async/sync %", "fixpoint equal"},
+	}
+	rng := stats.NewRNG(cfg.Seed + 15)
+	for _, n := range []int{6, 8} {
+		c := topo.MustCube(n)
+		for _, load := range []struct {
+			faults    int
+			clustered bool
+			label     string
+		}{
+			{0, false, "none"},
+			{n - 1, false, "uniform"},
+			{n - 1, true, "clustered"},
+			{4 * n, false, "uniform"},
+			{4 * n, true, "clustered"},
+		} {
+			var syncMsgs, asyncMsgs stats.Accumulator
+			equal := true
+			for trial := 0; trial < cfg.Trials; trial++ {
+				s := faults.NewSet(c)
+				var err error
+				if load.clustered {
+					err = faults.InjectClustered(s, rng, load.faults, min(n, 4))
+				} else {
+					err = faults.InjectUniform(s, rng, load.faults)
+				}
+				if err != nil {
+					panic(err)
+				}
+
+				eSync := simnet.New(s)
+				eSync.RunGS(0)
+				syncMsgs.Add(float64(eSync.MessagesSent()))
+				syncLv := eSync.Levels()
+				eSync.Close()
+
+				eAsync := simnet.New(s)
+				eAsync.RunGSAsync()
+				asyncMsgs.Add(float64(eAsync.MessagesSent()))
+				asyncLv := eAsync.Levels()
+				eAsync.Close()
+
+				want := core.Compute(s, core.Options{})
+				for a := 0; a < c.Nodes(); a++ {
+					if syncLv[a] != want.Level(topo.NodeID(a)) || asyncLv[a] != want.Level(topo.NodeID(a)) {
+						equal = false
+					}
+				}
+			}
+			ratio := 0.0
+			if syncMsgs.Mean() > 0 {
+				ratio = 100 * asyncMsgs.Mean() / syncMsgs.Mean()
+			}
+			t.AddRow(n, load.faults, load.label, syncMsgs.Mean(), asyncMsgs.Mean(), ratio, equal)
+		}
+	}
+	t.Note("sync sends one message per directed live link per round for n-1 rounds;")
+	t.Note("async sends the initial push plus one update per actual level change (demand-driven)")
+	return t
+}

@@ -1,0 +1,91 @@
+package expt
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAsyncVsSyncTable(t *testing.T) {
+	tab := AsyncVsSync(Config{Seed: 42, Trials: 3})
+	if len(tab.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		if row[6] != "true" {
+			t.Errorf("row %d: fixpoints diverged", i)
+		}
+		sync, _ := strconv.ParseFloat(row[3], 64)
+		async, _ := strconv.ParseFloat(row[4], 64)
+		if async > sync {
+			t.Errorf("row %d: async (%f) costs more than sync (%f)", i, async, sync)
+		}
+		// Fault-free rows: async sends exactly the initial push, which
+		// is 1/(n-1) of the synchronous cost.
+		if row[1] == "0" {
+			n, _ := strconv.Atoi(row[0])
+			if ratio, _ := strconv.ParseFloat(row[5], 64); ratio > 100.0/float64(n-1)+0.5 {
+				t.Errorf("row %d: fault-free async ratio %f too high", i, ratio)
+			}
+		}
+	}
+}
+
+func TestTrafficTable(t *testing.T) {
+	tab := Traffic(Config{Seed: 42, Trials: 3})
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		if row[1] != "permutation" && row[1] != "hotspot" {
+			t.Errorf("row %d: unknown pattern %s", i, row[1])
+		}
+		del, _ := strconv.ParseFloat(row[3], 64)
+		if row[0] == "0" && del != 100 {
+			t.Errorf("row %d: fault-free delivery %f, want 100", i, del)
+		}
+	}
+	// Hotspot transit must dominate permutation transit at equal load.
+	var perm, hot float64
+	for _, row := range tab.Rows {
+		if row[0] == "0" {
+			v, _ := strconv.ParseFloat(row[5], 64)
+			if row[1] == "permutation" {
+				perm = v
+			} else {
+				hot = v
+			}
+		}
+	}
+	if hot <= perm {
+		t.Errorf("hotspot transit %f should exceed permutation %f", hot, perm)
+	}
+}
+
+func TestFig2DistributionTable(t *testing.T) {
+	tab := Fig2Distribution(Config{Seed: 42, Trials: 60})
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	get := func(f, placement string, col int) float64 {
+		for _, row := range tab.Rows {
+			if row[0] == f && strings.HasPrefix(row[1], placement) {
+				v, _ := strconv.ParseFloat(row[col], 64)
+				return v
+			}
+		}
+		t.Fatalf("row %s/%s missing", f, placement)
+		return 0
+	}
+	// Partial clusters depress the minimum level more than uniform.
+	if get("4", "clustered", 4) >= get("4", "uniform", 4) {
+		t.Error("clustered min level should be below uniform at 4 faults")
+	}
+	// A fully dead 4-subcube is invisible: all survivors stay 7-safe.
+	if got := get("16", "clustered", 4); got != 7 {
+		t.Errorf("dead-subcube min level = %f, want 7", got)
+	}
+	if got := get("16", "clustered", 2); got != 0 {
+		t.Errorf("dead-subcube rounds = %f, want 0", got)
+	}
+}

@@ -1,0 +1,75 @@
+package expt
+
+import (
+	"repro/internal/broadcast"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// BroadcastSweep (E13) measures the safety-level broadcast extension
+// (reference [9]'s application, reconstructed): coverage, tree traffic
+// and latency versus fault load, split by source class (safe vs.
+// unsafe+repair), on 7-cubes.
+func BroadcastSweep(cfg Config) *Table {
+	cfg = cfg.withDefaults(300)
+	const n = 7
+	c := topo.MustCube(n)
+	t := &Table{
+		ID:    "E13",
+		Title: "Safety-level broadcast (7-cube): coverage and traffic vs. faults",
+		Header: []string{"faults", "source class", "runs", "tree-covered %", "final-covered %",
+			"avg tree msgs", "avg repair msgs", "avg rounds"},
+	}
+	rng := stats.NewRNG(cfg.Seed + 16)
+	for _, f := range []int{0, 3, 6, 12, 20} {
+		type agg struct {
+			runs, treeCov, finalCov  int
+			msgs, repairMsgs, rounds stats.Accumulator
+		}
+		var safeAgg, unsafeAgg agg
+		for trial := 0; trial < cfg.Trials; trial++ {
+			s := faults.NewSet(c)
+			if err := faults.InjectUniform(s, rng, f); err != nil {
+				panic(err)
+			}
+			as := core.Compute(s, core.Options{})
+			b := broadcast.New(as, true)
+			src := topo.NodeID(rng.Intn(c.Nodes()))
+			if s.NodeFaulty(src) {
+				continue
+			}
+			res := b.Broadcast(src)
+			a := &unsafeAgg
+			if as.Safe(src) {
+				a = &safeAgg
+			}
+			a.runs++
+			if len(res.Missed) == 0 {
+				a.treeCov++
+			}
+			if res.Covered() {
+				a.finalCov++
+			}
+			a.msgs.Add(float64(res.Messages))
+			a.repairMsgs.Add(float64(res.RepairMessages))
+			a.rounds.Add(float64(res.Rounds))
+		}
+		for _, row := range []struct {
+			label string
+			a     *agg
+		}{{"safe", &safeAgg}, {"unsafe", &unsafeAgg}} {
+			if row.a.runs == 0 {
+				t.AddRow(f, row.label, 0, "-", "-", "-", "-", "-")
+				continue
+			}
+			t.AddRow(f, row.label, row.a.runs,
+				pct(row.a.treeCov, row.a.runs), pct(row.a.finalCov, row.a.runs),
+				row.a.msgs.Mean(), row.a.repairMsgs.Mean(), row.a.rounds.Mean())
+		}
+	}
+	t.Note("tree-covered %% is the level-ranked binomial tree alone; final adds unicast repair")
+	t.Note("a fault-free broadcast is the perfect binomial tree: N-1 messages, depth n")
+	return t
+}

@@ -1,0 +1,149 @@
+package expt
+
+import (
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// Distributed (E11) measures the real communication cost of the
+// protocols on the goroutine-per-node engine: GS messages per directed
+// live link per round, stabilization rounds, and hop-by-hop unicast
+// delivery, across cube sizes.
+func Distributed(cfg Config) *Table {
+	cfg = cfg.withDefaults(20)
+	t := &Table{
+		ID:    "E11",
+		Title: "Distributed execution cost (goroutine-per-node engine)",
+		Header: []string{"n", "faults", "GS rounds (stable)", "GS messages", "msgs/link/round",
+			"unicasts", "delivered", "avg hops"},
+	}
+	rng := stats.NewRNG(cfg.Seed + 11)
+	for _, n := range []int{4, 6, 8} {
+		c := topo.MustCube(n)
+		for _, f := range []int{n / 2, n - 1, 2 * n} {
+			var rounds, msgs, perLink, hops stats.Accumulator
+			unicasts, delivered := 0, 0
+			for trial := 0; trial < cfg.Trials; trial++ {
+				s := faults.NewSet(c)
+				if err := faults.InjectUniform(s, rng, f); err != nil {
+					panic(err)
+				}
+				e := simnet.New(s)
+				e.RunGS(0)
+				rounds.Add(float64(e.StableRound()))
+				sent := e.MessagesSent()
+				msgs.Add(float64(sent))
+				liveDirected := 0
+				for a := 0; a < c.Nodes(); a++ {
+					if s.NodeFaulty(topo.NodeID(a)) {
+						continue
+					}
+					for i := 0; i < n; i++ {
+						if !s.NodeFaulty(c.Neighbor(topo.NodeID(a), i)) {
+							liveDirected++
+						}
+					}
+				}
+				if liveDirected > 0 {
+					perLink.Add(float64(sent) / float64(liveDirected) / float64(n-1))
+				}
+				for pair := 0; pair < 5; pair++ {
+					src := topo.NodeID(rng.Intn(c.Nodes()))
+					dst := topo.NodeID(rng.Intn(c.Nodes()))
+					if s.NodeFaulty(src) || s.NodeFaulty(dst) || src == dst {
+						continue
+					}
+					unicasts++
+					res := e.Unicast(src, dst)
+					if res.Outcome != core.Failure {
+						delivered++
+						hops.Add(float64(res.Hops))
+					}
+				}
+				e.Close()
+			}
+			t.AddRow(n, f, rounds.Mean(), msgs.Mean(), perLink.Mean(), unicasts, delivered, hops.Mean())
+		}
+	}
+	t.Note("msgs/link/round must be 1.0 for node-fault-only cubes: one level per directed live link per round")
+	t.Note("the engine runs the paper's D = n-1 rounds; 'GS rounds (stable)' is when levels stopped changing")
+	return t
+}
+
+// UpdateStrategies (E12b) compares the paper's three level-maintenance
+// strategies (Section 2.2) on a fault timeline: periodic GS every step
+// versus state-change-driven GS only when a node dies. The measure is
+// total messages over the timeline; correctness (levels equal the
+// sequential fixpoint at the end) is asserted by the harness tests.
+func UpdateStrategies(cfg Config) *Table {
+	cfg = cfg.withDefaults(10)
+	const n = 6
+	c := topo.MustCube(n)
+	t := &Table{
+		ID:     "E12b",
+		Title:  "Update strategies over a fault timeline (6-cube, 8 steps, one failure every 4th step)",
+		Header: []string{"strategy", "GS phases", "total messages", "final levels correct"},
+	}
+	rng := stats.NewRNG(cfg.Seed + 12)
+
+	run := func(periodic bool) (phases, msgs int, correct bool) {
+		s := faults.NewSet(c)
+		if err := faults.InjectUniform(s, rng, 3); err != nil {
+			panic(err)
+		}
+		e := simnet.New(s)
+		defer e.Close()
+		e.RunGS(0)
+		phases = 1
+		for step := 1; step <= 8; step++ {
+			changed := false
+			if step%4 == 0 {
+				// A random live node fails.
+				for {
+					v := topo.NodeID(rng.Intn(c.Nodes()))
+					if !s.NodeFaulty(v) {
+						if err := e.KillNode(v); err != nil {
+							panic(err)
+						}
+						changed = true
+						break
+					}
+				}
+			}
+			if periodic || changed {
+				e.RunGS(0)
+				phases++
+			}
+		}
+		msgs = e.MessagesSent()
+		want := core.Compute(s, core.Options{})
+		correct = true
+		got := e.Levels()
+		for a := 0; a < c.Nodes(); a++ {
+			if got[a] != want.Level(topo.NodeID(a)) {
+				correct = false
+			}
+		}
+		return phases, msgs, correct
+	}
+
+	var pPhases, pMsgs, sPhases, sMsgs stats.Accumulator
+	pOK, sOK := true, true
+	for trial := 0; trial < cfg.Trials; trial++ {
+		ph, ms, ok := run(true)
+		pPhases.Add(float64(ph))
+		pMsgs.Add(float64(ms))
+		pOK = pOK && ok
+		ph, ms, ok = run(false)
+		sPhases.Add(float64(ph))
+		sMsgs.Add(float64(ms))
+		sOK = sOK && ok
+	}
+	t.AddRow("periodic (every step)", pPhases.Mean(), pMsgs.Mean(), pOK)
+	t.AddRow("state-change-driven", sPhases.Mean(), sMsgs.Mean(), sOK)
+	t.Note("both end with correct levels; state-change-driven spends messages only when faults occur")
+	return t
+}

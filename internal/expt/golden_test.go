@@ -1,0 +1,72 @@
+package expt
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The deterministic figure tables (no Monte-Carlo input) are pinned as
+// golden files: any change to level computation, routing, or rendering
+// shows up as a readable diff. Regenerate after an intentional change:
+//
+//	go test ./internal/expt -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestGoldenFigures(t *testing.T) {
+	cases := []struct {
+		name string
+		tab  *Table
+	}{
+		{"fig1", Fig1()},
+		{"table1", Table1()},
+		{"fig3", Fig3()},
+		{"fig4", Fig4()},
+		{"fig5", Fig5()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			tc.tab.Render(&buf)
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("output differs from %s:\n--- got ---\n%s\n--- want ---\n%s",
+					path, buf.String(), want)
+			}
+		})
+	}
+}
+
+func TestGoldenCSV(t *testing.T) {
+	var buf bytes.Buffer
+	Fig1().CSV(&buf)
+	path := filepath.Join("testdata", "fig1_csv.golden")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("CSV output differs from %s:\n%s", path, buf.String())
+	}
+}

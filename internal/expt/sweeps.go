@@ -1,0 +1,451 @@
+package expt
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// Config tunes the Monte-Carlo sweeps. The zero value is filled with the
+// defaults used for EXPERIMENTS.md; tests use smaller trial counts.
+type Config struct {
+	Seed   uint64
+	Trials int
+}
+
+func (c Config) withDefaults(trials int) Config {
+	if c.Seed == 0 {
+		c.Seed = 19950701 // ICPP 1995
+	}
+	if c.Trials == 0 {
+		c.Trials = trials
+	}
+	return c
+}
+
+// Fig2 (E2) regenerates Fig. 2: the average number of GS information-
+// exchange rounds for seven-cubes under 0..maxFaults uniform random
+// faults. The paper's claim: when the number of faults is below the
+// dimension, the average is under 2, far below the worst case n-1.
+func Fig2(cfg Config) *Table {
+	cfg = cfg.withDefaults(1000)
+	const n = 7
+	c := topo.MustCube(n)
+	t := &Table{
+		ID:     "E2",
+		Title:  "Fig. 2 — average GS rounds for seven-cubes vs. number of faults",
+		Header: []string{"faults", "avg rounds", "ci95", "max", "worst case (n-1)"},
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	for f := 0; f <= 32; f += 2 {
+		var acc stats.Accumulator
+		maxSeen := 0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			s := faults.NewSet(c)
+			if err := faults.InjectUniform(s, rng, f); err != nil {
+				panic(err)
+			}
+			as := core.Compute(s, core.Options{})
+			acc.Add(float64(as.Rounds()))
+			if as.Rounds() > maxSeen {
+				maxSeen = as.Rounds()
+			}
+		}
+		t.AddRow(f, acc.Mean(), acc.CI95(), maxSeen, n-1)
+	}
+	t.Note("%d trials per point, uniform random fault placement, seed %d", cfg.Trials, cfg.Seed)
+	t.Note("paper claim: faults < 7 => average rounds < 2")
+	return t
+}
+
+// RoundsComparison (E4) compares the stabilization rounds of GS against
+// the Lee-Hayes and Wu-Fernandez status fixpoints across dimensions and
+// fault loads. GS is bounded by n-1; the binary definitions are O(n^2)
+// in the worst case and measurably slower on clustered faults.
+func RoundsComparison(cfg Config) *Table {
+	cfg = cfg.withDefaults(300)
+	t := &Table{
+		ID:     "E4",
+		Title:  "Section 2.3 — status-identification rounds: GS vs. Lee-Hayes vs. Wu-Fernandez",
+		Header: []string{"n", "faults", "GS avg", "GS max", "LH avg", "LH max", "WF avg", "WF max"},
+	}
+	rng := stats.NewRNG(cfg.Seed + 4)
+	for _, n := range []int{5, 6, 7, 8} {
+		c := topo.MustCube(n)
+		for _, f := range []int{n / 2, n, 2 * n, 4 * n} {
+			var gs, lh, wf stats.Accumulator
+			gsMax, lhMax, wfMax := 0, 0, 0
+			for trial := 0; trial < cfg.Trials; trial++ {
+				s := faults.NewSet(c)
+				// Half the trials use clustered faults: the adversarial
+				// distribution for wave propagation.
+				if trial%2 == 0 {
+					if err := faults.InjectUniform(s, rng, f); err != nil {
+						panic(err)
+					}
+				} else {
+					if err := faults.InjectClustered(s, rng, f, min(n, 4)); err != nil {
+						panic(err)
+					}
+				}
+				as := core.Compute(s, core.Options{})
+				l := baseline.LeeHayes(s)
+				w := baseline.WuFernandez(s)
+				gs.Add(float64(as.Rounds()))
+				lh.Add(float64(l.Rounds()))
+				wf.Add(float64(w.Rounds()))
+				gsMax = maxInt(gsMax, as.Rounds())
+				lhMax = maxInt(lhMax, l.Rounds())
+				wfMax = maxInt(wfMax, w.Rounds())
+			}
+			t.AddRow(n, f, gs.Mean(), gsMax, lh.Mean(), lhMax, wf.Mean(), wfMax)
+		}
+	}
+	t.Note("GS is bounded by n-1 (Corollary); LH/WF have O(n^2) worst cases")
+	t.Note("%d trials per row (uniform and clustered mixed), seed %d", cfg.Trials, cfg.Seed+4)
+	return t
+}
+
+// SafeSetSizes (E3 sweep) measures the average size of the three safe
+// sets as faults grow, demonstrating the inclusion chain LH ⊆ WF ⊆ SL
+// and how quickly the binary definitions collapse.
+func SafeSetSizes(cfg Config) *Table {
+	cfg = cfg.withDefaults(500)
+	const n = 7
+	c := topo.MustCube(n)
+	t := &Table{
+		ID:     "E3b",
+		Title:  "Safe-set sizes vs. faults (7-cube): safety-level vs. Wu-Fernandez vs. Lee-Hayes",
+		Header: []string{"faults", "SL safe avg", "WF safe avg", "LH safe avg", "inclusion violations"},
+	}
+	rng := stats.NewRNG(cfg.Seed + 3)
+	for _, f := range []int{0, 2, 4, 6, 8, 12, 16, 24, 32} {
+		var sl, wf, lh stats.Accumulator
+		violations := 0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			s := faults.NewSet(c)
+			if err := faults.InjectUniform(s, rng, f); err != nil {
+				panic(err)
+			}
+			as := core.Compute(s, core.Options{})
+			w := baseline.WuFernandez(s)
+			l := baseline.LeeHayes(s)
+			sl.Add(float64(len(as.SafeSet())))
+			wf.Add(float64(w.SafeCount()))
+			lh.Add(float64(l.SafeCount()))
+			if !l.ContainedIn(w) {
+				violations++
+			}
+			for _, a := range w.SafeSet() {
+				if as.Level(a) != n {
+					violations++
+					break
+				}
+			}
+		}
+		t.AddRow(f, sl.Mean(), wf.Mean(), lh.Mean(), violations)
+	}
+	t.Note("inclusion chain LH ⊆ WF ⊆ {S=n} must never be violated")
+	return t
+}
+
+// GuaranteeResult carries the aggregate of one Guarantee sweep row; the
+// bench harness asserts on it.
+type GuaranteeResult struct {
+	N          int
+	Faults     int
+	Attempts   int
+	Failures   int
+	Optimal    int
+	Suboptimal int
+}
+
+// Guarantee (E6) validates Theorem 3 + Property 2 empirically: with
+// fewer than n faults the unicast never fails and delivers in H or H+2.
+func Guarantee(cfg Config) (*Table, []GuaranteeResult) {
+	cfg = cfg.withDefaults(300)
+	t := &Table{
+		ID:     "E6",
+		Title:  "Theorem 3 / Property 2 — unicast admission with faults < n",
+		Header: []string{"n", "faults", "attempts", "failures", "optimal %", "suboptimal %", "avg len - H"},
+	}
+	rng := stats.NewRNG(cfg.Seed + 6)
+	var results []GuaranteeResult
+	for _, n := range []int{4, 6, 8, 10} {
+		c := topo.MustCube(n)
+		for _, f := range []int{n / 2, n - 1} {
+			res := GuaranteeResult{N: n, Faults: f}
+			var stretch stats.Accumulator
+			for trial := 0; trial < cfg.Trials; trial++ {
+				s := faults.NewSet(c)
+				if err := faults.InjectUniform(s, rng, f); err != nil {
+					panic(err)
+				}
+				rt := core.NewRouter(core.Compute(s, core.Options{}), nil)
+				for pair := 0; pair < 10; pair++ {
+					src := topo.NodeID(rng.Intn(c.Nodes()))
+					dst := topo.NodeID(rng.Intn(c.Nodes()))
+					if s.NodeFaulty(src) || s.NodeFaulty(dst) || src == dst {
+						continue
+					}
+					res.Attempts++
+					r := rt.Unicast(src, dst)
+					switch r.Outcome {
+					case core.Optimal:
+						res.Optimal++
+					case core.Suboptimal:
+						res.Suboptimal++
+					default:
+						res.Failures++
+					}
+					if r.Outcome != core.Failure {
+						stretch.Add(float64(r.Len() - r.Hamming))
+					}
+				}
+			}
+			t.AddRow(res.N, res.Faults, res.Attempts, res.Failures,
+				pct(res.Optimal, res.Attempts), pct(res.Suboptimal, res.Attempts), stretch.Mean())
+			results = append(results, res)
+		}
+	}
+	t.Note("failures must be exactly 0 below n faults; delivered length is H or H+2")
+	return t, results
+}
+
+// Theorem4 (E7) builds disconnected cubes and verifies that the binary
+// safe-node sets are empty (so LH/Chiu-Wu are inapplicable) while the
+// safety-level router keeps routing inside components and detects every
+// cross-partition request at the source.
+func Theorem4(cfg Config) *Table {
+	cfg = cfg.withDefaults(200)
+	t := &Table{
+		ID:    "E7",
+		Title: "Theorem 4 — disconnected hypercubes",
+		Header: []string{"n", "trials", "LH safe", "WF safe", "cross-partition detected %",
+			"in-component delivered %"},
+	}
+	rng := stats.NewRNG(cfg.Seed + 7)
+	for _, n := range []int{4, 5, 6, 7} {
+		c := topo.MustCube(n)
+		lhTotal, wfTotal := 0, 0
+		crossDetected, crossTotal := 0, 0
+		inDelivered, inTotal := 0, 0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			s := faults.NewSet(c)
+			victim := topo.NodeID(rng.Intn(c.Nodes()))
+			if trial%2 == 0 {
+				if err := faults.InjectIsolating(s, victim); err != nil {
+					panic(err)
+				}
+			} else {
+				if err := faults.InjectIsolatingSubcube(s, victim, 1+rng.Intn(2)); err != nil {
+					panic(err)
+				}
+			}
+			if faults.Connected(s) {
+				continue
+			}
+			lhTotal += baseline.LeeHayes(s).SafeCount()
+			wfTotal += baseline.WuFernandez(s).SafeCount()
+			labels, _ := faults.Components(s)
+			rt := core.NewRouter(core.Compute(s, core.Options{}), nil)
+			for pair := 0; pair < 20; pair++ {
+				src := topo.NodeID(rng.Intn(c.Nodes()))
+				dst := topo.NodeID(rng.Intn(c.Nodes()))
+				if s.NodeFaulty(src) || s.NodeFaulty(dst) || src == dst {
+					continue
+				}
+				r := rt.Unicast(src, dst)
+				if labels[src] != labels[dst] {
+					crossTotal++
+					if r.Outcome == core.Failure && r.Err == nil {
+						crossDetected++
+					}
+				} else {
+					inTotal++
+					if r.Outcome != core.Failure {
+						inDelivered++
+					}
+				}
+			}
+		}
+		t.AddRow(n, cfg.Trials, lhTotal, wfTotal, pct(crossDetected, crossTotal), pct(inDelivered, inTotal))
+	}
+	t.Note("LH/WF safe counts must be 0 (Theorem 4); every cross-partition unicast must abort at the source")
+	t.Note("in-component delivery is not guaranteed in heavily-faulted partitions (n or more faults)")
+	return t
+}
+
+// Compare (E10) runs the head-to-head router comparison: safety-level
+// unicasting vs. the four baselines, measuring applicability, delivery,
+// optimality and traffic across fault loads.
+func Compare(cfg Config) *Table {
+	cfg = cfg.withDefaults(400)
+	const n = 7
+	c := topo.MustCube(n)
+	t := &Table{
+		ID:    "E10",
+		Title: "Router comparison on 7-cubes (delivery % / optimal % / mean stretch)",
+		Header: []string{"faults", "scheme", "admitted %", "delivered %", "optimal %",
+			"within H+2 %", "avg stretch", "avg traffic"},
+	}
+	rng := stats.NewRNG(cfg.Seed + 10)
+	for _, f := range []int{2, 6, 12, 20, 32} {
+		type agg struct {
+			admitted, delivered, optimal, within, attempts int
+			stretch, traffic                               stats.Accumulator
+		}
+		schemes := []string{"safety-level", "lee-hayes", "chiu-wu", "chen-shin-dfs",
+			"gordon-stout-sidetrack", "free-dimensions"}
+		aggs := make(map[string]*agg, len(schemes))
+		for _, sc := range schemes {
+			aggs[sc] = &agg{}
+		}
+		for trial := 0; trial < cfg.Trials; trial++ {
+			s := faults.NewSet(c)
+			if err := faults.InjectUniform(s, rng, f); err != nil {
+				panic(err)
+			}
+			slr := core.NewRouter(core.Compute(s, core.Options{}), nil)
+			routers := []baseline.Router{
+				baseline.NewLeeHayesRouter(s),
+				baseline.NewChiuWuRouter(s),
+				baseline.NewDFSRouter(s),
+				baseline.NewSidetrackRouter(s, rng.Split(uint64(trial))),
+				baseline.NewFreeDimRouter(s),
+			}
+			for pair := 0; pair < 10; pair++ {
+				src := topo.NodeID(rng.Intn(c.Nodes()))
+				dst := topo.NodeID(rng.Intn(c.Nodes()))
+				if s.NodeFaulty(src) || s.NodeFaulty(dst) || src == dst {
+					continue
+				}
+				h := topo.Hamming(src, dst)
+
+				a := aggs["safety-level"]
+				a.attempts++
+				r := slr.Unicast(src, dst)
+				if r.Outcome != core.Failure {
+					a.admitted++
+					a.delivered++
+					if r.Len() == h {
+						a.optimal++
+					}
+					if r.Len() <= h+2 {
+						a.within++
+					}
+					a.stretch.Add(float64(r.Len() - h))
+					a.traffic.Add(float64(r.Len()))
+				}
+				for _, brt := range routers {
+					a := aggs[brt.Name()]
+					a.attempts++
+					res := brt.Route(src, dst)
+					if res.Admitted {
+						a.admitted++
+					}
+					if res.Delivered {
+						a.delivered++
+						if res.Hops == h {
+							a.optimal++
+						}
+						if res.Hops <= h+2 {
+							a.within++
+						}
+						a.stretch.Add(float64(res.Hops - h))
+						a.traffic.Add(float64(res.Hops))
+					}
+				}
+			}
+		}
+		for _, sc := range schemes {
+			a := aggs[sc]
+			t.AddRow(f, sc, pct(a.admitted, a.attempts), pct(a.delivered, a.attempts),
+				pct(a.optimal, a.attempts), pct(a.within, a.delivered),
+				a.stretch.Mean(), a.traffic.Mean())
+		}
+	}
+	t.Note("optimal %% counts delivery in exactly H hops (of attempts); within H+2 %% is of delivered")
+	t.Note("safety-level aborts unadmitted unicasts, so its delivered %% drops at heavy loads while every")
+	t.Note("delivery stays within H+2; DFS trades unbounded path length for maximum reachability")
+	return t
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Fig2Distribution (E2b) extends Fig. 2 along the axis the paper's
+// definition emphasizes: the safety level approximates "the number and
+// distribution of faulty nodes", so clustered faults must depress
+// levels (and lengthen GS convergence) far more than the same number of
+// uniform faults.
+func Fig2Distribution(cfg Config) *Table {
+	cfg = cfg.withDefaults(500)
+	const n = 7
+	c := topo.MustCube(n)
+	t := &Table{
+		ID:    "E2b",
+		Title: "Fault distribution sensitivity (7-cube): uniform vs. clustered",
+		Header: []string{"faults", "placement", "avg rounds", "avg safe nodes",
+			"avg min nonfaulty level"},
+	}
+	rng := stats.NewRNG(cfg.Seed + 2)
+	for _, f := range []int{4, 8, 12, 16} {
+		for _, clustered := range []bool{false, true} {
+			var rounds, safe, minLevel stats.Accumulator
+			for trial := 0; trial < cfg.Trials; trial++ {
+				s := faults.NewSet(c)
+				var err error
+				if clustered {
+					err = faults.InjectClustered(s, rng, f, 4)
+				} else {
+					err = faults.InjectUniform(s, rng, f)
+				}
+				if err != nil {
+					panic(err)
+				}
+				as := core.Compute(s, core.Options{})
+				rounds.Add(float64(as.Rounds()))
+				safe.Add(float64(len(as.SafeSet())))
+				min := n
+				for a := 0; a < c.Nodes(); a++ {
+					id := topo.NodeID(a)
+					if !s.NodeFaulty(id) && as.Level(id) < min {
+						min = as.Level(id)
+					}
+				}
+				minLevel.Add(float64(min))
+			}
+			label := "uniform"
+			if clustered {
+				label = "clustered (4-subcube)"
+			}
+			t.AddRow(f, label, rounds.Mean(), safe.Mean(), minLevel.Mean())
+		}
+	}
+	t.Note("same fault counts, different placement: partial clusters depress neighborhoods far")
+	t.Note("more than uniform faults (min level 1.06 vs 2.56 at 4 faults), but a COMPLETELY dead")
+	t.Note("subcube is invisible — at 16 faults the whole 4-subcube dies and every survivor has")
+	t.Note("at most one faulty neighbor, so all levels stay n: distribution, not count, decides")
+	return t
+}

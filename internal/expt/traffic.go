@@ -1,0 +1,87 @@
+package expt
+
+import (
+	"repro/internal/faults"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// Traffic (E14) runs concurrent unicast batches through the
+// goroutine-per-node engine under two classic traffic patterns —
+// random permutation and all-to-one hotspot — and measures delivery,
+// hop cost, and the congestion hotspot (the largest number of messages
+// any single node had to forward).
+func Traffic(cfg Config) *Table {
+	cfg = cfg.withDefaults(25)
+	const n = 6
+	c := topo.MustCube(n)
+	t := &Table{
+		ID:    "E14",
+		Title: "Concurrent traffic on the distributed engine (6-cube)",
+		Header: []string{"faults", "pattern", "messages", "delivered %", "avg hops",
+			"max node transit"},
+	}
+	rng := stats.NewRNG(cfg.Seed + 17)
+	for _, f := range []int{0, n - 1, 2 * n} {
+		for _, pattern := range []string{"permutation", "hotspot"} {
+			var delivered, total int
+			var hops, transit stats.Accumulator
+			for trial := 0; trial < cfg.Trials; trial++ {
+				s := faults.NewSet(c)
+				if err := faults.InjectUniform(s, rng, f); err != nil {
+					panic(err)
+				}
+				e := simnet.New(s)
+				e.RunGS(0)
+				pairs := buildPattern(c, s, rng, pattern, e.MaxBatch())
+				st, err := e.UnicastBatch(pairs)
+				if err != nil {
+					panic(err)
+				}
+				total += len(pairs)
+				delivered += st.Delivered
+				if st.Delivered > 0 {
+					hops.Add(float64(st.TotalHops) / float64(st.Delivered))
+				}
+				transit.Add(float64(st.MaxTransit))
+				e.Close()
+			}
+			t.AddRow(f, pattern, total, pct(delivered, total), hops.Mean(), transit.Mean())
+		}
+	}
+	t.Note("permutation: each healthy node sends to a random healthy partner (capped by MaxBatch);")
+	t.Note("hotspot: every healthy node sends to one healthy sink — its transit equals deliveries")
+	return t
+}
+
+// buildPattern constructs the request list for one trial.
+func buildPattern(c *topo.Cube, s *faults.Set, rng *stats.RNG, pattern string, cap int) []simnet.Pair {
+	var healthy []topo.NodeID
+	for a := 0; a < c.Nodes(); a++ {
+		if !s.NodeFaulty(topo.NodeID(a)) {
+			healthy = append(healthy, topo.NodeID(a))
+		}
+	}
+	var pairs []simnet.Pair
+	switch pattern {
+	case "hotspot":
+		sink := healthy[rng.Intn(len(healthy))]
+		for _, a := range healthy {
+			if a == sink || len(pairs) >= cap {
+				continue
+			}
+			pairs = append(pairs, simnet.Pair{Src: a, Dst: sink})
+		}
+	default: // permutation
+		perm := rng.Perm(len(healthy))
+		for i, a := range healthy {
+			b := healthy[perm[i]]
+			if a == b || len(pairs) >= cap {
+				continue
+			}
+			pairs = append(pairs, simnet.Pair{Src: a, Dst: b})
+		}
+	}
+	return pairs
+}

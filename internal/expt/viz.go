@@ -1,0 +1,114 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/topo"
+)
+
+// RenderLevelMap draws the safety levels of a cube as a Karnaugh-style
+// grid: rows are the Gray-coded high half of the address bits, columns
+// the Gray-coded low half, so every horizontal and vertical step between
+// cells is exactly one hypercube hop (wrapping around the edges). Each
+// cell shows the node's level plus a status marker:
+//
+//	'*' safe (level n)   'X' faulty   '!' N2 (adjacent faulty link)
+//
+// The layout keeps adjacency visible for dimensions up to about 8
+// (16x16 cells).
+func RenderLevelMap(w io.Writer, as *core.Assignment) {
+	c := as.Cube()
+	n := c.Dim()
+	low := n / 2
+	high := n - low
+	cols := 1 << uint(low)
+
+	colCode := grayCodes(low)
+	rowCode := grayCodes(high)
+
+	cellW := low + 5 // "addr S?" width: low bits + marker + level digit
+	if cellW < 6 {
+		cellW = 6
+	}
+
+	// Column headers (low bits).
+	fmt.Fprintf(w, "%*s", high+2, "")
+	for _, g := range colCode {
+		fmt.Fprintf(w, " %-*s", cellW, padBits(g, low))
+	}
+	fmt.Fprintln(w)
+
+	set := as.Faults()
+	for _, rg := range rowCode {
+		fmt.Fprintf(w, "%-*s |", high, padBits(rg, high))
+		for _, cg := range colCode {
+			id := topo.NodeID(rg<<uint(low) | cg)
+			var cell string
+			switch {
+			case set.NodeFaulty(id):
+				cell = "X"
+			case len(set.AdjacentFaultyLinks(id)) > 0:
+				cell = fmt.Sprintf("!%d/%d", as.Level(id), as.OwnLevel(id))
+			case as.Safe(id):
+				cell = fmt.Sprintf("*%d", as.Level(id))
+			default:
+				cell = fmt.Sprintf("%d", as.Level(id))
+			}
+			fmt.Fprintf(w, " %-*s", cellW, cell)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, strings.Repeat("-", high+2+(cellW+1)*cols))
+	fmt.Fprintln(w, "rows: high address bits (Gray order), cols: low bits (Gray order)")
+	fmt.Fprintln(w, "*k safe  k level  X faulty  !pub/own node with adjacent faulty link")
+}
+
+// grayCodes returns the bits-bit Gray code sequence.
+func grayCodes(bits int) []int {
+	out := make([]int, 1<<uint(bits))
+	for i := range out {
+		out[i] = i ^ (i >> 1)
+	}
+	return out
+}
+
+// padBits renders v as a bits-wide binary string (empty for bits = 0).
+func padBits(v, bits int) string {
+	if bits == 0 {
+		return ""
+	}
+	s := fmt.Sprintf("%b", v)
+	if len(s) < bits {
+		s = strings.Repeat("0", bits-len(s)) + s
+	}
+	return s
+}
+
+// RenderRoute overlays a routed path on the textual output: the path in
+// figure notation plus a per-hop annotation of the levels that drove
+// each decision.
+func RenderRoute(w io.Writer, as *core.Assignment, r *core.Route) {
+	c := as.Cube()
+	fmt.Fprintf(w, "unicast %s -> %s: H=%d condition=%s outcome=%s\n",
+		c.Format(r.Source), c.Format(r.Dest), r.Hamming, r.Condition, r.Outcome)
+	if r.Outcome == core.Failure {
+		if r.Err != nil {
+			fmt.Fprintf(w, "  error: %v\n", r.Err)
+		} else {
+			fmt.Fprintln(w, "  aborted at the source (C1, C2 and C3 all failed)")
+		}
+		return
+	}
+	for i, h := range r.Hops {
+		kind := "preferred"
+		if h.Spare {
+			kind = "spare    "
+		}
+		fmt.Fprintf(w, "  hop %d: %s -> %s  dim %d (%s)  S(next)=%d  nav %0*b\n",
+			i+1, c.Format(h.From), c.Format(h.To), h.Dim, kind,
+			as.Level(h.To), c.Dim(), h.Nav)
+	}
+}

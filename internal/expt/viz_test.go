@@ -1,0 +1,72 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/topo"
+)
+
+func TestRenderLevelMapFig4(t *testing.T) {
+	as := core.Compute(Fig4Set(), core.Options{})
+	var buf bytes.Buffer
+	RenderLevelMap(&buf, as)
+	out := buf.String()
+	for _, want := range []string{
+		"X",    // faulty marker
+		"*4",   // safe node
+		"!0/1", // N2 node 1000: public 0, own 1
+		"!0/2", // N2 node 1001: public 0, own 2
+		"Gray order",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("level map missing %q:\n%s", want, out)
+		}
+	}
+	// 4 rows of cells plus headers/footers.
+	if lines := strings.Count(out, "\n"); lines < 8 {
+		t.Errorf("map too short: %d lines", lines)
+	}
+}
+
+func TestRenderLevelMapOddDimension(t *testing.T) {
+	// n = 5 splits into a 2-bit column code and 3-bit row code:
+	// 8 data rows of 4 cells each, all safe in a fault-free cube.
+	as := core.Compute(faults.NewSet(topo.MustCube(5)), core.Options{})
+	var buf bytes.Buffer
+	RenderLevelMap(&buf, as)
+	out := buf.String()
+	if got := strings.Count(out, "*5"); got != 32 {
+		t.Errorf("fault-free 5-cube should show 32 safe cells, got %d:\n%s", got, out)
+	}
+}
+
+func TestRenderRouteDelivered(t *testing.T) {
+	as := core.Compute(Fig1Set(), core.Options{})
+	c := as.Cube()
+	rt := core.NewRouter(as, nil)
+	r := rt.Unicast(c.MustParse("1110"), c.MustParse("0001"))
+	var buf bytes.Buffer
+	RenderRoute(&buf, as, r)
+	out := buf.String()
+	for _, want := range []string{"condition=C1", "outcome=optimal", "hop 4", "preferred"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("route render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderRouteAborted(t *testing.T) {
+	as := core.Compute(Fig3Set(), core.Options{})
+	c := as.Cube()
+	rt := core.NewRouter(as, nil)
+	r := rt.Unicast(c.MustParse("0111"), c.MustParse("1110"))
+	var buf bytes.Buffer
+	RenderRoute(&buf, as, r)
+	if !strings.Contains(buf.String(), "aborted at the source") {
+		t.Errorf("abort render wrong:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,137 @@
+package faults
+
+import "repro/internal/topo"
+
+// Components labels every nonfaulty node with the ID of its connected
+// component in the surviving subgraph (faulty nodes and faulty links
+// removed). Faulty nodes get label -1. Labels are small consecutive
+// integers assigned in ascending order of each component's smallest node.
+func Components(s *Set) (labels []int, count int) {
+	c := s.cube
+	n := c.Nodes()
+	labels = make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	queue := make([]topo.NodeID, 0, n)
+	for start := 0; start < n; start++ {
+		if s.node[start] || labels[start] >= 0 {
+			continue
+		}
+		labels[start] = count
+		queue = append(queue[:0], topo.NodeID(start))
+		for len(queue) > 0 {
+			a := queue[0]
+			queue = queue[1:]
+			for i := 0; i < c.Dim(); i++ {
+				b := c.Neighbor(a, i)
+				if s.node[b] || labels[b] >= 0 || s.LinkFaulty(a, b) {
+					continue
+				}
+				labels[b] = count
+				queue = append(queue, b)
+			}
+		}
+		count++
+	}
+	return labels, count
+}
+
+// Connected reports whether all nonfaulty nodes lie in one component.
+// A cube whose nonfaulty nodes are split into two or more parts is the
+// paper's "disconnected hypercube" (Section 3.3).
+func Connected(s *Set) bool {
+	_, count := Components(s)
+	return count <= 1
+}
+
+// SameComponent reports whether nonfaulty nodes a and b are connected in
+// the surviving subgraph. It returns false if either is faulty.
+func SameComponent(s *Set, a, b topo.NodeID) bool {
+	if s.node[a] || s.node[b] {
+		return false
+	}
+	labels, _ := Components(s)
+	return labels[a] == labels[b]
+}
+
+// Distances runs a BFS from src over the surviving subgraph and returns
+// the exact shortest-path distance to every node (-1 = unreachable or
+// faulty). This is the ground-truth oracle the optimality experiments
+// compare routed paths against.
+func Distances(s *Set, src topo.NodeID) []int {
+	c := s.cube
+	n := c.Nodes()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if s.node[src] {
+		return dist
+	}
+	dist[src] = 0
+	queue := []topo.NodeID{src}
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		for i := 0; i < c.Dim(); i++ {
+			b := c.Neighbor(a, i)
+			if s.node[b] || dist[b] >= 0 || s.LinkFaulty(a, b) {
+				continue
+			}
+			dist[b] = dist[a] + 1
+			queue = append(queue, b)
+		}
+	}
+	return dist
+}
+
+// HasOptimalPath reports whether a Hamming-distance path from s to d
+// survives the faults: a path of length H(s,d) using only nonfaulty
+// intermediate nodes, healthy links, and moving strictly toward d.
+// The destination itself must be nonfaulty. This is the exact predicate
+// behind Theorem 2 and is computed by dynamic programming over the
+// sub-lattice between src and dst (2^H states).
+func HasOptimalPath(set *Set, src, dst topo.NodeID) bool {
+	if set.node[src] || set.node[dst] {
+		return false
+	}
+	c := set.cube
+	nav := topo.Nav(src, dst)
+	h := nav.Count()
+	if h == 0 {
+		return true
+	}
+	dims := nav.Preferred(c.Dim(), nil)
+	// reach[m] = an optimal prefix exists from src to src ^ (dims subset m).
+	reach := make([]bool, 1<<uint(h))
+	reach[0] = true
+	// Iterate masks in increasing popcount order; since adding a bit only
+	// increases the mask value, plain ascending order suffices.
+	for m := 1; m < 1<<uint(h); m++ {
+		node := src
+		for j, d := range dims {
+			if m&(1<<uint(j)) != 0 {
+				node ^= 1 << uint(d)
+			}
+		}
+		if set.node[node] && node != dst {
+			continue
+		}
+		if set.node[node] {
+			continue
+		}
+		for j := range dims {
+			bit := 1 << uint(j)
+			if m&bit == 0 || !reach[m^bit] {
+				continue
+			}
+			prev := node ^ (1 << uint(dims[j]))
+			if !set.LinkFaulty(prev, node) {
+				reach[m] = true
+				break
+			}
+		}
+	}
+	return reach[1<<uint(h)-1]
+}

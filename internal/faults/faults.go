@@ -1,0 +1,229 @@
+// Package faults models fail-stop node and link failures in a hypercube
+// and provides the fault oracle the rest of the system consults.
+//
+// The paper's fault model (Section 1, assumptions 1-2): node faults are
+// fail-stop, and every node knows exactly the status of its neighbors —
+// nothing more. Set is that oracle: the topology-independent record of
+// which nodes and links are down.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/topo"
+)
+
+// Link is an undirected hypercube edge identified by its two endpoints.
+// Normalize before using a Link as a map key.
+type Link struct {
+	A, B topo.NodeID
+}
+
+// Normalize returns the link with endpoints ordered A < B so that the
+// same physical edge always compares equal.
+func (l Link) Normalize() Link {
+	if l.A > l.B {
+		l.A, l.B = l.B, l.A
+	}
+	return l
+}
+
+// Dimension returns the dimension the link crosses, or -1 if the two
+// endpoints are not hypercube-adjacent.
+func (l Link) Dimension() int {
+	x := uint32(l.A ^ l.B)
+	if x == 0 || x&(x-1) != 0 {
+		return -1
+	}
+	d := 0
+	for x > 1 {
+		x >>= 1
+		d++
+	}
+	return d
+}
+
+// Set records the faulty nodes and links of one cube instance.
+// The zero value is not usable; construct with NewSet.
+type Set struct {
+	cube      *topo.Cube
+	node      []bool
+	nodeCount int
+	links     map[Link]bool
+	linkCount int
+}
+
+// NewSet returns an empty fault set over cube c.
+func NewSet(c *topo.Cube) *Set {
+	return &Set{
+		cube:  c,
+		node:  make([]bool, c.Nodes()),
+		links: make(map[Link]bool),
+	}
+}
+
+// Clone returns an independent deep copy.
+func (s *Set) Clone() *Set {
+	cp := NewSet(s.cube)
+	copy(cp.node, s.node)
+	cp.nodeCount = s.nodeCount
+	for l := range s.links {
+		cp.links[l] = true
+	}
+	cp.linkCount = s.linkCount
+	return cp
+}
+
+// Cube returns the topology the set is defined over.
+func (s *Set) Cube() *topo.Cube { return s.cube }
+
+// FailNode marks node a faulty. Failing an already-faulty node is a no-op.
+func (s *Set) FailNode(a topo.NodeID) error {
+	if !s.cube.Contains(a) {
+		return fmt.Errorf("faults: node %d outside cube", a)
+	}
+	if !s.node[a] {
+		s.node[a] = true
+		s.nodeCount++
+	}
+	return nil
+}
+
+// RecoverNode marks node a nonfaulty again (used by the update-strategy
+// ablations; the paper discusses recovery under demand-driven GS).
+func (s *Set) RecoverNode(a topo.NodeID) error {
+	if !s.cube.Contains(a) {
+		return fmt.Errorf("faults: node %d outside cube", a)
+	}
+	if s.node[a] {
+		s.node[a] = false
+		s.nodeCount--
+	}
+	return nil
+}
+
+// FailNodes marks each listed node faulty.
+func (s *Set) FailNodes(nodes ...topo.NodeID) error {
+	for _, a := range nodes {
+		if err := s.FailNode(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FailLink marks the undirected link between a and b faulty.
+// It returns an error if a and b are not adjacent in the cube.
+func (s *Set) FailLink(a, b topo.NodeID) error {
+	if !s.cube.Contains(a) || !s.cube.Contains(b) {
+		return fmt.Errorf("faults: link endpoint outside cube")
+	}
+	if !s.cube.Adjacent(a, b) {
+		return fmt.Errorf("faults: %d and %d are not adjacent", a, b)
+	}
+	l := Link{a, b}.Normalize()
+	if !s.links[l] {
+		s.links[l] = true
+		s.linkCount++
+	}
+	return nil
+}
+
+// NodeFaulty reports whether node a is faulty.
+func (s *Set) NodeFaulty(a topo.NodeID) bool { return s.node[a] }
+
+// LinkFaulty reports whether the undirected link (a, b) is faulty.
+// A link incident to a faulty node is NOT automatically reported faulty:
+// the paper keeps node and link faults distinct (Section 4.1), and the
+// safety-level machinery composes them itself.
+func (s *Set) LinkFaulty(a, b topo.NodeID) bool {
+	return s.links[Link{a, b}.Normalize()]
+}
+
+// Usable reports whether a message can traverse the edge from a to b:
+// both endpoints in the cube, the link itself healthy, and the receiving
+// endpoint b nonfaulty. (A faulty destination can still be an endpoint of
+// the final hop; the routing layer decides that case — see the footnote
+// to Section 4.1. Here we take the conservative transport view.)
+func (s *Set) Usable(a, b topo.NodeID) bool {
+	if !s.cube.Adjacent(a, b) {
+		return false
+	}
+	return !s.LinkFaulty(a, b) && !s.node[b] && !s.node[a]
+}
+
+// NodeFaults returns the number of faulty nodes.
+func (s *Set) NodeFaults() int { return s.nodeCount }
+
+// LinkFaults returns the number of faulty links.
+func (s *Set) LinkFaults() int { return s.linkCount }
+
+// FaultyNodes returns the faulty node IDs in ascending order.
+func (s *Set) FaultyNodes() []topo.NodeID {
+	out := make([]topo.NodeID, 0, s.nodeCount)
+	for a, f := range s.node {
+		if f {
+			out = append(out, topo.NodeID(a))
+		}
+	}
+	return out
+}
+
+// FaultyLinks returns the faulty links, normalized, in deterministic
+// (sorted) order.
+func (s *Set) FaultyLinks() []Link {
+	out := make([]Link, 0, s.linkCount)
+	for l := range s.links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// HasLinkFaults reports whether any link fault is present; the core
+// package uses this to decide between GS and EGS.
+func (s *Set) HasLinkFaults() bool { return s.linkCount > 0 }
+
+// AdjacentFaultyLinks returns the dimensions of the faulty links incident
+// to node a, ascending. A node with a non-empty result belongs to the
+// paper's set N2 (Section 4.1).
+func (s *Set) AdjacentFaultyLinks(a topo.NodeID) []int {
+	var dims []int
+	for i := 0; i < s.cube.Dim(); i++ {
+		if s.LinkFaulty(a, s.cube.Neighbor(a, i)) {
+			dims = append(dims, i)
+		}
+	}
+	return dims
+}
+
+// String renders the fault set in figure notation.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteString("nodes{")
+	for i, a := range s.FaultyNodes() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(s.cube.Format(a))
+	}
+	b.WriteString("}")
+	if s.linkCount > 0 {
+		b.WriteString(" links{")
+		for i, l := range s.FaultyLinks() {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "(%s,%s)", s.cube.Format(l.A), s.cube.Format(l.B))
+		}
+		b.WriteString("}")
+	}
+	return b.String()
+}

@@ -1,0 +1,546 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+func q4() *topo.Cube { return topo.MustCube(4) }
+
+func TestFailAndRecoverNode(t *testing.T) {
+	c := q4()
+	s := NewSet(c)
+	if s.NodeFaults() != 0 || s.LinkFaults() != 0 {
+		t.Fatal("new set should be empty")
+	}
+	a := c.MustParse("0110")
+	if err := s.FailNode(a); err != nil {
+		t.Fatal(err)
+	}
+	if !s.NodeFaulty(a) || s.NodeFaults() != 1 {
+		t.Error("node should be faulty")
+	}
+	// Idempotent.
+	if err := s.FailNode(a); err != nil {
+		t.Fatal(err)
+	}
+	if s.NodeFaults() != 1 {
+		t.Error("double fail should not double count")
+	}
+	if err := s.RecoverNode(a); err != nil {
+		t.Fatal(err)
+	}
+	if s.NodeFaulty(a) || s.NodeFaults() != 0 {
+		t.Error("node should have recovered")
+	}
+	if err := s.RecoverNode(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailNode(99); err == nil {
+		t.Error("failing node outside cube should error")
+	}
+	if err := s.RecoverNode(99); err == nil {
+		t.Error("recovering node outside cube should error")
+	}
+}
+
+func TestFailNodesBatch(t *testing.T) {
+	c := q4()
+	s := NewSet(c)
+	if err := s.FailNodes(c.MustParseAll("0011", "0100", "0110", "1001")...); err != nil {
+		t.Fatal(err)
+	}
+	if s.NodeFaults() != 4 {
+		t.Errorf("faults = %d, want 4", s.NodeFaults())
+	}
+	got := s.FaultyNodes()
+	want := c.MustParseAll("0011", "0100", "0110", "1001")
+	if len(got) != len(want) {
+		t.Fatalf("FaultyNodes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("FaultyNodes[%d] = %s, want %s", i, c.Format(got[i]), c.Format(want[i]))
+		}
+	}
+}
+
+func TestLinkNormalizeAndDimension(t *testing.T) {
+	l := Link{A: 5, B: 4}
+	n := l.Normalize()
+	if n.A != 4 || n.B != 5 {
+		t.Errorf("Normalize = %+v", n)
+	}
+	if d := n.Dimension(); d != 0 {
+		t.Errorf("Dimension = %d, want 0", d)
+	}
+	if d := (Link{A: 0, B: 8}).Dimension(); d != 3 {
+		t.Errorf("Dimension = %d, want 3", d)
+	}
+	if d := (Link{A: 0, B: 3}).Dimension(); d != -1 {
+		t.Errorf("non-adjacent Dimension = %d, want -1", d)
+	}
+	if d := (Link{A: 6, B: 6}).Dimension(); d != -1 {
+		t.Errorf("self-link Dimension = %d, want -1", d)
+	}
+}
+
+func TestFailLink(t *testing.T) {
+	c := q4()
+	s := NewSet(c)
+	a, b := c.MustParse("1000"), c.MustParse("1001")
+	if err := s.FailLink(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !s.LinkFaulty(a, b) || !s.LinkFaulty(b, a) {
+		t.Error("link fault should be undirected")
+	}
+	if s.LinkFaults() != 1 {
+		t.Errorf("LinkFaults = %d", s.LinkFaults())
+	}
+	if err := s.FailLink(b, a); err != nil {
+		t.Fatal(err)
+	}
+	if s.LinkFaults() != 1 {
+		t.Error("re-failing the reversed link should not double count")
+	}
+	if err := s.FailLink(a, c.MustParse("0001")); err == nil {
+		t.Error("non-adjacent link should error")
+	}
+	if err := s.FailLink(a, 77); err == nil {
+		t.Error("out-of-cube link should error")
+	}
+	if !s.HasLinkFaults() {
+		t.Error("HasLinkFaults should be true")
+	}
+	dims := s.AdjacentFaultyLinks(a)
+	if len(dims) != 1 || dims[0] != 0 {
+		t.Errorf("AdjacentFaultyLinks = %v, want [0]", dims)
+	}
+	if got := s.AdjacentFaultyLinks(c.MustParse("0000")); len(got) != 0 {
+		t.Errorf("unrelated node has faulty links %v", got)
+	}
+}
+
+func TestUsable(t *testing.T) {
+	c := q4()
+	s := NewSet(c)
+	a, b := c.MustParse("0000"), c.MustParse("0001")
+	if !s.Usable(a, b) {
+		t.Error("healthy edge should be usable")
+	}
+	if s.Usable(a, c.MustParse("0011")) {
+		t.Error("non-adjacent pair should not be usable")
+	}
+	s.FailLink(a, b)
+	if s.Usable(a, b) {
+		t.Error("faulty link should not be usable")
+	}
+	s2 := NewSet(c)
+	s2.FailNode(b)
+	if s2.Usable(a, b) {
+		t.Error("edge into faulty node should not be usable")
+	}
+}
+
+func TestClone(t *testing.T) {
+	c := q4()
+	s := NewSet(c)
+	s.FailNode(c.MustParse("0011"))
+	s.FailLink(c.MustParse("0000"), c.MustParse("0001"))
+	cp := s.Clone()
+	cp.FailNode(c.MustParse("1111"))
+	cp.FailLink(c.MustParse("0000"), c.MustParse("0010"))
+	if s.NodeFaulty(c.MustParse("1111")) {
+		t.Error("clone mutation leaked into original (nodes)")
+	}
+	if s.LinkFaulty(c.MustParse("0000"), c.MustParse("0010")) {
+		t.Error("clone mutation leaked into original (links)")
+	}
+	if !cp.NodeFaulty(c.MustParse("0011")) || !cp.LinkFaulty(c.MustParse("0000"), c.MustParse("0001")) {
+		t.Error("clone lost original faults")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	c := q4()
+	s := NewSet(c)
+	s.FailNodes(c.MustParseAll("0011", "0100")...)
+	if got := s.String(); got != "nodes{0011, 0100}" {
+		t.Errorf("String = %q", got)
+	}
+	s.FailLink(c.MustParse("1000"), c.MustParse("1001"))
+	if got := s.String(); got != "nodes{0011, 0100} links{(1000,1001)}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestInjectUniformExactCount(t *testing.T) {
+	c := topo.MustCube(7)
+	rng := stats.NewRNG(123)
+	for count := 0; count <= 20; count += 5 {
+		s := NewSet(c)
+		if err := InjectUniform(s, rng, count); err != nil {
+			t.Fatal(err)
+		}
+		if s.NodeFaults() != count {
+			t.Errorf("InjectUniform(%d) produced %d faults", count, s.NodeFaults())
+		}
+	}
+	s := NewSet(c)
+	if err := InjectUniform(s, rng, c.Nodes()+1); err == nil {
+		t.Error("overful injection should error")
+	}
+	if err := InjectUniform(s, rng, -1); err == nil {
+		t.Error("negative injection should error")
+	}
+}
+
+func TestInjectUniformComposes(t *testing.T) {
+	c := topo.MustCube(5)
+	rng := stats.NewRNG(9)
+	s := NewSet(c)
+	if err := InjectUniform(s, rng, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := InjectUniform(s, rng, 10); err != nil {
+		t.Fatal(err)
+	}
+	if s.NodeFaults() != 20 {
+		t.Errorf("two injections of 10 produced %d faults", s.NodeFaults())
+	}
+}
+
+func TestInjectUniformCoverage(t *testing.T) {
+	// Over many trials every node should get hit at least once.
+	c := q4()
+	rng := stats.NewRNG(31)
+	hit := make([]bool, c.Nodes())
+	for trial := 0; trial < 400; trial++ {
+		s := NewSet(c)
+		InjectUniform(s, rng, 3)
+		for _, a := range s.FaultyNodes() {
+			hit[a] = true
+		}
+	}
+	for a, ok := range hit {
+		if !ok {
+			t.Errorf("node %d never selected by uniform injector", a)
+		}
+	}
+}
+
+func TestInjectUniformLinks(t *testing.T) {
+	c := q4()
+	rng := stats.NewRNG(17)
+	s := NewSet(c)
+	if err := InjectUniformLinks(s, rng, 5); err != nil {
+		t.Fatal(err)
+	}
+	if s.LinkFaults() != 5 {
+		t.Errorf("LinkFaults = %d, want 5", s.LinkFaults())
+	}
+	if err := InjectUniformLinks(s, rng, c.Links()); err == nil {
+		t.Error("injecting more links than remain should error")
+	}
+	if err := InjectUniformLinks(s, rng, -1); err == nil {
+		t.Error("negative count should error")
+	}
+}
+
+func TestInjectClustered(t *testing.T) {
+	c := topo.MustCube(6)
+	rng := stats.NewRNG(77)
+	s := NewSet(c)
+	if err := InjectClustered(s, rng, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	// 4 faults requested from a 2-subcube: the subcube has exactly 4
+	// nodes, so all of them fail and pairwise distances stay within 2.
+	fn := s.FaultyNodes()
+	if len(fn) != 4 {
+		t.Fatalf("clustered faults = %d, want 4", len(fn))
+	}
+	for _, a := range fn {
+		for _, b := range fn {
+			if topo.Hamming(a, b) > 2 {
+				t.Errorf("clustered faults %s and %s are %d apart",
+					c.Format(a), c.Format(b), topo.Hamming(a, b))
+			}
+		}
+	}
+	if err := InjectClustered(s, rng, 1, 9); err == nil {
+		t.Error("subdim > n should error")
+	}
+	// Requesting more than the cluster holds clips to the cluster size.
+	s2 := NewSet(c)
+	if err := InjectClustered(s2, rng, 100, 2); err != nil {
+		t.Fatal(err)
+	}
+	if s2.NodeFaults() != 4 {
+		t.Errorf("clipped clustered faults = %d, want 4", s2.NodeFaults())
+	}
+}
+
+func TestInjectIsolating(t *testing.T) {
+	c := q4()
+	s := NewSet(c)
+	victim := c.MustParse("0101")
+	if err := InjectIsolating(s, victim); err != nil {
+		t.Fatal(err)
+	}
+	if s.NodeFaults() != 4 {
+		t.Errorf("faults = %d, want n = 4", s.NodeFaults())
+	}
+	if s.NodeFaulty(victim) {
+		t.Error("victim itself should stay healthy")
+	}
+	if Connected(s) {
+		t.Error("cube should be disconnected")
+	}
+	labels, count := Components(s)
+	if count != 2 {
+		t.Errorf("components = %d, want 2", count)
+	}
+	// Victim is alone in its component.
+	alone := 0
+	for a, l := range labels {
+		if l == labels[victim] && l >= 0 {
+			alone++
+			_ = a
+		}
+	}
+	if alone != 1 {
+		t.Errorf("victim component has %d nodes, want 1", alone)
+	}
+	if err := InjectIsolating(s, 999); err == nil {
+		t.Error("victim outside cube should error")
+	}
+}
+
+func TestInjectIsolatingSubcube(t *testing.T) {
+	c := topo.MustCube(5)
+	s := NewSet(c)
+	victim := c.MustParse("00010")
+	if err := InjectIsolatingSubcube(s, victim, 2); err != nil {
+		t.Fatal(err)
+	}
+	if Connected(s) {
+		t.Error("cube should be disconnected")
+	}
+	labels, count := Components(s)
+	if count < 2 {
+		t.Fatalf("components = %d", count)
+	}
+	// The interior 2-subcube (4 nodes) survives as one component.
+	interior := 0
+	for a, l := range labels {
+		if l == labels[victim] {
+			interior++
+			_ = a
+		}
+	}
+	if interior != 4 {
+		t.Errorf("interior component has %d nodes, want 4", interior)
+	}
+	if err := InjectIsolatingSubcube(s, victim, 5); err == nil {
+		t.Error("subdim = n should error")
+	}
+}
+
+func TestComponentsFaultFree(t *testing.T) {
+	s := NewSet(q4())
+	labels, count := Components(s)
+	if count != 1 {
+		t.Errorf("fault-free components = %d", count)
+	}
+	for _, l := range labels {
+		if l != 0 {
+			t.Error("all labels should be 0")
+		}
+	}
+	if !Connected(s) {
+		t.Error("fault-free cube should be connected")
+	}
+}
+
+func TestComponentsFig3(t *testing.T) {
+	// Fig. 3: faults {0110, 1010, 1100, 1111} disconnect 1110 from the
+	// rest of Q4.
+	c := q4()
+	s := NewSet(c)
+	s.FailNodes(c.MustParseAll("0110", "1010", "1100", "1111")...)
+	labels, count := Components(s)
+	if count != 2 {
+		t.Fatalf("Fig. 3 components = %d, want 2", count)
+	}
+	island := c.MustParse("1110")
+	if labels[island] < 0 {
+		t.Fatal("1110 should be nonfaulty")
+	}
+	for a, l := range labels {
+		if topo.NodeID(a) == island || l < 0 {
+			continue
+		}
+		if l == labels[island] {
+			t.Errorf("node %s should not share 1110's component", c.Format(topo.NodeID(a)))
+		}
+	}
+	if Connected(s) {
+		t.Error("Fig. 3 cube should be disconnected")
+	}
+	if SameComponent(s, island, c.MustParse("0000")) {
+		t.Error("1110 and 0000 should be in different parts")
+	}
+	if !SameComponent(s, c.MustParse("0101"), c.MustParse("0000")) {
+		t.Error("0101 and 0000 should be connected")
+	}
+	if SameComponent(s, c.MustParse("0110"), c.MustParse("0000")) {
+		t.Error("faulty node is in no component")
+	}
+}
+
+func TestComponentsSplitByLinkFaults(t *testing.T) {
+	// Disconnect Q2 into two halves by cutting both dimension-1 links.
+	c := topo.MustCube(2)
+	s := NewSet(c)
+	s.FailLink(0, 2)
+	s.FailLink(1, 3)
+	_, count := Components(s)
+	if count != 2 {
+		t.Errorf("link-partitioned components = %d, want 2", count)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	c := q4()
+	s := NewSet(c)
+	d := Distances(s, 0)
+	for a := 0; a < c.Nodes(); a++ {
+		if d[a] != topo.Weight(topo.NodeID(a)) {
+			t.Errorf("fault-free distance to %d = %d, want %d", a, d[a], topo.Weight(topo.NodeID(a)))
+		}
+	}
+	// Faults can lengthen shortest paths: isolate a corridor.
+	s2 := NewSet(c)
+	s2.FailNodes(c.MustParseAll("0001", "0010", "0100")...)
+	d2 := Distances(s2, c.MustParse("0000"))
+	if d2[c.MustParse("1000")] != 1 {
+		t.Errorf("distance to 1000 = %d", d2[c.MustParse("1000")])
+	}
+	if d2[c.MustParse("0011")] != 5 {
+		// 0000 -> 1000 -> 1001 -> 1011 -> 0011 is length 4? 1011->0011
+		// crosses dim 3: yes, so distance is 4.
+		if d2[c.MustParse("0011")] != 4 {
+			t.Errorf("distance to 0011 = %d, want 4", d2[c.MustParse("0011")])
+		}
+	}
+	if d2[c.MustParse("0001")] != -1 {
+		t.Error("faulty node should be unreachable")
+	}
+	// From a faulty source everything is unreachable.
+	d3 := Distances(s2, c.MustParse("0001"))
+	for _, v := range d3 {
+		if v != -1 {
+			t.Error("distances from faulty source should be -1")
+		}
+	}
+}
+
+func TestDistancesDisconnected(t *testing.T) {
+	c := q4()
+	s := NewSet(c)
+	s.FailNodes(c.MustParseAll("0110", "1010", "1100", "1111")...)
+	d := Distances(s, c.MustParse("0000"))
+	if d[c.MustParse("1110")] != -1 {
+		t.Error("island 1110 should be unreachable from 0000")
+	}
+	if d[c.MustParse("0111")] < 0 {
+		t.Error("0111 should be reachable from 0000")
+	}
+}
+
+func TestHasOptimalPathFaultFree(t *testing.T) {
+	c := topo.MustCube(5)
+	s := NewSet(c)
+	for a := 0; a < c.Nodes(); a += 3 {
+		for b := 0; b < c.Nodes(); b += 7 {
+			if !HasOptimalPath(s, topo.NodeID(a), topo.NodeID(b)) {
+				t.Errorf("fault-free cube must have optimal path %d -> %d", a, b)
+			}
+		}
+	}
+}
+
+func TestHasOptimalPathBlocked(t *testing.T) {
+	c := q4()
+	s := NewSet(c)
+	// Block both intermediate nodes between 0000 and 0011.
+	s.FailNodes(c.MustParseAll("0001", "0010")...)
+	if HasOptimalPath(s, c.MustParse("0000"), c.MustParse("0011")) {
+		t.Error("optimal path should be blocked")
+	}
+	// The pair is still connected, just not optimally.
+	if !SameComponent(s, c.MustParse("0000"), c.MustParse("0011")) {
+		t.Error("pair should still be connected")
+	}
+	// Endpoints faulty.
+	if HasOptimalPath(s, c.MustParse("0001"), c.MustParse("0000")) {
+		t.Error("faulty source has no optimal path")
+	}
+	if HasOptimalPath(s, c.MustParse("0000"), c.MustParse("0001")) {
+		t.Error("faulty destination has no optimal path")
+	}
+	// Self path trivially exists.
+	if !HasOptimalPath(s, c.MustParse("0000"), c.MustParse("0000")) {
+		t.Error("self path should exist")
+	}
+}
+
+func TestHasOptimalPathRespectsLinkFaults(t *testing.T) {
+	c := topo.MustCube(2)
+	s := NewSet(c)
+	// Q2: paths 00->11 via 01 or 10. Cut link (00,01) and node 10: no
+	// optimal path remains.
+	s.FailLink(0, 1)
+	s.FailNode(2)
+	if HasOptimalPath(s, 0, 3) {
+		t.Error("optimal path should be blocked by link+node faults")
+	}
+	s2 := NewSet(c)
+	s2.FailLink(0, 1)
+	if !HasOptimalPath(s2, 0, 3) {
+		t.Error("optimal path via 10 should survive")
+	}
+}
+
+func TestHasOptimalPathMatchesBFS(t *testing.T) {
+	// Cross-check the lattice DP against the BFS oracle: an optimal
+	// path exists iff BFS distance equals Hamming distance.
+	c := topo.MustCube(5)
+	rng := stats.NewRNG(2024)
+	for trial := 0; trial < 60; trial++ {
+		s := NewSet(c)
+		InjectUniform(s, rng, 6)
+		for src := 0; src < c.Nodes(); src += 5 {
+			if s.NodeFaulty(topo.NodeID(src)) {
+				continue
+			}
+			dist := Distances(s, topo.NodeID(src))
+			for dst := 0; dst < c.Nodes(); dst += 3 {
+				if s.NodeFaulty(topo.NodeID(dst)) {
+					continue
+				}
+				want := dist[dst] == topo.Hamming(topo.NodeID(src), topo.NodeID(dst))
+				got := HasOptimalPath(s, topo.NodeID(src), topo.NodeID(dst))
+				if got != want {
+					t.Fatalf("trial %d: HasOptimalPath(%s, %s) = %v, BFS says %v (dist %d, H %d)",
+						trial, c.Format(topo.NodeID(src)), c.Format(topo.NodeID(dst)),
+						got, want, dist[dst], topo.Hamming(topo.NodeID(src), topo.NodeID(dst)))
+				}
+			}
+		}
+	}
+}

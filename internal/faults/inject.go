@@ -1,0 +1,137 @@
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// InjectUniform fails exactly count distinct nodes chosen uniformly at
+// random. This is the workload of the paper's Fig. 2 simulation
+// ("seven-cubes with various number of faults").
+func InjectUniform(s *Set, rng *stats.RNG, count int) error {
+	n := s.cube.Nodes()
+	if count < 0 || count > n {
+		return fmt.Errorf("faults: cannot fail %d of %d nodes", count, n)
+	}
+	// Sample from the currently-healthy population so repeated calls
+	// compose (always failing `count` *additional* nodes).
+	healthy := make([]topo.NodeID, 0, n)
+	for a := 0; a < n; a++ {
+		if !s.node[a] {
+			healthy = append(healthy, topo.NodeID(a))
+		}
+	}
+	if count > len(healthy) {
+		return fmt.Errorf("faults: only %d healthy nodes remain, cannot fail %d", len(healthy), count)
+	}
+	for _, idx := range rng.Sample(len(healthy), count) {
+		if err := s.FailNode(healthy[idx]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InjectUniformLinks fails exactly count distinct links chosen uniformly
+// at random among currently-healthy links.
+func InjectUniformLinks(s *Set, rng *stats.RNG, count int) error {
+	if count < 0 {
+		return fmt.Errorf("faults: negative link fault count")
+	}
+	type edge struct {
+		a topo.NodeID
+		d int
+	}
+	var healthy []edge
+	for a := 0; a < s.cube.Nodes(); a++ {
+		for d := 0; d < s.cube.Dim(); d++ {
+			b := s.cube.Neighbor(topo.NodeID(a), d)
+			if topo.NodeID(a) < b && !s.LinkFaulty(topo.NodeID(a), b) {
+				healthy = append(healthy, edge{topo.NodeID(a), d})
+			}
+		}
+	}
+	if count > len(healthy) {
+		return fmt.Errorf("faults: only %d healthy links, cannot fail %d", len(healthy), count)
+	}
+	for _, idx := range rng.Sample(len(healthy), count) {
+		e := healthy[idx]
+		if err := s.FailLink(e.a, s.cube.Neighbor(e.a, e.d)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InjectClustered fails count nodes drawn from a random subcube of
+// dimension subdim (clipped to the cluster size). Clustered faults are
+// the adversarial distribution for safety levels: they depress levels
+// locally much faster than uniform faults, which is exactly the
+// "distribution, not just number, of faulty nodes" effect the safety
+// level is designed to capture.
+func InjectClustered(s *Set, rng *stats.RNG, count, subdim int) error {
+	n := s.cube.Dim()
+	if subdim < 0 || subdim > n {
+		return fmt.Errorf("faults: subcube dimension %d outside [0, %d]", subdim, n)
+	}
+	anchor := topo.NodeID(rng.Intn(s.cube.Nodes()))
+	// Freeze n-subdim random dimensions to the anchor's bits.
+	perm := rng.Perm(n)
+	var fixed topo.NodeID
+	for _, d := range perm[:n-subdim] {
+		fixed |= 1 << uint(d)
+	}
+	cluster := s.cube.SubcubeNodes(anchor, fixed)
+	if count > len(cluster) {
+		count = len(cluster)
+	}
+	for _, idx := range rng.Sample(len(cluster), count) {
+		if err := s.FailNode(cluster[idx]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InjectIsolating fails every neighbor of victim, disconnecting it from
+// the rest of the cube. This is the minimal partition generator used by
+// the Theorem 4 experiments: the resulting cube is disconnected with
+// {victim} as one part (n faults in an n-cube — the tight bound, since
+// connectivity of Q_n is n).
+func InjectIsolating(s *Set, victim topo.NodeID) error {
+	if !s.cube.Contains(victim) {
+		return fmt.Errorf("faults: victim %d outside cube", victim)
+	}
+	for i := 0; i < s.cube.Dim(); i++ {
+		if err := s.FailNode(s.cube.Neighbor(victim, i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InjectIsolatingSubcube fails the full boundary of the subdim-dimensional
+// subcube containing victim whose free dimensions are 0..subdim-1, i.e.
+// every node one hop outside the subcube. The healthy interior becomes a
+// disconnected component of size up to 2^subdim, producing the multi-node
+// partitions exercised in the disconnected-routing experiments.
+func InjectIsolatingSubcube(s *Set, victim topo.NodeID, subdim int) error {
+	n := s.cube.Dim()
+	if subdim < 0 || subdim >= n {
+		return fmt.Errorf("faults: subcube dimension %d outside [0, %d)", subdim, n)
+	}
+	var fixed topo.NodeID
+	for d := subdim; d < n; d++ {
+		fixed |= 1 << uint(d)
+	}
+	for _, inside := range s.cube.SubcubeNodes(victim, fixed) {
+		for d := subdim; d < n; d++ {
+			if err := s.FailNode(s.cube.Neighbor(inside, d)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

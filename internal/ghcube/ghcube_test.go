@@ -1,0 +1,463 @@
+package ghcube
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// fig5 builds the Section 4.2 scenario: GH(2x3x2) with four faulty
+// nodes. The paper's figure does not list the fault set in the text;
+// this one reproduces its stated facts: 011 (source 010's dimension-0
+// neighbor) and 100 (000's dimension-2 neighbor) are faulty, S(110) = 1,
+// exactly four nodes are safe (level 3) — including the example source
+// 010, consistent with "routing from any of these four nodes [is]
+// optimal" — and the worked route 010 -> 000 -> 001 -> 101 comes out
+// hop for hop. (The paper's parenthetical that node 001 has safety
+// level 1 is internally inconsistent with Definition 4: with 000 and
+// 101 nonfaulty, at most one of 001's per-dimension minima can be 0, so
+// S(001) >= 2 for every possible fault set. Likewise the "another
+// possible optimal path" of length 4 cannot be optimal for a distance-3
+// pair.
+// EXPERIMENTS.md records both discrepancies.)
+func fig5(t testing.TB) *Graph {
+	t.Helper()
+	g := MustNew(2, 3, 2)
+	if err := g.FailNodes(g.MustParseAll("011", "100", "111", "121")...); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty radix should fail")
+	}
+	if _, err := New([]int{2, 1, 2}); err == nil {
+		t.Error("radix 1 should fail")
+	}
+	g, err := New([]int{2, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Nodes() != 12 || g.Dim() != 3 {
+		t.Errorf("GH(2x3x2): nodes=%d dim=%d", g.Nodes(), g.Dim())
+	}
+	if g.Radix(0) != 2 || g.Radix(1) != 3 || g.Radix(2) != 2 {
+		t.Error("radix accessors wrong")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(1) should panic")
+		}
+	}()
+	MustNew(1)
+}
+
+func TestCoordinateRoundTrip(t *testing.T) {
+	g := MustNew(2, 3, 2)
+	for a := 0; a < g.Nodes(); a++ {
+		id := NodeID(a)
+		s := g.Format(id)
+		back, err := g.Parse(s)
+		if err != nil || back != id {
+			t.Fatalf("round-trip %d -> %q -> %d (%v)", a, s, back, err)
+		}
+	}
+	if _, err := g.Parse("05"); err == nil {
+		t.Error("short address should fail")
+	}
+	if _, err := g.Parse("031"); err == nil {
+		t.Error("digit outside radix should fail")
+	}
+	if g.Format(g.MustParse("021")) != "021" {
+		t.Error("format mismatch")
+	}
+}
+
+func TestWithCoordAndCoord(t *testing.T) {
+	g := MustNew(2, 3, 2)
+	a := g.MustParse("021")
+	if g.Coord(a, 0) != 1 || g.Coord(a, 1) != 2 || g.Coord(a, 2) != 0 {
+		t.Fatalf("coords of 021: %d %d %d", g.Coord(a, 0), g.Coord(a, 1), g.Coord(a, 2))
+	}
+	if got := g.WithCoord(a, 1, 0); got != g.MustParse("001") {
+		t.Errorf("WithCoord = %s", g.Format(got))
+	}
+	if got := g.WithCoord(a, 2, 1); got != g.MustParse("121") {
+		t.Errorf("WithCoord = %s", g.Format(got))
+	}
+}
+
+func TestDistanceAndAdjacency(t *testing.T) {
+	g := MustNew(2, 3, 2)
+	if d := g.Distance(g.MustParse("010"), g.MustParse("101")); d != 3 {
+		t.Errorf("Distance(010, 101) = %d, want 3", d)
+	}
+	// All siblings along a radix-3 dimension are mutually adjacent.
+	if !g.Adjacent(g.MustParse("000"), g.MustParse("020")) {
+		t.Error("000 and 020 should be adjacent (complete connection)")
+	}
+	if g.Adjacent(g.MustParse("000"), g.MustParse("000")) {
+		t.Error("self adjacency")
+	}
+	if g.Adjacent(g.MustParse("000"), g.MustParse("011")) {
+		t.Error("two-coordinate difference is not an edge")
+	}
+}
+
+func TestSiblings(t *testing.T) {
+	g := MustNew(2, 3, 2)
+	sibs := g.Siblings(g.MustParse("010"), 1, nil)
+	if len(sibs) != 2 {
+		t.Fatalf("dimension-1 siblings = %d, want 2", len(sibs))
+	}
+	want := map[NodeID]bool{g.MustParse("000"): true, g.MustParse("020"): true}
+	for _, b := range sibs {
+		if !want[b] {
+			t.Errorf("unexpected sibling %s", g.Format(b))
+		}
+	}
+	if got := g.Siblings(g.MustParse("010"), 0, nil); len(got) != 1 || got[0] != g.MustParse("011") {
+		t.Errorf("dimension-0 sibling = %v", got)
+	}
+}
+
+func TestFig5Levels(t *testing.T) {
+	g := fig5(t)
+	as := Compute(g)
+	want := map[string]int{
+		"000": 3, "001": 3, "010": 3, "020": 3,
+		"021": 1, "101": 1, "110": 1, "120": 1,
+		"011": 0, "100": 0, "111": 0, "121": 0,
+	}
+	for addr, lv := range want {
+		if got := as.Level(g.MustParse(addr)); got != lv {
+			t.Errorf("S(%s) = %d, want %d", addr, got, lv)
+		}
+	}
+	// "There are four nodes whose safety levels are 3, i.e., safe."
+	if safe := as.SafeSet(); len(safe) != 4 {
+		t.Errorf("safe set size = %d, want 4", len(safe))
+	}
+	if err := as.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFig5SafeNeighborProperty(t *testing.T) {
+	// "Because each unsafe but nonfaulty node has a safe neighbor,
+	// routing from any of these nodes is at least suboptimal."
+	g := fig5(t)
+	as := Compute(g)
+	for a := 0; a < g.Nodes(); a++ {
+		id := NodeID(a)
+		if g.NodeFaulty(id) || as.Level(id) == g.Dim() {
+			continue
+		}
+		has := false
+		for d := 0; d < g.Dim() && !has; d++ {
+			for _, b := range g.Siblings(id, d, nil) {
+				if as.Level(b) == g.Dim() {
+					has = true
+					break
+				}
+			}
+		}
+		if !has {
+			t.Errorf("unsafe node %s has no safe neighbor", g.Format(id))
+		}
+	}
+}
+
+func TestFig5Route(t *testing.T) {
+	g := fig5(t)
+	as := Compute(g)
+	rt := NewRouter(as)
+	r := rt.Unicast(g.MustParse("010"), g.MustParse("101"))
+	if r.Outcome != core.Optimal {
+		t.Fatalf("outcome = %v", r.Outcome)
+	}
+	if got := r.Path.FormatWith(g); got != "010 -> 000 -> 001 -> 101" {
+		t.Errorf("route = %s, want 010 -> 000 -> 001 -> 101", got)
+	}
+	if r.Len() != 3 || r.Len() != r.Distance {
+		t.Errorf("length = %d, want distance 3", r.Len())
+	}
+	// Source 010 is safe, so C1 admits it — "routing from any of these
+	// four nodes [is] optimal".
+	if r.Condition != core.CondC1 {
+		t.Errorf("condition = %v, want C1", r.Condition)
+	}
+}
+
+func TestFig5RoutingFromAllSafeNodes(t *testing.T) {
+	// Every unicast from a safe node to any nonfaulty node is optimal.
+	g := fig5(t)
+	as := Compute(g)
+	rt := NewRouter(as)
+	for _, s := range as.SafeSet() {
+		for d := 0; d < g.Nodes(); d++ {
+			did := NodeID(d)
+			if g.NodeFaulty(did) {
+				continue
+			}
+			r := rt.Unicast(s, did)
+			if r.Outcome != core.Optimal || r.Err != nil {
+				t.Errorf("%s -> %s: %v (%v)", g.Format(s), g.Format(did), r.Outcome, r.Err)
+				continue
+			}
+			if r.Len() != g.Distance(s, did) {
+				t.Errorf("%s -> %s: length %d != distance %d",
+					g.Format(s), g.Format(did), r.Len(), g.Distance(s, did))
+			}
+		}
+	}
+}
+
+func TestBinaryRadixesReduceToHypercube(t *testing.T) {
+	// GH(2x2x...x2) must agree with the binary cube implementation on
+	// levels for identical fault sets.
+	rng := stats.NewRNG(4242)
+	for n := 2; n <= 6; n++ {
+		radix := make([]int, n)
+		for i := range radix {
+			radix[i] = 2
+		}
+		c := topo.MustCube(n)
+		for trial := 0; trial < 20; trial++ {
+			g := MustNew(radix...)
+			s := faults.NewSet(c)
+			faults.InjectUniform(s, rng, rng.Intn(c.Nodes()/2))
+			for _, f := range s.FaultyNodes() {
+				// NodeID encodings coincide: bit i == coordinate i.
+				if err := g.FailNode(NodeID(f)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want := core.Compute(s, core.Options{})
+			got := Compute(g)
+			for a := 0; a < c.Nodes(); a++ {
+				if got.Level(NodeID(a)) != want.Level(topo.NodeID(a)) {
+					t.Fatalf("n=%d trial %d: GH level %d != cube level %d at node %d (faults %s)",
+						n, trial, got.Level(NodeID(a)), want.Level(topo.NodeID(a)), a, s)
+				}
+			}
+			if got.Rounds() != want.Rounds() {
+				t.Errorf("n=%d trial %d: GH rounds %d != cube rounds %d",
+					n, trial, got.Rounds(), want.Rounds())
+			}
+		}
+	}
+}
+
+func TestFaultFreeGH(t *testing.T) {
+	g := MustNew(3, 4, 2)
+	as := Compute(g)
+	if as.Rounds() != 0 {
+		t.Errorf("fault-free rounds = %d", as.Rounds())
+	}
+	for a := 0; a < g.Nodes(); a++ {
+		if as.Level(NodeID(a)) != 3 {
+			t.Errorf("fault-free level = %d", as.Level(NodeID(a)))
+		}
+	}
+	rt := NewRouter(as)
+	r := rt.Unicast(0, NodeID(g.Nodes()-1))
+	if r.Outcome != core.Optimal || r.Len() != 3 {
+		t.Errorf("fault-free route: %v len %d", r.Outcome, r.Len())
+	}
+}
+
+func TestTheorem2PrimeOptimalPaths(t *testing.T) {
+	// Theorem 2': a k-safe node has an optimal path to every node
+	// within k differing coordinates. Checked against the lattice DP
+	// oracle on random GH(3x3x2x2) instances.
+	rng := stats.NewRNG(909)
+	for trial := 0; trial < 40; trial++ {
+		g := MustNew(3, 3, 2, 2)
+		if err := g.InjectUniform(rng, rng.Intn(8)); err != nil {
+			t.Fatal(err)
+		}
+		as := Compute(g)
+		if err := as.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		for src := 0; src < g.Nodes(); src++ {
+			sid := NodeID(src)
+			if g.NodeFaulty(sid) {
+				continue
+			}
+			k := as.Level(sid)
+			for dst := 0; dst < g.Nodes(); dst++ {
+				did := NodeID(dst)
+				h := g.Distance(sid, did)
+				if h == 0 || h > k || g.NodeFaulty(did) {
+					continue
+				}
+				if !g.HasOptimalPath(sid, did) {
+					t.Fatalf("trial %d: S(%s)=%d but no optimal path to %s (h=%d)",
+						trial, g.Format(sid), k, g.Format(did), h)
+				}
+			}
+		}
+	}
+}
+
+func TestGHRoutingGuarantees(t *testing.T) {
+	// Admitted optimal unicasts deliver in exactly Distance hops along
+	// nonfaulty intermediate nodes; admitted suboptimal in Distance+2.
+	rng := stats.NewRNG(31415)
+	for trial := 0; trial < 50; trial++ {
+		g := MustNew(2, 3, 2, 3)
+		if err := g.InjectUniform(rng, rng.Intn(6)); err != nil {
+			t.Fatal(err)
+		}
+		as := Compute(g)
+		rt := NewRouter(as)
+		for pair := 0; pair < 60; pair++ {
+			s := NodeID(rng.Intn(g.Nodes()))
+			d := NodeID(rng.Intn(g.Nodes()))
+			if g.NodeFaulty(s) || g.NodeFaulty(d) {
+				continue
+			}
+			r := rt.Unicast(s, d)
+			switch r.Outcome {
+			case core.Optimal:
+				if r.Err != nil || r.Len() != g.Distance(s, d) {
+					t.Fatalf("trial %d: optimal %s->%s len %d dist %d err %v",
+						trial, g.Format(s), g.Format(d), r.Len(), g.Distance(s, d), r.Err)
+				}
+			case core.Suboptimal:
+				if r.Err != nil || r.Len() != g.Distance(s, d)+2 {
+					t.Fatalf("trial %d: suboptimal %s->%s len %d want %d err %v",
+						trial, g.Format(s), g.Format(d), r.Len(), g.Distance(s, d)+2, r.Err)
+				}
+			}
+			if r.Outcome != core.Failure {
+				if !r.Path.Valid(g) || !r.Path.Simple() {
+					t.Fatalf("trial %d: bad path %s", trial, r.Path.FormatWith(g))
+				}
+				for _, a := range r.Path[1:] {
+					if a != d && g.NodeFaulty(a) {
+						t.Fatalf("trial %d: path crosses faulty %s", trial, g.Format(a))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGHRouterRejectsBadInput(t *testing.T) {
+	g := fig5(t)
+	as := Compute(g)
+	rt := NewRouter(as)
+	if r := rt.Unicast(g.MustParse("011"), 0); r.Outcome != core.Failure || r.Err == nil {
+		t.Error("faulty source should fail")
+	}
+	if r := rt.Unicast(NodeID(99), 0); r.Outcome != core.Failure || r.Err == nil {
+		t.Error("out-of-graph source should fail")
+	}
+	r := rt.Unicast(g.MustParse("000"), g.MustParse("000"))
+	if r.Outcome != core.Optimal || r.Len() != 0 {
+		t.Error("self unicast should be trivially optimal")
+	}
+}
+
+func TestGHUnicastToFaultyNeighbor(t *testing.T) {
+	// Distance-1 delivery reaches even a faulty destination (Theorem 2
+	// base case carries over).
+	g := fig5(t)
+	as := Compute(g)
+	rt := NewRouter(as)
+	r := rt.Unicast(g.MustParse("010"), g.MustParse("011"))
+	if r.Outcome != core.Optimal || r.Len() != 1 {
+		t.Errorf("unicast to faulty neighbor: %v len %d", r.Outcome, r.Len())
+	}
+}
+
+func TestInjectUniformGH(t *testing.T) {
+	g := MustNew(3, 3, 3)
+	rng := stats.NewRNG(5)
+	if err := g.InjectUniform(rng, 7); err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeFaults() != 7 {
+		t.Errorf("faults = %d", g.NodeFaults())
+	}
+	if err := g.InjectUniform(rng, 100); err == nil {
+		t.Error("overfull injection should fail")
+	}
+	if err := g.InjectUniform(rng, -1); err == nil {
+		t.Error("negative injection should fail")
+	}
+}
+
+func TestGHRoundsBound(t *testing.T) {
+	// The extended GS stabilizes within n-1 rounds (Section 4.2: "it
+	// still requires a total of (n-1) steps").
+	rng := stats.NewRNG(66)
+	for trial := 0; trial < 30; trial++ {
+		g := MustNew(3, 2, 4, 2)
+		g.InjectUniform(rng, rng.Intn(12))
+		as := Compute(g)
+		if as.Rounds() > g.Dim()-1 {
+			t.Fatalf("rounds = %d > n-1 = %d", as.Rounds(), g.Dim()-1)
+		}
+		if err := as.Verify(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	g := MustNew(2, 3, 2)
+	p := Path(g.MustParseAll("010", "000", "001", "101"))
+	if !p.Valid(g) || !p.Simple() || p.Len() != 3 {
+		t.Error("paper path should be a simple valid 3-hop path")
+	}
+	if p.FormatWith(g) != "010 -> 000 -> 001 -> 101" {
+		t.Errorf("FormatWith = %s", p.FormatWith(g))
+	}
+	bad := Path(g.MustParseAll("010", "101"))
+	if bad.Valid(g) {
+		t.Error("non-adjacent pair is not a path")
+	}
+	var empty Path
+	if empty.Valid(g) || empty.Len() != 0 {
+		t.Error("empty path invalid with length 0")
+	}
+	loop := Path(g.MustParseAll("010", "000", "010"))
+	if loop.Simple() {
+		t.Error("loop is not simple")
+	}
+}
+
+func TestHasOptimalPathGH(t *testing.T) {
+	g := fig5(t)
+	// 010 -> 101 has the surviving optimal path through 000, 001.
+	if !g.HasOptimalPath(g.MustParse("010"), g.MustParse("101")) {
+		t.Error("optimal path 010 -> 101 should exist")
+	}
+	// Faulty endpoints have none.
+	if g.HasOptimalPath(g.MustParse("011"), g.MustParse("101")) {
+		t.Error("faulty source should have no optimal path")
+	}
+	if !g.HasOptimalPath(g.MustParse("000"), g.MustParse("000")) {
+		t.Error("self path exists")
+	}
+}
+
+func TestWideRadixFormat(t *testing.T) {
+	g := MustNew(12, 2)
+	s := g.Format(NodeID(11))
+	if s != "0.11" {
+		t.Errorf("wide format = %q, want 0.11", s)
+	}
+}

@@ -1,0 +1,193 @@
+package simnet
+
+import "sync/atomic"
+
+// Asynchronous GLOBAL_STATUS (Section 2.2: "the GS algorithm can be
+// implemented asynchronously as in the demand-driven approach").
+//
+// Protocol: every node pushes its initial level to its peers; from then
+// on a node recomputes its level whenever a neighbor update arrives and
+// pushes its new level only when it changed. Because levels start at
+// the top (n) and Definition 1 is monotone, levels only decrease, each
+// node sends at most n+1 updates per link, and the protocol reaches
+// quiescence at the same unique fixpoint as the synchronous rounds
+// (Theorem 1).
+//
+// Quiescence detection: the engine keeps a global in-flight message
+// counter. A node increments it before each send and decrements it
+// after fully processing a message — including any sends the processing
+// triggered — so the counter reading zero means no message is in flight
+// and no further update can ever be triggered. The node that decrements
+// to zero pokes the engine, which closes the phase-done channel.
+
+// asyncState carries the per-phase coordination of one async GS run.
+type asyncState struct {
+	inflight atomic.Int64
+	zero     chan struct{} // poked when inflight hits 0
+	done     chan struct{} // closed by the engine: phase over
+}
+
+// RunGSAsync executes the asynchronous GS protocol to quiescence. It
+// blocks until every live node has finished the phase and levels hold
+// the same fixpoint the synchronous RunGS computes.
+func (e *Engine) RunGSAsync() {
+	st := &asyncState{
+		zero: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	e.async = st
+	live := 0
+	for _, n := range e.nodes {
+		if n == nil {
+			continue
+		}
+		live++
+		e.wg.Add(1)
+		e.startwg.Add(1)
+		n.ctrl <- ctrlMsg{kind: ctrlGSAsync}
+	}
+	if live == 0 {
+		close(st.done)
+		e.async = nil
+		return
+	}
+	// Started nodes push their initial levels before signaling
+	// readiness through startwg (inside runGSAsync), so once startwg
+	// settles the counter is an upper bound on remaining work and a
+	// zero reading is conclusive.
+	e.startwg.Wait()
+	for st.inflight.Load() != 0 {
+		<-st.zero
+	}
+	close(st.done)
+	e.wg.Wait()
+	e.async = nil
+}
+
+// runGSAsync is the node side of the asynchronous protocol.
+func (n *node) runGSAsync(st *asyncState) {
+	e, c := n.eng, n.eng.cube
+	dim := c.Dim()
+	_, inN2 := n.gsPeers()
+
+	// Same initialization as the synchronous protocol.
+	n.level, n.public = dim, dim
+	if inN2 {
+		n.level, n.public = 0, 0
+	}
+	n.lastChange = 0
+	n.updates = 0
+	for i := range n.nbrLevel {
+		b := c.Neighbor(n.id, i)
+		if e.set.LinkFaulty(n.id, b) || e.set.NodeFaulty(b) || len(e.set.AdjacentFaultyLinks(b)) > 0 {
+			n.nbrLevel[i] = 0
+		} else {
+			n.nbrLevel[i] = dim
+		}
+	}
+	scratch := make([]int, dim)
+
+	// One local recomputation before the initial push: a node adjacent
+	// to faults must lower its level even if it never receives a
+	// message (e.g. when every neighbor is faulty), exactly as the
+	// first synchronous round would.
+	if !inN2 {
+		if nl := levelFromNeighborsInto(n.nbrLevel, scratch); nl != n.level {
+			n.level, n.public = nl, nl
+			n.updates++
+		}
+		// Initial push (N2 nodes stay publicly silent at 0, so their
+		// initial value is already what peers assume).
+		n.pushLevel(st)
+	}
+	e.startwg.Done()
+
+	// Drain any level messages stashed while this node had not yet
+	// entered the phase.
+	kept := n.stash[:0]
+	for _, m := range n.stash {
+		if m.kind == msgLevel {
+			n.asyncProcess(st, m, scratch, inN2)
+		} else {
+			kept = append(kept, m)
+		}
+	}
+	n.stash = kept
+
+	for {
+		select {
+		case m := <-n.inbox:
+			if m.kind != msgLevel {
+				// Unicasts are only injected between phases; keep it
+				// for the main loop.
+				n.stash = append(n.stash, m)
+				continue
+			}
+			n.asyncProcess(st, m, scratch, inN2)
+		case <-st.done:
+			// Quiescent. N2 nodes now run NODE_STATUS once for their
+			// own view (the EGS last-round step), using the final
+			// neighbor levels; nbrLevel entries across faulty links
+			// were initialized to 0 and never updated, as required.
+			if inN2 {
+				n.level = levelFromNeighborsInto(n.nbrLevel, scratch)
+				n.updates++
+			}
+			return
+		}
+	}
+}
+
+// asyncProcess folds one neighbor update into the node's state,
+// propagating the node's own level if it changed. The in-flight
+// decrement happens after any triggered sends so a zero counter is
+// conclusive.
+func (n *node) asyncProcess(st *asyncState, m message, scratch []int, inN2 bool) {
+	n.nbrLevel[m.from] = m.level
+	if !inN2 {
+		if nl := levelFromNeighborsInto(n.nbrLevel, scratch); nl != n.level {
+			n.level, n.public = nl, nl
+			n.updates++
+			n.pushLevel(st)
+		}
+	}
+	if st.inflight.Add(-1) == 0 {
+		select {
+		case st.zero <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// pushLevel sends the node's current public level to every GS peer and
+// to nonfaulty N2 neighbors over healthy links (they need the values
+// for their final own-level computation).
+func (n *node) pushLevel(st *asyncState) {
+	e, c := n.eng, n.eng.cube
+	for i := 0; i < c.Dim(); i++ {
+		b := c.Neighbor(n.id, i)
+		if e.set.LinkFaulty(n.id, b) || e.set.NodeFaulty(b) {
+			continue
+		}
+		peer := e.nodes[b]
+		if peer == nil {
+			continue
+		}
+		st.inflight.Add(1)
+		n.sent++
+		peer.inbox <- message{kind: msgLevel, from: i, level: n.public}
+	}
+}
+
+// Updates returns the total number of level recomputations that changed
+// a node's value during the last asynchronous phase — the async
+// analogue of round counting. Call it only between phases.
+func (e *Engine) Updates() int {
+	total := 0
+	for _, n := range e.nodes {
+		if n != nil {
+			total += n.updates
+		}
+	}
+	return total
+}

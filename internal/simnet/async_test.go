@@ -1,0 +1,194 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+func TestAsyncGSMatchesSequential(t *testing.T) {
+	rng := stats.NewRNG(13579)
+	for n := 2; n <= 7; n++ {
+		c := topo.MustCube(n)
+		for trial := 0; trial < 10; trial++ {
+			s := faults.NewSet(c)
+			faults.InjectUniform(s, rng, rng.Intn(c.Nodes()/2))
+			want := core.Compute(s, core.Options{})
+
+			e := New(s)
+			e.RunGSAsync()
+			got := e.Levels()
+			for a := 0; a < c.Nodes(); a++ {
+				if got[a] != want.Level(topo.NodeID(a)) {
+					t.Fatalf("n=%d trial %d: async S(%s) = %d, sequential %d (faults %s)",
+						n, trial, c.Format(topo.NodeID(a)), got[a], want.Level(topo.NodeID(a)), s)
+				}
+			}
+			e.Close()
+		}
+	}
+}
+
+func TestAsyncGSFig1(t *testing.T) {
+	s := fig1Set(t)
+	c := s.Cube()
+	e := New(s)
+	defer e.Close()
+	e.RunGSAsync()
+	lv := e.Levels()
+	want := map[string]int{"0000": 2, "0101": 2, "0001": 1, "1000": 4}
+	for addr, w := range want {
+		if got := lv[c.MustParse(addr)]; got != w {
+			t.Errorf("S(%s) = %d, want %d", addr, got, w)
+		}
+	}
+}
+
+func TestAsyncGSFaultFreeMinimalTraffic(t *testing.T) {
+	// In a fault-free cube no level ever changes, so the async protocol
+	// sends exactly the initial push: one message per directed link.
+	c := topo.MustCube(5)
+	s := faults.NewSet(c)
+	e := New(s)
+	defer e.Close()
+	e.RunGSAsync()
+	want := c.Nodes() * c.Dim()
+	if got := e.MessagesSent(); got != want {
+		t.Errorf("async messages = %d, want %d (one per directed link)", got, want)
+	}
+	if e.Updates() != 0 {
+		t.Errorf("updates = %d, want 0", e.Updates())
+	}
+	// The synchronous protocol would have sent (n-1)x that traffic:
+	// the async mode realizes the paper's demand-driven saving.
+	e2 := New(faults.NewSet(c))
+	defer e2.Close()
+	e2.RunGS(0)
+	if e2.MessagesSent() <= e.MessagesSent() {
+		t.Errorf("sync GS (%d msgs) should cost more than async (%d) on a stable cube",
+			e2.MessagesSent(), e.MessagesSent())
+	}
+}
+
+func TestAsyncGSWithLinkFaults(t *testing.T) {
+	// Fig. 4 on the async engine: public and own views must match the
+	// sequential EGS fixpoint.
+	c := topo.MustCube(4)
+	s := faults.NewSet(c)
+	if err := s.FailNodes(c.MustParseAll("0000", "0100", "1100", "1110")...); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailLink(c.MustParse("1000"), c.MustParse("1001")); err != nil {
+		t.Fatal(err)
+	}
+	e := New(s)
+	defer e.Close()
+	e.RunGSAsync()
+	want := core.Compute(s, core.Options{})
+	pub, own := e.Levels(), e.OwnLevels()
+	for a := 0; a < c.Nodes(); a++ {
+		id := topo.NodeID(a)
+		if pub[a] != want.Level(id) || own[a] != want.OwnLevel(id) {
+			t.Errorf("node %s: async %d/%d, sequential %d/%d",
+				c.Format(id), pub[a], own[a], want.Level(id), want.OwnLevel(id))
+		}
+	}
+}
+
+func TestAsyncGSThenUnicast(t *testing.T) {
+	// Routing after an async phase behaves identically to after a sync
+	// phase.
+	s := fig1Set(t)
+	c := s.Cube()
+	e := New(s)
+	defer e.Close()
+	e.RunGSAsync()
+	res := e.Unicast(c.MustParse("1110"), c.MustParse("0001"))
+	if res.Outcome != core.Optimal || res.Path.FormatWith(c) != "1110 -> 1111 -> 1101 -> 0101 -> 0001" {
+		t.Errorf("route after async GS: %v %s", res.Outcome, res.Path.FormatWith(c))
+	}
+}
+
+func TestAsyncGSRepeatedPhases(t *testing.T) {
+	// Alternate sync and async phases; levels must stay at the fixpoint.
+	s := fig1Set(t)
+	e := New(s)
+	defer e.Close()
+	e.RunGSAsync()
+	first := e.Levels()
+	e.RunGS(0)
+	second := e.Levels()
+	e.RunGSAsync()
+	third := e.Levels()
+	for a := range first {
+		if first[a] != second[a] || second[a] != third[a] {
+			t.Fatalf("levels drift across phases at node %d: %d %d %d",
+				a, first[a], second[a], third[a])
+		}
+	}
+}
+
+func TestAsyncGSAfterKill(t *testing.T) {
+	// State-change-driven maintenance with the async protocol.
+	c := topo.MustCube(5)
+	s := faults.NewSet(c)
+	rng := stats.NewRNG(24680)
+	faults.InjectUniform(s, rng, 4)
+	e := New(s)
+	defer e.Close()
+	e.RunGSAsync()
+	var victim topo.NodeID
+	for {
+		victim = topo.NodeID(rng.Intn(c.Nodes()))
+		if !s.NodeFaulty(victim) {
+			break
+		}
+	}
+	if err := e.KillNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	e.RunGSAsync()
+	want := core.Compute(s, core.Options{})
+	for a, lv := range e.Levels() {
+		if lv != want.Level(topo.NodeID(a)) {
+			t.Fatalf("after kill: async S(%s) = %d, want %d",
+				c.Format(topo.NodeID(a)), lv, want.Level(topo.NodeID(a)))
+		}
+	}
+}
+
+func TestAsyncGSAllFaulty(t *testing.T) {
+	// Degenerate: every node faulty — the phase must return immediately.
+	c := topo.MustCube(3)
+	s := faults.NewSet(c)
+	for a := 0; a < c.Nodes(); a++ {
+		s.FailNode(topo.NodeID(a))
+	}
+	e := New(s)
+	defer e.Close()
+	e.RunGSAsync() // must not hang
+	for _, lv := range e.Levels() {
+		if lv != 0 {
+			t.Error("all-faulty cube should have all-zero levels")
+		}
+	}
+}
+
+func TestAsyncUpdatesBounded(t *testing.T) {
+	// Levels only decrease, so each node changes value at most n times.
+	rng := stats.NewRNG(97531)
+	c := topo.MustCube(6)
+	for trial := 0; trial < 10; trial++ {
+		s := faults.NewSet(c)
+		faults.InjectUniform(s, rng, rng.Intn(20))
+		e := New(s)
+		e.RunGSAsync()
+		if e.Updates() > c.Nodes()*c.Dim() {
+			t.Errorf("updates = %d exceeds the monotonicity bound", e.Updates())
+		}
+		e.Close()
+	}
+}

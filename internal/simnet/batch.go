@@ -1,0 +1,112 @@
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/topo"
+)
+
+// Batch unicasting: many messages in flight at once, forwarded
+// concurrently by the node goroutines. Unlike Unicast (one message at a
+// time), a batch exercises real interleaving: a node serializes the
+// forwarding decisions of every message that transits it, so per-node
+// transit counts measure congestion under a traffic pattern.
+
+// Pair is one unicast request of a batch.
+type Pair struct {
+	Src, Dst topo.NodeID
+}
+
+// BatchResult is the outcome of one batch entry, in request order.
+type BatchResult struct {
+	Pair Pair
+	UnicastResult
+}
+
+// BatchStats aggregates a batch run.
+type BatchStats struct {
+	Results []BatchResult
+	// Delivered counts results that reached their destination.
+	Delivered int
+	// MaxTransit is the largest number of unicast messages any single
+	// node forwarded or delivered — the congestion hotspot measure.
+	MaxTransit int
+	// TotalHops is the sum of hops over delivered messages.
+	TotalHops int
+}
+
+// MaxBatch returns the largest batch size the engine can route
+// concurrently without risking inbox overflow (each node must be able
+// to hold every in-flight message plus GS slack).
+func (e *Engine) MaxBatch() int {
+	// Inbox capacity minus the GS worst case reserved at construction.
+	c := e.cube.Dim()
+	return (c+3)*(c+1) + 2 - (2*c + 2)
+}
+
+// UnicastBatch routes all pairs concurrently and blocks until every
+// message resolves. Requests with a faulty endpoint resolve immediately
+// as failures. Run a GS phase first. The batch size is limited by
+// MaxBatch; larger batches are rejected rather than risking a
+// store-and-forward deadlock on full inboxes.
+func (e *Engine) UnicastBatch(pairs []Pair) (*BatchStats, error) {
+	if len(pairs) > e.MaxBatch() {
+		return nil, fmt.Errorf("simnet: batch of %d exceeds MaxBatch %d", len(pairs), e.MaxBatch())
+	}
+	stats := &BatchStats{Results: make([]BatchResult, len(pairs))}
+	results := make(chan taggedResult, len(pairs))
+	e.batchResults = results
+	// Reset transit counters.
+	for _, n := range e.nodes {
+		if n != nil {
+			n.transited = 0
+		}
+	}
+	inFlight := 0
+	for i, p := range pairs {
+		stats.Results[i].Pair = p
+		if !e.cube.Contains(p.Src) || !e.cube.Contains(p.Dst) {
+			stats.Results[i].UnicastResult = UnicastResult{
+				Outcome: core.Failure, Err: fmt.Errorf("simnet: node outside cube")}
+			continue
+		}
+		src := e.nodes[p.Src]
+		if src == nil || e.nodes[p.Dst] == nil {
+			stats.Results[i].UnicastResult = UnicastResult{
+				Outcome: core.Failure, Err: fmt.Errorf("simnet: faulty endpoint")}
+			continue
+		}
+		src.inbox <- message{
+			kind: msgUnicast,
+			tag:  i + 1, // 0 means untagged (single-unicast mode)
+			nav:  topo.Nav(p.Src, p.Dst),
+			path: topo.Path{p.Src},
+		}
+		inFlight++
+	}
+	for ; inFlight > 0; inFlight-- {
+		tr := <-results
+		stats.Results[tr.tag-1].UnicastResult = tr.res
+	}
+	e.batchResults = nil
+	for i := range stats.Results {
+		r := &stats.Results[i]
+		if r.Outcome != core.Failure {
+			stats.Delivered++
+			stats.TotalHops += r.Hops
+		}
+	}
+	for _, n := range e.nodes {
+		if n != nil && n.transited > stats.MaxTransit {
+			stats.MaxTransit = n.transited
+		}
+	}
+	return stats, nil
+}
+
+// taggedResult routes a batch entry's outcome back to its slot.
+type taggedResult struct {
+	tag int
+	res UnicastResult
+}

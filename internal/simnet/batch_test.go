@@ -1,0 +1,168 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+func TestBatchMatchesSequentialUnicasts(t *testing.T) {
+	// A concurrent batch must produce, per pair, the same outcome and
+	// path as routing the pairs one at a time (forwarding decisions
+	// depend only on static levels, so interleaving cannot change them).
+	rng := stats.NewRNG(556677)
+	for trial := 0; trial < 10; trial++ {
+		c := topo.MustCube(6)
+		s := faults.NewSet(c)
+		faults.InjectUniform(s, rng, rng.Intn(6))
+		as := core.Compute(s, core.Options{})
+		rt := core.NewRouter(as, nil)
+
+		e := New(s)
+		e.RunGS(0)
+		var pairs []Pair
+		for len(pairs) < 30 {
+			src := topo.NodeID(rng.Intn(c.Nodes()))
+			dst := topo.NodeID(rng.Intn(c.Nodes()))
+			if s.NodeFaulty(src) || s.NodeFaulty(dst) {
+				continue
+			}
+			pairs = append(pairs, Pair{src, dst})
+		}
+		stats, err := e.UnicastBatch(pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, res := range stats.Results {
+			want := rt.Unicast(pairs[i].Src, pairs[i].Dst)
+			if res.Outcome != want.Outcome {
+				t.Fatalf("trial %d pair %d: batch %v, sequential %v",
+					trial, i, res.Outcome, want.Outcome)
+			}
+			if want.Outcome == core.Failure {
+				continue
+			}
+			if res.Hops != want.Len() {
+				t.Fatalf("trial %d pair %d: batch %d hops, sequential %d",
+					trial, i, res.Hops, want.Len())
+			}
+			for j := range want.Path {
+				if res.Path[j] != want.Path[j] {
+					t.Fatalf("trial %d pair %d: paths diverge", trial, i)
+				}
+			}
+		}
+		e.Close()
+	}
+}
+
+func TestBatchStatsAggregation(t *testing.T) {
+	s := fig1Set(t)
+	c := s.Cube()
+	e := New(s)
+	defer e.Close()
+	e.RunGS(0)
+	pairs := []Pair{
+		{c.MustParse("1110"), c.MustParse("0001")}, // optimal, 4 hops
+		{c.MustParse("0001"), c.MustParse("1100")}, // optimal, 3 hops
+		{c.MustParse("0001"), c.MustParse("0001")}, // self, 0 hops
+	}
+	st, err := e.UnicastBatch(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered != 3 {
+		t.Errorf("delivered = %d, want 3", st.Delivered)
+	}
+	if st.TotalHops != 7 {
+		t.Errorf("total hops = %d, want 7", st.TotalHops)
+	}
+	if st.MaxTransit < 1 {
+		t.Errorf("max transit = %d", st.MaxTransit)
+	}
+}
+
+func TestBatchHotspotCongestion(t *testing.T) {
+	// All-to-one traffic: the destination transits every message, so
+	// MaxTransit equals the number of delivered messages.
+	c := topo.MustCube(5)
+	s := faults.NewSet(c)
+	e := New(s)
+	defer e.Close()
+	e.RunGS(0)
+	var pairs []Pair
+	for a := 1; a < c.Nodes() && len(pairs) < e.MaxBatch(); a++ {
+		pairs = append(pairs, Pair{topo.NodeID(a), 0})
+	}
+	st, err := e.UnicastBatch(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Delivered != len(pairs) {
+		t.Fatalf("delivered %d of %d", st.Delivered, len(pairs))
+	}
+	if st.MaxTransit < len(pairs) {
+		t.Errorf("hotspot transit = %d, want >= %d", st.MaxTransit, len(pairs))
+	}
+}
+
+func TestBatchRejectsOversize(t *testing.T) {
+	s := fig1Set(t)
+	e := New(s)
+	defer e.Close()
+	e.RunGS(0)
+	pairs := make([]Pair, e.MaxBatch()+1)
+	if _, err := e.UnicastBatch(pairs); err == nil {
+		t.Error("oversized batch should be rejected")
+	}
+}
+
+func TestBatchWithBadEndpoints(t *testing.T) {
+	s := fig1Set(t)
+	c := s.Cube()
+	e := New(s)
+	defer e.Close()
+	e.RunGS(0)
+	pairs := []Pair{
+		{c.MustParse("0011"), 0}, // faulty source
+		{0, c.MustParse("0011")}, // faulty destination
+		{99, 0},                  // outside cube
+		{c.MustParse("1110"), c.MustParse("0001")}, // healthy
+	}
+	st, err := e.UnicastBatch(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if st.Results[i].Outcome != core.Failure || st.Results[i].Err == nil {
+			t.Errorf("pair %d should fail with error", i)
+		}
+	}
+	if st.Results[3].Outcome != core.Optimal {
+		t.Errorf("healthy pair failed: %v", st.Results[3].Outcome)
+	}
+	if st.Delivered != 1 {
+		t.Errorf("delivered = %d, want 1", st.Delivered)
+	}
+}
+
+func TestBatchThenSingleUnicast(t *testing.T) {
+	// Mode switching: batch, then single, then batch again.
+	s := fig1Set(t)
+	c := s.Cube()
+	e := New(s)
+	defer e.Close()
+	e.RunGS(0)
+	if _, err := e.UnicastBatch([]Pair{{c.MustParse("1110"), c.MustParse("0001")}}); err != nil {
+		t.Fatal(err)
+	}
+	if res := e.Unicast(c.MustParse("0001"), c.MustParse("1100")); res.Outcome != core.Optimal {
+		t.Fatalf("single after batch: %v", res.Outcome)
+	}
+	if _, err := e.UnicastBatch([]Pair{{c.MustParse("0101"), c.MustParse("0000")}}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/broadcast"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+func TestDistributedBroadcastMatchesSequential(t *testing.T) {
+	// The goroutine execution must reproduce the sequential tree
+	// exactly: same deliveries, same depths, same message count.
+	rng := stats.NewRNG(24817)
+	for trial := 0; trial < 15; trial++ {
+		c := topo.MustCube(6)
+		s := faults.NewSet(c)
+		faults.InjectUniform(s, rng, rng.Intn(10))
+		as := core.Compute(s, core.Options{})
+
+		var src topo.NodeID
+		for {
+			src = topo.NodeID(rng.Intn(c.Nodes()))
+			if !s.NodeFaulty(src) {
+				break
+			}
+		}
+		want := broadcast.New(as, false).Broadcast(src)
+
+		e := New(s)
+		e.RunGS(0)
+		got, err := e.Broadcast(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Depth) != len(want.Depth) {
+			t.Fatalf("trial %d: distributed covered %d, sequential %d (faults %s, src %s)",
+				trial, len(got.Depth), len(want.Depth), s, c.Format(src))
+		}
+		for a, d := range want.Depth {
+			if got.Depth[a] != d {
+				t.Fatalf("trial %d: depth of %s = %d, sequential %d",
+					trial, c.Format(a), got.Depth[a], d)
+			}
+		}
+		if got.Messages != want.Messages {
+			t.Fatalf("trial %d: %d messages, sequential %d", trial, got.Messages, want.Messages)
+		}
+		if got.Rounds != want.Rounds {
+			t.Fatalf("trial %d: depth %d, sequential %d", trial, got.Rounds, want.Rounds)
+		}
+		e.Close()
+	}
+}
+
+func TestDistributedBroadcastFaultFree(t *testing.T) {
+	c := topo.MustCube(5)
+	s := faults.NewSet(c)
+	e := New(s)
+	defer e.Close()
+	e.RunGS(0)
+	run, err := e.Broadcast(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Depth) != c.Nodes() {
+		t.Errorf("covered %d of %d", len(run.Depth), c.Nodes())
+	}
+	if run.Messages != c.Nodes()-1 {
+		t.Errorf("messages = %d, want %d", run.Messages, c.Nodes()-1)
+	}
+	if run.Rounds != c.Dim() {
+		t.Errorf("depth = %d, want %d", run.Rounds, c.Dim())
+	}
+}
+
+func TestDistributedBroadcastRejectsBadSource(t *testing.T) {
+	s := fig1Set(t)
+	c := s.Cube()
+	e := New(s)
+	defer e.Close()
+	e.RunGS(0)
+	if _, err := e.Broadcast(c.MustParse("0011")); err == nil {
+		t.Error("faulty source should error")
+	}
+	if _, err := e.Broadcast(999); err == nil {
+		t.Error("out-of-cube source should error")
+	}
+}
+
+func TestDistributedBroadcastRepeatable(t *testing.T) {
+	// Consecutive broadcasts (same engine) must be identical and not
+	// interfere with later unicasts.
+	s := fig1Set(t)
+	c := s.Cube()
+	e := New(s)
+	defer e.Close()
+	e.RunGS(0)
+	r1, err := e.Broadcast(c.MustParse("1110"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Broadcast(c.MustParse("1110"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Depth) != len(r2.Depth) || r1.Messages != r2.Messages {
+		t.Error("repeat broadcast diverged")
+	}
+	res := e.Unicast(c.MustParse("1110"), c.MustParse("0001"))
+	if res.Outcome != core.Optimal {
+		t.Errorf("unicast after broadcast: %v", res.Outcome)
+	}
+}

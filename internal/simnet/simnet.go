@@ -1,0 +1,634 @@
+// Package simnet executes the paper's protocols on a distributed
+// message-passing substrate: one goroutine per nonfaulty hypercube node,
+// one channel per node inbox, and no shared mutable state during a
+// protocol phase. It is the executable counterpart of the paper's cost
+// model — "the safety level of each node can be easily calculated through
+// n-1 rounds of information exchange among neighboring nodes" — and lets
+// the experiments count real rounds and real per-link messages.
+//
+// The engine serializes phases: a GS phase (bulk-synchronous level
+// exchange over exactly D rounds), unicast phases (hop-by-hop message
+// forwarding), and fault injection between phases (fail-stop nodes die;
+// a state-change-driven GS recomputation follows, matching Section 2.2's
+// update strategies). Within a phase, nodes interact only by messages.
+package simnet
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/topo"
+)
+
+// msgKind discriminates inbox messages.
+type msgKind int
+
+const (
+	msgLevel msgKind = iota
+	msgUnicast
+	msgBroadcast
+)
+
+// message is what travels over a link.
+type message struct {
+	kind msgKind
+
+	// msgLevel fields.
+	round int
+	from  int // dimension the message arrived along, from receiver's view
+	level int
+
+	// tag identifies a batch entry (0 = single-unicast mode).
+	tag int
+
+	// msgBroadcast: the dimensions the receiver's subtree spans (round
+	// doubles as the delivery depth).
+	dims []int
+
+	// msgUnicast fields.
+	nav    topo.NavVector
+	path   topo.Path
+	detour bool // the C3 spare hop was already taken
+}
+
+// ctrlKind discriminates engine-to-node commands.
+type ctrlKind int
+
+const (
+	ctrlGS ctrlKind = iota
+	ctrlGSAsync
+	ctrlDie
+)
+
+type ctrlMsg struct {
+	kind   ctrlKind
+	rounds int
+}
+
+// UnicastResult reports a distributed unicast.
+type UnicastResult struct {
+	Outcome   core.Outcome
+	Condition core.Condition
+	Path      topo.Path
+	// Hops is the number of link traversals of the unicast message.
+	Hops int
+	Err  error
+}
+
+// node is the per-goroutine state. Everything here is owned by the
+// node's goroutine during a phase; the engine touches it only between
+// phases (after the phase WaitGroup settles).
+type node struct {
+	id    topo.NodeID
+	eng   *Engine
+	inbox chan message
+	ctrl  chan ctrlMsg
+
+	level    int   // own safety level (own view for N2 nodes)
+	public   int   // level exposed to neighbors (0 for N2 nodes)
+	nbrLevel []int // last received public level per dimension
+
+	sent       int // messages sent, all kinds
+	lastChange int // last GS round in which level changed
+	updates    int // async-mode level changes
+	transited  int // unicast messages this node forwarded or delivered
+	bcastDepth int // delivery depth of the current broadcast (-1 = none)
+	bcastSent  int // broadcast sends in the current phase
+
+	// stash holds early messages that arrive while the node is inside a
+	// GS round loop (e.g. next-round levels).
+	stash []message
+}
+
+// Engine owns a distributed hypercube instance.
+type Engine struct {
+	cube *topo.Cube
+	set  *faults.Set
+
+	nodes []*node // nil for faulty nodes
+	wg    sync.WaitGroup
+
+	// startwg and async coordinate the asynchronous GS phase; bcast
+	// coordinates a broadcast phase.
+	startwg sync.WaitGroup
+	async   *asyncState
+	bcast   *asyncState
+
+	results chan UnicastResult
+	// batchResults, when non-nil, receives tagged batch outcomes.
+	batchResults chan taggedResult
+
+	// gsRounds is the D used in the last RunGS.
+	gsRounds int
+	closed   bool
+}
+
+// New builds an engine over the given fault set and starts one goroutine
+// per nonfaulty node. Callers must Close the engine to stop them.
+func New(set *faults.Set) *Engine {
+	c := set.Cube()
+	e := &Engine{
+		cube:    c,
+		set:     set,
+		nodes:   make([]*node, c.Nodes()),
+		results: make(chan UnicastResult, 4),
+	}
+	for a := 0; a < c.Nodes(); a++ {
+		id := topo.NodeID(a)
+		if set.NodeFaulty(id) {
+			continue
+		}
+		n := &node{
+			id:  id,
+			eng: e,
+			// Sized for the worst case across both GS modes: the
+			// synchronous protocol needs at most two rounds of skew
+			// (2n); the asynchronous protocol can have every peer
+			// push its whole descending level ladder (n levels plus
+			// the initial) before this node processes anything, i.e.
+			// up to n*(n+2) level messages in flight.
+			inbox:    make(chan message, (c.Dim()+3)*(c.Dim()+1)+2),
+			ctrl:     make(chan ctrlMsg, 1),
+			level:    c.Dim(),
+			public:   c.Dim(),
+			nbrLevel: make([]int, c.Dim()),
+		}
+		e.nodes[a] = n
+	}
+	for _, n := range e.nodes {
+		if n != nil {
+			go n.run()
+		}
+	}
+	return e
+}
+
+// Cube returns the topology.
+func (e *Engine) Cube() *topo.Cube { return e.cube }
+
+// MessagesSent returns the total messages sent by all live nodes so far.
+// Call it only between phases.
+func (e *Engine) MessagesSent() int {
+	total := 0
+	for _, n := range e.nodes {
+		if n != nil {
+			total += n.sent
+		}
+	}
+	return total
+}
+
+// StableRound returns the last GS round in which any node's level
+// changed — the distributed analogue of core.Assignment.Rounds. Call it
+// only after RunGS.
+func (e *Engine) StableRound() int {
+	r := 0
+	for _, n := range e.nodes {
+		if n != nil && n.lastChange > r {
+			r = n.lastChange
+		}
+	}
+	return r
+}
+
+// Levels snapshots the public level of every node (0 for faulty nodes).
+// Call it only between phases.
+func (e *Engine) Levels() []int {
+	out := make([]int, e.cube.Nodes())
+	for a, n := range e.nodes {
+		if n != nil {
+			out[a] = n.public
+		}
+	}
+	return out
+}
+
+// OwnLevels snapshots each node's own-view level (differs from Levels
+// only for N2 nodes). Call it only between phases.
+func (e *Engine) OwnLevels() []int {
+	out := make([]int, e.cube.Nodes())
+	for a, n := range e.nodes {
+		if n != nil {
+			out[a] = n.level
+		}
+	}
+	return out
+}
+
+// RunGS executes the distributed GLOBAL_STATUS algorithm for rounds
+// rounds (0 means the Corollary bound n-1). It blocks until every live
+// node has finished the phase.
+func (e *Engine) RunGS(rounds int) {
+	if rounds <= 0 {
+		rounds = e.cube.Dim() - 1
+		if rounds < 1 {
+			rounds = 1
+		}
+	}
+	e.gsRounds = rounds
+	for _, n := range e.nodes {
+		if n == nil {
+			continue
+		}
+		e.wg.Add(1)
+		n.ctrl <- ctrlMsg{kind: ctrlGS, rounds: rounds}
+	}
+	e.wg.Wait()
+}
+
+// KillNode marks a node fail-stop faulty between phases, stopping its
+// goroutine. Neighbors observe the failure through the shared fault
+// oracle (the paper's assumption 2: fault detection exists). Following
+// the state-change-driven strategy, callers should RunGS again.
+func (e *Engine) KillNode(a topo.NodeID) error {
+	n := e.nodes[a]
+	if n == nil {
+		return fmt.Errorf("simnet: node %d already dead", a)
+	}
+	if err := e.set.FailNode(a); err != nil {
+		return err
+	}
+	e.wg.Add(1)
+	n.ctrl <- ctrlMsg{kind: ctrlDie}
+	e.wg.Wait()
+	e.nodes[a] = nil
+	return nil
+}
+
+// Unicast routes a message from s to d through the live node goroutines
+// and blocks until the attempt resolves. Both endpoints must be
+// nonfaulty. Run a GS phase first so levels are in place.
+func (e *Engine) Unicast(s, d topo.NodeID) UnicastResult {
+	if !e.cube.Contains(s) || !e.cube.Contains(d) {
+		return UnicastResult{Outcome: core.Failure, Err: fmt.Errorf("simnet: node outside cube")}
+	}
+	src := e.nodes[s]
+	if src == nil {
+		return UnicastResult{Outcome: core.Failure, Err: fmt.Errorf("simnet: source %s is faulty", e.cube.Format(s))}
+	}
+	if e.nodes[d] == nil {
+		return UnicastResult{Outcome: core.Failure, Err: fmt.Errorf("simnet: destination %s is faulty", e.cube.Format(d))}
+	}
+	src.inbox <- message{
+		kind: msgUnicast,
+		nav:  topo.Nav(s, d),
+		path: topo.Path{s},
+	}
+	return <-e.results
+}
+
+// Close stops every live goroutine. The engine is unusable afterwards.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for a, n := range e.nodes {
+		if n == nil {
+			continue
+		}
+		e.wg.Add(1)
+		n.ctrl <- ctrlMsg{kind: ctrlDie}
+		e.nodes[a] = nil
+	}
+	e.wg.Wait()
+}
+
+// ---------------------------------------------------------------------
+// Node goroutine.
+// ---------------------------------------------------------------------
+
+func (n *node) run() {
+	for {
+		select {
+		case cmd := <-n.ctrl:
+			switch cmd.kind {
+			case ctrlGS:
+				n.runGS(cmd.rounds)
+				n.eng.wg.Done()
+			case ctrlGSAsync:
+				n.runGSAsync(n.eng.async)
+				n.eng.wg.Done()
+			case ctrlDie:
+				n.eng.wg.Done()
+				return
+			}
+		case m := <-n.inbox:
+			switch m.kind {
+			case msgUnicast:
+				n.forward(m)
+			case msgBroadcast:
+				n.handleBroadcast(m, n.eng.bcast)
+			default:
+				// A neighbor that received its ctrlGS first may already
+				// be sending round-1 levels before this node has seen
+				// its own ctrlGS. Stash the message; runGS drains the
+				// stash first.
+				n.stash = append(n.stash, m)
+			}
+		}
+	}
+}
+
+// liveNeighborDims returns the dimensions over which this node exchanges
+// GS levels: healthy link, nonfaulty far end, far end not in N2. inN2
+// reports whether this node itself has an adjacent faulty link.
+func (n *node) gsPeers() (peers []int, inN2 bool) {
+	e, c := n.eng, n.eng.cube
+	for i := 0; i < c.Dim(); i++ {
+		b := c.Neighbor(n.id, i)
+		if e.set.LinkFaulty(n.id, b) {
+			inN2 = true
+			continue
+		}
+		if e.set.NodeFaulty(b) {
+			continue
+		}
+		if len(e.set.AdjacentFaultyLinks(b)) > 0 {
+			// N2 neighbors broadcast nothing; their public level is 0.
+			continue
+		}
+		peers = append(peers, i)
+	}
+	return peers, inN2
+}
+
+// levelFromNeighborsInto evaluates Definition 1 with a caller-provided
+// scratch buffer.
+func levelFromNeighborsInto(levels, scratch []int) int {
+	return core.LevelFromNeighbors(levels, scratch)
+}
+
+// runGS executes the node's part of GLOBAL_STATUS / EXTENDED_GLOBAL_STATUS.
+func (n *node) runGS(rounds int) {
+	e, c := n.eng, n.eng.cube
+	dim := c.Dim()
+	peers, inN2 := n.gsPeers()
+
+	// (Re-)initialize: nonfaulty nodes restart from level n (the
+	// algorithm's initialization); N2 nodes declare themselves 0.
+	n.level, n.public = dim, dim
+	if inN2 {
+		n.level, n.public = 0, 0
+	}
+	n.lastChange = 0
+	n.updates = 0
+	for i := range n.nbrLevel {
+		b := c.Neighbor(n.id, i)
+		if e.set.LinkFaulty(n.id, b) || e.set.NodeFaulty(b) || len(e.set.AdjacentFaultyLinks(b)) > 0 {
+			n.nbrLevel[i] = 0
+		} else {
+			n.nbrLevel[i] = dim
+		}
+	}
+
+	scratch := make([]int, dim)
+	for r := 1; r <= rounds; r++ {
+		// Send current public level to peers over healthy links. N2
+		// nodes stay silent (they already declared level 0), but N1
+		// nodes still send to nonfaulty neighbors in N2 so those can
+		// run NODE_STATUS once in the last round (EGS).
+		if !inN2 {
+			for i := 0; i < dim; i++ {
+				b := c.Neighbor(n.id, i)
+				if e.set.LinkFaulty(n.id, b) || e.set.NodeFaulty(b) {
+					continue
+				}
+				peer := e.nodes[b]
+				if peer == nil {
+					continue
+				}
+				peer.inbox <- message{kind: msgLevel, round: r, from: i, level: n.public}
+				n.sent++
+			}
+		}
+		// Receive one level per sending peer for this round. Peers are
+		// exactly the N1 neighbors over healthy links. Matching
+		// messages may already sit in the stash (stored while this
+		// node had not yet entered the phase, or from one round of
+		// skew); scan it once, then block on the inbox — messages from
+		// the next round go back to the stash.
+		want := len(peers)
+		got := 0
+		kept := n.stash[:0]
+		for _, m := range n.stash {
+			if m.kind == msgLevel && m.round == r {
+				n.nbrLevel[m.from] = m.level
+				got++
+			} else {
+				kept = append(kept, m)
+			}
+		}
+		n.stash = kept
+		for got < want {
+			m := <-n.inbox
+			if m.kind != msgLevel || m.round != r {
+				n.stash = append(n.stash, m)
+				continue
+			}
+			n.nbrLevel[m.from] = m.level
+			got++
+		}
+		// N2 nodes run NODE_STATUS once, in the last round, treating
+		// the far ends of their faulty links as faulty (level 0); N1
+		// nodes update every round.
+		if inN2 {
+			if r == rounds {
+				n.level = core.LevelFromNeighbors(n.nbrLevel, scratch)
+				n.lastChange = r
+			}
+			continue
+		}
+		nl := core.LevelFromNeighbors(n.nbrLevel, scratch)
+		if nl != n.level {
+			n.level = nl
+			n.public = nl
+			n.lastChange = r
+		}
+	}
+}
+
+// forward implements the unicasting algorithms of Section 3.2 with only
+// local knowledge: the node's own level, its neighbors' public levels
+// (collected during GS), and the fault status of its neighbors.
+func (n *node) forward(m message) {
+	n.transited++
+	if m.nav.Zero() {
+		// UNICASTING_AT_INTERMEDIATE_NODE: N = 0 -> this is the
+		// destination.
+		n.report(m, UnicastResult{
+			Outcome:   classify(m),
+			Condition: condOf(m),
+			Path:      m.path,
+			Hops:      m.path.Len(),
+		})
+		return
+	}
+	if len(m.path) == 1 && m.path[0] == n.id {
+		n.sourceForward(m)
+		return
+	}
+	n.intermediateForward(m)
+}
+
+// classify recovers the outcome class from the traveled path.
+func classify(m message) core.Outcome {
+	if m.detour {
+		return core.Suboptimal
+	}
+	return core.Optimal
+}
+
+func condOf(m message) core.Condition {
+	if m.detour {
+		return core.CondC3
+	}
+	// C1 and C2 are indistinguishable from the trace; the engine-level
+	// tests recover the precise condition from core.Router. Report C1
+	// as the representative optimal condition.
+	return core.CondC1
+}
+
+// sourceForward implements UNICASTING_AT_SOURCE_NODE.
+func (n *node) sourceForward(m message) {
+	e, c := n.eng, n.eng.cube
+	h := m.nav.Count()
+	// C1: own level covers the distance. (Section 4.1: the far end of
+	// an adjacent faulty link is excluded from the own-level guarantee.)
+	d := n.id ^ topo.NodeID(m.nav)
+	deadLinkDest := h == 1 && e.set.LinkFaulty(n.id, d)
+	if !deadLinkDest {
+		if n.level >= h {
+			n.sendPreferred(m, false)
+			return
+		}
+		// C2: a preferred neighbor with level >= H-1.
+		for i := 0; i < c.Dim(); i++ {
+			if m.nav.Bit(i) && n.observedLevel(i) >= h-1 {
+				n.sendPreferred(m, false)
+				return
+			}
+		}
+	}
+	// C3: a spare neighbor with level >= H+1.
+	best, dim := -1, -1
+	for i := 0; i < c.Dim(); i++ {
+		if m.nav.Bit(i) {
+			continue
+		}
+		if lv := n.observedLevel(i); lv >= h+1 && lv > best {
+			best, dim = lv, i
+		}
+	}
+	if dim >= 0 {
+		n.send(m, dim, true)
+		return
+	}
+	n.report(m, UnicastResult{
+		Outcome:   core.Failure,
+		Condition: core.CondNone,
+		Path:      m.path,
+	})
+}
+
+// observedLevel is the level of the neighbor along dim as this node
+// observes it: 0 across a faulty link or for a faulty node, else the
+// last level received in GS.
+func (n *node) observedLevel(dim int) int {
+	e, c := n.eng, n.eng.cube
+	b := c.Neighbor(n.id, dim)
+	if e.set.LinkFaulty(n.id, b) || e.set.NodeFaulty(b) {
+		return 0
+	}
+	return n.nbrLevel[dim]
+}
+
+// intermediateForward implements UNICASTING_AT_INTERMEDIATE_NODE.
+func (n *node) intermediateForward(m message) {
+	n.sendPreferred(m, false)
+}
+
+// sendPreferred forwards to the preferred neighbor with the highest
+// observed level (LowestDim tie-break), delivering the final hop
+// unconditionally over a healthy link.
+func (n *node) sendPreferred(m message, detour bool) {
+	e, c := n.eng, n.eng.cube
+	if m.nav.Count() == 1 {
+		for i := 0; i < c.Dim(); i++ {
+			if m.nav.Bit(i) {
+				b := c.Neighbor(n.id, i)
+				if !e.set.LinkFaulty(n.id, b) && e.nodes[b] != nil {
+					n.send(m, i, detour)
+					return
+				}
+				break
+			}
+		}
+		n.report(m, UnicastResult{
+			Outcome: core.Failure,
+			Path:    m.path,
+			Err:     fmt.Errorf("simnet: %s cannot deliver final hop", c.Format(n.id)),
+		})
+		return
+	}
+	best, dim := -1, -1
+	for i := 0; i < c.Dim(); i++ {
+		if !m.nav.Bit(i) {
+			continue
+		}
+		b := c.Neighbor(n.id, i)
+		if e.set.NodeFaulty(b) || e.set.LinkFaulty(n.id, b) {
+			continue
+		}
+		if lv := n.nbrLevel[i]; lv > best {
+			best, dim = lv, i
+		}
+	}
+	if dim < 0 {
+		n.report(m, UnicastResult{
+			Outcome: core.Failure,
+			Path:    m.path,
+			Err:     fmt.Errorf("simnet: %s has no usable preferred neighbor", c.Format(n.id)),
+		})
+		return
+	}
+	n.send(m, dim, detour)
+}
+
+// send moves the unicast one hop along dim.
+func (n *node) send(m message, dim int, markDetour bool) {
+	e, c := n.eng, n.eng.cube
+	b := c.Neighbor(n.id, dim)
+	next := message{
+		kind:   msgUnicast,
+		tag:    m.tag,
+		nav:    m.nav.Flip(dim),
+		path:   append(append(topo.Path{}, m.path...), b),
+		detour: m.detour || markDetour,
+	}
+	peer := e.nodes[b]
+	if peer == nil {
+		// Final hop into a faulty destination cannot happen here: the
+		// engine rejects faulty destinations up front.
+		n.report(m, UnicastResult{
+			Outcome: core.Failure,
+			Path:    m.path,
+			Err:     fmt.Errorf("simnet: hop into dead node %s", c.Format(b)),
+		})
+		return
+	}
+	n.sent++
+	peer.inbox <- next
+}
+
+// report routes a unicast outcome to the right collector: the batch
+// channel for tagged messages, the single-unicast channel otherwise.
+func (n *node) report(m message, res UnicastResult) {
+	if m.tag != 0 {
+		n.eng.batchResults <- taggedResult{tag: m.tag, res: res}
+		return
+	}
+	n.eng.results <- res
+}

@@ -1,0 +1,334 @@
+package simnet
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+func fig1Set(t testing.TB) *faults.Set {
+	t.Helper()
+	c := topo.MustCube(4)
+	s := faults.NewSet(c)
+	if err := s.FailNodes(c.MustParseAll("0011", "0100", "0110", "1001")...); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDistributedGSMatchesSequential(t *testing.T) {
+	rng := stats.NewRNG(7531)
+	for n := 2; n <= 7; n++ {
+		c := topo.MustCube(n)
+		for trial := 0; trial < 10; trial++ {
+			s := faults.NewSet(c)
+			faults.InjectUniform(s, rng, rng.Intn(c.Nodes()/2))
+			want := core.Compute(s, core.Options{})
+
+			e := New(s)
+			e.RunGS(0)
+			got := e.Levels()
+			for a := 0; a < c.Nodes(); a++ {
+				if got[a] != want.Level(topo.NodeID(a)) {
+					t.Fatalf("n=%d trial %d: distributed S(%s) = %d, sequential %d (faults %s)",
+						n, trial, c.Format(topo.NodeID(a)), got[a], want.Level(topo.NodeID(a)), s)
+				}
+			}
+			if e.StableRound() != want.Rounds() {
+				t.Errorf("n=%d trial %d: distributed stable round %d, sequential %d",
+					n, trial, e.StableRound(), want.Rounds())
+			}
+			e.Close()
+		}
+	}
+}
+
+func TestDistributedGSFig1(t *testing.T) {
+	s := fig1Set(t)
+	c := s.Cube()
+	e := New(s)
+	defer e.Close()
+	e.RunGS(0)
+	lv := e.Levels()
+	want := map[string]int{
+		"0000": 2, "0001": 1, "0010": 1, "0101": 2,
+		"0111": 1, "1000": 4, "1011": 1, "1110": 4,
+	}
+	for addr, w := range want {
+		if got := lv[c.MustParse(addr)]; got != w {
+			t.Errorf("S(%s) = %d, want %d", addr, got, w)
+		}
+	}
+}
+
+func TestGSMessageCount(t *testing.T) {
+	// In a node-fault-only cube, synchronous GS over D rounds sends
+	// exactly D messages per directed live link (both endpoints
+	// nonfaulty).
+	s := fig1Set(t)
+	c := s.Cube()
+	e := New(s)
+	defer e.Close()
+	e.RunGS(0)
+	liveDirected := 0
+	for a := 0; a < c.Nodes(); a++ {
+		if s.NodeFaulty(topo.NodeID(a)) {
+			continue
+		}
+		for i := 0; i < c.Dim(); i++ {
+			if !s.NodeFaulty(c.Neighbor(topo.NodeID(a), i)) {
+				liveDirected++
+			}
+		}
+	}
+	want := liveDirected * (c.Dim() - 1)
+	if got := e.MessagesSent(); got != want {
+		t.Errorf("GS messages = %d, want %d (= %d directed links x %d rounds)",
+			got, want, liveDirected, c.Dim()-1)
+	}
+}
+
+func TestDistributedUnicastMatchesCoreRouter(t *testing.T) {
+	// The distributed hop-by-hop execution must produce the same
+	// outcome, path and length as the sequential router for every pair.
+	rng := stats.NewRNG(8642)
+	for trial := 0; trial < 12; trial++ {
+		c := topo.MustCube(5)
+		s := faults.NewSet(c)
+		faults.InjectUniform(s, rng, rng.Intn(8))
+		as := core.Compute(s, core.Options{})
+		rt := core.NewRouter(as, nil)
+		e := New(s)
+		e.RunGS(0)
+		for src := 0; src < c.Nodes(); src++ {
+			for dst := 0; dst < c.Nodes(); dst += 3 {
+				sid, did := topo.NodeID(src), topo.NodeID(dst)
+				if s.NodeFaulty(sid) || s.NodeFaulty(did) {
+					continue
+				}
+				want := rt.Unicast(sid, did)
+				got := e.Unicast(sid, did)
+				if got.Outcome != want.Outcome {
+					t.Fatalf("trial %d %s->%s: distributed %v, sequential %v (faults %s)",
+						trial, c.Format(sid), c.Format(did), got.Outcome, want.Outcome, s)
+				}
+				if want.Outcome == core.Failure {
+					continue
+				}
+				if got.Hops != want.Len() {
+					t.Fatalf("trial %d %s->%s: distributed %d hops, sequential %d",
+						trial, c.Format(sid), c.Format(did), got.Hops, want.Len())
+				}
+				for i := range want.Path {
+					if got.Path[i] != want.Path[i] {
+						t.Fatalf("trial %d %s->%s: path diverges at %d: %s vs %s",
+							trial, c.Format(sid), c.Format(did), i,
+							got.Path.FormatWith(c), want.Path.FormatWith(c))
+					}
+				}
+			}
+		}
+		e.Close()
+	}
+}
+
+func TestDistributedUnicastPaperExample(t *testing.T) {
+	s := fig1Set(t)
+	c := s.Cube()
+	e := New(s)
+	defer e.Close()
+	e.RunGS(0)
+	res := e.Unicast(c.MustParse("1110"), c.MustParse("0001"))
+	if res.Outcome != core.Optimal {
+		t.Fatalf("outcome = %v", res.Outcome)
+	}
+	if got := res.Path.FormatWith(c); got != "1110 -> 1111 -> 1101 -> 0101 -> 0001" {
+		t.Errorf("path = %s", got)
+	}
+	if res.Hops != 4 {
+		t.Errorf("hops = %d", res.Hops)
+	}
+}
+
+func TestDistributedUnicastFailureDetectedAtSource(t *testing.T) {
+	// Fig. 3 disconnected cube: unicast toward the island fails with no
+	// message movement beyond the source.
+	c := topo.MustCube(4)
+	s := faults.NewSet(c)
+	s.FailNodes(c.MustParseAll("0110", "1010", "1100", "1111")...)
+	e := New(s)
+	defer e.Close()
+	e.RunGS(0)
+	before := e.MessagesSent()
+	res := e.Unicast(c.MustParse("0111"), c.MustParse("1110"))
+	if res.Outcome != core.Failure {
+		t.Fatalf("outcome = %v, want failure", res.Outcome)
+	}
+	if after := e.MessagesSent(); after != before {
+		t.Errorf("failed unicast still sent %d messages", after-before)
+	}
+}
+
+func TestUnicastRejectsBadEndpoints(t *testing.T) {
+	s := fig1Set(t)
+	c := s.Cube()
+	e := New(s)
+	defer e.Close()
+	e.RunGS(0)
+	if res := e.Unicast(c.MustParse("0011"), 0); res.Outcome != core.Failure || res.Err == nil {
+		t.Error("faulty source must be rejected")
+	}
+	if res := e.Unicast(0, c.MustParse("0011")); res.Outcome != core.Failure || res.Err == nil {
+		t.Error("faulty destination must be rejected")
+	}
+	if res := e.Unicast(99, 0); res.Outcome != core.Failure || res.Err == nil {
+		t.Error("out-of-cube endpoint must be rejected")
+	}
+}
+
+func TestUnicastToSelfDistributed(t *testing.T) {
+	s := fig1Set(t)
+	e := New(s)
+	defer e.Close()
+	e.RunGS(0)
+	res := e.Unicast(0, 0)
+	if res.Outcome != core.Optimal || res.Hops != 0 {
+		t.Errorf("self unicast: %v hops %d", res.Outcome, res.Hops)
+	}
+}
+
+func TestKillNodeAndRecompute(t *testing.T) {
+	// State-change-driven update (Section 2.2): after a node dies, a
+	// fresh GS phase recomputes levels; they must equal the sequential
+	// fixpoint of the enlarged fault set.
+	c := topo.MustCube(5)
+	s := faults.NewSet(c)
+	rng := stats.NewRNG(111)
+	faults.InjectUniform(s, rng, 3)
+	e := New(s)
+	defer e.Close()
+	e.RunGS(0)
+
+	var victim topo.NodeID
+	for {
+		victim = topo.NodeID(rng.Intn(c.Nodes()))
+		if !s.NodeFaulty(victim) {
+			break
+		}
+	}
+	if err := e.KillNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.KillNode(victim); err == nil {
+		t.Error("killing a dead node should error")
+	}
+	e.RunGS(0)
+
+	want := core.Compute(s, core.Options{})
+	got := e.Levels()
+	for a := 0; a < c.Nodes(); a++ {
+		if got[a] != want.Level(topo.NodeID(a)) {
+			t.Fatalf("after kill: S(%s) = %d, want %d",
+				c.Format(topo.NodeID(a)), got[a], want.Level(topo.NodeID(a)))
+		}
+	}
+}
+
+func TestDistributedEGSWithLinkFaults(t *testing.T) {
+	// Fig. 4 scenario on the distributed engine.
+	c := topo.MustCube(4)
+	s := faults.NewSet(c)
+	if err := s.FailNodes(c.MustParseAll("0000", "0100", "1100", "1110")...); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailLink(c.MustParse("1000"), c.MustParse("1001")); err != nil {
+		t.Fatal(err)
+	}
+	e := New(s)
+	defer e.Close()
+	e.RunGS(0)
+
+	want := core.Compute(s, core.Options{})
+	pub, own := e.Levels(), e.OwnLevels()
+	for a := 0; a < c.Nodes(); a++ {
+		id := topo.NodeID(a)
+		if pub[a] != want.Level(id) {
+			t.Errorf("public S(%s) = %d, want %d", c.Format(id), pub[a], want.Level(id))
+		}
+		if own[a] != want.OwnLevel(id) {
+			t.Errorf("own S(%s) = %d, want %d", c.Format(id), own[a], want.OwnLevel(id))
+		}
+	}
+	// And the Fig. 4 suboptimal route, distributed.
+	res := e.Unicast(c.MustParse("1101"), c.MustParse("1000"))
+	if res.Outcome != core.Suboptimal {
+		t.Fatalf("outcome = %v, want suboptimal", res.Outcome)
+	}
+	if got := res.Path.FormatWith(c); got != "1101 -> 1111 -> 1011 -> 1010 -> 1000" {
+		t.Errorf("path = %s", got)
+	}
+}
+
+func TestNoGoroutineLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		s := fig1Set(t)
+		e := New(s)
+		e.RunGS(0)
+		e.Unicast(0, 7)
+		e.Close()
+		e.Close() // double close is a no-op
+	}
+	// Allow the runtime a moment to retire exited goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines before %d, after %d", before, runtime.NumGoroutine())
+}
+
+func TestRepeatedGSPhasesAreIdempotent(t *testing.T) {
+	// The periodic update strategy re-runs GS on an unchanged fault
+	// set; levels must not drift.
+	s := fig1Set(t)
+	e := New(s)
+	defer e.Close()
+	e.RunGS(0)
+	first := e.Levels()
+	e.RunGS(0)
+	second := e.Levels()
+	for a := range first {
+		if first[a] != second[a] {
+			t.Fatalf("levels drifted at node %d: %d -> %d", a, first[a], second[a])
+		}
+	}
+}
+
+func TestTruncatedDistributedGS(t *testing.T) {
+	// Running fewer rounds than needed leaves over-optimistic levels,
+	// mirroring the sequential MaxRounds option.
+	s := fig1Set(t)
+	c := s.Cube()
+	e := New(s)
+	defer e.Close()
+	e.RunGS(1)
+	lv := e.Levels()
+	full := core.Compute(s, core.Options{})
+	for a := 0; a < c.Nodes(); a++ {
+		if lv[a] < full.Level(topo.NodeID(a)) {
+			t.Errorf("truncated level below fixpoint at %s", c.Format(topo.NodeID(a)))
+		}
+	}
+	// Node 0101 needs 2 rounds (it is 2-safe via 1-safe neighbors).
+	if lv[c.MustParse("0101")] == full.Level(c.MustParse("0101")) {
+		t.Error("expected 0101 to still be over-optimistic after 1 round")
+	}
+}

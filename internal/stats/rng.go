@@ -1,0 +1,134 @@
+// Package stats provides the deterministic random-number generation and
+// small statistical helpers used by the experiment harness. Everything in
+// this package is dependency-free and reproducible: the same seed always
+// yields the same stream, regardless of platform or Go version, which is
+// what lets EXPERIMENTS.md pin exact measured values.
+package stats
+
+import "math"
+
+// RNG is a splitmix64 pseudo-random generator. It is deliberately not
+// math/rand: the stream must be stable across Go releases so that the
+// fault sets used in every recorded experiment can be regenerated
+// bit-for-bit.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Two generators with the
+// same seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next value in the stream.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	// Multiply-shift rejection-free bound; bias is negligible for the
+	// n values used here (always far below 2^32) but we still use
+	// Lemire-style rejection to keep the stream exactly uniform.
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	al, ah := a&mask, a>>32
+	bl, bh := b&mask, b>>32
+	t := al*bh + (al*bl)>>32
+	w1 := t & mask
+	w2 := t >> 32
+	w1 += ah * bl
+	hi = ah*bh + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudo-random permutation of [0, n) as a slice.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Sample returns k distinct values drawn uniformly from [0, n) in
+// selection order. It panics if k > n or k < 0.
+func (r *RNG) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic("stats: Sample with k out of range")
+	}
+	// Partial Fisher-Yates over an index map keeps this O(k) memory-
+	// light for the huge n (2^dim) node spaces we sample from.
+	swapped := make(map[int]int, k)
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		vi, ok := swapped[i]
+		if !ok {
+			vi = i
+		}
+		vj, ok := swapped[j]
+		if !ok {
+			vj = j
+		}
+		out[i] = vj
+		swapped[j] = vi
+		swapped[i] = vj
+	}
+	return out
+}
+
+// Shuffle pseudo-randomly permutes the first n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Split derives an independent child generator. Children with distinct
+// labels produce decorrelated streams even from the same parent state.
+func (r *RNG) Split(label uint64) *RNG {
+	return NewRNG(r.Uint64() ^ (label * 0xd6e8feb86659fd93))
+}
+
+// NormFloat64 returns a standard normal variate via Box-Muller. Only the
+// cosine branch is used so a single call consumes exactly two stream
+// values, keeping replay deterministic.
+func (r *RNG) NormFloat64() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

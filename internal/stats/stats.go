@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates scalar observations and reports summary statistics.
+// The zero value is ready to use.
+type Accumulator struct {
+	n     int
+	sum   float64
+	sumSq float64
+	min   float64
+	max   float64
+}
+
+// Add records one observation.
+func (a *Accumulator) Add(x float64) {
+	if a.n == 0 || x < a.min {
+		a.min = x
+	}
+	if a.n == 0 || x > a.max {
+		a.max = x
+	}
+	a.n++
+	a.sum += x
+	a.sumSq += x * x
+}
+
+// AddN records the same observation count times.
+func (a *Accumulator) AddN(x float64, count int) {
+	for i := 0; i < count; i++ {
+		a.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (a *Accumulator) Mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// Sum returns the running total.
+func (a *Accumulator) Sum() float64 { return a.sum }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Variance returns the unbiased sample variance.
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	m := a.Mean()
+	v := (a.sumSq - float64(a.n)*m*m) / float64(a.n-1)
+	if v < 0 { // numerical noise
+		return 0
+	}
+	return v
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval around the mean.
+func (a *Accumulator) CI95() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return 1.96 * a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// String formats the accumulator as "mean ± ci (n=N)".
+func (a *Accumulator) String() string {
+	return fmt.Sprintf("%.4f ± %.4f (n=%d)", a.Mean(), a.CI95(), a.n)
+}
+
+// Histogram counts integer-valued observations in [0, len(bins)).
+// Out-of-range observations are clamped into the end bins so totals are
+// never silently dropped.
+type Histogram struct {
+	bins []int
+	n    int
+}
+
+// NewHistogram returns a histogram with buckets 0..max inclusive.
+func NewHistogram(max int) *Histogram {
+	if max < 0 {
+		max = 0
+	}
+	return &Histogram{bins: make([]int, max+1)}
+}
+
+// Add records one observation of value v.
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.bins) {
+		v = len(h.bins) - 1
+	}
+	h.bins[v]++
+	h.n++
+}
+
+// Count returns the number of observations equal to v (after clamping).
+func (h *Histogram) Count(v int) int {
+	if v < 0 || v >= len(h.bins) {
+		return 0
+	}
+	return h.bins[v]
+}
+
+// N returns the total number of observations.
+func (h *Histogram) N() int { return h.n }
+
+// Mean returns the average of recorded values.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	total := 0
+	for v, c := range h.bins {
+		total += v * c
+	}
+	return float64(total) / float64(h.n)
+}
+
+// Quantile returns the smallest value v whose cumulative frequency
+// reaches q (0 <= q <= 1).
+func (h *Histogram) Quantile(q float64) int {
+	if h.n == 0 {
+		return 0
+	}
+	target := int(math.Ceil(q * float64(h.n)))
+	if target < 1 {
+		target = 1
+	}
+	cum := 0
+	for v, c := range h.bins {
+		cum += c
+		if cum >= target {
+			return v
+		}
+	}
+	return len(h.bins) - 1
+}
+
+// Fractions returns bin counts normalized to sum to 1.
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.bins))
+	if h.n == 0 {
+		return out
+	}
+	for i, c := range h.bins {
+		out[i] = float64(c) / float64(h.n)
+	}
+	return out
+}
+
+// Median returns the median of a slice of float64 values. The input is
+// not modified. Median of an empty slice is 0.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	mid := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[mid]
+	}
+	return (cp[mid-1] + cp[mid]) / 2
+}
+
+// MeanOf returns the arithmetic mean of xs, or 0 when empty.
+func MeanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

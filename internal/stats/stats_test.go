@@ -1,0 +1,339 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collided %d/1000 times", same)
+	}
+}
+
+func TestRNGStreamPinned(t *testing.T) {
+	// The experiment records in EXPERIMENTS.md depend on this exact
+	// stream; if this test ever fails the recorded values must be
+	// regenerated.
+	r := NewRNG(1)
+	want := []uint64{0x910a2dec89025cc1, 0xbeeb8da1658eec67, 0xf893a2eefb32555e}
+	for i, w := range want {
+		if got := r.Uint64(); got != w {
+			t.Fatalf("stream[%d] = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	seen := make([]bool, 10)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Errorf("Intn(10) never produced %d", v)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := NewRNG(99)
+	const n, trials = 8, 80000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates from %f", v, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	sum := 0.0
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %f", f)
+		}
+		sum += f
+	}
+	if mean := sum / 10000; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("Float64 mean %f far from 0.5", mean)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := NewRNG(5)
+	for trial := 0; trial < 50; trial++ {
+		p := r.Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				t.Fatalf("bad permutation %v", p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := NewRNG(11)
+	for trial := 0; trial < 200; trial++ {
+		s := r.Sample(128, 16)
+		if len(s) != 16 {
+			t.Fatalf("len = %d", len(s))
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= 128 || seen[v] {
+				t.Fatalf("bad sample %v", s)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleEdges(t *testing.T) {
+	r := NewRNG(1)
+	if got := r.Sample(5, 0); len(got) != 0 {
+		t.Errorf("Sample(5,0) = %v", got)
+	}
+	all := r.Sample(6, 6)
+	seen := map[int]bool{}
+	for _, v := range all {
+		seen[v] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("Sample(6,6) not a permutation: %v", all)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Sample(3,4) should panic")
+		}
+	}()
+	r.Sample(3, 4)
+}
+
+func TestSampleUniform(t *testing.T) {
+	// Each element of [0,10) should appear in a 3-sample with p = 0.3.
+	r := NewRNG(21)
+	const trials = 30000
+	counts := make([]int, 10)
+	for i := 0; i < trials; i++ {
+		for _, v := range r.Sample(10, 3) {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * 0.3
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("element %d sampled %d times, want ~%f", v, c, want)
+		}
+	}
+}
+
+func TestSplitDecorrelates(t *testing.T) {
+	parent := NewRNG(8)
+	a := parent.Split(1)
+	b := parent.Split(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("split children collided %d times", same)
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.N() != 0 || a.CI95() != 0 {
+		t.Error("zero accumulator should report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Errorf("N = %d", a.N())
+	}
+	if got := a.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Mean = %f, want 5", got)
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	if got := a.StdDev(); math.Abs(got-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("StdDev = %f", got)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("Min/Max = %f/%f", a.Min(), a.Max())
+	}
+	if a.CI95() <= 0 {
+		t.Error("CI95 should be positive")
+	}
+	if a.Sum() != 40 {
+		t.Errorf("Sum = %f", a.Sum())
+	}
+}
+
+func TestAccumulatorAddN(t *testing.T) {
+	var a, b Accumulator
+	a.AddN(3, 4)
+	for i := 0; i < 4; i++ {
+		b.Add(3)
+	}
+	if a.Mean() != b.Mean() || a.N() != b.N() || a.Variance() != b.Variance() {
+		t.Error("AddN should equal repeated Add")
+	}
+	if a.Variance() != 0 {
+		t.Error("constant observations should have zero variance")
+	}
+}
+
+func TestAccumulatorString(t *testing.T) {
+	var a Accumulator
+	a.Add(1)
+	a.Add(2)
+	if s := a.String(); s == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(5)
+	for _, v := range []int{0, 1, 1, 2, 2, 2, 5, 9, -3} {
+		h.Add(v)
+	}
+	if h.N() != 9 {
+		t.Errorf("N = %d", h.N())
+	}
+	if h.Count(1) != 2 || h.Count(2) != 3 {
+		t.Error("counts wrong")
+	}
+	// 9 clamps into bin 5; -3 clamps into bin 0.
+	if h.Count(5) != 2 {
+		t.Errorf("clamped top bin = %d, want 2", h.Count(5))
+	}
+	if h.Count(0) != 2 {
+		t.Errorf("clamped bottom bin = %d, want 2", h.Count(0))
+	}
+	if h.Count(99) != 0 || h.Count(-1) != 0 {
+		t.Error("out-of-range Count should be 0")
+	}
+	fr := h.Fractions()
+	sum := 0.0
+	for _, f := range fr {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("fractions sum to %f", sum)
+	}
+}
+
+func TestHistogramQuantileMean(t *testing.T) {
+	h := NewHistogram(10)
+	for v := 1; v <= 10; v++ {
+		h.Add(v)
+	}
+	if q := h.Quantile(0.5); q != 5 {
+		t.Errorf("median = %d, want 5", q)
+	}
+	if q := h.Quantile(1.0); q != 10 {
+		t.Errorf("p100 = %d, want 10", q)
+	}
+	if q := h.Quantile(0.0); q != 1 {
+		t.Errorf("p0 = %d, want 1", q)
+	}
+	if m := h.Mean(); math.Abs(m-5.5) > 1e-12 {
+		t.Errorf("mean = %f, want 5.5", m)
+	}
+	empty := NewHistogram(4)
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median(nil); m != 0 {
+		t.Errorf("Median(nil) = %f", m)
+	}
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("Median odd = %f", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("Median even = %f", m)
+	}
+	xs := []float64{5, 1, 3}
+	Median(xs)
+	if xs[0] != 5 {
+		t.Error("Median must not mutate input")
+	}
+}
+
+func TestMeanOf(t *testing.T) {
+	if MeanOf(nil) != 0 {
+		t.Error("MeanOf(nil) should be 0")
+	}
+	if m := MeanOf([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Errorf("MeanOf = %f", m)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(77)
+	var a Accumulator
+	for i := 0; i < 20000; i++ {
+		a.Add(r.NormFloat64())
+	}
+	if math.Abs(a.Mean()) > 0.03 {
+		t.Errorf("normal mean = %f", a.Mean())
+	}
+	if math.Abs(a.StdDev()-1) > 0.03 {
+		t.Errorf("normal stddev = %f", a.StdDev())
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := NewRNG(4)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := map[int]bool{}
+	for _, v := range xs {
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("shuffle lost elements: %v", xs)
+	}
+}

@@ -1,0 +1,48 @@
+package topo
+
+// DisjointOptimalPaths returns H(s, d) pairwise internally-node-disjoint
+// optimal paths between s and d — the structural fact the proof of
+// Theorem 2 invokes ("there are j node-disjoint optimal paths between
+// two nodes separated by j Hamming distance").
+//
+// Construction: with preferred dimensions d_0 < d_1 < ... < d_{j-1},
+// path i crosses them in the rotated order d_i, d_{i+1}, ..., wrapping
+// around. Two rotations first diverge at their first hop and can only
+// re-meet at a node whose crossed-dimension set is a rotation-prefix of
+// both, which forces the full set — i.e. the destination.
+func (c *Cube) DisjointOptimalPaths(s, d NodeID) []Path {
+	dims := c.PreferredDims(s, d)
+	j := len(dims)
+	if j == 0 {
+		return []Path{{s}}
+	}
+	out := make([]Path, j)
+	for i := 0; i < j; i++ {
+		p := Path{s}
+		cur := s
+		for k := 0; k < j; k++ {
+			cur = c.Neighbor(cur, dims[(i+k)%j])
+			p = append(p, cur)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// InternallyDisjoint reports whether the given paths share no node
+// except (possibly) their common endpoints.
+func InternallyDisjoint(paths []Path) bool {
+	seen := make(map[NodeID]int)
+	for pi, p := range paths {
+		for k, a := range p {
+			if k == 0 || k == len(p)-1 {
+				continue // endpoints are shared by design
+			}
+			if prev, ok := seen[a]; ok && prev != pi {
+				return false
+			}
+			seen[a] = pi
+		}
+	}
+	return true
+}

@@ -1,0 +1,81 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDisjointOptimalPathsExhaustiveQ4(t *testing.T) {
+	c := MustCube(4)
+	for s := 0; s < c.Nodes(); s++ {
+		for d := 0; d < c.Nodes(); d++ {
+			src, dst := NodeID(s), NodeID(d)
+			paths := c.DisjointOptimalPaths(src, dst)
+			h := Hamming(src, dst)
+			if h == 0 {
+				if len(paths) != 1 || paths[0].Len() != 0 {
+					t.Fatalf("self case wrong for %d", s)
+				}
+				continue
+			}
+			if len(paths) != h {
+				t.Fatalf("%s -> %s: %d paths, want %d",
+					c.Format(src), c.Format(dst), len(paths), h)
+			}
+			for _, p := range paths {
+				if !p.Valid(c) || !p.Simple() {
+					t.Fatalf("%s -> %s: invalid path %s",
+						c.Format(src), c.Format(dst), p.FormatWith(c))
+				}
+				if p.Len() != h {
+					t.Fatalf("path length %d != H %d", p.Len(), h)
+				}
+				if p[0] != src || p[len(p)-1] != dst {
+					t.Fatal("endpoints wrong")
+				}
+			}
+			if !InternallyDisjoint(paths) {
+				t.Fatalf("%s -> %s: paths not internally disjoint",
+					c.Format(src), c.Format(dst))
+			}
+		}
+	}
+}
+
+func TestDisjointOptimalPathsQuick(t *testing.T) {
+	c := MustCube(8)
+	f := func(a, b uint8) bool {
+		src, dst := NodeID(a), NodeID(b)
+		paths := c.DisjointOptimalPaths(src, dst)
+		h := Hamming(src, dst)
+		if h == 0 {
+			return len(paths) == 1
+		}
+		if len(paths) != h {
+			return false
+		}
+		for _, p := range paths {
+			if !p.Valid(c) || !p.Simple() || p.Len() != h {
+				return false
+			}
+		}
+		return InternallyDisjoint(paths)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInternallyDisjointDetectsOverlap(t *testing.T) {
+	c := MustCube(3)
+	// Two paths 000 -> 011 sharing the interior node 001.
+	p1 := Path{c.MustParse("000"), c.MustParse("001"), c.MustParse("011")}
+	p2 := Path{c.MustParse("000"), c.MustParse("001"), c.MustParse("011")}
+	if InternallyDisjoint([]Path{p1, p2}) {
+		t.Error("shared interior node not detected")
+	}
+	p3 := Path{c.MustParse("000"), c.MustParse("010"), c.MustParse("011")}
+	if !InternallyDisjoint([]Path{p1, p3}) {
+		t.Error("disjoint pair misclassified")
+	}
+}

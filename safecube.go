@@ -1,0 +1,293 @@
+// Package safecube is a Go implementation of reliable unicasting in
+// faulty hypercubes using safety levels (Jie Wu, ICPP 1995 / IEEE TC
+// 46(2), 1997).
+//
+// A Cube models an n-dimensional binary hypercube whose nodes (and,
+// optionally, links) can fail. Every nonfaulty node carries a safety
+// level in 0..n, computed by the distributed GLOBAL_STATUS (GS)
+// algorithm in at most n-1 rounds of neighbor information exchange. A
+// node with safety level k is guaranteed a Hamming-distance ("optimal")
+// path to every node within distance k (Theorem 2), which yields a
+// purely local unicast admission test at the source:
+//
+//   - C1: S(source) >= H(source, dest)                 -> optimal
+//   - C2: a preferred neighbor has level >= H-1        -> optimal
+//   - C3: a spare neighbor has level >= H+1            -> suboptimal (H+2)
+//   - otherwise the unicast fails, detectably, at the source — which
+//     makes the scheme usable even in disconnected hypercubes.
+//
+// The package offers three execution styles:
+//
+//   - Cube: sequential model — compute levels, route, inspect paths.
+//   - Distributed: goroutine-per-node execution with real message
+//     passing (one channel per node), for protocol-cost experiments.
+//   - Generalized: the Section 4.2 extension to mixed-radix generalized
+//     hypercubes GH(m_{n-1} x ... x m_0).
+//
+// Faulty links (Section 4.1) are supported on all three: the two end
+// nodes of a faulty link expose safety level 0 to the rest of the cube
+// but keep routing with their own level.
+package safecube
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// NodeID identifies a hypercube node by its binary address, in 0..2^n-1.
+type NodeID = topo.NodeID
+
+// Outcome classifies a unicast attempt.
+type Outcome = core.Outcome
+
+// Unicast outcome classes (re-exported from the routing core).
+const (
+	// Optimal: delivered along a Hamming-distance path.
+	Optimal = core.Optimal
+	// Suboptimal: delivered along a path of length H+2.
+	Suboptimal = core.Suboptimal
+	// Failure: aborted at the source (no admission condition held).
+	Failure = core.Failure
+)
+
+// Condition identifies which admission test held at the source.
+type Condition = core.Condition
+
+// Admission conditions (re-exported from the routing core).
+const (
+	CondNone = core.CondNone
+	CondC1   = core.CondC1
+	CondC2   = core.CondC2
+	CondC3   = core.CondC3
+)
+
+// MaxDim is the largest supported cube dimension.
+const MaxDim = topo.MaxDim
+
+// Cube is a faulty hypercube with safety-level routing. It is not safe
+// for concurrent mutation; compute-and-route from one goroutine, or use
+// Distributed for a concurrent execution model.
+type Cube struct {
+	cube  *topo.Cube
+	set   *faults.Set
+	as    *core.Assignment
+	stale bool
+}
+
+// New returns an n-dimensional fault-free cube. Dimension must be in
+// [1, MaxDim].
+func New(n int) (*Cube, error) {
+	c, err := topo.NewCube(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Cube{cube: c, set: faults.NewSet(c), stale: true}, nil
+}
+
+// MustNew is New for compile-time-constant dimensions; it panics on an
+// invalid dimension.
+func MustNew(n int) *Cube {
+	c, err := New(n)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Dim returns the cube dimension n.
+func (c *Cube) Dim() int { return c.cube.Dim() }
+
+// Nodes returns the number of nodes, 2^n.
+func (c *Cube) Nodes() int { return c.cube.Nodes() }
+
+// Parse converts an n-bit binary address string ("0110") to a NodeID.
+func (c *Cube) Parse(addr string) (NodeID, error) { return c.cube.Parse(addr) }
+
+// MustParse is Parse that panics on malformed input; intended for
+// literals in examples and tests.
+func (c *Cube) MustParse(addr string) NodeID { return c.cube.MustParse(addr) }
+
+// Format renders a node as its n-bit binary address.
+func (c *Cube) Format(a NodeID) string { return c.cube.Format(a) }
+
+// FailNode marks a node fail-stop faulty.
+func (c *Cube) FailNode(a NodeID) error {
+	c.stale = true
+	return c.set.FailNode(a)
+}
+
+// FailNodes marks several nodes faulty.
+func (c *Cube) FailNodes(nodes ...NodeID) error {
+	c.stale = true
+	return c.set.FailNodes(nodes...)
+}
+
+// FailNamed marks the nodes with the given binary addresses faulty.
+func (c *Cube) FailNamed(addrs ...string) error {
+	for _, s := range addrs {
+		a, err := c.Parse(s)
+		if err != nil {
+			return err
+		}
+		if err := c.FailNode(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecoverNode marks a previously-failed node healthy again.
+func (c *Cube) RecoverNode(a NodeID) error {
+	c.stale = true
+	return c.set.RecoverNode(a)
+}
+
+// FailLink marks the undirected link between two adjacent nodes faulty
+// (Section 4.1). Safety levels switch to the EGS computation: both end
+// nodes expose level 0 but route with their own level.
+func (c *Cube) FailLink(a, b NodeID) error {
+	c.stale = true
+	return c.set.FailLink(a, b)
+}
+
+// InjectRandomFaults fails exactly count additional distinct nodes,
+// chosen uniformly with the deterministic generator seeded by seed.
+func (c *Cube) InjectRandomFaults(seed uint64, count int) error {
+	c.stale = true
+	return faults.InjectUniform(c.set, stats.NewRNG(seed), count)
+}
+
+// NodeFaulty reports whether a node is faulty.
+func (c *Cube) NodeFaulty(a NodeID) bool { return c.set.NodeFaulty(a) }
+
+// FaultyNodes returns the faulty nodes in ascending order.
+func (c *Cube) FaultyNodes() []NodeID { return c.set.FaultyNodes() }
+
+// NodeFaults returns the number of faulty nodes.
+func (c *Cube) NodeFaults() int { return c.set.NodeFaults() }
+
+// Connected reports whether the surviving (nonfaulty) subgraph is one
+// component. A false result means the cube is a "disconnected
+// hypercube" in the paper's sense; safety-level routing keeps working
+// within components and detects cross-partition unicasts at the source.
+func (c *Cube) Connected() bool { return faults.Connected(c.set) }
+
+// Hamming returns the Hamming distance between two node addresses.
+func Hamming(a, b NodeID) int { return topo.Hamming(a, b) }
+
+// Levels is the computed safety-level assignment of a cube.
+type Levels struct {
+	as *core.Assignment
+}
+
+// ComputeLevels runs GS (or EGS when link faults are present) to the
+// fixpoint and returns the assignment. The result is cached until the
+// fault set changes.
+func (c *Cube) ComputeLevels() *Levels {
+	if c.stale || c.as == nil {
+		c.as = core.Compute(c.set, core.Options{})
+		c.stale = false
+	}
+	return &Levels{as: c.as}
+}
+
+// Level returns node a's safety level as observed by its neighbors
+// (0 for faulty nodes and for nodes with an adjacent faulty link).
+func (l *Levels) Level(a NodeID) int { return l.as.Level(a) }
+
+// OwnLevel returns node a's own view of its level; it differs from
+// Level only for nodes with adjacent faulty links.
+func (l *Levels) OwnLevel(a NodeID) int { return l.as.OwnLevel(a) }
+
+// Rounds returns how many synchronous information-exchange rounds the
+// levels needed to stabilize (at most n-1; 0 for a fault-free cube).
+func (l *Levels) Rounds() int { return l.as.Rounds() }
+
+// Safe reports whether a has the maximum level n.
+func (l *Levels) Safe(a NodeID) bool { return l.as.Safe(a) }
+
+// SafeSet returns all safe nodes in ascending order.
+func (l *Levels) SafeSet() []NodeID { return l.as.SafeSet() }
+
+// Verify checks the assignment against Definition 1 at every node; it
+// returns nil for every assignment produced by ComputeLevels.
+func (l *Levels) Verify() error { return l.as.Verify() }
+
+// Route is the result of a unicast attempt.
+type Route struct {
+	// Source and Dest are the unicast endpoints.
+	Source, Dest NodeID
+	// Hamming is the distance H(Source, Dest).
+	Hamming int
+	// Outcome classifies the attempt; on Failure the message never left
+	// the source.
+	Outcome Outcome
+	// Condition is the admission test that held (C1, C2, C3 or none).
+	Condition Condition
+	// Path is the node sequence traveled, starting at Source; empty on
+	// failure.
+	Path []NodeID
+	// Err carries endpoint validation problems (faulty source, node
+	// outside the cube). A clean source-side abort has Err == nil.
+	Err error
+}
+
+// Hops returns the number of links traveled (0 on failure).
+func (r *Route) Hops() int {
+	if len(r.Path) == 0 {
+		return 0
+	}
+	return len(r.Path) - 1
+}
+
+// PathString renders the path as "0001 -> 0000 -> 1000" given the cube.
+func (r *Route) PathString(c *Cube) string {
+	return topo.Path(r.Path).FormatWith(c.cube)
+}
+
+// Unicast routes a message from s to d using safety levels, computing
+// them first if needed. The source must be nonfaulty; the destination
+// may be faulty only at distance 1 (a node can always reach its own
+// neighbors).
+func (c *Cube) Unicast(s, d NodeID) *Route {
+	lv := c.ComputeLevels()
+	r := core.NewRouter(lv.as, nil).Unicast(s, d)
+	return &Route{
+		Source:    r.Source,
+		Dest:      r.Dest,
+		Hamming:   r.Hamming,
+		Outcome:   r.Outcome,
+		Condition: r.Condition,
+		Path:      append([]NodeID(nil), r.Path...),
+		Err:       r.Err,
+	}
+}
+
+// Feasibility evaluates the source-side admission test for a unicast
+// from s to d without moving a message: which condition (if any) holds
+// and the outcome class it implies.
+func (c *Cube) Feasibility(s, d NodeID) (Condition, Outcome) {
+	lv := c.ComputeLevels()
+	return core.NewRouter(lv.as, nil).Feasibility(s, d)
+}
+
+// OptimalPathExists reports whether a Hamming-distance path from s to d
+// survives the current faults — the ground truth behind Theorem 2, via
+// exact dynamic programming (exponential only in H(s, d)).
+func (c *Cube) OptimalPathExists(s, d NodeID) bool {
+	return faults.HasOptimalPath(c.set, s, d)
+}
+
+// String summarizes the cube state.
+func (c *Cube) String() string {
+	return fmt.Sprintf("Q%d with %d node faults, %d link faults",
+		c.cube.Dim(), c.set.NodeFaults(), c.set.LinkFaults())
+}
+
+// internalSet exposes the fault set to the sibling files of this
+// package (distributed.go, generalized.go).
+func (c *Cube) internalSet() *faults.Set { return c.set }
