@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke bench-json ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: catches bit-rot in the measurement
+# code without paying for real measurements.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Regenerate BENCH_1.json (the instrumentation-overhead evidence).
+bench-json:
+	EMIT_BENCH_JSON=1 $(GO) test -run TestEmitBenchJSON .
+
+ci: vet build race bench-smoke

@@ -528,3 +528,62 @@ func BenchmarkDistributedBroadcast(b *testing.B) {
 		}
 	}
 }
+
+// newOverheadCube builds the BENCH_1 configuration: a 10-cube with 10%
+// (102) random node faults, instrumented or not.
+func newOverheadCube(b testing.TB, reg *Registry) (*Cube, NodeID, NodeID) {
+	b.Helper()
+	c := MustNew(10)
+	if err := c.InjectRandomFaults(10, 102); err != nil {
+		b.Fatal(err)
+	}
+	c.Instrument(reg)
+	c.ComputeLevels()
+	src, dst := NodeID(0), NodeID(c.Nodes()-1)
+	for c.NodeFaulty(src) {
+		src++
+	}
+	for c.NodeFaulty(dst) {
+		dst--
+	}
+	return c, src, dst
+}
+
+// BenchmarkInstrumentationOverhead proves the nil-registry claim: an
+// uninstrumented Cube pays one nil check per decision point, so the
+// off/unicast and on/unicast numbers must be within noise of each other
+// (the "on" path additionally pays the atomic increments). The gs pair
+// toggles a fault each iteration so every ComputeLevels recomputes.
+func BenchmarkInstrumentationOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		reg  func() *Registry
+	}{
+		{"off", func() *Registry { return nil }},
+		{"on", func() *Registry { return NewRegistry() }},
+	} {
+		b.Run("unicast/"+mode.name, func(b *testing.B) {
+			c, src, dst := newOverheadCube(b, mode.reg())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Unicast(src, dst)
+			}
+		})
+		b.Run("gs/"+mode.name, func(b *testing.B) {
+			c, src, _ := newOverheadCube(b, mode.reg())
+			toggle := src // a nonfaulty node to churn the fault generation
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.FailNode(toggle); err != nil {
+					b.Fatal(err)
+				}
+				if err := c.RecoverNode(toggle); err != nil {
+					b.Fatal(err)
+				}
+				c.ComputeLevels()
+			}
+		})
+	}
+}

@@ -1,0 +1,168 @@
+// Command slmetrics runs a unicast traffic sweep over a faulty
+// hypercube with full instrumentation and exposes the collected metrics:
+// GS rounds-to-stabilize and per-link message counts (distributed
+// engine), admission-condition and outcome counters, hop/stretch
+// histograms, and the level-cache hit ratio.
+//
+// Usage:
+//
+//	slmetrics -n 7 -random 12 -seed 3 -pairs 128 -format prom
+//	slmetrics -n 6 -random 6 -pairs 64 -format json
+//	slmetrics -n 8 -random 20 -pairs 256 -listen :8080
+//
+// Without -listen the registry is dumped to stdout in the chosen format
+// ("prom", "json" or "both"). With -listen the process keeps routing the
+// sweep in a loop and serves /metrics (Prometheus text), /vars
+// (expvar-style JSON) and /debug/vars (stdlib expvar) until killed.
+// Exit status: 0 ok, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	safecube "repro"
+	"repro/internal/stats"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slmetrics:", err)
+		if code == 0 {
+			code = 2
+		}
+	}
+	os.Exit(code)
+}
+
+// run executes one invocation; split from main so the CLI is testable.
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("slmetrics", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	n := fs.Int("n", 6, "cube dimension")
+	faultList := fs.String("faults", "", "comma-separated faulty node addresses")
+	random := fs.Int("random", 0, "inject this many uniform random faults")
+	seed := fs.Uint64("seed", 1, "seed for -random and the traffic pattern")
+	pairs := fs.Int("pairs", 64, "number of unicast requests in the sweep")
+	traced := fs.Int("traced", 4, "record full decision traces for this many requests")
+	format := fs.String("format", "both", "dump format: prom, json or both")
+	listen := fs.String("listen", "", "serve metrics over HTTP on this address instead of dumping")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	switch *format {
+	case "prom", "json", "both":
+	default:
+		return 2, fmt.Errorf("bad -format %q, want prom, json or both", *format)
+	}
+
+	c, err := safecube.New(*n)
+	if err != nil {
+		return 2, err
+	}
+	reg := safecube.NewRegistry()
+	reg.KeepTraces(*traced)
+	c.Instrument(reg)
+	if *faultList != "" {
+		for _, a := range strings.Split(*faultList, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				if err := c.FailNamed(a); err != nil {
+					return 2, err
+				}
+			}
+		}
+	}
+	if *random > 0 {
+		if err := c.InjectRandomFaults(*seed, *random); err != nil {
+			return 2, err
+		}
+	}
+
+	if err := runSweep(c, *seed, *pairs, *traced); err != nil {
+		return 2, err
+	}
+	fmt.Fprintf(out, "# %s; swept %d pairs\n", c, *pairs)
+	if gs := reg.LastGS(); gs != nil {
+		fmt.Fprintf(out, "# %s\n", gs.Summary())
+	}
+
+	if *listen != "" {
+		go func() {
+			for i := uint64(2); ; i++ {
+				if err := runSweep(c, *seed*i, *pairs, 0); err != nil {
+					return
+				}
+				time.Sleep(time.Second)
+			}
+		}()
+		mux := reg.Mux()
+		reg.Publish("safecube")
+		mux.Handle("/debug/vars", http.DefaultServeMux)
+		fmt.Fprintf(out, "# serving /metrics and /vars on %s\n", *listen)
+		return 0, http.ListenAndServe(*listen, mux)
+	}
+
+	if *format == "json" || *format == "both" {
+		if err := reg.WriteJSON(out); err != nil {
+			return 2, err
+		}
+	}
+	if *format == "prom" || *format == "both" {
+		if err := reg.WritePrometheus(out); err != nil {
+			return 2, err
+		}
+	}
+	return 0, nil
+}
+
+// runSweep drives one full instrumented traffic sweep: a distributed GS
+// phase (rounds + per-link message counts), batched distributed unicasts
+// (protocol message cost), and the same pairs through the sequential
+// router (admission and outcome metrics), tracing the first traced
+// requests.
+func runSweep(c *safecube.Cube, seed uint64, pairs, traced int) error {
+	rng := stats.NewRNG(seed * 7919)
+	var reqs []safecube.TrafficPair
+	for tries := 0; len(reqs) < pairs && tries < pairs*100; tries++ {
+		src := safecube.NodeID(rng.Intn(c.Nodes()))
+		dst := safecube.NodeID(rng.Intn(c.Nodes()))
+		if src == dst || c.NodeFaulty(src) || c.NodeFaulty(dst) {
+			continue
+		}
+		reqs = append(reqs, safecube.TrafficPair{Src: src, Dst: dst})
+	}
+	if len(reqs) == 0 {
+		return fmt.Errorf("no routable pairs in Q%d with %d faults", c.Dim(), c.NodeFaults())
+	}
+
+	// Warm the sequential level cache first so the distributed GS trace
+	// (the one with per-link message counts) is the registry's LastGS.
+	c.ComputeLevels()
+	d := c.Distributed()
+	defer d.Close()
+	d.RunGS()
+	for lo := 0; lo < len(reqs); lo += d.MaxBatch() {
+		hi := lo + d.MaxBatch()
+		if hi > len(reqs) {
+			hi = len(reqs)
+		}
+		if _, err := d.UnicastBatch(reqs[lo:hi]); err != nil {
+			return err
+		}
+	}
+
+	for i, p := range reqs {
+		if i < traced {
+			c.UnicastTraced(p.Src, p.Dst)
+		} else {
+			c.Unicast(p.Src, p.Dst)
+		}
+	}
+	return nil
+}

@@ -49,6 +49,7 @@ func run(args []string, out io.Writer) (int, error) {
 	from := fs.String("from", "", "source address (binary)")
 	to := fs.String("to", "", "destination address (binary)")
 	levels := fs.Bool("levels", false, "print the full safety-level table")
+	trace := fs.Bool("trace", false, "print the per-hop decision trace of the unicast")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -121,7 +122,14 @@ func run(args []string, out io.Writer) (int, error) {
 		return 2, err
 	}
 
-	r := c.Unicast(src, dst)
+	var r *safecube.Route
+	if *trace {
+		var tr *safecube.RouteTrace
+		r, tr = c.UnicastTraced(src, dst)
+		fmt.Fprint(out, tr.Format(func(a int) string { return c.Format(safecube.NodeID(a)) }))
+	} else {
+		r = c.Unicast(src, dst)
+	}
 	fmt.Fprintf(out, "unicast %s -> %s: H = %d, condition %s, outcome %s\n",
 		*from, *to, r.Hamming, r.Condition, r.Outcome)
 	switch {

@@ -20,9 +20,13 @@ type Distributed struct {
 
 // Distributed starts the goroutine-per-node engine over the cube's
 // current fault set. Later mutations of the Cube are not reflected;
-// inject failures through KillNode instead.
+// inject failures through KillNode instead. An instrumented cube's
+// registry is inherited: GS phases record rounds and per-link message
+// counts, unicast phases record message totals.
 func (c *Cube) Distributed() *Distributed {
-	return &Distributed{eng: simnet.New(c.internalSet()), cube: c}
+	eng := simnet.New(c.internalSet())
+	eng.SetObs(c.reg)
+	return &Distributed{eng: eng, cube: c}
 }
 
 // RunGS executes the distributed GLOBAL_STATUS protocol for the
@@ -74,10 +78,9 @@ func (d *Distributed) Unicast(s, dst NodeID) *Route {
 
 // KillNode fail-stops a node between phases. The paper's
 // state-change-driven maintenance then calls for a fresh RunGS. The
-// owning Cube observes the same failure (its cached levels are
-// invalidated).
+// owning Cube observes the same failure: the shared fault set's
+// generation advances, invalidating the Cube's cached levels.
 func (d *Distributed) KillNode(a NodeID) error {
-	d.cube.stale = true
 	return d.eng.KillNode(a)
 }
 

@@ -58,6 +58,10 @@ type Assignment struct {
 	// rounds is the number of synchronous information-exchange rounds
 	// after which no level changed (the statistic plotted in Fig. 2).
 	rounds int
+	// deltas[r-1] is the number of nodes whose level changed in round r;
+	// len(deltas) == rounds. The observability layer exports it as the
+	// per-round convergence profile of a GS run.
+	deltas []int
 	// stableAt[a] is the first round after which node a's level never
 	// changes again (0 = the initial value was already final). Used to
 	// validate Property 1: a k-safe node stabilizes by round k.
@@ -83,6 +87,10 @@ func (as *Assignment) OwnLevel(a topo.NodeID) int { return as.own[a] }
 // Rounds returns how many synchronous rounds GS/EGS needed before the
 // levels stabilized. A fault-free cube needs 0 rounds.
 func (as *Assignment) Rounds() int { return as.rounds }
+
+// Deltas returns the per-round level-change counts: Deltas()[r-1] nodes
+// changed level in round r. The slice has Rounds() entries.
+func (as *Assignment) Deltas() []int { return append([]int(nil), as.deltas...) }
 
 // StableRound returns the first round after which node a's level is
 // final.
@@ -158,7 +166,7 @@ func computeGS(set *faults.Set, opts Options) *Assignment {
 		set:      set,
 		stableAt: make([]int, nodes),
 	}
-	as.rounds = iterate(c, set, cur, as.stableAt, maxRounds(c, opts), nil)
+	as.rounds, as.deltas = iterate(c, set, cur, as.stableAt, maxRounds(c, opts), nil)
 	as.public = cur
 	as.own = cur
 	return as
@@ -166,17 +174,19 @@ func computeGS(set *faults.Set, opts Options) *Assignment {
 
 // iterate runs synchronous NODE_STATUS rounds in place over cur until no
 // level changes or the round cap is hit, and returns the number of rounds
-// executed before stability. frozen, if non-nil, marks nodes whose level
-// never updates (EGS freezes the N2 nodes at 0 during the N1 phase).
-func iterate(c *topo.Cube, set *faults.Set, cur []int, stableAt []int, cap int, frozen []bool) int {
+// executed before stability together with the per-round change counts.
+// frozen, if non-nil, marks nodes whose level never updates (EGS freezes
+// the N2 nodes at 0 during the N1 phase).
+func iterate(c *topo.Cube, set *faults.Set, cur []int, stableAt []int, cap int, frozen []bool) (int, []int) {
 	nodes := c.Nodes()
 	n := c.Dim()
 	next := make([]int, nodes)
 	neigh := make([]int, n)
 	scratch := make([]int, n)
 	rounds := 0
+	var deltas []int
 	for r := 1; r <= cap; r++ {
-		changed := false
+		delta := 0
 		for a := 0; a < nodes; a++ {
 			id := topo.NodeID(a)
 			if set.NodeFaulty(id) || (frozen != nil && frozen[a]) {
@@ -189,19 +199,20 @@ func iterate(c *topo.Cube, set *faults.Set, cur []int, stableAt []int, cap int, 
 			v := LevelFromNeighbors(neigh, scratch)
 			next[a] = v
 			if v != cur[a] {
-				changed = true
+				delta++
 				if stableAt != nil {
 					stableAt[a] = r
 				}
 			}
 		}
-		if !changed {
+		if delta == 0 {
 			break
 		}
 		rounds = r
+		deltas = append(deltas, delta)
 		copy(cur, next)
 	}
-	return rounds
+	return rounds, deltas
 }
 
 // computeEGS implements Algorithm EXTENDED_GLOBAL_STATUS (Section 4.1).
@@ -233,7 +244,7 @@ func computeEGS(set *faults.Set, opts Options) *Assignment {
 		set:      set,
 		stableAt: make([]int, nodes),
 	}
-	as.rounds = iterate(c, set, cur, as.stableAt, maxRounds(c, opts), frozen)
+	as.rounds, as.deltas = iterate(c, set, cur, as.stableAt, maxRounds(c, opts), frozen)
 	as.public = cur
 
 	// Final round: each N2 node computes its own level once.

@@ -30,6 +30,9 @@ type Session struct {
 	done         bool
 	// reroutes counts how many times the session was re-admitted.
 	reroutes int
+	// lastCond is the most recent admission condition (initial Start or
+	// latest successful Reroute), reported with the terminal event.
+	lastCond Condition
 }
 
 // ErrBlocked reports that the next hop could not be chosen because
@@ -43,11 +46,18 @@ func (rt *Router) Start(s, d topo.NodeID) (*Session, Condition, Outcome) {
 	cond, out := rt.Feasibility(s, d)
 	if out == Failure || rt.as.set.NodeFaulty(s) {
 		if rt.as.set.NodeFaulty(s) {
-			return nil, CondNone, Failure
+			cond, out = CondNone, Failure
+		}
+		if rt.obs != nil {
+			rt.obs.Admit(int(s), topo.Hamming(s, d), rt.as.OwnLevel(s), cond.String(), Failure.String())
+			rt.obs.Done(int(s), cond.String(), Failure.String(), 0, topo.Hamming(s, d), 0, "")
 		}
 		return nil, cond, out
 	}
-	return &Session{
+	if rt.obs != nil {
+		rt.obs.Admit(int(s), topo.Hamming(s, d), rt.as.OwnLevel(s), cond.String(), out.String())
+	}
+	sess := &Session{
 		rt:           rt,
 		dest:         d,
 		cur:          s,
@@ -55,7 +65,12 @@ func (rt *Router) Start(s, d topo.NodeID) (*Session, Condition, Outcome) {
 		path:         topo.Path{s},
 		pendingSpare: cond == CondC3,
 		done:         s == d,
-	}, cond, out
+		lastCond:     cond,
+	}
+	if sess.done && rt.obs != nil {
+		rt.obs.Done(int(s), cond.String(), out.String(), 0, 0, 0, "")
+	}
+	return sess, cond, out
 }
 
 // Done reports whether the message has arrived.
@@ -84,28 +99,42 @@ func (s *Session) Step() (bool, error) {
 	if s.pendingSpare {
 		dim := s.rt.pickSpare(s.cur, s.nav)
 		s.pendingSpare = false
-		return s.move(dim)
+		return s.move(dim, true)
 	}
 	dim, ok := s.rt.pickPreferred(s.cur, s.nav)
 	if !ok {
+		s.rt.obs.Blocked(int(s.cur))
 		return false, ErrBlocked
 	}
-	return s.move(dim)
+	return s.move(dim, false)
 }
 
 // move executes the hop along dim.
-func (s *Session) move(dim int) (bool, error) {
+func (s *Session) move(dim int, spare bool) (bool, error) {
 	next := s.rt.as.cube.Neighbor(s.cur, dim)
 	if s.rt.as.set.NodeFaulty(next) && s.nav.Count() != 1 {
 		// The chosen intermediate died between decision and hop; treat
 		// as a blockage rather than walking into a dead node.
+		s.rt.obs.Blocked(int(s.cur))
 		return false, ErrBlocked
+	}
+	if s.rt.obs != nil {
+		s.rt.obs.Hop(int(s.cur), int(next), dim, s.rt.as.Level(next), spare)
 	}
 	s.nav = s.nav.Flip(dim)
 	s.cur = next
 	s.path = append(s.path, next)
 	if s.nav.Zero() {
 		s.done = true
+		if s.rt.obs != nil {
+			hops := s.path.Len()
+			h := topo.Hamming(s.path[0], s.dest)
+			out := Optimal
+			if hops != h {
+				out = Suboptimal
+			}
+			s.rt.obs.Done(int(s.cur), s.lastCond.String(), out.String(), hops, h, s.reroutes, "")
+		}
 	}
 	return s.done, nil
 }
@@ -119,15 +148,20 @@ func (s *Session) Reroute(as *Assignment) (Condition, Outcome) {
 	if s.done {
 		return CondC1, Optimal
 	}
-	rt := NewRouter(as, s.rt.tie)
+	rt := NewRouter(as, s.rt.tie).Observe(s.rt.obs)
 	cond, out := rt.Feasibility(s.cur, s.dest)
+	h := topo.Hamming(s.cur, s.dest)
 	if out == Failure {
+		// The paper's abort branch: the message is stuck here.
+		s.rt.obs.Reroute(int(s.cur), h, cond.String(), out.String(), true)
 		return cond, out
 	}
+	s.rt.obs.Reroute(int(s.cur), h, cond.String(), out.String(), false)
 	s.rt = rt
 	s.nav = topo.Nav(s.cur, s.dest)
 	s.pendingSpare = cond == CondC3
 	s.reroutes++
+	s.lastCond = cond
 	return cond, out
 }
 

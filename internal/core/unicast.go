@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
 
@@ -118,6 +119,9 @@ type Router struct {
 	// maxHops guards against forwarding loops if the caller routes on a
 	// deliberately inconsistent assignment.
 	maxHops int
+	// obs, when non-nil, receives admission/hop/outcome events. The
+	// nil case costs one branch per decision point.
+	obs *obs.RouteObserver
 }
 
 // NewRouter returns a Router over assignment as using tie-break policy
@@ -131,6 +135,14 @@ func NewRouter(as *Assignment, tie TieBreak) *Router {
 
 // Assignment returns the safety-level assignment the router consults.
 func (rt *Router) Assignment() *Assignment { return rt.as }
+
+// Observe attaches a route observer (nil detaches) and returns the
+// router for chaining. A traced observer must not be shared between
+// concurrent unicasts; counter-only observers may be.
+func (rt *Router) Observe(o *obs.RouteObserver) *Router {
+	rt.obs = o
+	return rt
+}
 
 // Feasibility evaluates the source-side admission test for a unicast
 // from s to d and returns the first condition that holds, in the
@@ -188,22 +200,31 @@ func (rt *Router) Unicast(s, d topo.NodeID) *Route {
 	if !c.Contains(s) || !c.Contains(d) {
 		r.Outcome = Failure
 		r.Err = fmt.Errorf("core: node outside cube")
-		return r
+		if rt.obs != nil {
+			rt.obs.Admit(int(s), r.Hamming, 0, CondNone.String(), Failure.String())
+		}
+		return rt.finishObs(r, int(s))
 	}
 	if as.set.NodeFaulty(s) {
 		r.Outcome = Failure
 		r.Err = fmt.Errorf("core: source %s is faulty", c.Format(s))
-		return r
+		if rt.obs != nil {
+			rt.obs.Admit(int(s), r.Hamming, 0, CondNone.String(), Failure.String())
+		}
+		return rt.finishObs(r, int(s))
 	}
 	cond, outcome := rt.Feasibility(s, d)
 	r.Condition = cond
 	r.Outcome = outcome
+	if rt.obs != nil {
+		rt.obs.Admit(int(s), r.Hamming, as.OwnLevel(s), cond.String(), outcome.String())
+	}
 	if outcome == Failure {
-		return r
+		return rt.finishObs(r, int(s))
 	}
 	r.Path = topo.Path{s}
 	if s == d {
-		return r
+		return rt.finishObs(r, int(s))
 	}
 
 	nav := topo.Nav(s, d)
@@ -212,6 +233,9 @@ func (rt *Router) Unicast(s, d topo.NodeID) *Route {
 		// Suboptimal first hop: the spare neighbor with the highest
 		// safety level among those meeting the C3 threshold.
 		dim := rt.pickSpare(cur, nav)
+		if rt.obs != nil {
+			rt.obs.Hop(int(cur), int(c.Neighbor(cur, dim)), dim, rt.neighborLevel(cur, dim), true)
+		}
 		nav = nav.Flip(dim) // setting the bit: the detour must be undone
 		cur = c.Neighbor(cur, dim)
 		r.Hops = append(r.Hops, Hop{From: s, To: cur, Dim: dim, Nav: nav, Spare: true})
@@ -221,21 +245,38 @@ func (rt *Router) Unicast(s, d topo.NodeID) *Route {
 		if hops > rt.maxHops {
 			r.Err = fmt.Errorf("core: forwarding exceeded %d hops (inconsistent levels?)", rt.maxHops)
 			r.Outcome = Failure
-			return r
+			return rt.finishObs(r, int(cur))
 		}
 		dim, ok := rt.pickPreferred(cur, nav)
 		if !ok {
 			r.Err = fmt.Errorf("core: node %s has no usable preferred neighbor (nav %0*b)",
 				c.Format(cur), c.Dim(), nav)
 			r.Outcome = Failure
-			return r
+			return rt.finishObs(r, int(cur))
 		}
 		nav = nav.Flip(dim)
 		next := c.Neighbor(cur, dim)
+		if rt.obs != nil {
+			rt.obs.Hop(int(cur), int(next), dim, rt.as.Level(next), false)
+		}
 		r.Hops = append(r.Hops, Hop{From: cur, To: next, Dim: dim, Nav: nav})
 		r.Path = append(r.Path, next)
 		cur = next
 	}
+	return rt.finishObs(r, int(cur))
+}
+
+// finishObs emits the terminal observation for a completed Unicast and
+// returns the route unchanged. It is a no-op without an observer.
+func (rt *Router) finishObs(r *Route, at int) *Route {
+	if rt.obs == nil {
+		return r
+	}
+	note := ""
+	if r.Err != nil {
+		note = r.Err.Error()
+	}
+	rt.obs.Done(at, r.Condition.String(), r.Outcome.String(), r.Path.Len(), r.Hamming, 0, note)
 	return r
 }
 

@@ -53,7 +53,16 @@ type Set struct {
 	nodeCount int
 	links     map[Link]bool
 	linkCount int
+	// gen increments on every effective mutation; caches keyed on it
+	// (e.g. the Cube level cache) detect staleness without callers
+	// having to flag every mutation path by hand.
+	gen uint64
 }
+
+// Generation returns the mutation generation: it changes exactly when
+// the fault set changes. Two equal generations of the same Set imply an
+// identical fault state.
+func (s *Set) Generation() uint64 { return s.gen }
 
 // NewSet returns an empty fault set over cube c.
 func NewSet(c *topo.Cube) *Set {
@@ -73,6 +82,7 @@ func (s *Set) Clone() *Set {
 		cp.links[l] = true
 	}
 	cp.linkCount = s.linkCount
+	cp.gen = s.gen
 	return cp
 }
 
@@ -87,6 +97,7 @@ func (s *Set) FailNode(a topo.NodeID) error {
 	if !s.node[a] {
 		s.node[a] = true
 		s.nodeCount++
+		s.gen++
 	}
 	return nil
 }
@@ -100,6 +111,7 @@ func (s *Set) RecoverNode(a topo.NodeID) error {
 	if s.node[a] {
 		s.node[a] = false
 		s.nodeCount--
+		s.gen++
 	}
 	return nil
 }
@@ -127,6 +139,7 @@ func (s *Set) FailLink(a, b topo.NodeID) error {
 	if !s.links[l] {
 		s.links[l] = true
 		s.linkCount++
+		s.gen++
 	}
 	return nil
 }

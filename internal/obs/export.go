@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// WriteJSON writes the registry snapshot as indented expvar-style JSON.
+// A nil registry writes an empty snapshot; CLI tools can therefore dump
+// unconditionally.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// promName sanitizes a metric name for the Prometheus text format and
+// applies the system namespace prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("safecube_")
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as cumulative _bucket/_sum/_count series, and the last GS
+// trace's headline numbers as gauges.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, bound, cum); err != nil {
+				return err
+			}
+		}
+		cum += h.Counts[len(h.Counts)-1]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			pn, cum, pn, h.Sum, pn, h.Count); err != nil {
+			return err
+		}
+	}
+
+	if s.GS != nil {
+		for _, kv := range []struct {
+			name string
+			v    int
+		}{
+			{"gs_trace_rounds", s.GS.Rounds},
+			{"gs_trace_messages", s.GS.Messages},
+			{"gs_trace_max_link_messages", s.GS.MaxLinkMessages},
+			{"gs_trace_updates", s.GS.Updates},
+		} {
+			pn := promName(kv.name)
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, kv.v); err != nil {
+				return err
+			}
+		}
+		for i, d := range s.GS.Deltas {
+			pn := promName("gs_trace_round_delta")
+			if _, err := fmt.Fprintf(w, "%s{round=\"%d\"} %d\n", pn, i+1, d); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// JSONHandler serves the snapshot as JSON (the expvar-style view).
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+}
+
+// PromHandler serves the Prometheus text exposition.
+func (r *Registry) PromHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Mux returns an http.ServeMux with the conventional endpoints wired:
+// /metrics (Prometheus text) and /vars (expvar-style JSON).
+func (r *Registry) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.PromHandler())
+	mux.Handle("/vars", r.JSONHandler())
+	return mux
+}
+
+// Publish registers the snapshot under name in the process-global expvar
+// namespace, so the registry also appears on the standard /debug/vars
+// endpoint. Publishing the same name twice panics (an expvar invariant);
+// call once per process.
+func (r *Registry) Publish(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

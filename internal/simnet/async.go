@@ -36,6 +36,7 @@ func (e *Engine) RunGSAsync() {
 		done: make(chan struct{}),
 	}
 	e.async = st
+	e.resetPhaseCounters()
 	live := 0
 	for _, n := range e.nodes {
 		if n == nil {
@@ -62,6 +63,7 @@ func (e *Engine) RunGSAsync() {
 	close(st.done)
 	e.wg.Wait()
 	e.async = nil
+	e.recordGS("simnet-async", 0, e.Updates())
 }
 
 // runGSAsync is the node side of the asynchronous protocol.
@@ -174,7 +176,7 @@ func (n *node) pushLevel(st *asyncState) {
 			continue
 		}
 		st.inflight.Add(1)
-		n.sent++
+		n.countSend(i)
 		peer.inbox <- message{kind: msgLevel, from: i, level: n.public}
 	}
 }

@@ -58,6 +58,7 @@ func (e *Engine) UnicastBatch(pairs []Pair) (*BatchStats, error) {
 	results := make(chan taggedResult, len(pairs))
 	e.batchResults = results
 	// Reset transit counters.
+	e.resetPhaseCounters()
 	for _, n := range e.nodes {
 		if n != nil {
 			n.transited = 0
@@ -100,6 +101,19 @@ func (e *Engine) UnicastBatch(pairs []Pair) (*BatchStats, error) {
 	for _, n := range e.nodes {
 		if n != nil && n.transited > stats.MaxTransit {
 			stats.MaxTransit = n.transited
+		}
+	}
+	if e.obs != nil {
+		e.obs.Counter("simnet_batches_total").Inc()
+		e.obs.Counter("simnet_unicasts_total").Add(int64(len(pairs)))
+		e.obs.Counter("simnet_delivered_total").Add(int64(stats.Delivered))
+		e.obs.Counter("simnet_unicast_messages_total").Add(int64(e.phaseMessages()))
+		e.obs.Gauge("simnet_batch_last_max_transit").Set(int64(stats.MaxTransit))
+		transit := e.obs.Histogram("simnet_node_transit")
+		for _, n := range e.nodes {
+			if n != nil && n.transited > 0 {
+				transit.Observe(int64(n.transited))
+			}
 		}
 	}
 	return stats, nil

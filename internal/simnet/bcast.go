@@ -45,6 +45,7 @@ func (e *Engine) Broadcast(src topo.NodeID) (*BroadcastRun, error) {
 		done: make(chan struct{}),
 	}
 	e.bcast = st
+	e.resetPhaseCounters()
 	for _, n := range e.nodes {
 		if n != nil {
 			n.bcastDepth = -1
@@ -80,6 +81,11 @@ func (e *Engine) Broadcast(src topo.NodeID) (*BroadcastRun, error) {
 	// Every counted send is a node-to-node traversal; the engine's root
 	// injection does not pass through a node's sent counter.
 	run.Messages = e.MessagesSent() - before
+	if e.obs != nil {
+		e.obs.Counter("simnet_broadcasts_total").Inc()
+		e.obs.Counter("simnet_broadcast_messages_total").Add(int64(run.Messages))
+		e.obs.Gauge("simnet_broadcast_last_rounds").Set(int64(run.Rounds))
+	}
 	return run, nil
 }
 
@@ -108,7 +114,7 @@ func (n *node) handleBroadcast(m message, st *asyncState) {
 			continue
 		}
 		st.inflight.Add(1)
-		n.sent++
+		n.countSend(ranked[i])
 		n.bcastSent++
 		peer.inbox <- message{
 			kind:  msgBroadcast,

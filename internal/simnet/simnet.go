@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
 
@@ -97,6 +98,12 @@ type node struct {
 	bcastDepth int // delivery depth of the current broadcast (-1 = none)
 	bcastSent  int // broadcast sends in the current phase
 
+	// Per-phase accounting for the observability layer. The engine zeroes
+	// these between phases; the node increments them alongside sent.
+	phaseSent  int   // messages sent this phase
+	sentPerDim []int // per-dimension sends this phase (per-link cost)
+	changed    []int // sync-GS rounds in which this node's level changed
+
 	// stash holds early messages that arrive while the node is inside a
 	// GS round loop (e.g. next-round levels).
 	stash []message
@@ -123,7 +130,16 @@ type Engine struct {
 	// gsRounds is the D used in the last RunGS.
 	gsRounds int
 	closed   bool
+
+	// obs, when non-nil, receives per-phase protocol-cost metrics and GS
+	// traces. Set it between phases with SetObs.
+	obs *obs.Registry
 }
+
+// SetObs attaches a metrics registry (nil detaches). Call it between
+// phases only; a nil registry keeps all accounting overhead to plain
+// integer increments that never cross a cache line contention point.
+func (e *Engine) SetObs(r *obs.Registry) { e.obs = r }
 
 // New builds an engine over the given fault set and starts one goroutine
 // per nonfaulty node. Callers must Close the engine to stop them.
@@ -149,11 +165,12 @@ func New(set *faults.Set) *Engine {
 			// push its whole descending level ladder (n levels plus
 			// the initial) before this node processes anything, i.e.
 			// up to n*(n+2) level messages in flight.
-			inbox:    make(chan message, (c.Dim()+3)*(c.Dim()+1)+2),
-			ctrl:     make(chan ctrlMsg, 1),
-			level:    c.Dim(),
-			public:   c.Dim(),
-			nbrLevel: make([]int, c.Dim()),
+			inbox:      make(chan message, (c.Dim()+3)*(c.Dim()+1)+2),
+			ctrl:       make(chan ctrlMsg, 1),
+			level:      c.Dim(),
+			public:     c.Dim(),
+			nbrLevel:   make([]int, c.Dim()),
+			sentPerDim: make([]int, c.Dim()),
 		}
 		e.nodes[a] = n
 	}
@@ -217,6 +234,110 @@ func (e *Engine) OwnLevels() []int {
 	return out
 }
 
+// resetPhaseCounters zeroes the per-phase observability accounting.
+// Engine-side only, between phases (the ctrl-channel send that starts
+// the next phase establishes the happens-before edge).
+func (e *Engine) resetPhaseCounters() {
+	for _, n := range e.nodes {
+		if n == nil {
+			continue
+		}
+		n.phaseSent = 0
+		for i := range n.sentPerDim {
+			n.sentPerDim[i] = 0
+		}
+		n.changed = n.changed[:0]
+	}
+}
+
+// countSend is the accounting companion of every message send.
+func (n *node) countSend(dim int) {
+	n.sent++
+	n.phaseSent++
+	n.sentPerDim[dim]++
+}
+
+// phaseMessages sums the messages sent during the current phase.
+func (e *Engine) phaseMessages() int {
+	total := 0
+	for _, n := range e.nodes {
+		if n != nil {
+			total += n.phaseSent
+		}
+	}
+	return total
+}
+
+// recordGS publishes the cost of the GS phase that just ended: a GSTrace
+// (rounds, per-round deltas, per-link message counts) plus the aggregate
+// counters. No-op without a registry.
+func (e *Engine) recordGS(kind string, rounds, updates int) {
+	if e.obs == nil {
+		return
+	}
+	t := &obs.GSTrace{
+		Kind:       kind,
+		Dim:        e.cube.Dim(),
+		NodeFaults: e.set.NodeFaults(),
+		LinkFaults: e.set.LinkFaults(),
+		Rounds:     rounds,
+		Updates:    updates,
+		Messages:   e.phaseMessages(),
+	}
+	for _, n := range e.nodes {
+		if n == nil {
+			continue
+		}
+		for _, r := range n.changed {
+			for len(t.Deltas) < r {
+				t.Deltas = append(t.Deltas, 0)
+			}
+			t.Deltas[r-1]++
+		}
+	}
+	// Per-link counts: messages on link (a, b) are a's sends plus b's
+	// sends along the shared dimension. The full map is kept only for
+	// small cubes; the busiest-link maximum is always computed.
+	small := e.cube.Nodes() <= 256
+	if small {
+		t.PerLink = make(map[string]int)
+	}
+	for a, n := range e.nodes {
+		if n == nil {
+			continue
+		}
+		id := topo.NodeID(a)
+		for i, cnt := range n.sentPerDim {
+			b := e.cube.Neighbor(id, i)
+			if b < id {
+				continue // count each undirected link once, from its low end
+			}
+			total := cnt
+			if peer := e.nodes[b]; peer != nil {
+				total += peer.sentPerDim[i]
+			}
+			if total == 0 {
+				continue
+			}
+			if total > t.MaxLinkMessages {
+				t.MaxLinkMessages = total
+			}
+			if small {
+				t.PerLink[e.cube.Format(id)+"-"+e.cube.Format(b)] = total
+			}
+		}
+	}
+	e.obs.RecordGS(t)
+	e.obs.Counter("simnet_gs_runs_total").Inc()
+	e.obs.Counter("simnet_gs_messages_total").Add(int64(t.Messages))
+	e.obs.Gauge("simnet_gs_last_rounds").Set(int64(rounds))
+	e.obs.Gauge("simnet_gs_last_max_link_messages").Set(int64(t.MaxLinkMessages))
+	e.obs.Histogram("simnet_gs_rounds").Observe(int64(rounds))
+	if updates > 0 {
+		e.obs.Counter("simnet_gs_updates_total").Add(int64(updates))
+	}
+}
+
 // RunGS executes the distributed GLOBAL_STATUS algorithm for rounds
 // rounds (0 means the Corollary bound n-1). It blocks until every live
 // node has finished the phase.
@@ -228,6 +349,7 @@ func (e *Engine) RunGS(rounds int) {
 		}
 	}
 	e.gsRounds = rounds
+	e.resetPhaseCounters()
 	for _, n := range e.nodes {
 		if n == nil {
 			continue
@@ -236,6 +358,7 @@ func (e *Engine) RunGS(rounds int) {
 		n.ctrl <- ctrlMsg{kind: ctrlGS, rounds: rounds}
 	}
 	e.wg.Wait()
+	e.recordGS("simnet-sync", e.StableRound(), 0)
 }
 
 // KillNode marks a node fail-stop faulty between phases, stopping its
@@ -271,12 +394,21 @@ func (e *Engine) Unicast(s, d topo.NodeID) UnicastResult {
 	if e.nodes[d] == nil {
 		return UnicastResult{Outcome: core.Failure, Err: fmt.Errorf("simnet: destination %s is faulty", e.cube.Format(d))}
 	}
+	e.resetPhaseCounters()
 	src.inbox <- message{
 		kind: msgUnicast,
 		nav:  topo.Nav(s, d),
 		path: topo.Path{s},
 	}
-	return <-e.results
+	res := <-e.results
+	if e.obs != nil {
+		e.obs.Counter("simnet_unicasts_total").Inc()
+		e.obs.Counter("simnet_unicast_messages_total").Add(int64(e.phaseMessages()))
+		if res.Outcome != core.Failure {
+			e.obs.Counter("simnet_delivered_total").Inc()
+		}
+	}
+	return res
 }
 
 // Close stops every live goroutine. The engine is unusable afterwards.
@@ -401,7 +533,7 @@ func (n *node) runGS(rounds int) {
 					continue
 				}
 				peer.inbox <- message{kind: msgLevel, round: r, from: i, level: n.public}
-				n.sent++
+				n.countSend(i)
 			}
 		}
 		// Receive one level per sending peer for this round. Peers are
@@ -438,6 +570,7 @@ func (n *node) runGS(rounds int) {
 			if r == rounds {
 				n.level = core.LevelFromNeighbors(n.nbrLevel, scratch)
 				n.lastChange = r
+				n.changed = append(n.changed, r)
 			}
 			continue
 		}
@@ -446,6 +579,7 @@ func (n *node) runGS(rounds int) {
 			n.level = nl
 			n.public = nl
 			n.lastChange = r
+			n.changed = append(n.changed, r)
 		}
 	}
 }
@@ -619,7 +753,7 @@ func (n *node) send(m message, dim int, markDetour bool) {
 		})
 		return
 	}
-	n.sent++
+	n.countSend(dim)
 	peer.inbox <- next
 }
 

@@ -1,0 +1,128 @@
+package safecube
+
+import (
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/topo"
+)
+
+// Observability surface of the public API. A Registry collects
+// lock-cheap counters, gauges and histograms plus structured traces of
+// the two protocols the paper costs out: unicast routing (admission
+// condition, per-hop decisions, reroutes, path length vs Hamming
+// distance) and GS/EGS level computation (rounds to stabilize, per-round
+// level deltas, per-link message counts). Instrumentation is strictly
+// opt-in: an uninstrumented Cube pays one nil-check per decision point.
+//
+// Export the registry with WriteJSON (expvar-style), WritePrometheus
+// (text exposition format), or serve it over HTTP with Mux()/Publish().
+// The cmd/slmetrics tool wraps all three.
+
+// Registry is the metric and trace collector (see internal/obs).
+type Registry = obs.Registry
+
+// RouteTrace is the structured event sequence of one traced unicast.
+type RouteTrace = obs.RouteTrace
+
+// RouteEvent is one entry of a RouteTrace.
+type RouteEvent = obs.RouteEvent
+
+// GSTrace records one run of the safety-level computation.
+type GSTrace = obs.GSTrace
+
+// EventKind discriminates RouteEvent entries.
+type EventKind = obs.EventKind
+
+// Trace event kinds (re-exported from the instrumentation core).
+const (
+	EvAdmit   = obs.EvAdmit
+	EvHop     = obs.EvHop
+	EvBlocked = obs.EvBlocked
+	EvReroute = obs.EvReroute
+	EvAbort   = obs.EvAbort
+	EvDone    = obs.EvDone
+)
+
+// Metric names (see the README metric reference table) — the keys under
+// which an instrumented Cube's counters appear in Registry snapshots and
+// exports.
+const (
+	MetricUnicastsTotal      = obs.MetricUnicastsTotal
+	MetricOutcomeOptimal     = obs.MetricOutcomeOptimal
+	MetricOutcomeSuboptimal  = obs.MetricOutcomeSuboptimal
+	MetricOutcomeFailure     = obs.MetricOutcomeFailure
+	MetricHopsTotal          = obs.MetricHopsTotal
+	MetricSpareHopsTotal     = obs.MetricSpareHopsTotal
+	MetricBlockedTotal       = obs.MetricBlockedTotal
+	MetricReroutesTotal      = obs.MetricReroutesTotal
+	MetricRerouteAbortsTotal = obs.MetricRerouteAbortsTotal
+	MetricLevelsCacheHits    = obs.MetricLevelsCacheHits
+	MetricLevelsCacheMisses  = obs.MetricLevelsCacheMisses
+	MetricGSRunsTotal        = obs.MetricGSRunsTotal
+	MetricGSLastRounds       = obs.MetricGSLastRounds
+)
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// Instrument attaches a registry to the cube: from now on level
+// (re)computations, cache hits/misses, unicast admissions, hops,
+// reroutes and outcomes are counted, and Distributed engines started
+// from this cube inherit the registry for protocol-cost metrics.
+// Instrument(nil) detaches. Returns the cube for chaining.
+func (c *Cube) Instrument(r *Registry) *Cube {
+	c.reg = r
+	c.routeObs = r.RouteObserver()
+	c.cacheHits = r.Counter(obs.MetricLevelsCacheHits)
+	c.cacheMisses = r.Counter(obs.MetricLevelsCacheMisses)
+	return c
+}
+
+// Registry returns the attached registry (nil when uninstrumented).
+func (c *Cube) Registry() *Registry { return c.reg }
+
+// traceObserver builds a single-use traced observer for one unicast,
+// backed by the cube's registry (or a throwaway one, so tracing works on
+// uninstrumented cubes too).
+func (c *Cube) traceObserver(s, d NodeID) *obs.RouteObserver {
+	ro := c.routeObs
+	if ro == nil {
+		ro = obs.NewRegistry().RouteObserver()
+	}
+	return ro.WithTrace(int(s), int(d), topo.Hamming(s, d))
+}
+
+// UnicastTraced routes like Unicast and additionally records the full
+// decision trace: the admission condition that held, every hop with its
+// dimension and preferred-vs-spare role, and the final outcome with path
+// length vs Hamming distance. Tracing allocates per event; use Unicast
+// on hot paths.
+func (c *Cube) UnicastTraced(s, d NodeID) (*Route, *RouteTrace) {
+	lv := c.ComputeLevels()
+	ro := c.traceObserver(s, d)
+	r := core.NewRouter(lv.as, nil).Observe(ro).Unicast(s, d)
+	return &Route{
+		Source:    r.Source,
+		Dest:      r.Dest,
+		Hamming:   r.Hamming,
+		Outcome:   r.Outcome,
+		Condition: r.Condition,
+		Path:      append([]NodeID(nil), r.Path...),
+		Err:       r.Err,
+	}, ro.Trace()
+}
+
+// StartUnicastTraced admits a unicast like StartUnicast and returns the
+// live trace alongside the session: events accumulate as the caller
+// Steps, injects faults, and Reroutes — the instrument for the paper's
+// Section 2.2 demand-driven scenario. The trace is complete once the
+// session is Done (or abandoned after a failed Reroute).
+func (c *Cube) StartUnicastTraced(s, d NodeID) (*RouteSession, *RouteTrace, Condition, Outcome) {
+	lv := c.ComputeLevels()
+	ro := c.traceObserver(s, d)
+	sess, cond, out := core.NewRouter(lv.as, nil).Observe(ro).Start(s, d)
+	if sess == nil {
+		return nil, ro.Trace(), cond, out
+	}
+	return &RouteSession{sess: sess, cube: c}, ro.Trace(), cond, out
+}

@@ -1,0 +1,335 @@
+package safecube
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// kinds flattens a trace into its event-kind sequence for assertions.
+func kinds(tr *RouteTrace) []EventKind {
+	out := make([]EventKind, len(tr.Events))
+	for i, e := range tr.Events {
+		out[i] = e.Kind
+	}
+	return out
+}
+
+func counter(t *testing.T, r *Registry, name string) int64 {
+	t.Helper()
+	v, ok := r.Snapshot().Counters[name]
+	if !ok {
+		t.Fatalf("counter %q not in snapshot", name)
+	}
+	return v
+}
+
+// TestTracedRerouteEvents replays the paper's Section 2.2 demand-driven
+// scenario under tracing: nodes on the chosen path die mid-flight, the
+// message blocks, levels are recomputed, and the unicast is re-admitted
+// from the current node. The trace must show the whole story in order:
+// optimal admission, a hop, the blockage, the C3 re-admission, and a
+// suboptimal delivery.
+func TestTracedRerouteEvents(t *testing.T) {
+	c := MustNew(5)
+	reg := NewRegistry()
+	reg.KeepTraces(4)
+	c.Instrument(reg)
+
+	sess, tr, cond, out := c.StartUnicastTraced(c.MustParse("00000"), c.MustParse("00111"))
+	if cond != CondC1 || out != Optimal {
+		t.Fatalf("admission %v/%v, want C1/optimal", cond, out)
+	}
+	if _, err := sess.Step(); err != nil {
+		t.Fatal(err)
+	}
+	// Both remaining preferred neighbors die; the next Step must block.
+	if err := c.FailNamed("00011", "00101"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Step(); err != ErrBlocked {
+		t.Fatalf("want ErrBlocked, got %v", err)
+	}
+	// State-change-driven recompute + re-admission from 00001: C1/C2 are
+	// dead there, so the session detours via a spare neighbor (C3).
+	if cond, out := sess.Reroute(); cond != CondC3 || out != Suboptimal {
+		t.Fatalf("reroute %v/%v, want C3/suboptimal", cond, out)
+	}
+	if arrived, err := sess.Run(); !arrived || err != nil {
+		t.Fatalf("run: %v %v", arrived, err)
+	}
+
+	// The event sequence tells the Section 2.2 story in order.
+	got := kinds(tr)
+	want := []EventKind{EvAdmit, EvHop, EvBlocked, EvReroute}
+	for i, k := range want {
+		if i >= len(got) || got[i] != k {
+			t.Fatalf("event[%d] = %v, want %v (full: %v)", i, got[i], k, got)
+		}
+	}
+	if got[len(got)-1] != EvDone {
+		t.Fatalf("last event %v, want done (full: %v)", got[len(got)-1], got)
+	}
+	if tr.Events[0].Cond != "C1" || tr.Events[0].Outcome != "optimal" {
+		t.Errorf("admit event = %+v", tr.Events[0])
+	}
+	if re := tr.Events[3]; re.Cond != "C3" || re.Outcome != "suboptimal" {
+		t.Errorf("reroute event = %+v", re)
+	}
+	// The first post-reroute hop is the C3 spare detour.
+	if sp := tr.Events[4]; sp.Kind != EvHop || !sp.Spare {
+		t.Errorf("post-reroute hop should be spare, got %+v", sp)
+	}
+	if tr.Outcome != "suboptimal" || tr.Reroutes != 1 {
+		t.Errorf("trace outcome %q reroutes %d", tr.Outcome, tr.Reroutes)
+	}
+	if tr.PathLen != sess.Hops() || tr.Stretch != tr.PathLen-tr.Hamming {
+		t.Errorf("trace accounting: len %d stretch %d vs hops %d H %d",
+			tr.PathLen, tr.Stretch, sess.Hops(), tr.Hamming)
+	}
+
+	// Counters saw the same story.
+	for name, want := range map[string]int64{
+		MetricBlockedTotal:       1,
+		MetricReroutesTotal:      1,
+		MetricRerouteAbortsTotal: 0,
+		MetricOutcomeSuboptimal:  1,
+		MetricSpareHopsTotal:     1,
+	} {
+		if got := counter(t, reg, name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	// The finished trace landed in the ring buffer.
+	snap := reg.Snapshot()
+	if len(snap.Traces) != 1 || snap.Traces[0].Outcome != "suboptimal" {
+		t.Errorf("ring buffer: %+v", snap.Traces)
+	}
+}
+
+// TestTracedRerouteAbort walls the message in mid-flight: the re-admission
+// must fail (the paper's abort branch), the trace must end with an abort
+// event, and the abort counter must tick.
+func TestTracedRerouteAbort(t *testing.T) {
+	c := MustNew(4)
+	reg := NewRegistry()
+	c.Instrument(reg)
+
+	sess, tr, _, out := c.StartUnicastTraced(c.MustParse("0000"), c.MustParse("1111"))
+	if out != Optimal {
+		t.Fatalf("admission %v", out)
+	}
+	if _, err := sess.Step(); err != nil {
+		t.Fatal(err)
+	}
+	// Isolate the node currently holding the message.
+	at := sess.At()
+	for d := 0; d < c.Dim(); d++ {
+		if err := c.FailNode(at ^ NodeID(1<<d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sess.Step(); err != ErrBlocked {
+		t.Fatalf("want ErrBlocked, got %v", err)
+	}
+	if _, out := sess.Reroute(); out != Failure {
+		t.Fatalf("reroute from isolated node: %v, want failure", out)
+	}
+	if sess.Done() {
+		t.Error("aborted session must not be done")
+	}
+
+	got := kinds(tr)
+	want := []EventKind{EvAdmit, EvHop, EvBlocked, EvAbort}
+	if len(got) != len(want) {
+		t.Fatalf("events %v, want kinds %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if ab := tr.Events[3]; ab.Node != int(at) || ab.Outcome != "failure" {
+		t.Errorf("abort event = %+v, want node %d outcome failure", ab, at)
+	}
+	if counter(t, reg, MetricRerouteAbortsTotal) != 1 {
+		t.Error("abort counter did not tick")
+	}
+	if counter(t, reg, MetricReroutesTotal) != 0 {
+		t.Error("a failed re-admission must not count as a reroute")
+	}
+}
+
+// TestRegistryConcurrentUnicasts hammers one shared registry from many
+// goroutines routing on a warm cube, plus a concurrent distributed batch
+// on the simnet engine — the counters must neither race (run with -race)
+// nor lose increments.
+func TestRegistryConcurrentUnicasts(t *testing.T) {
+	c := MustNew(6)
+	if err := c.InjectRandomFaults(11, 6); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	c.Instrument(reg)
+	c.ComputeLevels() // warm the level cache so routing is read-only
+
+	var pairs []TrafficPair
+	for a := 0; len(pairs) < 32; a++ {
+		s, d := NodeID(a%c.Nodes()), NodeID((a*37+13)%c.Nodes())
+		if s == d || c.NodeFaulty(s) || c.NodeFaulty(d) {
+			continue
+		}
+		pairs = append(pairs, TrafficPair{Src: s, Dst: d})
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	hops := make([]int64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, p := range pairs {
+				r := c.Unicast(p.Src, p.Dst)
+				if r.Err != nil {
+					t.Errorf("unicast %v: %v", p, r.Err)
+				}
+				hops[w] += int64(r.Hops())
+			}
+		}(w)
+	}
+	// Meanwhile the goroutine-per-node engine routes the same pairs,
+	// feeding the simnet_* counters of the same registry.
+	d := c.Distributed()
+	d.RunGS()
+	st, err := d.UnicastBatch(pairs)
+	d.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	total := int64(workers * len(pairs))
+	if got := counter(t, reg, MetricUnicastsTotal); got != total {
+		t.Errorf("route_unicasts_total = %d, want %d", got, total)
+	}
+	var wantHops int64
+	for _, h := range hops {
+		wantHops += h
+	}
+	if got := counter(t, reg, MetricHopsTotal); got != wantHops {
+		t.Errorf("route_hops_total = %d, want %d", got, wantHops)
+	}
+	sum := counter(t, reg, MetricOutcomeOptimal) +
+		counter(t, reg, MetricOutcomeSuboptimal) +
+		counter(t, reg, MetricOutcomeFailure)
+	if sum != total {
+		t.Errorf("outcome counters sum to %d, want %d", sum, total)
+	}
+	if got := counter(t, reg, "simnet_delivered_total"); got != int64(st.Delivered) {
+		t.Errorf("simnet_delivered_total = %d, want %d", got, st.Delivered)
+	}
+	// Every admission hit the warm cache; only the explicit warm-up (and
+	// the engine handoff) missed.
+	if got := counter(t, reg, MetricLevelsCacheHits); got < total {
+		t.Errorf("cache hits = %d, want >= %d", got, total)
+	}
+	if got := counter(t, reg, MetricLevelsCacheMisses); got != 1 {
+		t.Errorf("cache misses = %d, want 1", got)
+	}
+}
+
+// TestCacheInvalidationByGeneration covers the fault-generation cache:
+// repeated ComputeLevels hit, any fault mutation misses exactly once, and
+// a Distributed KillNode (shared fault set) invalidates the owner too.
+func TestCacheInvalidationByGeneration(t *testing.T) {
+	c := MustNew(5)
+	reg := NewRegistry()
+	c.Instrument(reg)
+
+	c.ComputeLevels()
+	c.ComputeLevels()
+	c.ComputeLevels()
+	if h, m := counter(t, reg, MetricLevelsCacheHits), counter(t, reg, MetricLevelsCacheMisses); h != 2 || m != 1 {
+		t.Fatalf("hits %d misses %d, want 2/1", h, m)
+	}
+	if err := c.FailNamed("00001"); err != nil {
+		t.Fatal(err)
+	}
+	lv := c.ComputeLevels()
+	if got := lv.Level(c.MustParse("00001")); got != 0 {
+		t.Fatalf("stale levels after fault: S(00001) = %d", got)
+	}
+	if m := counter(t, reg, MetricLevelsCacheMisses); m != 2 {
+		t.Fatalf("misses = %d, want 2", m)
+	}
+	// RecoverNode and FailLink advance the generation too.
+	if err := c.RecoverNode(c.MustParse("00001")); err != nil {
+		t.Fatal(err)
+	}
+	c.ComputeLevels()
+	if err := c.FailLink(c.MustParse("00000"), c.MustParse("00001")); err != nil {
+		t.Fatal(err)
+	}
+	c.ComputeLevels()
+	if m := counter(t, reg, MetricLevelsCacheMisses); m != 4 {
+		t.Fatalf("misses = %d, want 4", m)
+	}
+
+	// A kill through the Distributed facade shares the fault set, so the
+	// Cube's cache must invalidate without any manual staleness flag.
+	d := c.Distributed()
+	defer d.Close()
+	d.RunGS()
+	if err := d.KillNode(c.MustParse("11111")); err != nil {
+		t.Fatal(err)
+	}
+	lv = c.ComputeLevels()
+	if got := lv.Level(c.MustParse("11111")); got != 0 {
+		t.Errorf("cache survived a Distributed kill: S(11111) = %d", got)
+	}
+}
+
+// TestTraceFormatTranscript pins the human-readable transcript shape the
+// README documents.
+func TestTraceFormatTranscript(t *testing.T) {
+	c := fig1Cube(t)
+	_, tr := c.UnicastTraced(c.MustParse("1110"), c.MustParse("0001"))
+	text := tr.Format(func(a int) string { return c.Format(NodeID(a)) })
+	for _, want := range []string{
+		"trace 1110 -> 0001 (H = 4)",
+		"admit   at 1110: H=4 S=4 -> C1 (optimal)",
+		"hop     1110 -> 1111 dim 0 (preferred, neighbor level",
+		"done    optimal at 0001",
+		"outcome optimal via C1: 4 hops vs H = 4 (stretch 0, reroutes 0)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("transcript missing %q:\n%s", want, text)
+		}
+	}
+	// Tracing works on an uninstrumented cube too (throwaway registry).
+	if tr == nil || len(tr.Events) == 0 {
+		t.Fatal("no trace recorded")
+	}
+}
+
+// TestTracedFailureAdmission: a cross-partition request fails at the
+// source; the trace must carry the failure admission and a done event,
+// and UnicastTraced must agree with Unicast.
+func TestTracedFailureAdmission(t *testing.T) {
+	c := MustNew(4)
+	if err := c.FailNamed("0110", "1010", "1100", "1111"); err != nil {
+		t.Fatal(err)
+	}
+	r, tr := c.UnicastTraced(c.MustParse("0111"), c.MustParse("1110"))
+	if r.Outcome != Failure {
+		t.Fatalf("outcome %v", r.Outcome)
+	}
+	got := kinds(tr)
+	if len(got) != 2 || got[0] != EvAdmit || got[1] != EvDone {
+		t.Fatalf("failure trace events %v, want [admit done]", got)
+	}
+	if tr.Outcome != "failure" || tr.PathLen != 0 {
+		t.Errorf("trace = %+v", tr)
+	}
+}

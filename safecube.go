@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/topo"
 )
@@ -72,10 +73,20 @@ const MaxDim = topo.MaxDim
 // for concurrent mutation; compute-and-route from one goroutine, or use
 // Distributed for a concurrent execution model.
 type Cube struct {
-	cube  *topo.Cube
-	set   *faults.Set
+	cube *topo.Cube
+	set  *faults.Set
+	// as is the cached level assignment; it is valid while asGen matches
+	// the fault set's mutation generation, so no mutator has to flag
+	// staleness by hand and repeated unicasts between fault events reuse
+	// one GS run.
 	as    *core.Assignment
-	stale bool
+	asGen uint64
+
+	// Observability (nil when not instrumented; see Instrument).
+	reg         *obs.Registry
+	routeObs    *obs.RouteObserver
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
 }
 
 // New returns an n-dimensional fault-free cube. Dimension must be in
@@ -85,7 +96,7 @@ func New(n int) (*Cube, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cube{cube: c, set: faults.NewSet(c), stale: true}, nil
+	return &Cube{cube: c, set: faults.NewSet(c)}, nil
 }
 
 // MustNew is New for compile-time-constant dimensions; it panics on an
@@ -116,13 +127,11 @@ func (c *Cube) Format(a NodeID) string { return c.cube.Format(a) }
 
 // FailNode marks a node fail-stop faulty.
 func (c *Cube) FailNode(a NodeID) error {
-	c.stale = true
 	return c.set.FailNode(a)
 }
 
 // FailNodes marks several nodes faulty.
 func (c *Cube) FailNodes(nodes ...NodeID) error {
-	c.stale = true
 	return c.set.FailNodes(nodes...)
 }
 
@@ -142,7 +151,6 @@ func (c *Cube) FailNamed(addrs ...string) error {
 
 // RecoverNode marks a previously-failed node healthy again.
 func (c *Cube) RecoverNode(a NodeID) error {
-	c.stale = true
 	return c.set.RecoverNode(a)
 }
 
@@ -150,14 +158,12 @@ func (c *Cube) RecoverNode(a NodeID) error {
 // (Section 4.1). Safety levels switch to the EGS computation: both end
 // nodes expose level 0 but route with their own level.
 func (c *Cube) FailLink(a, b NodeID) error {
-	c.stale = true
 	return c.set.FailLink(a, b)
 }
 
 // InjectRandomFaults fails exactly count additional distinct nodes,
 // chosen uniformly with the deterministic generator seeded by seed.
 func (c *Cube) InjectRandomFaults(seed uint64, count int) error {
-	c.stale = true
 	return faults.InjectUniform(c.set, stats.NewRNG(seed), count)
 }
 
@@ -185,14 +191,46 @@ type Levels struct {
 }
 
 // ComputeLevels runs GS (or EGS when link faults are present) to the
-// fixpoint and returns the assignment. The result is cached until the
-// fault set changes.
+// fixpoint and returns the assignment. The result is cached keyed on the
+// fault set's mutation generation: any fault injected or recovered —
+// through the Cube, a Distributed engine, or the set itself — invalidates
+// it, and nothing else does. On an instrumented cube every call counts a
+// cache hit or miss, and every recomputation records a sequential GSTrace
+// (rounds to stabilize plus per-round level deltas).
 func (c *Cube) ComputeLevels() *Levels {
-	if c.stale || c.as == nil {
-		c.as = core.Compute(c.set, core.Options{})
-		c.stale = false
+	gen := c.set.Generation()
+	if c.as != nil && c.asGen == gen {
+		c.cacheHits.Inc()
+		return &Levels{as: c.as}
+	}
+	c.cacheMisses.Inc()
+	c.as = core.Compute(c.set, core.Options{})
+	c.asGen = gen
+	if c.reg != nil {
+		c.recordGS()
 	}
 	return &Levels{as: c.as}
+}
+
+// recordGS publishes the cost of the sequential GS run that just ended.
+func (c *Cube) recordGS() {
+	deltas := c.as.Deltas()
+	changes := 0
+	for _, d := range deltas {
+		changes += d
+	}
+	c.reg.Counter(obs.MetricGSRunsTotal).Inc()
+	c.reg.Gauge(obs.MetricGSLastRounds).Set(int64(c.as.Rounds()))
+	c.reg.Histogram(obs.MetricGSRoundsHist).Observe(int64(c.as.Rounds()))
+	c.reg.Counter(obs.MetricGSLevelChangesTotal).Add(int64(changes))
+	c.reg.RecordGS(&obs.GSTrace{
+		Kind:       "sequential",
+		Dim:        c.Dim(),
+		NodeFaults: c.set.NodeFaults(),
+		LinkFaults: c.set.LinkFaults(),
+		Rounds:     c.as.Rounds(),
+		Deltas:     deltas,
+	})
 }
 
 // Level returns node a's safety level as observed by its neighbors
@@ -255,7 +293,7 @@ func (r *Route) PathString(c *Cube) string {
 // neighbors).
 func (c *Cube) Unicast(s, d NodeID) *Route {
 	lv := c.ComputeLevels()
-	r := core.NewRouter(lv.as, nil).Unicast(s, d)
+	r := core.NewRouter(lv.as, nil).Observe(c.routeObs).Unicast(s, d)
 	return &Route{
 		Source:    r.Source,
 		Dest:      r.Dest,

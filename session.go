@@ -24,7 +24,7 @@ type RouteSession struct {
 // On Failure the session is nil (the message never leaves the source).
 func (c *Cube) StartUnicast(s, d NodeID) (*RouteSession, Condition, Outcome) {
 	lv := c.ComputeLevels()
-	sess, cond, out := core.NewRouter(lv.as, nil).Start(s, d)
+	sess, cond, out := core.NewRouter(lv.as, nil).Observe(c.routeObs).Start(s, d)
 	if sess == nil {
 		return nil, cond, out
 	}
