@@ -1,8 +1,13 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-json ci
+.PHONY: all fmt build vet test race bench-smoke bench-json ci
 
 all: ci
+
+# Fails if any file needs gofmt (mirrors the CI Format step).
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -21,8 +26,9 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# Regenerate BENCH_1.json (the instrumentation-overhead evidence).
+# Regenerate BENCH_1.json (the instrumentation-overhead evidence) and
+# BENCH_2.json (the parallel-GS sweep vs the sequential baseline).
 bench-json:
 	EMIT_BENCH_JSON=1 $(GO) test -run TestEmitBenchJSON .
 
-ci: vet build race bench-smoke
+ci: fmt vet build race bench-smoke

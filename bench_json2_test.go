@@ -1,0 +1,92 @@
+package safecube
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// TestEmitBenchJSON2 regenerates BENCH_2.json, the committed measurement
+// of the worker-pool GS sweep (core.Options.Workers) against the
+// sequential baseline, on both a binary and a generalized hypercube. It
+// shares the BENCH_1 gate:
+//
+//	EMIT_BENCH_JSON=1 go test -run TestEmitBenchJSON .
+//
+// (or `make bench-json`). The parallel sweep is bit-identical to the
+// sequential one (see core's TestParallelMatchesSequential); this file
+// records what that determinism costs or buys on the build machine.
+func TestEmitBenchJSON2(t *testing.T) {
+	if os.Getenv("EMIT_BENCH_JSON") == "" {
+		t.Skip("set EMIT_BENCH_JSON=1 to regenerate BENCH_2.json")
+	}
+
+	type entry struct {
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
+	}
+	bench := func(name string, fn func(b *testing.B)) entry {
+		r := testing.Benchmark(fn)
+		return entry{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+
+	compute := func(t topo.Topology, faultCount int, workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			s := faults.NewSet(t)
+			if err := faults.InjectUniform(s, stats.NewRNG(12), faultCount); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.Compute(s, core.Options{Workers: workers})
+			}
+		}
+	}
+
+	q12 := topo.MustCube(12)
+	gh := topo.MustMixed(4, 4, 4, 4, 4)
+	report := struct {
+		Config  string  `json:"config"`
+		Claim   string  `json:"claim"`
+		Results []entry `json:"results"`
+	}{
+		Config: "Q12 (4096 nodes, 2n faults) and GH(4x4x4x4x4) (1024 nodes, 2n faults), " +
+			"seed 12, GOMAXPROCS=" + strconv.Itoa(runtime.GOMAXPROCS(0)),
+		Claim: "Options.Workers partitions each GS round into contiguous chunks with " +
+			"per-worker delta partials; the result is bit-identical to sequential, so " +
+			"any speedup is free (single-core machines see parity, not regression)",
+		Results: []entry{
+			bench("gs/q12/sequential", compute(q12, 24, 0)),
+			bench("gs/q12/workers=gomaxprocs", compute(q12, 24, -1)),
+			bench("gs/gh4^5/sequential", compute(gh, 10, 0)),
+			bench("gs/gh4^5/workers=gomaxprocs", compute(gh, 10, -1)),
+		},
+	}
+
+	f, err := os.Create("BENCH_2.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_2.json: %+v", report.Results)
+}

@@ -9,6 +9,11 @@
 //	slmetrics -n 7 -random 12 -seed 3 -pairs 128 -format prom
 //	slmetrics -n 6 -random 6 -pairs 64 -format json
 //	slmetrics -n 8 -random 20 -pairs 256 -listen :8080
+//	slmetrics -radix 2x3x2 -faults 011,100,111,121 -pairs 32 -format prom
+//
+// With -radix the sweep runs over a generalized hypercube (Section 4.2)
+// instead of a binary cube; the same GS, batch-unicast and sequential
+// phases run through the topology-generic engine and facade.
 //
 // Without -listen the registry is dumped to stdout in the chosen format
 // ("prom", "json" or "both"). With -listen the process keeps routing the
@@ -46,6 +51,7 @@ func run(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("slmetrics", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
 	n := fs.Int("n", 6, "cube dimension")
+	radix := fs.String("radix", "", "generalized hypercube shape, e.g. 2x3x2 (dimension n-1 first, like the paper); overrides -n")
 	faultList := fs.String("faults", "", "comma-separated faulty node addresses")
 	random := fs.Int("random", 0, "inject this many uniform random faults")
 	seed := fs.Uint64("seed", 1, "seed for -random and the traffic pattern")
@@ -62,32 +68,61 @@ func run(args []string, out io.Writer) (int, error) {
 		return 2, fmt.Errorf("bad -format %q, want prom, json or both", *format)
 	}
 
-	c, err := safecube.New(*n)
-	if err != nil {
-		return 2, err
-	}
 	reg := safecube.NewRegistry()
 	reg.KeepTraces(*traced)
-	c.Instrument(reg)
-	if *faultList != "" {
-		for _, a := range strings.Split(*faultList, ",") {
-			if a = strings.TrimSpace(a); a != "" {
-				if err := c.FailNamed(a); err != nil {
-					return 2, err
-				}
-			}
-		}
-	}
-	if *random > 0 {
-		if err := c.InjectRandomFaults(*seed, *random); err != nil {
+
+	// Both topologies expose the same sweep entry point: -radix swaps the
+	// binary cube for a generalized hypercube over the same generic core.
+	var (
+		sweep  func(seed uint64, traced int) error
+		header string
+	)
+	if *radix != "" {
+		rx, err := safecube.ParseRadix(*radix)
+		if err != nil {
 			return 2, err
 		}
+		g, err := safecube.NewGeneralized(rx...)
+		if err != nil {
+			return 2, err
+		}
+		g.Instrument(reg)
+		if *faultList != "" {
+			if err := g.FailNamed(splitList(*faultList)...); err != nil {
+				return 2, err
+			}
+		}
+		if *random > 0 {
+			if err := g.InjectRandomFaults(*seed, *random); err != nil {
+				return 2, err
+			}
+		}
+		sweep = func(seed uint64, traced int) error { return runSweepGH(g, seed, *pairs, traced) }
+		header = fmt.Sprintf("GH(%s), %d nodes, %d node faults", *radix, g.Nodes(), g.NodeFaults())
+	} else {
+		c, err := safecube.New(*n)
+		if err != nil {
+			return 2, err
+		}
+		c.Instrument(reg)
+		if *faultList != "" {
+			if err := c.FailNamed(splitList(*faultList)...); err != nil {
+				return 2, err
+			}
+		}
+		if *random > 0 {
+			if err := c.InjectRandomFaults(*seed, *random); err != nil {
+				return 2, err
+			}
+		}
+		sweep = func(seed uint64, traced int) error { return runSweep(c, seed, *pairs, traced) }
+		header = c.String()
 	}
 
-	if err := runSweep(c, *seed, *pairs, *traced); err != nil {
+	if err := sweep(*seed, *traced); err != nil {
 		return 2, err
 	}
-	fmt.Fprintf(out, "# %s; swept %d pairs\n", c, *pairs)
+	fmt.Fprintf(out, "# %s; swept %d pairs\n", header, *pairs)
 	if gs := reg.LastGS(); gs != nil {
 		fmt.Fprintf(out, "# %s\n", gs.Summary())
 	}
@@ -95,7 +130,7 @@ func run(args []string, out io.Writer) (int, error) {
 	if *listen != "" {
 		go func() {
 			for i := uint64(2); ; i++ {
-				if err := runSweep(c, *seed*i, *pairs, 0); err != nil {
+				if err := sweep(*seed*i, 0); err != nil {
 					return
 				}
 				time.Sleep(time.Second)
@@ -165,4 +200,63 @@ func runSweep(c *safecube.Cube, seed uint64, pairs, traced int) error {
 		}
 	}
 	return nil
+}
+
+// runSweepGH is runSweep over a generalized hypercube: same phases
+// (distributed GS, batched distributed unicasts, sequential router),
+// driven through the Generalized facade and its GDistributed engine.
+func runSweepGH(g *safecube.Generalized, seed uint64, pairs, traced int) error {
+	rng := stats.NewRNG(seed * 7919)
+	var reqs []safecube.TrafficPair
+	for tries := 0; len(reqs) < pairs && tries < pairs*100; tries++ {
+		src := safecube.GNodeID(rng.Intn(g.Nodes()))
+		dst := safecube.GNodeID(rng.Intn(g.Nodes()))
+		if src == dst || g.NodeFaulty(src) || g.NodeFaulty(dst) {
+			continue
+		}
+		reqs = append(reqs, safecube.TrafficPair{Src: src, Dst: dst})
+	}
+	if len(reqs) == 0 {
+		return fmt.Errorf("no routable pairs in the GH with %d faults", g.NodeFaults())
+	}
+
+	// Warm the sequential level cache first so the distributed GS trace
+	// is the registry's LastGS.
+	g.ComputeLevels()
+	d := g.Distributed()
+	defer d.Close()
+	d.RunGS()
+	for lo := 0; lo < len(reqs); lo += d.MaxBatch() {
+		hi := lo + d.MaxBatch()
+		if hi > len(reqs) {
+			hi = len(reqs)
+		}
+		if _, err := d.UnicastBatch(reqs[lo:hi]); err != nil {
+			return err
+		}
+	}
+
+	for i, p := range reqs {
+		if i < traced {
+			g.UnicastTraced(p.Src, p.Dst)
+		} else {
+			g.Unicast(p.Src, p.Dst)
+		}
+	}
+	return nil
+}
+
+// splitList splits a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

@@ -63,8 +63,8 @@ func TestJSONDump(t *testing.T) {
 	var snap struct {
 		Counters map[string]int64 `json:"counters"`
 		GS       *struct {
-			Kind     string `json:"kind"`
-			Messages int    `json:"messages"`
+			Kind     string         `json:"kind"`
+			Messages int            `json:"messages"`
 			PerLink  map[string]int `json:"per_link"`
 		} `json:"gs"`
 	}
@@ -92,11 +92,69 @@ func TestJSONDump(t *testing.T) {
 	}
 }
 
+// TestGHMetricsCLI runs the sweep over a generalized hypercube: the
+// same distributed-GS, batch and sequential phases feed the registry,
+// except per-link GS message counts, which are a binary-only metric.
+func TestGHMetricsCLI(t *testing.T) {
+	out, code := runCLI(t,
+		"-radix", "2x3x2", "-faults", "011,100,111,121", "-pairs", "16", "-format", "prom")
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"# GH(2x3x2), 12 nodes, 4 node faults; swept 16 pairs",
+		"safecube_route_unicasts_total 16",
+		"safecube_simnet_gs_runs_total 1",
+		"safecube_levels_cache_misses_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, code = runCLI(t,
+		"-radix", "2x3x2", "-faults", "011,100,111,121", "-pairs", "16", "-format", "json")
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, out)
+	}
+	body := out
+	for strings.HasPrefix(body, "#") {
+		nl := strings.IndexByte(body, '\n')
+		body = body[nl+1:]
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+		GS       *struct {
+			Kind     string         `json:"kind"`
+			Messages int            `json:"messages"`
+			PerLink  map[string]int `json:"per_link"`
+		} `json:"gs"`
+	}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("JSON dump does not parse: %v\n%s", err, body)
+	}
+	if got := snap.Counters["route_unicasts_total"]; got != 16 {
+		t.Errorf("route_unicasts_total = %d, want 16", got)
+	}
+	if snap.GS == nil || snap.GS.Kind != "simnet-sync" {
+		t.Fatalf("last GS trace should be the distributed run, got %+v", snap.GS)
+	}
+	if snap.GS.Messages <= 0 {
+		t.Errorf("distributed GS trace missing message total: %+v", snap.GS)
+	}
+	if len(snap.GS.PerLink) != 0 {
+		t.Errorf("per-link GS accounting is binary-only, got %v", snap.GS.PerLink)
+	}
+}
+
 func TestBadFlags(t *testing.T) {
 	if _, code := runCLI(t, "-format", "xml"); code != 2 {
 		t.Errorf("bad -format: exit %d, want 2", code)
 	}
 	if _, code := runCLI(t, "-n", "4", "-faults", "banana"); code != 2 {
 		t.Errorf("bad fault address: exit %d, want 2", code)
+	}
+	if _, code := runCLI(t, "-radix", "1x2"); code != 2 {
+		t.Errorf("bad radix: exit %d, want 2", code)
 	}
 }

@@ -6,7 +6,8 @@
 //	slroute -n 4 -faults 0011,0100,0110,1001 -from 1110 -to 0001
 //	slroute -n 4 -faults 0000,0100,1100,1110 -links 1000-1001 -from 1101 -to 1000
 //	slroute -n 7 -seed 7 -random 6 -from 0000000 -to 1111111 -levels
-//	slroute -radix 2x3x2 -faults 011,100,111,121 -from 010 -to 101
+//	slroute -radix 2x3x2 -faults 011,100,111,121 -levels -from 010 -to 101
+//	slroute -radix 3x3 -links 00-01 -from 00 -to 01 -trace
 //
 // Addresses are n-bit binary strings (or mixed-radix digit strings with
 // -radix), matching the paper's notation. Exit status: 0 delivered (or
@@ -18,7 +19,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 
 	safecube "repro"
@@ -55,7 +55,17 @@ func run(args []string, out io.Writer) (int, error) {
 	}
 
 	if *radix != "" {
-		return runGeneralized(out, *radix, *faultList, *from, *to)
+		return runGeneralized(out, ghOptions{
+			shape:     *radix,
+			faultList: *faultList,
+			linkList:  *linkList,
+			random:    *random,
+			seed:      *seed,
+			from:      *from,
+			to:        *to,
+			levels:    *levels,
+			trace:     *trace,
+		})
 	}
 
 	c, err := safecube.New(*n)
@@ -146,56 +156,95 @@ func run(args []string, out io.Writer) (int, error) {
 	}
 }
 
+// ghOptions carries the flag set into the generalized path; every
+// binary-cube flag works with -radix too.
+type ghOptions struct {
+	shape, faultList, linkList string
+	random                     int
+	seed                       uint64
+	from, to                   string
+	levels, trace              bool
+}
+
 // runGeneralized handles the Section 4.2 topology: parse the shape,
-// apply faults, and route.
-func runGeneralized(out io.Writer, shape, faultList, from, to string) (int, error) {
-	parts := strings.Split(shape, "x")
-	radix := make([]int, len(parts))
-	for i, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return 2, fmt.Errorf("bad radix %q: %v", p, err)
-		}
-		// The flag lists m_{n-1} first (paper notation); the API takes
-		// dimension 0 first.
-		radix[len(parts)-1-i] = v
+// apply node/link/random faults, and route — with the same -levels and
+// -trace features as the binary path (the generic core serves both).
+func runGeneralized(out io.Writer, o ghOptions) (int, error) {
+	radix, err := safecube.ParseRadix(o.shape)
+	if err != nil {
+		return 2, err
 	}
 	g, err := safecube.NewGeneralized(radix...)
 	if err != nil {
 		return 2, err
 	}
-	if faultList != "" {
-		if err := g.FailNamed(splitList(faultList)...); err != nil {
+	if o.faultList != "" {
+		if err := g.FailNamed(splitList(o.faultList)...); err != nil {
+			return 2, err
+		}
+	}
+	for _, l := range splitList(o.linkList) {
+		ends := strings.SplitN(l, "-", 2)
+		if len(ends) != 2 {
+			return 2, fmt.Errorf("bad link %q, want addr-addr", l)
+		}
+		a, err := g.Parse(ends[0])
+		if err != nil {
+			return 2, err
+		}
+		b, err := g.Parse(ends[1])
+		if err != nil {
+			return 2, err
+		}
+		if err := g.FailLink(a, b); err != nil {
+			return 2, err
+		}
+	}
+	if o.random > 0 {
+		if err := g.InjectRandomFaults(o.seed, o.random); err != nil {
 			return 2, err
 		}
 	}
 	lv := g.ComputeLevels()
 	fmt.Fprintf(out, "GH(%s), %d nodes, levels stabilized in %d rounds, connected: %v\n",
-		shape, g.Nodes(), lv.Rounds(), g.Connected())
-	for a := 0; a < g.Nodes(); a++ {
-		id := safecube.GNodeID(a)
-		mark := ""
-		if g.NodeFaulty(id) {
-			mark = " (faulty)"
-		} else if lv.Level(id) == g.Dim() {
-			mark = " (safe)"
+		o.shape, g.Nodes(), lv.Rounds(), g.Connected())
+	if o.levels {
+		for a := 0; a < g.Nodes(); a++ {
+			id := safecube.GNodeID(a)
+			mark := ""
+			if g.NodeFaulty(id) {
+				mark = " (faulty)"
+			} else if lv.Safe(id) {
+				mark = " (safe)"
+			}
+			own := ""
+			if lv.OwnLevel(id) != lv.Level(id) {
+				own = fmt.Sprintf(" own=%d", lv.OwnLevel(id))
+			}
+			fmt.Fprintf(out, "  S(%s) = %d%s%s\n", g.Format(id), lv.Level(id), own, mark)
 		}
-		fmt.Fprintf(out, "  S(%s) = %d%s\n", g.Format(id), lv.Level(id), mark)
 	}
-	if from == "" || to == "" {
+	if o.from == "" || o.to == "" {
 		return 0, nil
 	}
-	src, err := g.Parse(from)
+	src, err := g.Parse(o.from)
 	if err != nil {
 		return 2, err
 	}
-	dst, err := g.Parse(to)
+	dst, err := g.Parse(o.to)
 	if err != nil {
 		return 2, err
 	}
-	r := g.Unicast(src, dst)
+	var r *safecube.GRoute
+	if o.trace {
+		var tr *safecube.RouteTrace
+		r, tr = g.UnicastTraced(src, dst)
+		fmt.Fprint(out, tr.Format(func(a int) string { return g.Format(safecube.GNodeID(a)) }))
+	} else {
+		r = g.Unicast(src, dst)
+	}
 	fmt.Fprintf(out, "unicast %s -> %s: distance %d, condition %s, outcome %s\n",
-		from, to, r.Distance, r.Condition, r.Outcome)
+		o.from, o.to, r.Distance, r.Condition, r.Outcome)
 	switch {
 	case r.Err != nil:
 		fmt.Fprintf(out, "  error: %v\n", r.Err)

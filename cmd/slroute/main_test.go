@@ -66,7 +66,7 @@ func TestAbortExitCode(t *testing.T) {
 
 func TestGeneralizedCLI(t *testing.T) {
 	out, code := runCLI(t,
-		"-radix", "2x3x2", "-faults", "011,100,111,121", "-from", "010", "-to", "101")
+		"-radix", "2x3x2", "-faults", "011,100,111,121", "-levels", "-from", "010", "-to", "101")
 	if code != 0 {
 		t.Fatalf("exit code %d:\n%s", code, out)
 	}
@@ -78,6 +78,36 @@ func TestGeneralizedCLI(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestGHFlagsCLI checks that the binary-path flags work with -radix:
+// link faults trigger the EGS own-level annotation, -trace prints the
+// decision trace, and -random injects deterministically.
+func TestGHFlagsCLI(t *testing.T) {
+	out, code := runCLI(t,
+		"-radix", "3x3", "-links", "00-01", "-levels", "-trace", "-from", "00", "-to", "01")
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"GH(3x3), 9 nodes",
+		"S(00) = 0 own=",  // faulty-link end: public 0, own level positive
+		"admit",           // trace header line
+		"outcome subopt",  // the dead-link detour costs two extra hops
+		"path (3 hops): ", // H+2
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, code = runCLI(t, "-radix", "2x3x2", "-random", "3", "-seed", "9")
+	if code != 0 {
+		t.Fatalf("exit code %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "GH(2x3x2), 12 nodes") {
+		t.Errorf("header missing:\n%s", out)
 	}
 }
 

@@ -1,0 +1,154 @@
+package safecube
+
+import (
+	"repro/internal/simnet"
+)
+
+// GDistributed is a running goroutine-per-node execution of a
+// generalized hypercube: every nonfaulty node is a goroutine, links are
+// channels, and the GS and unicasting algorithms run by real message
+// exchange — the same engine the binary Distributed uses, since the
+// simulator is topology-generic.
+//
+// A GDistributed instance must be Closed when done. Methods must be
+// called from a single goroutine: the engine serializes protocol phases.
+type GDistributed struct {
+	eng *simnet.Engine
+	g   *Generalized
+}
+
+// Distributed starts the goroutine-per-node engine over the current
+// fault set. Later mutations of the Generalized are not reflected;
+// inject failures through KillNode instead. An instrumented facade's
+// registry is inherited: GS phases record rounds, unicast phases record
+// message totals. (Per-link GS message counts are a binary-cube metric:
+// a GH dimension spans several links, so they are not recorded here.)
+func (g *Generalized) Distributed() *GDistributed {
+	eng := simnet.New(g.set)
+	eng.SetObs(g.reg)
+	return &GDistributed{eng: eng, g: g}
+}
+
+// RunGS executes the distributed GLOBAL_STATUS protocol for the
+// Corollary bound of n-1 rounds, blocking until all nodes finish.
+func (d *GDistributed) RunGS() { d.eng.RunGS(0) }
+
+// RunGSRounds executes exactly rounds rounds.
+func (d *GDistributed) RunGSRounds(rounds int) { d.eng.RunGS(rounds) }
+
+// RunGSAsync executes the asynchronous GS protocol (Section 2.2):
+// nodes push level updates only when their value changes and the phase
+// ends at quiescence.
+func (d *GDistributed) RunGSAsync() { d.eng.RunGSAsync() }
+
+// Updates returns the number of level changes during the last
+// asynchronous phase.
+func (d *GDistributed) Updates() int { return d.eng.Updates() }
+
+// Levels snapshots every node's public safety level (index = GNodeID).
+func (d *GDistributed) Levels() []int { return d.eng.Levels() }
+
+// OwnLevels snapshots every node's own-view level.
+func (d *GDistributed) OwnLevels() []int { return d.eng.OwnLevels() }
+
+// StableRound returns the last round in which any node's level changed
+// during the previous RunGS.
+func (d *GDistributed) StableRound() int { return d.eng.StableRound() }
+
+// MessagesSent returns the total messages sent so far by all nodes.
+func (d *GDistributed) MessagesSent() int { return d.eng.MessagesSent() }
+
+// Unicast routes a message hop by hop through the node goroutines and
+// blocks until it resolves. Run RunGS first.
+func (d *GDistributed) Unicast(s, dst GNodeID) *GRoute {
+	res := d.eng.Unicast(s, dst)
+	return &GRoute{
+		Source:    s,
+		Dest:      dst,
+		Distance:  d.g.t.Distance(s, dst),
+		Outcome:   res.Outcome,
+		Condition: res.Condition,
+		Path:      append([]GNodeID(nil), res.Path...),
+		Err:       res.Err,
+	}
+}
+
+// KillNode fail-stops a node between phases; the shared fault set's
+// generation advances, invalidating the facade's cached levels.
+func (d *GDistributed) KillNode(a GNodeID) error { return d.eng.KillNode(a) }
+
+// Close stops all node goroutines.
+func (d *GDistributed) Close() { d.eng.Close() }
+
+// GTrafficStats aggregates a concurrent batch run on a generalized
+// hypercube.
+type GTrafficStats struct {
+	// Routes holds one result per request, in request order.
+	Routes []*GRoute
+	// Delivered counts requests that reached their destination.
+	Delivered int
+	// TotalHops sums hops over delivered requests.
+	TotalHops int
+	// MaxNodeTransit is the largest number of messages any single node
+	// forwarded or delivered — the congestion hotspot.
+	MaxNodeTransit int
+}
+
+// MaxBatch returns the largest number of concurrent unicasts the engine
+// can route at once.
+func (d *GDistributed) MaxBatch() int { return d.eng.MaxBatch() }
+
+// UnicastBatch routes all pairs concurrently through the node
+// goroutines and blocks until every message resolves. Run RunGS first.
+// TrafficPair is shared with the binary facade: NodeID and GNodeID are
+// the same underlying type.
+func (d *GDistributed) UnicastBatch(pairs []TrafficPair) (*GTrafficStats, error) {
+	req := make([]simnet.Pair, len(pairs))
+	for i, p := range pairs {
+		req[i] = simnet.Pair{Src: p.Src, Dst: p.Dst}
+	}
+	st, err := d.eng.UnicastBatch(req)
+	if err != nil {
+		return nil, err
+	}
+	out := &GTrafficStats{
+		Routes:         make([]*GRoute, len(pairs)),
+		Delivered:      st.Delivered,
+		TotalHops:      st.TotalHops,
+		MaxNodeTransit: st.MaxTransit,
+	}
+	for i, res := range st.Results {
+		out.Routes[i] = &GRoute{
+			Source:    pairs[i].Src,
+			Dest:      pairs[i].Dst,
+			Distance:  d.g.t.Distance(pairs[i].Src, pairs[i].Dst),
+			Outcome:   res.Outcome,
+			Condition: res.Condition,
+			Path:      append([]GNodeID(nil), res.Path...),
+			Err:       res.Err,
+		}
+	}
+	return out, nil
+}
+
+// Broadcast floods a message from src through the node goroutines using
+// the level-ranked spanning-tree algorithm generalized to mixed-radix
+// lattices (dimensions are ranked by observed level and each forward
+// covers all m_i - 1 siblings of a dimension). Run RunGS first.
+// BroadcastResult is shared with the binary facade.
+func (d *GDistributed) Broadcast(src GNodeID) (*BroadcastResult, error) {
+	run, err := d.eng.Broadcast(src)
+	if err != nil {
+		return nil, err
+	}
+	out := &BroadcastResult{
+		Source:   run.Source,
+		Depth:    make(map[NodeID]int, len(run.Depth)),
+		Messages: run.Messages,
+		Rounds:   run.Rounds,
+	}
+	for a, dep := range run.Depth {
+		out.Depth[a] = dep
+	}
+	return out, nil
+}

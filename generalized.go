@@ -1,34 +1,71 @@
 package safecube
 
 import (
-	"repro/internal/ghcube"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/stats"
+	"repro/internal/topo"
 )
 
 // GNodeID identifies a node of a generalized hypercube in mixed-radix
 // row-major order (dimension 0 is the least significant digit).
-type GNodeID = ghcube.NodeID
+type GNodeID = topo.NodeID
 
 // Generalized is a faulty generalized hypercube GH(m_{n-1} x ... x m_0)
 // with Definition 4 safety levels (Section 4.2). Along each dimension i
 // the m_i nodes sharing all other coordinates are fully connected, so
 // every dimension is crossed in one hop and the distance between two
 // nodes is the number of differing coordinates.
+//
+// Since the levels and the router come from the same generic core as
+// the binary Cube, the full feature surface carries over: link faults
+// (EGS), node recovery, generation-keyed level caching, step-wise route
+// sessions, and opt-in instrumentation via Instrument.
 type Generalized struct {
-	g     *ghcube.Graph
-	as    *ghcube.Assignment
-	stale bool
+	t   *topo.Mixed
+	set *faults.Set
+	// as is the cached level assignment, valid while asGen matches the
+	// fault set's mutation generation (see Cube.ComputeLevels).
+	as    *core.Assignment
+	asGen uint64
+
+	// Observability (nil when not instrumented; see Instrument).
+	reg         *obs.Registry
+	routeObs    *obs.RouteObserver
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
 }
 
 // NewGeneralized builds GH with the given per-dimension radixes, listed
 // from dimension 0 upward (NewGeneralized(2, 3, 2) is the paper's
 // 2 x 3 x 2 example). Every radix must be at least 2.
 func NewGeneralized(radix ...int) (*Generalized, error) {
-	g, err := ghcube.New(radix)
+	t, err := topo.NewMixed(radix)
 	if err != nil {
 		return nil, err
 	}
-	return &Generalized{g: g, stale: true}, nil
+	return &Generalized{t: t, set: faults.NewSet(t)}, nil
+}
+
+// ParseRadix converts a shape string in the paper's notation
+// ("2x3x2", dimension n-1 first) to the dimension-0-first radix slice
+// NewGeneralized takes.
+func ParseRadix(shape string) ([]int, error) {
+	parts := strings.Split(shape, "x")
+	radix := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad radix %q: %v", p, err)
+		}
+		radix[len(parts)-1-i] = v
+	}
+	return radix, nil
 }
 
 // MustNewGeneralized is NewGeneralized that panics on bad radixes.
@@ -41,25 +78,28 @@ func MustNewGeneralized(radix ...int) *Generalized {
 }
 
 // Dim returns the number of dimensions.
-func (g *Generalized) Dim() int { return g.g.Dim() }
+func (g *Generalized) Dim() int { return g.t.Dim() }
 
 // Nodes returns the total node count.
-func (g *Generalized) Nodes() int { return g.g.Nodes() }
+func (g *Generalized) Nodes() int { return g.t.Nodes() }
+
+// Radix returns m_i, the number of coordinate values in dimension i.
+func (g *Generalized) Radix(i int) int { return g.t.Radix(i) }
 
 // Parse converts a digit-string address ("021") to a GNodeID.
-func (g *Generalized) Parse(addr string) (GNodeID, error) { return g.g.Parse(addr) }
+func (g *Generalized) Parse(addr string) (GNodeID, error) { return g.t.Parse(addr) }
 
 // MustParse is Parse that panics on malformed input.
-func (g *Generalized) MustParse(addr string) GNodeID { return g.g.MustParse(addr) }
+func (g *Generalized) MustParse(addr string) GNodeID { return g.t.MustParse(addr) }
 
 // Format renders a node as its digit string.
-func (g *Generalized) Format(a GNodeID) string { return g.g.Format(a) }
+func (g *Generalized) Format(a GNodeID) string { return g.t.Format(a) }
 
 // FailNode marks a node faulty.
-func (g *Generalized) FailNode(a GNodeID) error {
-	g.stale = true
-	return g.g.FailNode(a)
-}
+func (g *Generalized) FailNode(a GNodeID) error { return g.set.FailNode(a) }
+
+// FailNodes marks several nodes faulty.
+func (g *Generalized) FailNodes(nodes ...GNodeID) error { return g.set.FailNodes(nodes...) }
 
 // FailNamed marks the nodes with the given digit-string addresses faulty.
 func (g *Generalized) FailNamed(addrs ...string) error {
@@ -75,38 +115,98 @@ func (g *Generalized) FailNamed(addrs ...string) error {
 	return nil
 }
 
+// RecoverNode marks a previously-failed node healthy again; the next
+// ComputeLevels recomputes the assignment (the paper's demand-driven GS
+// under recovery, Section 2.2).
+func (g *Generalized) RecoverNode(a GNodeID) error { return g.set.RecoverNode(a) }
+
+// FailLink marks the undirected link between two adjacent nodes faulty
+// (Section 4.1 carried to Section 4.2 cubes). Safety levels switch to
+// the EGS computation: both end nodes expose level 0 to their neighbors
+// but keep routing with their own level.
+func (g *Generalized) FailLink(a, b GNodeID) error { return g.set.FailLink(a, b) }
+
+// LinkFaulty reports whether the undirected link (a, b) is faulty.
+func (g *Generalized) LinkFaulty(a, b GNodeID) bool { return g.set.LinkFaulty(a, b) }
+
 // InjectRandomFaults fails exactly count healthy nodes uniformly using
 // the deterministic generator seeded by seed.
 func (g *Generalized) InjectRandomFaults(seed uint64, count int) error {
-	g.stale = true
-	return g.g.InjectUniform(stats.NewRNG(seed), count)
+	return faults.InjectUniform(g.set, stats.NewRNG(seed), count)
 }
 
 // NodeFaulty reports whether a node is faulty.
-func (g *Generalized) NodeFaulty(a GNodeID) bool { return g.g.NodeFaulty(a) }
+func (g *Generalized) NodeFaulty(a GNodeID) bool { return g.set.NodeFaulty(a) }
+
+// NodeFaults returns the number of faulty nodes.
+func (g *Generalized) NodeFaults() int { return g.set.NodeFaults() }
+
+// LinkFaults returns the number of faulty links.
+func (g *Generalized) LinkFaults() int { return g.set.LinkFaults() }
 
 // Distance returns the number of coordinates in which two nodes differ.
-func (g *Generalized) Distance(a, b GNodeID) int { return g.g.Distance(a, b) }
+func (g *Generalized) Distance(a, b GNodeID) int { return g.t.Distance(a, b) }
 
 // GLevels is a computed Definition 4 assignment.
 type GLevels struct {
-	as *ghcube.Assignment
+	as *core.Assignment
 }
 
-// ComputeLevels runs the extended GS algorithm to its fixpoint.
+// ComputeLevels runs the generic GS algorithm (EGS when link faults are
+// present) to its Definition 4 fixpoint. Like Cube.ComputeLevels the
+// result is cached keyed on the fault set's mutation generation, and on
+// an instrumented cube every call counts a cache hit or miss and every
+// recomputation records a sequential GSTrace.
 func (g *Generalized) ComputeLevels() *GLevels {
-	if g.stale || g.as == nil {
-		g.as = ghcube.Compute(g.g)
-		g.stale = false
+	gen := g.set.Generation()
+	if g.as != nil && g.asGen == gen {
+		g.cacheHits.Inc()
+		return &GLevels{as: g.as}
+	}
+	g.cacheMisses.Inc()
+	g.as = core.Compute(g.set, core.Options{})
+	g.asGen = gen
+	if g.reg != nil {
+		g.recordGS()
 	}
 	return &GLevels{as: g.as}
 }
 
-// Level returns S(a).
+// recordGS publishes the cost of the sequential GS run that just ended.
+func (g *Generalized) recordGS() {
+	deltas := g.as.Deltas()
+	changes := 0
+	for _, d := range deltas {
+		changes += d
+	}
+	g.reg.Counter(obs.MetricGSRunsTotal).Inc()
+	g.reg.Gauge(obs.MetricGSLastRounds).Set(int64(g.as.Rounds()))
+	g.reg.Histogram(obs.MetricGSRoundsHist).Observe(int64(g.as.Rounds()))
+	g.reg.Counter(obs.MetricGSLevelChangesTotal).Add(int64(changes))
+	g.reg.RecordGS(&obs.GSTrace{
+		Kind:       "sequential",
+		Topo:       g.t.String(),
+		Dim:        g.Dim(),
+		NodeFaults: g.set.NodeFaults(),
+		LinkFaults: g.set.LinkFaults(),
+		Rounds:     g.as.Rounds(),
+		Deltas:     deltas,
+	})
+}
+
+// Level returns S(a) as observed by a's neighbors (0 for faulty nodes
+// and nodes with an adjacent faulty link).
 func (l *GLevels) Level(a GNodeID) int { return l.as.Level(a) }
+
+// OwnLevel returns node a's own view of its level; it differs from
+// Level only for nodes with adjacent faulty links.
+func (l *GLevels) OwnLevel(a GNodeID) int { return l.as.OwnLevel(a) }
 
 // Rounds returns the rounds until stabilization (at most n-1).
 func (l *GLevels) Rounds() int { return l.as.Rounds() }
+
+// Safe reports whether a has the maximum level n.
+func (l *GLevels) Safe(a GNodeID) bool { return l.as.Safe(a) }
 
 // SafeSet returns the nodes at the maximum level n.
 func (l *GLevels) SafeSet() []GNodeID { return l.as.SafeSet() }
@@ -135,17 +235,14 @@ func (r *GRoute) Hops() int {
 
 // PathString renders the path in figure notation.
 func (r *GRoute) PathString(g *Generalized) string {
-	return ghcube.Path(r.Path).FormatWith(g.g)
+	return topo.Path(r.Path).FormatWith(g.t)
 }
 
-// Unicast routes a message from s to d, computing levels if needed.
-func (g *Generalized) Unicast(s, d GNodeID) *GRoute {
-	lv := g.ComputeLevels()
-	r := ghcube.NewRouter(lv.as).Unicast(s, d)
+func gRouteOf(r *core.Route) *GRoute {
 	return &GRoute{
 		Source:    r.Source,
 		Dest:      r.Dest,
-		Distance:  r.Distance,
+		Distance:  r.Hamming,
 		Outcome:   r.Outcome,
 		Condition: r.Condition,
 		Path:      append([]GNodeID(nil), r.Path...),
@@ -153,12 +250,104 @@ func (g *Generalized) Unicast(s, d GNodeID) *GRoute {
 	}
 }
 
+// Unicast routes a message from s to d, computing levels if needed.
+func (g *Generalized) Unicast(s, d GNodeID) *GRoute {
+	lv := g.ComputeLevels()
+	return gRouteOf(core.NewRouter(lv.as, nil).Observe(g.routeObs).Unicast(s, d))
+}
+
 // Feasibility evaluates the admission conditions without routing.
 func (g *Generalized) Feasibility(s, d GNodeID) (Condition, Outcome) {
 	lv := g.ComputeLevels()
-	return ghcube.NewRouter(lv.as).Feasibility(s, d)
+	return core.NewRouter(lv.as, nil).Feasibility(s, d)
 }
 
 // Connected reports whether all nonfaulty nodes of the generalized
 // hypercube form one component.
-func (g *Generalized) Connected() bool { return g.g.Connected() }
+func (g *Generalized) Connected() bool { return faults.Connected(g.set) }
+
+// Instrument attaches a registry to the generalized cube: level
+// (re)computations, cache hits/misses, unicast admissions, hops,
+// reroutes and outcomes are counted exactly as on a binary Cube.
+// Instrument(nil) detaches. Returns the cube for chaining.
+func (g *Generalized) Instrument(r *Registry) *Generalized {
+	g.reg = r
+	g.routeObs = r.RouteObserver()
+	g.cacheHits = r.Counter(obs.MetricLevelsCacheHits)
+	g.cacheMisses = r.Counter(obs.MetricLevelsCacheMisses)
+	return g
+}
+
+// Registry returns the attached registry (nil when uninstrumented).
+func (g *Generalized) Registry() *Registry { return g.reg }
+
+// traceObserver builds a single-use traced observer for one unicast,
+// backed by the cube's registry (or a throwaway one, so tracing works on
+// uninstrumented cubes too).
+func (g *Generalized) traceObserver(s, d GNodeID) *obs.RouteObserver {
+	ro := g.routeObs
+	if ro == nil {
+		ro = obs.NewRegistry().RouteObserver()
+	}
+	return ro.WithTrace(int(s), int(d), g.t.Distance(s, d))
+}
+
+// UnicastTraced routes like Unicast and additionally records the full
+// decision trace: the admission condition that held, every hop with its
+// dimension and preferred-vs-spare role, and the final outcome with path
+// length vs distance. Tracing allocates per event; use Unicast on hot
+// paths.
+func (g *Generalized) UnicastTraced(s, d GNodeID) (*GRoute, *RouteTrace) {
+	lv := g.ComputeLevels()
+	ro := g.traceObserver(s, d)
+	r := core.NewRouter(lv.as, nil).Observe(ro).Unicast(s, d)
+	return gRouteOf(r), ro.Trace()
+}
+
+// GRouteSession is an in-flight generalized-hypercube unicast advancing
+// one hop per Step — the same demand-driven Section 2.2 machinery as
+// the binary RouteSession.
+type GRouteSession struct {
+	sess *core.Session
+	g    *Generalized
+}
+
+// StartUnicast admits a unicast from s to d and returns the session.
+// On Failure the session is nil (the message never leaves the source).
+func (g *Generalized) StartUnicast(s, d GNodeID) (*GRouteSession, Condition, Outcome) {
+	lv := g.ComputeLevels()
+	sess, cond, out := core.NewRouter(lv.as, nil).Observe(g.routeObs).Start(s, d)
+	if sess == nil {
+		return nil, cond, out
+	}
+	return &GRouteSession{sess: sess, g: g}, cond, out
+}
+
+// Step advances the message one hop, returning true on arrival.
+// ErrBlocked means new faults cut the chosen directions; call Reroute.
+func (rs *GRouteSession) Step() (bool, error) { return rs.sess.Step() }
+
+// Run drives the session until arrival or blockage.
+func (rs *GRouteSession) Run() (bool, error) { return rs.sess.Run() }
+
+// Reroute recomputes the safety levels from the current fault state and
+// re-admits the unicast from the node currently holding the message.
+func (rs *GRouteSession) Reroute() (Condition, Outcome) {
+	lv := rs.g.ComputeLevels()
+	return rs.sess.Reroute(lv.as)
+}
+
+// Done reports whether the message has arrived.
+func (rs *GRouteSession) Done() bool { return rs.sess.Done() }
+
+// At returns the node currently holding the message.
+func (rs *GRouteSession) At() GNodeID { return rs.sess.At() }
+
+// Path returns the walk traveled so far.
+func (rs *GRouteSession) Path() []GNodeID { return rs.sess.Path() }
+
+// Hops returns the hops traveled so far.
+func (rs *GRouteSession) Hops() int { return rs.sess.Hops() }
+
+// Reroutes returns how many re-admissions the session needed.
+func (rs *GRouteSession) Reroutes() int { return rs.sess.Reroutes() }

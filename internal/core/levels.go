@@ -5,11 +5,19 @@
 // (Section 4.1), and the optimal/suboptimal unicasting algorithm built on
 // safety levels (Section 3), including its disconnected-cube feasibility
 // check (Section 3.3).
+//
+// Everything is generic over topo.Topology: on a binary cube the
+// per-dimension neighbor is a single XOR away, while on a generalized
+// hypercube (Section 4.2, Definition 4) each dimension first reduces to
+// the minimum level among its m_i - 1 siblings. Since Definition 4
+// collapses to Definition 1 when every radix is 2, one sweep serves both.
 package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/faults"
 	"repro/internal/topo"
@@ -51,7 +59,7 @@ func LevelFromNeighbors(levels []int, scratch []int) int {
 // computes for itself by treating only the far ends of its faulty links
 // as faulty. Public and Own coincide for every node outside N2.
 type Assignment struct {
-	cube   *topo.Cube
+	t      topo.Topology
 	set    *faults.Set
 	public []int
 	own    []int
@@ -68,8 +76,18 @@ type Assignment struct {
 	stableAt []int
 }
 
-// Cube returns the topology the assignment is defined over.
-func (as *Assignment) Cube() *topo.Cube { return as.cube }
+// Topology returns the topology the assignment is defined over.
+func (as *Assignment) Topology() topo.Topology { return as.t }
+
+// Cube returns the topology as a binary cube; it panics for assignments
+// over a generalized hypercube. Binary-only consumers use this accessor.
+func (as *Assignment) Cube() *topo.Cube {
+	c, ok := as.t.(*topo.Cube)
+	if !ok {
+		panic("core: assignment is not over a binary cube")
+	}
+	return c
+}
 
 // Faults returns the fault set the assignment was computed against.
 func (as *Assignment) Faults() *faults.Set { return as.set }
@@ -97,13 +115,13 @@ func (as *Assignment) Deltas() []int { return append([]int(nil), as.deltas...) }
 func (as *Assignment) StableRound(a topo.NodeID) int { return as.stableAt[a] }
 
 // Safe reports whether node a is safe, i.e. has the maximum level n.
-func (as *Assignment) Safe(a topo.NodeID) bool { return as.public[a] == as.cube.Dim() }
+func (as *Assignment) Safe(a topo.NodeID) bool { return as.public[a] == as.t.Dim() }
 
 // SafeSet returns all safe nodes in ascending order.
 func (as *Assignment) SafeSet() []topo.NodeID {
 	var out []topo.NodeID
-	for a := 0; a < as.cube.Nodes(); a++ {
-		if as.public[a] == as.cube.Dim() {
+	for a := 0; a < as.t.Nodes(); a++ {
+		if as.public[a] == as.t.Dim() {
 			out = append(out, topo.NodeID(a))
 		}
 	}
@@ -123,6 +141,12 @@ type Options struct {
 	// smaller cap deliberately truncates convergence; the ablation
 	// experiments use it to show what an under-provisioned D costs.
 	MaxRounds int
+	// Workers selects the parallel sweep: each synchronous round is
+	// split into contiguous node chunks updated by a worker pool. Since
+	// every round reads only the previous round's levels, the result is
+	// bit-identical to the sequential sweep. 0 or 1 means sequential;
+	// negative means GOMAXPROCS.
+	Workers int
 }
 
 // Compute runs GS (or EGS when the fault set contains link faults) and
@@ -137,11 +161,11 @@ func Compute(set *faults.Set, opts Options) *Assignment {
 	return computeGS(set, opts)
 }
 
-func maxRounds(c *topo.Cube, opts Options) int {
+func maxRounds(t topo.Topology, opts Options) int {
 	if opts.MaxRounds > 0 {
 		return opts.MaxRounds
 	}
-	d := c.Dim() - 1
+	d := t.Dim() - 1
 	if d < 1 {
 		d = 1
 	}
@@ -150,9 +174,9 @@ func maxRounds(c *topo.Cube, opts Options) int {
 
 // computeGS implements Algorithm GLOBAL_STATUS for node faults only.
 func computeGS(set *faults.Set, opts Options) *Assignment {
-	c := set.Cube()
-	n := c.Dim()
-	nodes := c.Nodes()
+	t := set.Topology()
+	n := t.Dim()
+	nodes := t.Nodes()
 	cur := make([]int, nodes)
 	for a := 0; a < nodes; a++ {
 		if set.NodeFaulty(topo.NodeID(a)) {
@@ -162,48 +186,146 @@ func computeGS(set *faults.Set, opts Options) *Assignment {
 		}
 	}
 	as := &Assignment{
-		cube:     c,
+		t:        t,
 		set:      set,
 		stableAt: make([]int, nodes),
 	}
-	as.rounds, as.deltas = iterate(c, set, cur, as.stableAt, maxRounds(c, opts), nil)
+	as.rounds, as.deltas = iterate(t, set, cur, as.stableAt, maxRounds(t, opts), nil, opts.Workers)
 	as.public = cur
 	as.own = cur
 	return as
+}
+
+// sweeper holds the per-goroutine scratch state of one NODE_STATUS
+// sweep. The binary cube keeps its bit-twiddling fast path (one XOR per
+// neighbor); generalized topologies reduce each dimension to the minimum
+// sibling level first (Definition 4).
+type sweeper struct {
+	t       topo.Topology
+	bin     *topo.Cube // non-nil: binary fast path
+	set     *faults.Set
+	frozen  []bool
+	reduced []int
+	scratch []int
+	sibs    []topo.NodeID
+}
+
+func newSweeper(t topo.Topology, set *faults.Set, frozen []bool) *sweeper {
+	sw := &sweeper{
+		t:       t,
+		set:     set,
+		frozen:  frozen,
+		reduced: make([]int, t.Dim()),
+		scratch: make([]int, t.Dim()),
+	}
+	if c, ok := t.(*topo.Cube); ok {
+		sw.bin = c
+	}
+	return sw
+}
+
+// sweep updates next[lo:hi] from cur, records first-change rounds in
+// stableAt, and returns the number of nodes whose level changed. It only
+// reads cur and only writes indexes in [lo, hi), so disjoint ranges can
+// run concurrently.
+func (sw *sweeper) sweep(cur, next, stableAt []int, lo, hi, r int) int {
+	n := sw.t.Dim()
+	delta := 0
+	for a := lo; a < hi; a++ {
+		id := topo.NodeID(a)
+		if sw.set.NodeFaulty(id) || (sw.frozen != nil && sw.frozen[a]) {
+			next[a] = cur[a]
+			continue
+		}
+		if sw.bin != nil {
+			for i := 0; i < n; i++ {
+				sw.reduced[i] = cur[sw.bin.Neighbor(id, i)]
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				sw.sibs = sw.t.Siblings(id, i, sw.sibs[:0])
+				m := cur[sw.sibs[0]]
+				for _, b := range sw.sibs[1:] {
+					if cur[b] < m {
+						m = cur[b]
+					}
+				}
+				sw.reduced[i] = m
+			}
+		}
+		v := LevelFromNeighbors(sw.reduced, sw.scratch)
+		next[a] = v
+		if v != cur[a] {
+			delta++
+			if stableAt != nil {
+				stableAt[a] = r
+			}
+		}
+	}
+	return delta
 }
 
 // iterate runs synchronous NODE_STATUS rounds in place over cur until no
 // level changes or the round cap is hit, and returns the number of rounds
 // executed before stability together with the per-round change counts.
 // frozen, if non-nil, marks nodes whose level never updates (EGS freezes
-// the N2 nodes at 0 during the N1 phase).
-func iterate(c *topo.Cube, set *faults.Set, cur []int, stableAt []int, cap int, frozen []bool) (int, []int) {
-	nodes := c.Nodes()
-	n := c.Dim()
+// the N2 nodes at 0 during the N1 phase). workers > 1 splits every round
+// into contiguous chunks; each chunk writes a disjoint range of next and
+// stableAt and per-worker deltas are summed after the round barrier, so
+// the parallel sweep is deterministic and identical to the sequential
+// one.
+func iterate(t topo.Topology, set *faults.Set, cur []int, stableAt []int, cap int, frozen []bool, workers int) (int, []int) {
+	nodes := t.Nodes()
 	next := make([]int, nodes)
-	neigh := make([]int, n)
-	scratch := make([]int, n)
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nodes {
+		workers = nodes
+	}
 	rounds := 0
 	var deltas []int
+	if workers <= 1 {
+		sw := newSweeper(t, set, frozen)
+		for r := 1; r <= cap; r++ {
+			delta := sw.sweep(cur, next, stableAt, 0, nodes, r)
+			if delta == 0 {
+				break
+			}
+			rounds = r
+			deltas = append(deltas, delta)
+			copy(cur, next)
+		}
+		return rounds, deltas
+	}
+	sws := make([]*sweeper, workers)
+	for w := range sws {
+		sws[w] = newSweeper(t, set, frozen)
+	}
+	chunk := (nodes + workers - 1) / workers
+	partial := make([]int, workers)
 	for r := 1; r <= cap; r++ {
-		delta := 0
-		for a := 0; a < nodes; a++ {
-			id := topo.NodeID(a)
-			if set.NodeFaulty(id) || (frozen != nil && frozen[a]) {
-				next[a] = cur[a]
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > nodes {
+				hi = nodes
+			}
+			if lo >= hi {
+				partial[w] = 0
 				continue
 			}
-			for i := 0; i < n; i++ {
-				neigh[i] = cur[c.Neighbor(id, i)]
-			}
-			v := LevelFromNeighbors(neigh, scratch)
-			next[a] = v
-			if v != cur[a] {
-				delta++
-				if stableAt != nil {
-					stableAt[a] = r
-				}
-			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				partial[w] = sws[w].sweep(cur, next, stableAt, lo, hi, r)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		delta := 0
+		for _, d := range partial {
+			delta += d
 		}
 		if delta == 0 {
 			break
@@ -215,6 +337,25 @@ func iterate(c *topo.Cube, set *faults.Set, cur []int, stableAt []int, cap int, 
 	return rounds, deltas
 }
 
+// reduceObserved returns the dimension-i level node id observes: the
+// minimum public level among its dimension-i siblings, with the far end
+// of a faulty link counted as 0 (Section 4.1). For a binary cube this is
+// simply the (single) neighbor's level.
+func reduceObserved(t topo.Topology, set *faults.Set, cur []int, id topo.NodeID, i int, sibs []topo.NodeID) (int, []topo.NodeID) {
+	sibs = t.Siblings(id, i, sibs[:0])
+	m := -1
+	for _, b := range sibs {
+		v := 0
+		if !set.LinkFaulty(id, b) {
+			v = cur[b]
+		}
+		if m < 0 || v < m {
+			m = v
+		}
+	}
+	return m, sibs
+}
+
 // computeEGS implements Algorithm EXTENDED_GLOBAL_STATUS (Section 4.1).
 // Nodes in N2 (nonfaulty, with at least one adjacent faulty link) start
 // at level 0 and stay frozen through the N1 rounds — every other node
@@ -222,9 +363,9 @@ func iterate(c *topo.Cube, set *faults.Set, cur []int, stableAt []int, cap int, 
 // NODE_STATUS once for itself, treating the far end of each of its
 // faulty links as faulty but using its other neighbors' public levels.
 func computeEGS(set *faults.Set, opts Options) *Assignment {
-	c := set.Cube()
-	n := c.Dim()
-	nodes := c.Nodes()
+	t := set.Topology()
+	n := t.Dim()
+	nodes := t.Nodes()
 	cur := make([]int, nodes)
 	frozen := make([]bool, nodes)
 	for a := 0; a < nodes; a++ {
@@ -240,29 +381,25 @@ func computeEGS(set *faults.Set, opts Options) *Assignment {
 		}
 	}
 	as := &Assignment{
-		cube:     c,
+		t:        t,
 		set:      set,
 		stableAt: make([]int, nodes),
 	}
-	as.rounds, as.deltas = iterate(c, set, cur, as.stableAt, maxRounds(c, opts), frozen)
+	as.rounds, as.deltas = iterate(t, set, cur, as.stableAt, maxRounds(t, opts), frozen, opts.Workers)
 	as.public = cur
 
 	// Final round: each N2 node computes its own level once.
 	own := append([]int(nil), cur...)
 	neigh := make([]int, n)
 	scratch := make([]int, n)
+	var sibs []topo.NodeID
 	for a := 0; a < nodes; a++ {
 		id := topo.NodeID(a)
 		if !frozen[a] {
 			continue
 		}
 		for i := 0; i < n; i++ {
-			b := c.Neighbor(id, i)
-			if set.LinkFaulty(id, b) {
-				neigh[i] = 0
-			} else {
-				neigh[i] = cur[b]
-			}
+			neigh[i], sibs = reduceObserved(t, set, cur, id, i, sibs)
 		}
 		own[a] = LevelFromNeighbors(neigh, scratch)
 	}
@@ -272,45 +409,49 @@ func computeEGS(set *faults.Set, opts Options) *Assignment {
 
 // Verify checks that the assignment satisfies the paper's fixpoint
 // condition at every node: faulty nodes are 0-safe and every nonfaulty
-// node's level equals Definition 1 applied to its neighbors' levels.
-// For EGS assignments the public view is checked over N1 and the own
-// view over N2. It returns nil when the assignment is consistent;
-// Theorem 1 guarantees the consistent assignment is unique.
+// node's level equals Definition 1 (Definition 4 for generalized cubes)
+// applied to its neighbors' levels. For EGS assignments the public view
+// is checked over N1 and the own view over N2. It returns nil when the
+// assignment is consistent; Theorem 1 guarantees the consistent
+// assignment is unique.
 func (as *Assignment) Verify() error {
-	c := as.cube
-	n := c.Dim()
+	t := as.t
+	n := t.Dim()
 	neigh := make([]int, n)
-	for a := 0; a < c.Nodes(); a++ {
+	var sibs []topo.NodeID
+	for a := 0; a < t.Nodes(); a++ {
 		id := topo.NodeID(a)
 		if as.set.NodeFaulty(id) {
 			if as.public[a] != 0 || as.own[a] != 0 {
-				return fmt.Errorf("core: faulty node %s has nonzero level", c.Format(id))
+				return fmt.Errorf("core: faulty node %s has nonzero level", t.Format(id))
 			}
 			continue
 		}
 		inN2 := len(as.set.AdjacentFaultyLinks(id)) > 0
 		if inN2 {
 			if as.public[a] != 0 {
-				return fmt.Errorf("core: N2 node %s exposes nonzero public level %d", c.Format(id), as.public[a])
+				return fmt.Errorf("core: N2 node %s exposes nonzero public level %d", t.Format(id), as.public[a])
 			}
 			for i := 0; i < n; i++ {
-				b := c.Neighbor(id, i)
-				if as.set.LinkFaulty(id, b) {
-					neigh[i] = 0
-				} else {
-					neigh[i] = as.public[b]
-				}
+				neigh[i], sibs = reduceObserved(t, as.set, as.public, id, i, sibs)
 			}
 			if want := LevelFromNeighbors(neigh, nil); as.own[a] != want {
-				return fmt.Errorf("core: N2 node %s own level %d, Definition 1 gives %d", c.Format(id), as.own[a], want)
+				return fmt.Errorf("core: N2 node %s own level %d, Definition 1 gives %d", t.Format(id), as.own[a], want)
 			}
 			continue
 		}
 		for i := 0; i < n; i++ {
-			neigh[i] = as.public[c.Neighbor(id, i)]
+			sibs = t.Siblings(id, i, sibs[:0])
+			m := as.public[sibs[0]]
+			for _, b := range sibs[1:] {
+				if as.public[b] < m {
+					m = as.public[b]
+				}
+			}
+			neigh[i] = m
 		}
 		if want := LevelFromNeighbors(neigh, nil); as.public[a] != want {
-			return fmt.Errorf("core: node %s level %d, Definition 1 gives %d", c.Format(id), as.public[a], want)
+			return fmt.Errorf("core: node %s level %d, Definition 1 gives %d", t.Format(id), as.public[a], want)
 		}
 	}
 	return nil
@@ -319,9 +460,9 @@ func (as *Assignment) Verify() error {
 // UnsafeNonfaulty returns the nonfaulty nodes whose level is below n.
 func (as *Assignment) UnsafeNonfaulty() []topo.NodeID {
 	var out []topo.NodeID
-	for a := 0; a < as.cube.Nodes(); a++ {
+	for a := 0; a < as.t.Nodes(); a++ {
 		id := topo.NodeID(a)
-		if !as.set.NodeFaulty(id) && as.public[a] < as.cube.Dim() {
+		if !as.set.NodeFaulty(id) && as.public[a] < as.t.Dim() {
 			out = append(out, id)
 		}
 	}
@@ -334,19 +475,23 @@ func (as *Assignment) UnsafeNonfaulty() []topo.NodeID {
 // violating node; callers should only invoke it when the precondition
 // (NodeFaults < n, LinkFaults == 0) holds.
 func (as *Assignment) CheckProperty2() error {
-	c := as.cube
-	n := c.Dim()
+	t := as.t
+	n := t.Dim()
+	var sibs []topo.NodeID
 	for _, a := range as.UnsafeNonfaulty() {
 		hasSafe := false
-		for i := 0; i < n; i++ {
-			if as.public[c.Neighbor(a, i)] == n {
-				hasSafe = true
-				break
+		for i := 0; i < n && !hasSafe; i++ {
+			sibs = t.Siblings(a, i, sibs[:0])
+			for _, b := range sibs {
+				if as.public[b] == n {
+					hasSafe = true
+					break
+				}
 			}
 		}
 		if !hasSafe {
 			return fmt.Errorf("core: unsafe node %s has no safe neighbor (faults=%d)",
-				c.Format(a), as.set.NodeFaults())
+				t.Format(a), as.set.NodeFaults())
 		}
 	}
 	return nil

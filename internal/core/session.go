@@ -22,10 +22,9 @@ type Session struct {
 	rt   *Router
 	dest topo.NodeID
 	cur  topo.NodeID
-	nav  topo.NavVector
 	path topo.Path
-	// detour marks that the C3 spare hop is still owed from the most
-	// recent admission.
+	// pendingSpare marks that the C3 spare hop is still owed from the
+	// most recent admission.
 	pendingSpare bool
 	done         bool
 	// reroutes counts how many times the session was re-admitted.
@@ -43,25 +42,25 @@ var ErrBlocked = fmt.Errorf("core: route blocked; recompute levels and reroute")
 // Start admits a unicast from s to d and returns the in-flight session.
 // A Failure admission returns the condition result and a nil session.
 func (rt *Router) Start(s, d topo.NodeID) (*Session, Condition, Outcome) {
+	h := rt.as.t.Distance(s, d)
 	cond, out := rt.Feasibility(s, d)
 	if out == Failure || rt.as.set.NodeFaulty(s) {
 		if rt.as.set.NodeFaulty(s) {
 			cond, out = CondNone, Failure
 		}
 		if rt.obs != nil {
-			rt.obs.Admit(int(s), topo.Hamming(s, d), rt.as.OwnLevel(s), cond.String(), Failure.String())
-			rt.obs.Done(int(s), cond.String(), Failure.String(), 0, topo.Hamming(s, d), 0, "")
+			rt.obs.Admit(int(s), h, rt.as.OwnLevel(s), cond.String(), Failure.String())
+			rt.obs.Done(int(s), cond.String(), Failure.String(), 0, h, 0, "")
 		}
 		return nil, cond, out
 	}
 	if rt.obs != nil {
-		rt.obs.Admit(int(s), topo.Hamming(s, d), rt.as.OwnLevel(s), cond.String(), out.String())
+		rt.obs.Admit(int(s), h, rt.as.OwnLevel(s), cond.String(), out.String())
 	}
 	sess := &Session{
 		rt:           rt,
 		dest:         d,
 		cur:          s,
-		nav:          topo.Nav(s, d),
 		path:         topo.Path{s},
 		pendingSpare: cond == CondC3,
 		done:         s == d,
@@ -97,22 +96,26 @@ func (s *Session) Step() (bool, error) {
 		return true, nil
 	}
 	if s.pendingSpare {
-		dim := s.rt.pickSpare(s.cur, s.nav)
+		h := s.rt.as.t.Distance(s.cur, s.dest)
+		dim, next, ok := s.rt.pickSpare(s.cur, s.dest, h)
 		s.pendingSpare = false
-		return s.move(dim, true)
+		if !ok {
+			s.rt.obs.Blocked(int(s.cur))
+			return false, ErrBlocked
+		}
+		return s.move(dim, next, true)
 	}
-	dim, ok := s.rt.pickPreferred(s.cur, s.nav)
+	dim, next, ok := s.rt.pickPreferred(s.cur, s.dest)
 	if !ok {
 		s.rt.obs.Blocked(int(s.cur))
 		return false, ErrBlocked
 	}
-	return s.move(dim, false)
+	return s.move(dim, next, false)
 }
 
-// move executes the hop along dim.
-func (s *Session) move(dim int, spare bool) (bool, error) {
-	next := s.rt.as.cube.Neighbor(s.cur, dim)
-	if s.rt.as.set.NodeFaulty(next) && s.nav.Count() != 1 {
+// move executes the hop along dim to next.
+func (s *Session) move(dim int, next topo.NodeID, spare bool) (bool, error) {
+	if s.rt.as.set.NodeFaulty(next) && s.rt.as.t.Distance(s.cur, s.dest) != 1 {
 		// The chosen intermediate died between decision and hop; treat
 		// as a blockage rather than walking into a dead node.
 		s.rt.obs.Blocked(int(s.cur))
@@ -121,14 +124,13 @@ func (s *Session) move(dim int, spare bool) (bool, error) {
 	if s.rt.obs != nil {
 		s.rt.obs.Hop(int(s.cur), int(next), dim, s.rt.as.Level(next), spare)
 	}
-	s.nav = s.nav.Flip(dim)
 	s.cur = next
 	s.path = append(s.path, next)
-	if s.nav.Zero() {
+	if s.cur == s.dest {
 		s.done = true
 		if s.rt.obs != nil {
 			hops := s.path.Len()
-			h := topo.Hamming(s.path[0], s.dest)
+			h := s.rt.as.t.Distance(s.path[0], s.dest)
 			out := Optimal
 			if hops != h {
 				out = Suboptimal
@@ -150,7 +152,7 @@ func (s *Session) Reroute(as *Assignment) (Condition, Outcome) {
 	}
 	rt := NewRouter(as, s.rt.tie).Observe(s.rt.obs)
 	cond, out := rt.Feasibility(s.cur, s.dest)
-	h := topo.Hamming(s.cur, s.dest)
+	h := as.t.Distance(s.cur, s.dest)
 	if out == Failure {
 		// The paper's abort branch: the message is stuck here.
 		s.rt.obs.Reroute(int(s.cur), h, cond.String(), out.String(), true)
@@ -158,7 +160,6 @@ func (s *Session) Reroute(as *Assignment) (Condition, Outcome) {
 	}
 	s.rt.obs.Reroute(int(s.cur), h, cond.String(), out.String(), false)
 	s.rt = rt
-	s.nav = topo.Nav(s.cur, s.dest)
 	s.pendingSpare = cond == CondC3
 	s.reroutes++
 	s.lastCond = cond

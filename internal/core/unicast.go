@@ -69,6 +69,8 @@ func (c Condition) String() string {
 // TieBreak selects among equally-safest candidate neighbors. The paper
 // leaves the choice open ("say 1111 along dimension 0"); the policy is
 // pluggable so the ablation experiments can quantify that freedom.
+// Candidates are dimensions in ascending order; in a generalized cube
+// each dimension is represented by its lowest-coordinate safest sibling.
 type TieBreak func(dims []int) int
 
 // LowestDim picks the smallest candidate dimension. It is the default
@@ -130,7 +132,7 @@ func NewRouter(as *Assignment, tie TieBreak) *Router {
 	if tie == nil {
 		tie = LowestDim
 	}
-	return &Router{as: as, tie: tie, maxHops: as.cube.Dim() + 3}
+	return &Router{as: as, tie: tie, maxHops: as.t.Dim() + 3}
 }
 
 // Assignment returns the safety-level assignment the router consults.
@@ -149,9 +151,8 @@ func (rt *Router) Observe(o *obs.RouteObserver) *Router {
 // algorithm's order C1, C2, C3, together with the outcome class it
 // implies. It does not move any message.
 func (rt *Router) Feasibility(s, d topo.NodeID) (Condition, Outcome) {
-	as, c := rt.as, rt.as.cube
-	nav := topo.Nav(s, d)
-	h := nav.Count()
+	as, t := rt.as, rt.as.t
+	h := t.Distance(s, d)
 	if h == 0 {
 		return CondC1, Optimal
 	}
@@ -164,26 +165,33 @@ func (rt *Router) Feasibility(s, d topo.NodeID) (Condition, Outcome) {
 		if as.OwnLevel(s) >= h {
 			return CondC1, Optimal
 		}
-		for i := 0; i < c.Dim(); i++ {
-			if nav.Bit(i) && rt.neighborLevel(s, i) >= h-1 {
+		for i := 0; i < t.Dim(); i++ {
+			if t.Coord(s, i) != t.Coord(d, i) && rt.observed(s, t.Toward(s, d, i)) >= h-1 {
 				return CondC2, Optimal
 			}
 		}
 	}
-	for i := 0; i < c.Dim(); i++ {
-		if !nav.Bit(i) && rt.neighborLevel(s, i) >= h+1 {
-			return CondC3, Suboptimal
+	var sibs []topo.NodeID
+	for i := 0; i < t.Dim(); i++ {
+		if t.Coord(s, i) != t.Coord(d, i) {
+			continue
+		}
+		// Any sibling along a spare dimension qualifies as the detour.
+		sibs = t.Siblings(s, i, sibs[:0])
+		for _, b := range sibs {
+			if rt.observed(s, b) >= h+1 {
+				return CondC3, Suboptimal
+			}
 		}
 	}
 	return CondNone, Failure
 }
 
-// neighborLevel is the safety level of s's neighbor along dim as s
-// observes it: the public level, with one addition from Section 4.1 — a
-// node never forwards across one of its own faulty links, so the far end
-// of a faulty link is observed as level 0 regardless of its public value.
-func (rt *Router) neighborLevel(s topo.NodeID, dim int) int {
-	b := rt.as.cube.Neighbor(s, dim)
+// observed is the safety level of s's neighbor b as s observes it: the
+// public level, with one addition from Section 4.1 — a node never
+// forwards across one of its own faulty links, so the far end of a
+// faulty link is observed as level 0 regardless of its public value.
+func (rt *Router) observed(s, b topo.NodeID) int {
 	if rt.as.set.LinkFaulty(s, b) {
 		return 0
 	}
@@ -195,9 +203,9 @@ func (rt *Router) neighborLevel(s topo.NodeID, dim int) int {
 // hop even to a faulty or N2 destination (Theorem 2 proof, j = 1 case,
 // and footnote to Section 4.1).
 func (rt *Router) Unicast(s, d topo.NodeID) *Route {
-	as, c := rt.as, rt.as.cube
-	r := &Route{Source: s, Dest: d, Hamming: topo.Hamming(s, d)}
-	if !c.Contains(s) || !c.Contains(d) {
+	as, t := rt.as, rt.as.t
+	r := &Route{Source: s, Dest: d, Hamming: t.Distance(s, d)}
+	if !t.Contains(s) || !t.Contains(d) {
 		r.Outcome = Failure
 		r.Err = fmt.Errorf("core: node outside cube")
 		if rt.obs != nil {
@@ -207,7 +215,7 @@ func (rt *Router) Unicast(s, d topo.NodeID) *Route {
 	}
 	if as.set.NodeFaulty(s) {
 		r.Outcome = Failure
-		r.Err = fmt.Errorf("core: source %s is faulty", c.Format(s))
+		r.Err = fmt.Errorf("core: source %s is faulty", t.Format(s))
 		if rt.obs != nil {
 			rt.obs.Admit(int(s), r.Hamming, 0, CondNone.String(), Failure.String())
 		}
@@ -227,39 +235,42 @@ func (rt *Router) Unicast(s, d topo.NodeID) *Route {
 		return rt.finishObs(r, int(s))
 	}
 
-	nav := topo.Nav(s, d)
 	cur := s
 	if cond == CondC3 {
 		// Suboptimal first hop: the spare neighbor with the highest
 		// safety level among those meeting the C3 threshold.
-		dim := rt.pickSpare(cur, nav)
-		if rt.obs != nil {
-			rt.obs.Hop(int(cur), int(c.Neighbor(cur, dim)), dim, rt.neighborLevel(cur, dim), true)
+		dim, next, ok := rt.pickSpare(cur, d, r.Hamming)
+		if !ok {
+			// Unreachable when Feasibility just admitted C3 on the same
+			// oracle; kept as a guard for inconsistent ablations.
+			r.Err = fmt.Errorf("core: node %s has no usable spare neighbor", t.Format(cur))
+			r.Outcome = Failure
+			return rt.finishObs(r, int(cur))
 		}
-		nav = nav.Flip(dim) // setting the bit: the detour must be undone
-		cur = c.Neighbor(cur, dim)
-		r.Hops = append(r.Hops, Hop{From: s, To: cur, Dim: dim, Nav: nav, Spare: true})
+		if rt.obs != nil {
+			rt.obs.Hop(int(cur), int(next), dim, rt.observed(cur, next), true)
+		}
+		cur = next
+		r.Hops = append(r.Hops, Hop{From: s, To: cur, Dim: dim, Nav: topo.NavIn(t, cur, d), Spare: true})
 		r.Path = append(r.Path, cur)
 	}
-	for hops := 0; !nav.Zero(); hops++ {
+	for hops := 0; cur != d; hops++ {
 		if hops > rt.maxHops {
 			r.Err = fmt.Errorf("core: forwarding exceeded %d hops (inconsistent levels?)", rt.maxHops)
 			r.Outcome = Failure
 			return rt.finishObs(r, int(cur))
 		}
-		dim, ok := rt.pickPreferred(cur, nav)
+		dim, next, ok := rt.pickPreferred(cur, d)
 		if !ok {
 			r.Err = fmt.Errorf("core: node %s has no usable preferred neighbor (nav %0*b)",
-				c.Format(cur), c.Dim(), nav)
+				t.Format(cur), t.Dim(), topo.NavIn(t, cur, d))
 			r.Outcome = Failure
 			return rt.finishObs(r, int(cur))
 		}
-		nav = nav.Flip(dim)
-		next := c.Neighbor(cur, dim)
 		if rt.obs != nil {
 			rt.obs.Hop(int(cur), int(next), dim, rt.as.Level(next), false)
 		}
-		r.Hops = append(r.Hops, Hop{From: cur, To: next, Dim: dim, Nav: nav})
+		r.Hops = append(r.Hops, Hop{From: cur, To: next, Dim: dim, Nav: topo.NavIn(t, next, d)})
 		r.Path = append(r.Path, next)
 		cur = next
 	}
@@ -280,75 +291,98 @@ func (rt *Router) finishObs(r *Route, at int) *Route {
 	return r
 }
 
-// pickPreferred chooses the preferred dimension whose neighbor has the
-// highest safety level, breaking ties with the router policy. When the
-// navigation vector has a single remaining bit the neighbor is the
-// destination itself and is chosen unconditionally (final delivery);
-// otherwise intermediate candidates must be traversable: nonfaulty and
-// not across a faulty link.
-func (rt *Router) pickPreferred(cur topo.NodeID, nav topo.NavVector) (int, bool) {
-	c := rt.as.cube
-	if nav.Count() == 1 {
-		for i := 0; i < c.Dim(); i++ {
-			if nav.Bit(i) {
-				// Final hop: delivered even to a faulty destination,
-				// but not across a faulty link.
-				if rt.as.set.LinkFaulty(cur, c.Neighbor(cur, i)) {
-					return 0, false
-				}
-				return i, true
-			}
+// pickPreferred chooses the preferred dimension whose candidate neighbor
+// (the sibling matching the destination's coordinate) has the highest
+// safety level, breaking ties with the router policy. At distance 1 the
+// candidate is the destination itself and is chosen unconditionally
+// (final delivery); otherwise intermediate candidates must be
+// traversable: nonfaulty and not across a faulty link.
+func (rt *Router) pickPreferred(cur, d topo.NodeID) (int, topo.NodeID, bool) {
+	t := rt.as.t
+	if t.Distance(cur, d) == 1 {
+		// Final hop: delivered even to a faulty destination, but not
+		// across a faulty link.
+		if rt.as.set.LinkFaulty(cur, d) {
+			return 0, 0, false
 		}
+		return t.LinkDim(cur, d), d, true
 	}
 	best := -1
-	var cand []int
-	for i := 0; i < c.Dim(); i++ {
-		if !nav.Bit(i) {
+	var candDims []int
+	var candNodes []topo.NodeID
+	for i := 0; i < t.Dim(); i++ {
+		if t.Coord(cur, i) == t.Coord(d, i) {
 			continue
 		}
-		b := c.Neighbor(cur, i)
+		b := t.Toward(cur, d, i)
 		if rt.as.set.NodeFaulty(b) || rt.as.set.LinkFaulty(cur, b) {
 			continue
 		}
 		lv := rt.as.Level(b)
-		switch {
-		case lv > best:
+		if lv > best {
 			best = lv
-			cand = cand[:0]
-			cand = append(cand, i)
-		case lv == best:
-			cand = append(cand, i)
+			candDims = candDims[:0]
+			candNodes = candNodes[:0]
+		} else if lv < best {
+			continue
 		}
+		candDims = append(candDims, i)
+		candNodes = append(candNodes, b)
 	}
 	if best < 0 {
-		return 0, false
+		return 0, 0, false
 	}
-	return rt.tie(cand), true
+	dim := rt.tie(candDims)
+	for j, i := range candDims {
+		if i == dim {
+			return dim, candNodes[j], true
+		}
+	}
+	return 0, 0, false
 }
 
 // pickSpare chooses the spare dimension whose neighbor has the highest
-// safety level among those satisfying C3 (level >= H+1).
-func (rt *Router) pickSpare(cur topo.NodeID, nav topo.NavVector) int {
-	c := rt.as.cube
-	h := nav.Count()
+// safety level among those satisfying C3 (observed level >= H+1). In a
+// generalized cube each spare dimension is represented by its
+// lowest-coordinate safest sibling; ties across dimensions go to the
+// router policy. ok is false when no spare neighbor qualifies (possible
+// in a Session whose oracle changed after admission).
+func (rt *Router) pickSpare(cur, d topo.NodeID, h int) (int, topo.NodeID, bool) {
+	t := rt.as.t
 	best := -1
-	var cand []int
-	for i := 0; i < c.Dim(); i++ {
-		if nav.Bit(i) {
+	var candDims []int
+	var candNodes []topo.NodeID
+	var sibs []topo.NodeID
+	for i := 0; i < t.Dim(); i++ {
+		if t.Coord(cur, i) != t.Coord(d, i) {
 			continue
 		}
-		lv := rt.neighborLevel(cur, i)
-		if lv < h+1 {
-			continue
-		}
-		switch {
-		case lv > best:
-			best = lv
-			cand = cand[:0]
-			cand = append(cand, i)
-		case lv == best:
-			cand = append(cand, i)
+		sibs = t.Siblings(cur, i, sibs[:0])
+		for _, b := range sibs {
+			lv := rt.observed(cur, b)
+			if lv < h+1 {
+				continue
+			}
+			if lv > best {
+				best = lv
+				candDims = candDims[:0]
+				candNodes = candNodes[:0]
+			} else if lv < best || (len(candDims) > 0 && candDims[len(candDims)-1] == i) {
+				// Keep the lowest-coordinate representative per dimension.
+				continue
+			}
+			candDims = append(candDims, i)
+			candNodes = append(candNodes, b)
 		}
 	}
-	return rt.tie(cand)
+	if best < 0 {
+		return 0, 0, false
+	}
+	dim := rt.tie(candDims)
+	for j, i := range candDims {
+		if i == dim {
+			return dim, candNodes[j], true
+		}
+	}
+	return 0, 0, false
 }

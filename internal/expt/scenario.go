@@ -51,6 +51,20 @@ func Fig5Graph() *ghcube.Graph {
 	return g
 }
 
+// Fig5Set returns the Fig. 5 scenario as a bare topology + fault set —
+// the form the generic core, the distributed engine and the GH sweeps
+// consume directly.
+func Fig5Set() (*topo.Mixed, *faults.Set) {
+	m := topo.MustMixed(2, 3, 2)
+	s := faults.NewSet(m)
+	for _, a := range []string{"011", "100", "111", "121"} {
+		if err := s.FailNode(m.MustParse(a)); err != nil {
+			panic(err)
+		}
+	}
+	return m, s
+}
+
 // Section23Set returns the Section 2.3 comparison cube: Q4 with faults
 // 0000, 0110, 1111.
 func Section23Set() *faults.Set {

@@ -7,13 +7,14 @@ import "repro/internal/topo"
 // removed). Faulty nodes get label -1. Labels are small consecutive
 // integers assigned in ascending order of each component's smallest node.
 func Components(s *Set) (labels []int, count int) {
-	c := s.cube
-	n := c.Nodes()
+	t := s.t
+	n := t.Nodes()
 	labels = make([]int, n)
 	for i := range labels {
 		labels[i] = -1
 	}
 	queue := make([]topo.NodeID, 0, n)
+	var sibs []topo.NodeID
 	for start := 0; start < n; start++ {
 		if s.node[start] || labels[start] >= 0 {
 			continue
@@ -23,13 +24,15 @@ func Components(s *Set) (labels []int, count int) {
 		for len(queue) > 0 {
 			a := queue[0]
 			queue = queue[1:]
-			for i := 0; i < c.Dim(); i++ {
-				b := c.Neighbor(a, i)
-				if s.node[b] || labels[b] >= 0 || s.LinkFaulty(a, b) {
-					continue
+			for i := 0; i < t.Dim(); i++ {
+				sibs = t.Siblings(a, i, sibs[:0])
+				for _, b := range sibs {
+					if s.node[b] || labels[b] >= 0 || s.LinkFaulty(a, b) {
+						continue
+					}
+					labels[b] = count
+					queue = append(queue, b)
 				}
-				labels[b] = count
-				queue = append(queue, b)
 			}
 		}
 		count++
@@ -60,8 +63,8 @@ func SameComponent(s *Set, a, b topo.NodeID) bool {
 // faulty). This is the ground-truth oracle the optimality experiments
 // compare routed paths against.
 func Distances(s *Set, src topo.NodeID) []int {
-	c := s.cube
-	n := c.Nodes()
+	t := s.t
+	n := t.Nodes()
 	dist := make([]int, n)
 	for i := range dist {
 		dist[i] = -1
@@ -71,39 +74,46 @@ func Distances(s *Set, src topo.NodeID) []int {
 	}
 	dist[src] = 0
 	queue := []topo.NodeID{src}
+	var sibs []topo.NodeID
 	for len(queue) > 0 {
 		a := queue[0]
 		queue = queue[1:]
-		for i := 0; i < c.Dim(); i++ {
-			b := c.Neighbor(a, i)
-			if s.node[b] || dist[b] >= 0 || s.LinkFaulty(a, b) {
-				continue
+		for i := 0; i < t.Dim(); i++ {
+			sibs = t.Siblings(a, i, sibs[:0])
+			for _, b := range sibs {
+				if s.node[b] || dist[b] >= 0 || s.LinkFaulty(a, b) {
+					continue
+				}
+				dist[b] = dist[a] + 1
+				queue = append(queue, b)
 			}
-			dist[b] = dist[a] + 1
-			queue = append(queue, b)
 		}
 	}
 	return dist
 }
 
-// HasOptimalPath reports whether a Hamming-distance path from s to d
-// survives the faults: a path of length H(s,d) using only nonfaulty
-// intermediate nodes, healthy links, and moving strictly toward d.
-// The destination itself must be nonfaulty. This is the exact predicate
-// behind Theorem 2 and is computed by dynamic programming over the
-// sub-lattice between src and dst (2^H states).
+// HasOptimalPath reports whether a distance-length path from s to d
+// survives the faults: a path of length Distance(s,d) using only
+// nonfaulty intermediate nodes, healthy links, and moving strictly
+// toward d (each hop fixes one differing coordinate to d's value; in a
+// generalized cube any dimension is crossed in a single hop, so every
+// optimal path has this form). The destination itself must be nonfaulty.
+// This is the exact predicate behind Theorem 2 (and its Section 4.2
+// analogue) and is computed by dynamic programming over the sub-lattice
+// between src and dst (2^H states).
 func HasOptimalPath(set *Set, src, dst topo.NodeID) bool {
 	if set.node[src] || set.node[dst] {
 		return false
 	}
-	c := set.cube
-	nav := topo.Nav(src, dst)
+	t := set.t
+	nav := topo.NavIn(t, src, dst)
 	h := nav.Count()
 	if h == 0 {
 		return true
 	}
-	dims := nav.Preferred(c.Dim(), nil)
-	// reach[m] = an optimal prefix exists from src to src ^ (dims subset m).
+	dims := nav.Preferred(t.Dim(), nil)
+	// reach[m] = an optimal prefix exists from src to the node whose
+	// coordinates match dst in the dims subset m and src elsewhere.
 	reach := make([]bool, 1<<uint(h))
 	reach[0] = true
 	// Iterate masks in increasing popcount order; since adding a bit only
@@ -112,11 +122,8 @@ func HasOptimalPath(set *Set, src, dst topo.NodeID) bool {
 		node := src
 		for j, d := range dims {
 			if m&(1<<uint(j)) != 0 {
-				node ^= 1 << uint(d)
+				node = t.Toward(node, dst, d)
 			}
-		}
-		if set.node[node] && node != dst {
-			continue
 		}
 		if set.node[node] {
 			continue
@@ -126,7 +133,7 @@ func HasOptimalPath(set *Set, src, dst topo.NodeID) bool {
 			if m&bit == 0 || !reach[m^bit] {
 				continue
 			}
-			prev := node ^ (1 << uint(dims[j]))
+			prev := t.Toward(node, src, dims[j])
 			if !set.LinkFaulty(prev, node) {
 				reach[m] = true
 				break

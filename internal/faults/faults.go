@@ -4,7 +4,9 @@
 // The paper's fault model (Section 1, assumptions 1-2): node faults are
 // fail-stop, and every node knows exactly the status of its neighbors —
 // nothing more. Set is that oracle: the topology-independent record of
-// which nodes and links are down.
+// which nodes and links are down. A Set is generic over topo.Topology,
+// so the same oracle serves the binary cube and the generalized
+// hypercubes of Section 4.2.
 package faults
 
 import (
@@ -15,7 +17,7 @@ import (
 	"repro/internal/topo"
 )
 
-// Link is an undirected hypercube edge identified by its two endpoints.
+// Link is an undirected edge identified by its two endpoints.
 // Normalize before using a Link as a map key.
 type Link struct {
 	A, B topo.NodeID
@@ -30,8 +32,9 @@ func (l Link) Normalize() Link {
 	return l
 }
 
-// Dimension returns the dimension the link crosses, or -1 if the two
-// endpoints are not hypercube-adjacent.
+// Dimension returns the dimension the link crosses in a binary cube, or
+// -1 if the two endpoints are not hypercube-adjacent. For non-binary
+// topologies use Topology.LinkDim instead.
 func (l Link) Dimension() int {
 	x := uint32(l.A ^ l.B)
 	if x == 0 || x&(x-1) != 0 {
@@ -45,10 +48,10 @@ func (l Link) Dimension() int {
 	return d
 }
 
-// Set records the faulty nodes and links of one cube instance.
+// Set records the faulty nodes and links of one topology instance.
 // The zero value is not usable; construct with NewSet.
 type Set struct {
-	cube      *topo.Cube
+	t         topo.Topology
 	node      []bool
 	nodeCount int
 	links     map[Link]bool
@@ -64,18 +67,18 @@ type Set struct {
 // identical fault state.
 func (s *Set) Generation() uint64 { return s.gen }
 
-// NewSet returns an empty fault set over cube c.
-func NewSet(c *topo.Cube) *Set {
+// NewSet returns an empty fault set over topology t.
+func NewSet(t topo.Topology) *Set {
 	return &Set{
-		cube:  c,
-		node:  make([]bool, c.Nodes()),
+		t:     t,
+		node:  make([]bool, t.Nodes()),
 		links: make(map[Link]bool),
 	}
 }
 
 // Clone returns an independent deep copy.
 func (s *Set) Clone() *Set {
-	cp := NewSet(s.cube)
+	cp := NewSet(s.t)
 	copy(cp.node, s.node)
 	cp.nodeCount = s.nodeCount
 	for l := range s.links {
@@ -86,12 +89,23 @@ func (s *Set) Clone() *Set {
 	return cp
 }
 
-// Cube returns the topology the set is defined over.
-func (s *Set) Cube() *topo.Cube { return s.cube }
+// Topology returns the topology the set is defined over.
+func (s *Set) Topology() topo.Topology { return s.t }
+
+// Cube returns the topology as a binary cube; it panics if the set was
+// built over a non-binary topology. Binary-only consumers (the subcube
+// injectors, the baseline routers) use this accessor.
+func (s *Set) Cube() *topo.Cube {
+	c, ok := s.t.(*topo.Cube)
+	if !ok {
+		panic("faults: set is not over a binary cube")
+	}
+	return c
+}
 
 // FailNode marks node a faulty. Failing an already-faulty node is a no-op.
 func (s *Set) FailNode(a topo.NodeID) error {
-	if !s.cube.Contains(a) {
+	if !s.t.Contains(a) {
 		return fmt.Errorf("faults: node %d outside cube", a)
 	}
 	if !s.node[a] {
@@ -105,7 +119,7 @@ func (s *Set) FailNode(a topo.NodeID) error {
 // RecoverNode marks node a nonfaulty again (used by the update-strategy
 // ablations; the paper discusses recovery under demand-driven GS).
 func (s *Set) RecoverNode(a topo.NodeID) error {
-	if !s.cube.Contains(a) {
+	if !s.t.Contains(a) {
 		return fmt.Errorf("faults: node %d outside cube", a)
 	}
 	if s.node[a] {
@@ -127,18 +141,32 @@ func (s *Set) FailNodes(nodes ...topo.NodeID) error {
 }
 
 // FailLink marks the undirected link between a and b faulty.
-// It returns an error if a and b are not adjacent in the cube.
+// It returns an error if a and b are not adjacent.
 func (s *Set) FailLink(a, b topo.NodeID) error {
-	if !s.cube.Contains(a) || !s.cube.Contains(b) {
+	if !s.t.Contains(a) || !s.t.Contains(b) {
 		return fmt.Errorf("faults: link endpoint outside cube")
 	}
-	if !s.cube.Adjacent(a, b) {
+	if !s.t.Adjacent(a, b) {
 		return fmt.Errorf("faults: %d and %d are not adjacent", a, b)
 	}
 	l := Link{a, b}.Normalize()
 	if !s.links[l] {
 		s.links[l] = true
 		s.linkCount++
+		s.gen++
+	}
+	return nil
+}
+
+// RecoverLink marks the undirected link between a and b healthy again.
+func (s *Set) RecoverLink(a, b topo.NodeID) error {
+	if !s.t.Contains(a) || !s.t.Contains(b) {
+		return fmt.Errorf("faults: link endpoint outside cube")
+	}
+	l := Link{a, b}.Normalize()
+	if s.links[l] {
+		delete(s.links, l)
+		s.linkCount--
 		s.gen++
 	}
 	return nil
@@ -156,12 +184,13 @@ func (s *Set) LinkFaulty(a, b topo.NodeID) bool {
 }
 
 // Usable reports whether a message can traverse the edge from a to b:
-// both endpoints in the cube, the link itself healthy, and the receiving
-// endpoint b nonfaulty. (A faulty destination can still be an endpoint of
-// the final hop; the routing layer decides that case — see the footnote
-// to Section 4.1. Here we take the conservative transport view.)
+// both endpoints in the topology, the link itself healthy, and the
+// receiving endpoint b nonfaulty. (A faulty destination can still be an
+// endpoint of the final hop; the routing layer decides that case — see
+// the footnote to Section 4.1. Here we take the conservative transport
+// view.)
 func (s *Set) Usable(a, b topo.NodeID) bool {
-	if !s.cube.Adjacent(a, b) {
+	if !s.t.Adjacent(a, b) {
 		return false
 	}
 	return !s.LinkFaulty(a, b) && !s.node[b] && !s.node[a]
@@ -205,13 +234,22 @@ func (s *Set) FaultyLinks() []Link {
 func (s *Set) HasLinkFaults() bool { return s.linkCount > 0 }
 
 // AdjacentFaultyLinks returns the dimensions of the faulty links incident
-// to node a, ascending. A node with a non-empty result belongs to the
-// paper's set N2 (Section 4.1).
+// to node a, ascending; a dimension with several faulty sibling links is
+// listed once. A node with a non-empty result belongs to the paper's set
+// N2 (Section 4.1).
 func (s *Set) AdjacentFaultyLinks(a topo.NodeID) []int {
+	if s.linkCount == 0 {
+		return nil
+	}
 	var dims []int
-	for i := 0; i < s.cube.Dim(); i++ {
-		if s.LinkFaulty(a, s.cube.Neighbor(a, i)) {
-			dims = append(dims, i)
+	var sibs []topo.NodeID
+	for i := 0; i < s.t.Dim(); i++ {
+		sibs = s.t.Siblings(a, i, sibs[:0])
+		for _, b := range sibs {
+			if s.LinkFaulty(a, b) {
+				dims = append(dims, i)
+				break
+			}
 		}
 	}
 	return dims
@@ -225,7 +263,7 @@ func (s *Set) String() string {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		b.WriteString(s.cube.Format(a))
+		b.WriteString(s.t.Format(a))
 	}
 	b.WriteString("}")
 	if s.linkCount > 0 {
@@ -234,7 +272,7 @@ func (s *Set) String() string {
 			if i > 0 {
 				b.WriteString(", ")
 			}
-			fmt.Fprintf(&b, "(%s,%s)", s.cube.Format(l.A), s.cube.Format(l.B))
+			fmt.Fprintf(&b, "(%s,%s)", s.t.Format(l.A), s.t.Format(l.B))
 		}
 		b.WriteString("}")
 	}

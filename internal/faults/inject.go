@@ -11,7 +11,7 @@ import (
 // random. This is the workload of the paper's Fig. 2 simulation
 // ("seven-cubes with various number of faults").
 func InjectUniform(s *Set, rng *stats.RNG, count int) error {
-	n := s.cube.Nodes()
+	n := s.t.Nodes()
 	if count < 0 || count > n {
 		return fmt.Errorf("faults: cannot fail %d of %d nodes", count, n)
 	}
@@ -35,21 +35,25 @@ func InjectUniform(s *Set, rng *stats.RNG, count int) error {
 }
 
 // InjectUniformLinks fails exactly count distinct links chosen uniformly
-// at random among currently-healthy links.
+// at random among currently-healthy links. Enumeration order (ascending
+// lower endpoint, then dimension, then sibling) is deterministic so a
+// fixed RNG seed reproduces the same fault set.
 func InjectUniformLinks(s *Set, rng *stats.RNG, count int) error {
 	if count < 0 {
 		return fmt.Errorf("faults: negative link fault count")
 	}
 	type edge struct {
-		a topo.NodeID
-		d int
+		a, b topo.NodeID
 	}
 	var healthy []edge
-	for a := 0; a < s.cube.Nodes(); a++ {
-		for d := 0; d < s.cube.Dim(); d++ {
-			b := s.cube.Neighbor(topo.NodeID(a), d)
-			if topo.NodeID(a) < b && !s.LinkFaulty(topo.NodeID(a), b) {
-				healthy = append(healthy, edge{topo.NodeID(a), d})
+	var sibs []topo.NodeID
+	for a := 0; a < s.t.Nodes(); a++ {
+		for d := 0; d < s.t.Dim(); d++ {
+			sibs = s.t.Siblings(topo.NodeID(a), d, sibs[:0])
+			for _, b := range sibs {
+				if topo.NodeID(a) < b && !s.LinkFaulty(topo.NodeID(a), b) {
+					healthy = append(healthy, edge{topo.NodeID(a), b})
+				}
 			}
 		}
 	}
@@ -58,7 +62,7 @@ func InjectUniformLinks(s *Set, rng *stats.RNG, count int) error {
 	}
 	for _, idx := range rng.Sample(len(healthy), count) {
 		e := healthy[idx]
-		if err := s.FailLink(e.a, s.cube.Neighbor(e.a, e.d)); err != nil {
+		if err := s.FailLink(e.a, e.b); err != nil {
 			return err
 		}
 	}
@@ -70,20 +74,21 @@ func InjectUniformLinks(s *Set, rng *stats.RNG, count int) error {
 // the adversarial distribution for safety levels: they depress levels
 // locally much faster than uniform faults, which is exactly the
 // "distribution, not just number, of faulty nodes" effect the safety
-// level is designed to capture.
+// level is designed to capture. Binary cubes only.
 func InjectClustered(s *Set, rng *stats.RNG, count, subdim int) error {
-	n := s.cube.Dim()
+	c := s.Cube()
+	n := c.Dim()
 	if subdim < 0 || subdim > n {
 		return fmt.Errorf("faults: subcube dimension %d outside [0, %d]", subdim, n)
 	}
-	anchor := topo.NodeID(rng.Intn(s.cube.Nodes()))
+	anchor := topo.NodeID(rng.Intn(c.Nodes()))
 	// Freeze n-subdim random dimensions to the anchor's bits.
 	perm := rng.Perm(n)
 	var fixed topo.NodeID
 	for _, d := range perm[:n-subdim] {
 		fixed |= 1 << uint(d)
 	}
-	cluster := s.cube.SubcubeNodes(anchor, fixed)
+	cluster := c.SubcubeNodes(anchor, fixed)
 	if count > len(cluster) {
 		count = len(cluster)
 	}
@@ -96,17 +101,21 @@ func InjectClustered(s *Set, rng *stats.RNG, count, subdim int) error {
 }
 
 // InjectIsolating fails every neighbor of victim, disconnecting it from
-// the rest of the cube. This is the minimal partition generator used by
-// the Theorem 4 experiments: the resulting cube is disconnected with
+// the rest of the topology. This is the minimal partition generator used
+// by the Theorem 4 experiments: the resulting cube is disconnected with
 // {victim} as one part (n faults in an n-cube — the tight bound, since
 // connectivity of Q_n is n).
 func InjectIsolating(s *Set, victim topo.NodeID) error {
-	if !s.cube.Contains(victim) {
+	if !s.t.Contains(victim) {
 		return fmt.Errorf("faults: victim %d outside cube", victim)
 	}
-	for i := 0; i < s.cube.Dim(); i++ {
-		if err := s.FailNode(s.cube.Neighbor(victim, i)); err != nil {
-			return err
+	var sibs []topo.NodeID
+	for i := 0; i < s.t.Dim(); i++ {
+		sibs = s.t.Siblings(victim, i, sibs[:0])
+		for _, b := range sibs {
+			if err := s.FailNode(b); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -117,8 +126,10 @@ func InjectIsolating(s *Set, victim topo.NodeID) error {
 // every node one hop outside the subcube. The healthy interior becomes a
 // disconnected component of size up to 2^subdim, producing the multi-node
 // partitions exercised in the disconnected-routing experiments.
+// Binary cubes only.
 func InjectIsolatingSubcube(s *Set, victim topo.NodeID, subdim int) error {
-	n := s.cube.Dim()
+	c := s.Cube()
+	n := c.Dim()
 	if subdim < 0 || subdim >= n {
 		return fmt.Errorf("faults: subcube dimension %d outside [0, %d)", subdim, n)
 	}
@@ -126,9 +137,9 @@ func InjectIsolatingSubcube(s *Set, victim topo.NodeID, subdim int) error {
 	for d := subdim; d < n; d++ {
 		fixed |= 1 << uint(d)
 	}
-	for _, inside := range s.cube.SubcubeNodes(victim, fixed) {
+	for _, inside := range c.SubcubeNodes(victim, fixed) {
 		for d := subdim; d < n; d++ {
-			if err := s.FailNode(s.cube.Neighbor(inside, d)); err != nil {
+			if err := s.FailNode(c.Neighbor(inside, d)); err != nil {
 				return err
 			}
 		}

@@ -1,24 +1,21 @@
-// Package ghcube implements Section 4.2: safety levels and unicasting in
+// Package ghcube exposes Section 4.2 — safety levels and unicasting in
 // generalized n-dimensional hypercubes GH(m_{n-1} x ... x m_0) of
-// Bhuyan and Agrawal. Nodes are mixed-radix coordinate vectors; two
-// nodes are adjacent iff they differ in exactly one coordinate, so the
-// m_i nodes that share all coordinates except dimension i form a
-// complete subgraph and any dimension is crossed in a single hop.
-//
-// Definition 4 reduces the m_i-1 siblings along each dimension to a
-// single per-dimension level S_i = min over the siblings, then applies
-// the binary cube's Definition 1 to the n-vector (S_0..S_{n-1}). With
-// every m_i = 2 the structure and the levels coincide exactly with the
-// binary hypercube, which the tests exploit.
+// Bhuyan and Agrawal — as a thin adapter over the generic machinery:
+// the topology is topo.Mixed, the fault oracle is faults.Set, and the
+// levels (Definition 4) and the router both come from internal/core,
+// which is generic over topo.Topology. The package keeps the historical
+// int-typed NodeID and its Graph/Assignment/Router/Route shapes so the
+// experiment layer and the exhaustive Section 4.2 tests read unchanged,
+// but contains no independent GS or routing implementation.
 package ghcube
 
 import (
-	"fmt"
-	"strconv"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/stats"
+	"repro/internal/topo"
 )
 
 // NodeID indexes a node in mixed-radix row-major order (dimension 0 is
@@ -27,37 +24,18 @@ type NodeID int
 
 // Graph is a generalized hypercube topology plus its fault set.
 type Graph struct {
-	radix  []int // radix[i] = m_i, the size of dimension i
-	stride []int // stride[i] = product of radix[0..i-1]
-	nodes  int
-	faulty []bool
-	nfault int
+	t   *topo.Mixed
+	set *faults.Set
 }
 
 // New builds GH(radix[n-1] x ... x radix[0]). The slice is given in
 // dimension order radix[0] = m_0 first; every m_i must be at least 2.
 func New(radix []int) (*Graph, error) {
-	if len(radix) == 0 {
-		return nil, fmt.Errorf("ghcube: no dimensions")
+	t, err := topo.NewMixed(radix)
+	if err != nil {
+		return nil, err
 	}
-	g := &Graph{
-		radix:  append([]int(nil), radix...),
-		stride: make([]int, len(radix)),
-	}
-	total := 1
-	for i, m := range radix {
-		if m < 2 {
-			return nil, fmt.Errorf("ghcube: dimension %d has radix %d < 2", i, m)
-		}
-		g.stride[i] = total
-		total *= m
-		if total > 1<<22 {
-			return nil, fmt.Errorf("ghcube: too many nodes")
-		}
-	}
-	g.nodes = total
-	g.faulty = make([]bool, total)
-	return g, nil
+	return &Graph{t: t, set: faults.NewSet(t)}, nil
 }
 
 // MustNew is New for compile-time-constant shapes; it panics on error.
@@ -69,48 +47,43 @@ func MustNew(radix ...int) *Graph {
 	return g
 }
 
+// Topology returns the underlying mixed-radix topology.
+func (g *Graph) Topology() *topo.Mixed { return g.t }
+
+// FaultSet returns the underlying fault oracle.
+func (g *Graph) FaultSet() *faults.Set { return g.set }
+
 // Dim returns the number of dimensions n.
-func (g *Graph) Dim() int { return len(g.radix) }
+func (g *Graph) Dim() int { return g.t.Dim() }
 
 // Radix returns m_i.
-func (g *Graph) Radix(i int) int { return g.radix[i] }
+func (g *Graph) Radix(i int) int { return g.t.Radix(i) }
 
 // Nodes returns the total number of nodes.
-func (g *Graph) Nodes() int { return g.nodes }
+func (g *Graph) Nodes() int { return g.t.Nodes() }
 
 // Contains reports whether a is a valid node.
-func (g *Graph) Contains(a NodeID) bool { return a >= 0 && int(a) < g.nodes }
+func (g *Graph) Contains(a NodeID) bool { return a >= 0 && int(a) < g.t.Nodes() }
 
 // Coord returns coordinate i of node a.
-func (g *Graph) Coord(a NodeID, i int) int {
-	return (int(a) / g.stride[i]) % g.radix[i]
-}
+func (g *Graph) Coord(a NodeID, i int) int { return g.t.Coord(topo.NodeID(a), i) }
 
 // WithCoord returns a with coordinate i replaced by v.
 func (g *Graph) WithCoord(a NodeID, i, v int) NodeID {
-	cur := g.Coord(a, i)
-	return a + NodeID((v-cur)*g.stride[i])
+	return NodeID(g.t.WithCoord(topo.NodeID(a), i, v))
 }
 
 // Distance returns the number of coordinates in which a and b differ —
 // the graph distance in a fault-free GH.
-func (g *Graph) Distance(a, b NodeID) int {
-	d := 0
-	for i := range g.radix {
-		if g.Coord(a, i) != g.Coord(b, i) {
-			d++
-		}
-	}
-	return d
-}
+func (g *Graph) Distance(a, b NodeID) int { return g.t.Distance(topo.NodeID(a), topo.NodeID(b)) }
 
 // Adjacent reports whether a and b differ in exactly one coordinate.
-func (g *Graph) Adjacent(a, b NodeID) bool { return a != b && g.Distance(a, b) == 1 }
+func (g *Graph) Adjacent(a, b NodeID) bool { return g.t.Adjacent(topo.NodeID(a), topo.NodeID(b)) }
 
 // Siblings appends the m_i - 1 neighbors of a along dimension i to dst.
 func (g *Graph) Siblings(a NodeID, i int, dst []NodeID) []NodeID {
-	cur := g.Coord(a, i)
-	for v := 0; v < g.radix[i]; v++ {
+	cur := g.t.Coord(topo.NodeID(a), i)
+	for v := 0; v < g.t.Radix(i); v++ {
 		if v != cur {
 			dst = append(dst, g.WithCoord(a, i, v))
 		}
@@ -119,16 +92,7 @@ func (g *Graph) Siblings(a NodeID, i int, dst []NodeID) []NodeID {
 }
 
 // FailNode marks a faulty.
-func (g *Graph) FailNode(a NodeID) error {
-	if !g.Contains(a) {
-		return fmt.Errorf("ghcube: node %d outside graph", a)
-	}
-	if !g.faulty[a] {
-		g.faulty[a] = true
-		g.nfault++
-	}
-	return nil
-}
+func (g *Graph) FailNode(a NodeID) error { return g.set.FailNode(topo.NodeID(a)) }
 
 // FailNodes marks each listed node faulty.
 func (g *Graph) FailNodes(nodes ...NodeID) error {
@@ -141,75 +105,28 @@ func (g *Graph) FailNodes(nodes ...NodeID) error {
 }
 
 // NodeFaulty reports whether a is faulty.
-func (g *Graph) NodeFaulty(a NodeID) bool { return g.faulty[a] }
+func (g *Graph) NodeFaulty(a NodeID) bool { return g.set.NodeFaulty(topo.NodeID(a)) }
 
 // NodeFaults returns the number of faulty nodes.
-func (g *Graph) NodeFaults() int { return g.nfault }
+func (g *Graph) NodeFaults() int { return g.set.NodeFaults() }
 
 // InjectUniform fails exactly count healthy nodes chosen uniformly.
 func (g *Graph) InjectUniform(rng *stats.RNG, count int) error {
-	healthy := make([]NodeID, 0, g.nodes)
-	for a := 0; a < g.nodes; a++ {
-		if !g.faulty[a] {
-			healthy = append(healthy, NodeID(a))
-		}
-	}
-	if count < 0 || count > len(healthy) {
-		return fmt.Errorf("ghcube: cannot fail %d of %d healthy nodes", count, len(healthy))
-	}
-	for _, idx := range rng.Sample(len(healthy), count) {
-		if err := g.FailNode(healthy[idx]); err != nil {
-			return err
-		}
-	}
-	return nil
+	return faults.InjectUniform(g.set, rng, count)
 }
 
 // Format renders a node as its digit string a_{n-1}...a_0, matching the
-// paper's Fig. 5 notation (e.g. "021" in GH(2x3x2)). Radixes above 10
-// fall back to dotted decimal.
-func (g *Graph) Format(a NodeID) string {
-	wide := false
-	for _, m := range g.radix {
-		if m > 10 {
-			wide = true
-		}
-	}
-	parts := make([]string, len(g.radix))
-	for i := range g.radix {
-		parts[len(g.radix)-1-i] = strconv.Itoa(g.Coord(a, i))
-	}
-	if wide {
-		return strings.Join(parts, ".")
-	}
-	return strings.Join(parts, "")
-}
+// paper's Fig. 5 notation (e.g. "021" in GH(2x3x2)).
+func (g *Graph) Format(a NodeID) string { return g.t.Format(topo.NodeID(a)) }
 
 // Parse converts a digit string back into a NodeID.
 func (g *Graph) Parse(s string) (NodeID, error) {
-	if len(s) != len(g.radix) {
-		return 0, fmt.Errorf("ghcube: address %q has %d digits, want %d", s, len(s), len(g.radix))
-	}
-	var id NodeID
-	for pos, ch := range s {
-		i := len(g.radix) - 1 - pos
-		v := int(ch - '0')
-		if v < 0 || v >= g.radix[i] {
-			return 0, fmt.Errorf("ghcube: digit %c outside radix %d of dimension %d", ch, g.radix[i], i)
-		}
-		id += NodeID(v * g.stride[i])
-	}
-	return id, nil
+	id, err := g.t.Parse(s)
+	return NodeID(id), err
 }
 
 // MustParse is Parse for fixtures; it panics on malformed addresses.
-func (g *Graph) MustParse(s string) NodeID {
-	id, err := g.Parse(s)
-	if err != nil {
-		panic(err)
-	}
-	return id
-}
+func (g *Graph) MustParse(s string) NodeID { return NodeID(g.t.MustParse(s)) }
 
 // MustParseAll parses a list of addresses.
 func (g *Graph) MustParseAll(ss ...string) []NodeID {
@@ -270,127 +187,45 @@ func (p Path) FormatWith(g *Graph) string {
 	return strings.Join(parts, " -> ")
 }
 
-// ---------------------------------------------------------------------
-// Safety levels (Definition 4) and the extended GS algorithm.
-// ---------------------------------------------------------------------
-
 // Assignment holds the Definition 4 safety level of every node.
 type Assignment struct {
-	g      *Graph
-	levels []int
-	rounds int
+	g  *Graph
+	as *core.Assignment
+}
+
+// Compute runs the generic GLOBAL_STATUS algorithm on the graph's fault
+// set: every nonfaulty node starts at level n; each round reduces each
+// dimension to the minimum sibling level and applies Definition 1 to
+// the n reduced values. The fixpoint is reached within n-1 rounds (the
+// per-dimension minimum is available in one step because siblings are
+// directly connected).
+func Compute(g *Graph) *Assignment {
+	return &Assignment{g: g, as: core.Compute(g.set, core.Options{})}
 }
 
 // Level returns S(a).
-func (as *Assignment) Level(a NodeID) int { return as.levels[a] }
+func (as *Assignment) Level(a NodeID) int { return as.as.Level(topo.NodeID(a)) }
 
 // Rounds returns the synchronous rounds until stabilization.
-func (as *Assignment) Rounds() int { return as.rounds }
+func (as *Assignment) Rounds() int { return as.as.Rounds() }
 
 // Graph returns the topology.
 func (as *Assignment) Graph() *Graph { return as.g }
 
+// Core returns the generic assignment the adapter wraps.
+func (as *Assignment) Core() *core.Assignment { return as.as }
+
 // SafeSet returns the nodes with the maximum level n.
 func (as *Assignment) SafeSet() []NodeID {
 	var out []NodeID
-	for a, lv := range as.levels {
-		if lv == as.g.Dim() {
-			out = append(out, NodeID(a))
-		}
+	for _, a := range as.as.SafeSet() {
+		out = append(out, NodeID(a))
 	}
 	return out
 }
 
-// Compute runs the extended GLOBAL_STATUS algorithm: every nonfaulty node
-// starts at level n; each round it reduces each dimension to the minimum
-// sibling level and applies Definition 1 to the n reduced values. The
-// fixpoint is reached within n-1 rounds (the per-dimension minimum is
-// available in one step because siblings are directly connected).
-func Compute(g *Graph) *Assignment {
-	n := g.Dim()
-	cur := make([]int, g.nodes)
-	for a := 0; a < g.nodes; a++ {
-		if g.faulty[a] {
-			cur[a] = 0
-		} else {
-			cur[a] = n
-		}
-	}
-	next := make([]int, g.nodes)
-	dims := make([]int, n)
-	scratch := make([]int, n)
-	var sibs []NodeID
-	as := &Assignment{g: g}
-	maxRounds := n - 1
-	if maxRounds < 1 {
-		maxRounds = 1
-	}
-	for r := 1; r <= maxRounds; r++ {
-		changed := false
-		for a := 0; a < g.nodes; a++ {
-			if g.faulty[a] {
-				next[a] = 0
-				continue
-			}
-			for i := 0; i < n; i++ {
-				min := n
-				sibs = g.Siblings(NodeID(a), i, sibs[:0])
-				for _, b := range sibs {
-					if cur[b] < min {
-						min = cur[b]
-					}
-				}
-				dims[i] = min
-			}
-			v := core.LevelFromNeighbors(dims, scratch)
-			next[a] = v
-			if v != cur[a] {
-				changed = true
-			}
-		}
-		if !changed {
-			break
-		}
-		as.rounds = r
-		copy(cur, next)
-	}
-	as.levels = cur
-	return as
-}
-
 // Verify checks the Definition 4 fixpoint condition at every node.
-func (as *Assignment) Verify() error {
-	g, n := as.g, as.g.Dim()
-	dims := make([]int, n)
-	var sibs []NodeID
-	for a := 0; a < g.nodes; a++ {
-		if g.faulty[a] {
-			if as.levels[a] != 0 {
-				return fmt.Errorf("ghcube: faulty node %s has level %d", g.Format(NodeID(a)), as.levels[a])
-			}
-			continue
-		}
-		for i := 0; i < n; i++ {
-			min := n
-			sibs = g.Siblings(NodeID(a), i, sibs[:0])
-			for _, b := range sibs {
-				if as.levels[b] < min {
-					min = as.levels[b]
-				}
-			}
-			dims[i] = min
-		}
-		if want := core.LevelFromNeighbors(dims, nil); as.levels[a] != want {
-			return fmt.Errorf("ghcube: node %s level %d, Definition 4 gives %d",
-				g.Format(NodeID(a)), as.levels[a], want)
-		}
-	}
-	return nil
-}
-
-// ---------------------------------------------------------------------
-// Unicasting.
-// ---------------------------------------------------------------------
+func (as *Assignment) Verify() error { return as.as.Verify() }
 
 // Route is the result of one GH unicast attempt.
 type Route struct {
@@ -412,221 +247,63 @@ func (r *Route) Len() int { return r.Path.Len() }
 // destination's coordinate (one hop crosses the whole dimension), and
 // the candidate with the highest safety level is chosen; a C3 spare
 // detour moves to any other coordinate of a spare dimension and costs
-// the paper's two extra hops.
+// the paper's two extra hops. It delegates to the generic core router.
 type Router struct {
-	as *Assignment
+	g  *Graph
+	rt *core.Router
 }
 
 // NewRouter returns a Router over as.
-func NewRouter(as *Assignment) *Router { return &Router{as: as} }
+func NewRouter(as *Assignment) *Router {
+	return &Router{g: as.g, rt: core.NewRouter(as.as, nil)}
+}
 
 // Feasibility evaluates C1/C2/C3 for a unicast from s to d.
 func (rt *Router) Feasibility(s, d NodeID) (core.Condition, core.Outcome) {
-	g, as := rt.as.g, rt.as
-	h := g.Distance(s, d)
-	if h == 0 {
-		return core.CondC1, core.Optimal
+	if !rt.g.Contains(s) || !rt.g.Contains(d) {
+		return core.CondNone, core.Failure
 	}
-	if as.Level(s) >= h {
-		return core.CondC1, core.Optimal
-	}
-	for i := 0; i < g.Dim(); i++ {
-		if g.Coord(s, i) == g.Coord(d, i) {
-			continue
-		}
-		cand := g.WithCoord(s, i, g.Coord(d, i))
-		if as.Level(cand) >= h-1 {
-			return core.CondC2, core.Optimal
-		}
-	}
-	for i := 0; i < g.Dim(); i++ {
-		if g.Coord(s, i) != g.Coord(d, i) {
-			continue
-		}
-		// Any sibling along a spare dimension qualifies as the detour.
-		for v := 0; v < g.Radix(i); v++ {
-			if v == g.Coord(s, i) {
-				continue
-			}
-			if as.Level(g.WithCoord(s, i, v)) >= h+1 {
-				return core.CondC3, core.Suboptimal
-			}
-		}
-	}
-	return core.CondNone, core.Failure
+	return rt.rt.Feasibility(topo.NodeID(s), topo.NodeID(d))
 }
 
 // Unicast routes a message from s to d.
 func (rt *Router) Unicast(s, d NodeID) *Route {
-	g, as := rt.as.g, rt.as
-	r := &Route{Source: s, Dest: d, Distance: g.Distance(s, d)}
-	if !g.Contains(s) || !g.Contains(d) {
-		r.Outcome = core.Failure
-		r.Err = fmt.Errorf("ghcube: node outside graph")
-		return r
+	cr := rt.rt.Unicast(topo.NodeID(s), topo.NodeID(d))
+	r := &Route{
+		Source:    s,
+		Dest:      d,
+		Distance:  cr.Hamming,
+		Outcome:   cr.Outcome,
+		Condition: cr.Condition,
+		Err:       cr.Err,
 	}
-	if g.NodeFaulty(s) {
-		r.Outcome = core.Failure
-		r.Err = fmt.Errorf("ghcube: source %s is faulty", g.Format(s))
-		return r
-	}
-	cond, out := rt.Feasibility(s, d)
-	r.Condition, r.Outcome = cond, out
-	if out == core.Failure {
-		return r
-	}
-	r.Path = Path{s}
-	cur := s
-	if cond == core.CondC3 {
-		h := g.Distance(s, d)
-		best, bestNode := -1, NodeID(-1)
-		for i := 0; i < g.Dim(); i++ {
-			if g.Coord(s, i) != g.Coord(d, i) {
-				continue
-			}
-			for v := 0; v < g.Radix(i); v++ {
-				if v == g.Coord(s, i) {
-					continue
-				}
-				b := g.WithCoord(s, i, v)
-				if lv := as.Level(b); lv >= h+1 && lv > best {
-					best, bestNode = lv, b
-				}
-			}
+	if cr.Path != nil {
+		r.Path = make(Path, len(cr.Path))
+		for i, a := range cr.Path {
+			r.Path[i] = NodeID(a)
 		}
-		cur = bestNode
-		r.Path = append(r.Path, cur)
-	}
-	for hops := 0; cur != d; hops++ {
-		if hops > g.Dim()+3 {
-			r.Outcome = core.Failure
-			r.Err = fmt.Errorf("ghcube: forwarding exceeded hop bound")
-			return r
-		}
-		next, ok := rt.pick(cur, d)
-		if !ok {
-			r.Outcome = core.Failure
-			r.Err = fmt.Errorf("ghcube: node %s has no usable candidate", g.Format(cur))
-			return r
-		}
-		cur = next
-		r.Path = append(r.Path, cur)
 	}
 	return r
 }
 
-// pick chooses the direct candidate (destination coordinate) along a
-// remaining preferred dimension with the highest safety level; the final
-// dimension is delivered unconditionally.
-func (rt *Router) pick(cur, d NodeID) (NodeID, bool) {
-	g, as := rt.as.g, rt.as
-	h := g.Distance(cur, d)
-	if h == 1 {
-		return d, true
-	}
-	best, bestNode := -1, NodeID(-1)
-	for i := 0; i < g.Dim(); i++ {
-		if g.Coord(cur, i) == g.Coord(d, i) {
-			continue
-		}
-		b := g.WithCoord(cur, i, g.Coord(d, i))
-		if g.NodeFaulty(b) {
-			continue
-		}
-		if lv := as.Level(b); lv > best {
-			best, bestNode = lv, b
-		}
-	}
-	if bestNode < 0 {
-		return 0, false
-	}
-	return bestNode, true
-}
-
 // HasOptimalPath is the ground-truth oracle for Theorem 2': it reports
 // whether a path of length Distance(s, d) from s to d survives the
-// faults, by dynamic programming over the sub-lattice of differing
-// dimensions (each crossed directly to d's coordinate — crossing to any
-// other coordinate cannot be part of a distance-respecting path).
+// faults.
 func (g *Graph) HasOptimalPath(s, d NodeID) bool {
-	if g.faulty[s] || g.faulty[d] {
+	if !g.Contains(s) || !g.Contains(d) {
 		return false
 	}
-	var dims []int
-	for i := 0; i < g.Dim(); i++ {
-		if g.Coord(s, i) != g.Coord(d, i) {
-			dims = append(dims, i)
-		}
-	}
-	h := len(dims)
-	if h == 0 {
-		return true
-	}
-	reach := make([]bool, 1<<uint(h))
-	reach[0] = true
-	for m := 1; m < 1<<uint(h); m++ {
-		node := s
-		for j, dim := range dims {
-			if m&(1<<uint(j)) != 0 {
-				node = g.WithCoord(node, dim, g.Coord(d, dim))
-			}
-		}
-		if g.faulty[node] && node != d {
-			continue
-		}
-		if g.faulty[node] {
-			continue
-		}
-		for j := range dims {
-			bit := 1 << uint(j)
-			if m&bit != 0 && reach[m^bit] {
-				reach[m] = true
-				break
-			}
-		}
-	}
-	return reach[1<<uint(h)-1]
+	return faults.HasOptimalPath(g.set, topo.NodeID(s), topo.NodeID(d))
 }
 
 // Components labels every nonfaulty node with its connected component in
 // the surviving subgraph (-1 for faulty nodes), in ascending order of
-// each component's smallest node — the GH analogue of
-// faults.Components, used to extend the paper's disconnected-hypercube
-// analysis to Section 4.2.
+// each component's smallest node.
 func (g *Graph) Components() (labels []int, count int) {
-	labels = make([]int, g.nodes)
-	for i := range labels {
-		labels[i] = -1
-	}
-	var queue []NodeID
-	var sibs []NodeID
-	for start := 0; start < g.nodes; start++ {
-		if g.faulty[start] || labels[start] >= 0 {
-			continue
-		}
-		labels[start] = count
-		queue = append(queue[:0], NodeID(start))
-		for len(queue) > 0 {
-			a := queue[0]
-			queue = queue[1:]
-			for d := 0; d < g.Dim(); d++ {
-				sibs = g.Siblings(a, d, sibs[:0])
-				for _, b := range sibs {
-					if g.faulty[b] || labels[b] >= 0 {
-						continue
-					}
-					labels[b] = count
-					queue = append(queue, b)
-				}
-			}
-		}
-		count++
-	}
-	return labels, count
+	return faults.Components(g.set)
 }
 
 // Connected reports whether all nonfaulty nodes form one component.
 func (g *Graph) Connected() bool {
-	_, count := g.Components()
-	return count <= 1
+	return faults.Connected(g.set)
 }

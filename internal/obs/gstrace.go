@@ -15,6 +15,9 @@ type GSTrace struct {
 	// Kind identifies the execution model: "sequential", "simnet-sync"
 	// or "simnet-async".
 	Kind string `json:"kind"`
+	// Topo names the topology ("Q7", "GH(2x3x2)"); Summary falls back to
+	// "Q<Dim>" when empty, so binary producers may leave it unset.
+	Topo string `json:"topo,omitempty"`
 	// Dim, NodeFaults and LinkFaults describe the instance.
 	Dim        int `json:"dim"`
 	NodeFaults int `json:"node_faults"`
@@ -44,9 +47,13 @@ func (t *GSTrace) Summary() string {
 	if t == nil {
 		return "no GS run recorded"
 	}
+	name := t.Topo
+	if name == "" {
+		name = fmt.Sprintf("Q%d", t.Dim)
+	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s GS on Q%d (%d node faults, %d link faults): stabilized in %d rounds",
-		t.Kind, t.Dim, t.NodeFaults, t.LinkFaults, t.Rounds)
+	fmt.Fprintf(&b, "%s GS on %s (%d node faults, %d link faults): stabilized in %d rounds",
+		t.Kind, name, t.NodeFaults, t.LinkFaults, t.Rounds)
 	if len(t.Deltas) > 0 {
 		fmt.Fprintf(&b, ", per-round level changes %v", t.Deltas)
 	}

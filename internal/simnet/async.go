@@ -68,8 +68,8 @@ func (e *Engine) RunGSAsync() {
 
 // runGSAsync is the node side of the asynchronous protocol.
 func (n *node) runGSAsync(st *asyncState) {
-	e, c := n.eng, n.eng.cube
-	dim := c.Dim()
+	e := n.eng
+	dim := e.t.Dim()
 	_, inN2 := n.gsPeers()
 
 	// Same initialization as the synchronous protocol.
@@ -79,14 +79,7 @@ func (n *node) runGSAsync(st *asyncState) {
 	}
 	n.lastChange = 0
 	n.updates = 0
-	for i := range n.nbrLevel {
-		b := c.Neighbor(n.id, i)
-		if e.set.LinkFaulty(n.id, b) || e.set.NodeFaulty(b) || len(e.set.AdjacentFaultyLinks(b)) > 0 {
-			n.nbrLevel[i] = 0
-		} else {
-			n.nbrLevel[i] = dim
-		}
-	}
+	n.initNbrLevels()
 	scratch := make([]int, dim)
 
 	// One local recomputation before the initial push: a node adjacent
@@ -94,7 +87,7 @@ func (n *node) runGSAsync(st *asyncState) {
 	// message (e.g. when every neighbor is faulty), exactly as the
 	// first synchronous round would.
 	if !inN2 {
-		if nl := levelFromNeighborsInto(n.nbrLevel, scratch); nl != n.level {
+		if nl := n.levelNow(scratch); nl != n.level {
 			n.level, n.public = nl, nl
 			n.updates++
 		}
@@ -132,7 +125,7 @@ func (n *node) runGSAsync(st *asyncState) {
 			// neighbor levels; nbrLevel entries across faulty links
 			// were initialized to 0 and never updated, as required.
 			if inN2 {
-				n.level = levelFromNeighborsInto(n.nbrLevel, scratch)
+				n.level = n.levelNow(scratch)
 				n.updates++
 			}
 			return
@@ -145,9 +138,9 @@ func (n *node) runGSAsync(st *asyncState) {
 // decrement happens after any triggered sends so a zero counter is
 // conclusive.
 func (n *node) asyncProcess(st *asyncState, m message, scratch []int, inN2 bool) {
-	n.nbrLevel[m.from] = m.level
+	n.nbrLevel[m.from][m.fromCoord] = m.level
 	if !inN2 {
-		if nl := levelFromNeighborsInto(n.nbrLevel, scratch); nl != n.level {
+		if nl := n.levelNow(scratch); nl != n.level {
 			n.level, n.public = nl, nl
 			n.updates++
 			n.pushLevel(st)
@@ -165,19 +158,20 @@ func (n *node) asyncProcess(st *asyncState, m message, scratch []int, inN2 bool)
 // to nonfaulty N2 neighbors over healthy links (they need the values
 // for their final own-level computation).
 func (n *node) pushLevel(st *asyncState) {
-	e, c := n.eng, n.eng.cube
-	for i := 0; i < c.Dim(); i++ {
-		b := c.Neighbor(n.id, i)
-		if e.set.LinkFaulty(n.id, b) || e.set.NodeFaulty(b) {
-			continue
+	e := n.eng
+	for i := range n.line {
+		for v, b := range n.line[i] {
+			if v == n.coord[i] || e.set.LinkFaulty(n.id, b) || e.set.NodeFaulty(b) {
+				continue
+			}
+			peer := e.nodes[b]
+			if peer == nil {
+				continue
+			}
+			st.inflight.Add(1)
+			n.countSend(i)
+			peer.inbox <- message{kind: msgLevel, from: i, fromCoord: n.coord[i], level: n.public}
 		}
-		peer := e.nodes[b]
-		if peer == nil {
-			continue
-		}
-		st.inflight.Add(1)
-		n.countSend(i)
-		peer.inbox <- message{kind: msgLevel, from: i, level: n.public}
 	}
 }
 

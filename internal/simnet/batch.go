@@ -40,9 +40,9 @@ type BatchStats struct {
 // concurrently without risking inbox overflow (each node must be able
 // to hold every in-flight message plus GS slack).
 func (e *Engine) MaxBatch() int {
-	// Inbox capacity minus the GS worst case reserved at construction.
-	c := e.cube.Dim()
-	return (c+3)*(c+1) + 2 - (2*c + 2)
+	// Inbox capacity minus two rounds of synchronous-GS skew reserved at
+	// construction (deg peers each one round ahead, plus the phase edge).
+	return inboxCapacity(e.t) - (2*e.t.Degree() + 2)
 }
 
 // UnicastBatch routes all pairs concurrently and blocks until every
@@ -67,7 +67,7 @@ func (e *Engine) UnicastBatch(pairs []Pair) (*BatchStats, error) {
 	inFlight := 0
 	for i, p := range pairs {
 		stats.Results[i].Pair = p
-		if !e.cube.Contains(p.Src) || !e.cube.Contains(p.Dst) {
+		if !e.t.Contains(p.Src) || !e.t.Contains(p.Dst) {
 			stats.Results[i].UnicastResult = UnicastResult{
 				Outcome: core.Failure, Err: fmt.Errorf("simnet: node outside cube")}
 			continue
@@ -81,7 +81,7 @@ func (e *Engine) UnicastBatch(pairs []Pair) (*BatchStats, error) {
 		src.inbox <- message{
 			kind: msgUnicast,
 			tag:  i + 1, // 0 means untagged (single-unicast mode)
-			nav:  topo.Nav(p.Src, p.Dst),
+			dest: p.Dst,
 			path: topo.Path{p.Src},
 		}
 		inFlight++

@@ -13,9 +13,12 @@ import (
 // its receiver is responsible for; the receiver ranks them by its
 // observed neighbor levels (ascending, ties by dimension — identical to
 // the sequential implementation) and hands the i lower-ranked
-// dimensions to the rank-i child. Subtrees span disjoint subcubes, so
-// no node ever receives twice. Termination uses the same conclusive
-// in-flight counter as the asynchronous GS phase.
+// dimensions to every rank-i child. In a generalized hypercube the
+// rank-i children are all m_i - 1 siblings along the ranked dimension;
+// each child's sub-lattice fixes a distinct coordinate there, so the
+// subtrees stay disjoint and no node ever receives twice. Termination
+// uses the same conclusive in-flight counter as the asynchronous GS
+// phase.
 
 // BroadcastRun reports one distributed broadcast.
 type BroadcastRun struct {
@@ -33,12 +36,12 @@ type BroadcastRun struct {
 // and blocks until the wave quiesces. Run a GS phase first so the
 // level-ranking has data. The source must be nonfaulty.
 func (e *Engine) Broadcast(src topo.NodeID) (*BroadcastRun, error) {
-	if !e.cube.Contains(src) {
+	if !e.t.Contains(src) {
 		return nil, fmt.Errorf("simnet: source outside cube")
 	}
 	s := e.nodes[src]
 	if s == nil {
-		return nil, fmt.Errorf("simnet: source %s is faulty", e.cube.Format(src))
+		return nil, fmt.Errorf("simnet: source %s is faulty", e.t.Format(src))
 	}
 	st := &asyncState{
 		zero: make(chan struct{}, 1),
@@ -52,7 +55,7 @@ func (e *Engine) Broadcast(src topo.NodeID) (*BroadcastRun, error) {
 			n.bcastSent = 0
 		}
 	}
-	dims := make([]int, e.cube.Dim())
+	dims := make([]int, e.t.Dim())
 	for i := range dims {
 		dims[i] = i
 	}
@@ -92,34 +95,36 @@ func (e *Engine) Broadcast(src topo.NodeID) (*BroadcastRun, error) {
 // handleBroadcast is the node side: record the delivery depth, rank the
 // assigned dimensions, delegate subtrees.
 func (n *node) handleBroadcast(m message, st *asyncState) {
-	e, c := n.eng, n.eng.cube
+	e := n.eng
 	if n.bcastDepth < 0 {
 		n.bcastDepth = m.round
 	}
 	ranked := append([]int(nil), m.dims...)
 	sort.Slice(ranked, func(i, j int) bool {
-		li, lj := n.observedLevel(ranked[i]), n.observedLevel(ranked[j])
+		li, lj := n.observedDimLevel(ranked[i]), n.observedDimLevel(ranked[j])
 		if li != lj {
 			return li < lj
 		}
 		return ranked[i] < ranked[j]
 	})
 	for i := len(ranked) - 1; i >= 0; i-- {
-		b := c.Neighbor(n.id, ranked[i])
-		if e.set.NodeFaulty(b) || e.set.LinkFaulty(n.id, b) {
-			continue
-		}
-		peer := e.nodes[b]
-		if peer == nil {
-			continue
-		}
-		st.inflight.Add(1)
-		n.countSend(ranked[i])
-		n.bcastSent++
-		peer.inbox <- message{
-			kind:  msgBroadcast,
-			round: m.round + 1,
-			dims:  append([]int(nil), ranked[:i]...),
+		dim := ranked[i]
+		for v, b := range n.line[dim] {
+			if v == n.coord[dim] || e.set.NodeFaulty(b) || e.set.LinkFaulty(n.id, b) {
+				continue
+			}
+			peer := e.nodes[b]
+			if peer == nil {
+				continue
+			}
+			st.inflight.Add(1)
+			n.countSend(dim)
+			n.bcastSent++
+			peer.inbox <- message{
+				kind:  msgBroadcast,
+				round: m.round + 1,
+				dims:  append([]int(nil), ranked[:i]...),
+			}
 		}
 	}
 	if st.inflight.Add(-1) == 0 {

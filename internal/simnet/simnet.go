@@ -6,6 +6,12 @@
 // n-1 rounds of information exchange among neighboring nodes" — and lets
 // the experiments count real rounds and real per-link messages.
 //
+// The engine is generic over topo.Topology: binary cubes run Definition 1
+// levels, generalized hypercubes (Section 4.2) run Definition 4 by
+// reducing each dimension's sibling levels to their minimum before the
+// safety-level evaluation. Both reach the fixpoint within n-1 rounds
+// because every dimension's minimum is available in one exchange step.
+//
 // The engine serializes phases: a GS phase (bulk-synchronous level
 // exchange over exactly D rounds), unicast phases (hop-by-hop message
 // forwarding), and fault injection between phases (fail-stop nodes die;
@@ -36,10 +42,14 @@ const (
 type message struct {
 	kind msgKind
 
-	// msgLevel fields.
-	round int
-	from  int // dimension the message arrived along, from receiver's view
-	level int
+	// msgLevel fields. from is the dimension the message traveled along
+	// and fromCoord the sender's coordinate in it, which together locate
+	// the sender from the receiver's view (in a binary cube fromCoord is
+	// simply the flipped bit).
+	round     int
+	from      int
+	fromCoord int
+	level     int
 
 	// tag identifies a batch entry (0 = single-unicast mode).
 	tag int
@@ -49,7 +59,7 @@ type message struct {
 	dims []int
 
 	// msgUnicast fields.
-	nav    topo.NavVector
+	dest   topo.NodeID
 	path   topo.Path
 	detour bool // the C3 spare hop was already taken
 }
@@ -87,9 +97,19 @@ type node struct {
 	inbox chan message
 	ctrl  chan ctrlMsg
 
-	level    int   // own safety level (own view for N2 nodes)
-	public   int   // level exposed to neighbors (0 for N2 nodes)
-	nbrLevel []int // last received public level per dimension
+	// coord[i] is this node's coordinate in dimension i; line[i][v] is
+	// the node sharing all coordinates but the i-th, which is v (so
+	// line[i][coord[i]] is the node itself). Built once at start-up,
+	// read-only afterwards.
+	coord []int
+	line  [][]topo.NodeID
+
+	level  int // own safety level (own view for N2 nodes)
+	public int // level exposed to neighbors (0 for N2 nodes)
+	// nbrLevel[i][v] is the last public level received from line[i][v]
+	// (the own-coordinate slot is unused).
+	nbrLevel [][]int
+	reduced  []int // scratch: per-dimension sibling minima (Definition 4)
 
 	sent       int // messages sent, all kinds
 	lastChange int // last GS round in which level changed
@@ -111,8 +131,8 @@ type node struct {
 
 // Engine owns a distributed hypercube instance.
 type Engine struct {
-	cube *topo.Cube
-	set  *faults.Set
+	t   topo.Topology
+	set *faults.Set
 
 	nodes []*node // nil for faulty nodes
 	wg    sync.WaitGroup
@@ -141,36 +161,62 @@ type Engine struct {
 // integer increments that never cross a cache line contention point.
 func (e *Engine) SetObs(r *obs.Registry) { e.obs = r }
 
+// inboxCapacity sizes a node inbox for the worst case across both GS
+// modes: the synchronous protocol needs at most two rounds of skew from
+// each of the deg sending peers plus batch slack; the asynchronous
+// protocol can have every peer push its whole descending level ladder
+// (n levels plus the initial) before this node processes anything. For
+// a binary cube (deg = n) this reduces to the historical
+// (n+3)*(n+1)+2.
+func inboxCapacity(t topo.Topology) int {
+	dim, deg := t.Dim(), t.Degree()
+	syncNeed := (deg+3)*(dim+1) + 2
+	asyncNeed := deg*(dim+4) + 2
+	if asyncNeed > syncNeed {
+		return asyncNeed
+	}
+	return syncNeed
+}
+
 // New builds an engine over the given fault set and starts one goroutine
 // per nonfaulty node. Callers must Close the engine to stop them.
 func New(set *faults.Set) *Engine {
-	c := set.Cube()
+	t := set.Topology()
 	e := &Engine{
-		cube:    c,
+		t:       t,
 		set:     set,
-		nodes:   make([]*node, c.Nodes()),
+		nodes:   make([]*node, t.Nodes()),
 		results: make(chan UnicastResult, 4),
 	}
-	for a := 0; a < c.Nodes(); a++ {
+	capacity := inboxCapacity(t)
+	var sibs []topo.NodeID
+	for a := 0; a < t.Nodes(); a++ {
 		id := topo.NodeID(a)
 		if set.NodeFaulty(id) {
 			continue
 		}
 		n := &node{
-			id:  id,
-			eng: e,
-			// Sized for the worst case across both GS modes: the
-			// synchronous protocol needs at most two rounds of skew
-			// (2n); the asynchronous protocol can have every peer
-			// push its whole descending level ladder (n levels plus
-			// the initial) before this node processes anything, i.e.
-			// up to n*(n+2) level messages in flight.
-			inbox:      make(chan message, (c.Dim()+3)*(c.Dim()+1)+2),
+			id:         id,
+			eng:        e,
+			inbox:      make(chan message, capacity),
 			ctrl:       make(chan ctrlMsg, 1),
-			level:      c.Dim(),
-			public:     c.Dim(),
-			nbrLevel:   make([]int, c.Dim()),
-			sentPerDim: make([]int, c.Dim()),
+			coord:      make([]int, t.Dim()),
+			line:       make([][]topo.NodeID, t.Dim()),
+			level:      t.Dim(),
+			public:     t.Dim(),
+			nbrLevel:   make([][]int, t.Dim()),
+			reduced:    make([]int, t.Dim()),
+			sentPerDim: make([]int, t.Dim()),
+		}
+		for i := 0; i < t.Dim(); i++ {
+			n.coord[i] = t.Coord(id, i)
+			n.line[i] = make([]topo.NodeID, t.Radix(i))
+			n.line[i][n.coord[i]] = id
+			sibs = t.Siblings(id, i, sibs[:0])
+			for _, b := range sibs {
+				n.line[i][t.Coord(b, i)] = b
+			}
+			n.nbrLevel[i] = make([]int, t.Radix(i))
 		}
 		e.nodes[a] = n
 	}
@@ -182,8 +228,18 @@ func New(set *faults.Set) *Engine {
 	return e
 }
 
-// Cube returns the topology.
-func (e *Engine) Cube() *topo.Cube { return e.cube }
+// Topology returns the topology the engine runs on.
+func (e *Engine) Topology() topo.Topology { return e.t }
+
+// Cube returns the binary-hypercube topology; it panics when the engine
+// runs on a generalized hypercube (use Topology then).
+func (e *Engine) Cube() *topo.Cube {
+	c, ok := e.t.(*topo.Cube)
+	if !ok {
+		panic("simnet: engine is not over a binary cube")
+	}
+	return c
+}
 
 // MessagesSent returns the total messages sent by all live nodes so far.
 // Call it only between phases.
@@ -213,7 +269,7 @@ func (e *Engine) StableRound() int {
 // Levels snapshots the public level of every node (0 for faulty nodes).
 // Call it only between phases.
 func (e *Engine) Levels() []int {
-	out := make([]int, e.cube.Nodes())
+	out := make([]int, e.t.Nodes())
 	for a, n := range e.nodes {
 		if n != nil {
 			out[a] = n.public
@@ -225,7 +281,7 @@ func (e *Engine) Levels() []int {
 // OwnLevels snapshots each node's own-view level (differs from Levels
 // only for N2 nodes). Call it only between phases.
 func (e *Engine) OwnLevels() []int {
-	out := make([]int, e.cube.Nodes())
+	out := make([]int, e.t.Nodes())
 	for a, n := range e.nodes {
 		if n != nil {
 			out[a] = n.level
@@ -277,7 +333,8 @@ func (e *Engine) recordGS(kind string, rounds, updates int) {
 	}
 	t := &obs.GSTrace{
 		Kind:       kind,
-		Dim:        e.cube.Dim(),
+		Topo:       fmt.Sprint(e.t),
+		Dim:        e.t.Dim(),
 		NodeFaults: e.set.NodeFaults(),
 		LinkFaults: e.set.LinkFaults(),
 		Rounds:     rounds,
@@ -295,35 +352,39 @@ func (e *Engine) recordGS(kind string, rounds, updates int) {
 			t.Deltas[r-1]++
 		}
 	}
-	// Per-link counts: messages on link (a, b) are a's sends plus b's
-	// sends along the shared dimension. The full map is kept only for
-	// small cubes; the busiest-link maximum is always computed.
-	small := e.cube.Nodes() <= 256
-	if small {
-		t.PerLink = make(map[string]int)
-	}
-	for a, n := range e.nodes {
-		if n == nil {
-			continue
+	// Per-link counts need a one-neighbor-per-dimension topology (sends
+	// are accounted per dimension, and a GH dimension spans several
+	// links), so they are reported for binary cubes only. The full map
+	// is kept only for small cubes; the busiest-link maximum is always
+	// computed.
+	if bin, ok := e.t.(*topo.Cube); ok {
+		small := bin.Nodes() <= 256
+		if small {
+			t.PerLink = make(map[string]int)
 		}
-		id := topo.NodeID(a)
-		for i, cnt := range n.sentPerDim {
-			b := e.cube.Neighbor(id, i)
-			if b < id {
-				continue // count each undirected link once, from its low end
-			}
-			total := cnt
-			if peer := e.nodes[b]; peer != nil {
-				total += peer.sentPerDim[i]
-			}
-			if total == 0 {
+		for a, n := range e.nodes {
+			if n == nil {
 				continue
 			}
-			if total > t.MaxLinkMessages {
-				t.MaxLinkMessages = total
-			}
-			if small {
-				t.PerLink[e.cube.Format(id)+"-"+e.cube.Format(b)] = total
+			id := topo.NodeID(a)
+			for i, cnt := range n.sentPerDim {
+				b := bin.Neighbor(id, i)
+				if b < id {
+					continue // count each undirected link once, from its low end
+				}
+				total := cnt
+				if peer := e.nodes[b]; peer != nil {
+					total += peer.sentPerDim[i]
+				}
+				if total == 0 {
+					continue
+				}
+				if total > t.MaxLinkMessages {
+					t.MaxLinkMessages = total
+				}
+				if small {
+					t.PerLink[bin.Format(id)+"-"+bin.Format(b)] = total
+				}
 			}
 		}
 	}
@@ -343,7 +404,7 @@ func (e *Engine) recordGS(kind string, rounds, updates int) {
 // node has finished the phase.
 func (e *Engine) RunGS(rounds int) {
 	if rounds <= 0 {
-		rounds = e.cube.Dim() - 1
+		rounds = e.t.Dim() - 1
 		if rounds < 1 {
 			rounds = 1
 		}
@@ -384,20 +445,20 @@ func (e *Engine) KillNode(a topo.NodeID) error {
 // and blocks until the attempt resolves. Both endpoints must be
 // nonfaulty. Run a GS phase first so levels are in place.
 func (e *Engine) Unicast(s, d topo.NodeID) UnicastResult {
-	if !e.cube.Contains(s) || !e.cube.Contains(d) {
+	if !e.t.Contains(s) || !e.t.Contains(d) {
 		return UnicastResult{Outcome: core.Failure, Err: fmt.Errorf("simnet: node outside cube")}
 	}
 	src := e.nodes[s]
 	if src == nil {
-		return UnicastResult{Outcome: core.Failure, Err: fmt.Errorf("simnet: source %s is faulty", e.cube.Format(s))}
+		return UnicastResult{Outcome: core.Failure, Err: fmt.Errorf("simnet: source %s is faulty", e.t.Format(s))}
 	}
 	if e.nodes[d] == nil {
-		return UnicastResult{Outcome: core.Failure, Err: fmt.Errorf("simnet: destination %s is faulty", e.cube.Format(d))}
+		return UnicastResult{Outcome: core.Failure, Err: fmt.Errorf("simnet: destination %s is faulty", e.t.Format(d))}
 	}
 	e.resetPhaseCounters()
 	src.inbox <- message{
 		kind: msgUnicast,
-		nav:  topo.Nav(s, d),
+		dest: d,
 		path: topo.Path{s},
 	}
 	res := <-e.results
@@ -464,39 +525,77 @@ func (n *node) run() {
 	}
 }
 
-// liveNeighborDims returns the dimensions over which this node exchanges
-// GS levels: healthy link, nonfaulty far end, far end not in N2. inN2
-// reports whether this node itself has an adjacent faulty link.
-func (n *node) gsPeers() (peers []int, inN2 bool) {
-	e, c := n.eng, n.eng.cube
-	for i := 0; i < c.Dim(); i++ {
-		b := c.Neighbor(n.id, i)
-		if e.set.LinkFaulty(n.id, b) {
-			inN2 = true
-			continue
+// gsPeers counts the siblings that will send GS levels to this node:
+// healthy link, nonfaulty far end, far end not in N2. inN2 reports
+// whether this node itself has an adjacent faulty link.
+func (n *node) gsPeers() (peers int, inN2 bool) {
+	e := n.eng
+	for i := range n.line {
+		for v, b := range n.line[i] {
+			if v == n.coord[i] {
+				continue
+			}
+			if e.set.LinkFaulty(n.id, b) {
+				inN2 = true
+				continue
+			}
+			if e.set.NodeFaulty(b) {
+				continue
+			}
+			if len(e.set.AdjacentFaultyLinks(b)) > 0 {
+				// N2 neighbors broadcast nothing; their public level is 0.
+				continue
+			}
+			peers++
 		}
-		if e.set.NodeFaulty(b) {
-			continue
-		}
-		if len(e.set.AdjacentFaultyLinks(b)) > 0 {
-			// N2 neighbors broadcast nothing; their public level is 0.
-			continue
-		}
-		peers = append(peers, i)
 	}
 	return peers, inN2
 }
 
-// levelFromNeighborsInto evaluates Definition 1 with a caller-provided
-// scratch buffer.
-func levelFromNeighborsInto(levels, scratch []int) int {
-	return core.LevelFromNeighbors(levels, scratch)
+// levelNow evaluates this node's safety level from the received sibling
+// levels: each dimension reduces to its sibling minimum (Definition 4 —
+// the identity reduction in a binary cube) and Definition 1 runs on the
+// n reduced values.
+func (n *node) levelNow(scratch []int) int {
+	for i := range n.nbrLevel {
+		min := -1
+		for v, lv := range n.nbrLevel[i] {
+			if v == n.coord[i] {
+				continue
+			}
+			if min < 0 || lv < min {
+				min = lv
+			}
+		}
+		n.reduced[i] = min
+	}
+	return core.LevelFromNeighbors(n.reduced, scratch)
+}
+
+// initNbrLevels (re-)initializes the received-level table the way the
+// algorithm's first exchange would observe it: 0 across faulty links,
+// for faulty siblings, and for (publicly silent) N2 siblings; n
+// otherwise.
+func (n *node) initNbrLevels() {
+	e, dim := n.eng, n.eng.t.Dim()
+	for i := range n.nbrLevel {
+		for v, b := range n.line[i] {
+			if v == n.coord[i] {
+				n.nbrLevel[i][v] = dim // unused slot
+				continue
+			}
+			if e.set.LinkFaulty(n.id, b) || e.set.NodeFaulty(b) || len(e.set.AdjacentFaultyLinks(b)) > 0 {
+				n.nbrLevel[i][v] = 0
+			} else {
+				n.nbrLevel[i][v] = dim
+			}
+		}
+	}
 }
 
 // runGS executes the node's part of GLOBAL_STATUS / EXTENDED_GLOBAL_STATUS.
 func (n *node) runGS(rounds int) {
-	e, c := n.eng, n.eng.cube
-	dim := c.Dim()
+	e, dim := n.eng, n.eng.t.Dim()
 	peers, inN2 := n.gsPeers()
 
 	// (Re-)initialize: nonfaulty nodes restart from level n (the
@@ -507,14 +606,7 @@ func (n *node) runGS(rounds int) {
 	}
 	n.lastChange = 0
 	n.updates = 0
-	for i := range n.nbrLevel {
-		b := c.Neighbor(n.id, i)
-		if e.set.LinkFaulty(n.id, b) || e.set.NodeFaulty(b) || len(e.set.AdjacentFaultyLinks(b)) > 0 {
-			n.nbrLevel[i] = 0
-		} else {
-			n.nbrLevel[i] = dim
-		}
-	}
+	n.initNbrLevels()
 
 	scratch := make([]int, dim)
 	for r := 1; r <= rounds; r++ {
@@ -523,44 +615,44 @@ func (n *node) runGS(rounds int) {
 		// nodes still send to nonfaulty neighbors in N2 so those can
 		// run NODE_STATUS once in the last round (EGS).
 		if !inN2 {
-			for i := 0; i < dim; i++ {
-				b := c.Neighbor(n.id, i)
-				if e.set.LinkFaulty(n.id, b) || e.set.NodeFaulty(b) {
-					continue
+			for i := range n.line {
+				for v, b := range n.line[i] {
+					if v == n.coord[i] || e.set.LinkFaulty(n.id, b) || e.set.NodeFaulty(b) {
+						continue
+					}
+					peer := e.nodes[b]
+					if peer == nil {
+						continue
+					}
+					peer.inbox <- message{kind: msgLevel, round: r, from: i, fromCoord: n.coord[i], level: n.public}
+					n.countSend(i)
 				}
-				peer := e.nodes[b]
-				if peer == nil {
-					continue
-				}
-				peer.inbox <- message{kind: msgLevel, round: r, from: i, level: n.public}
-				n.countSend(i)
 			}
 		}
 		// Receive one level per sending peer for this round. Peers are
-		// exactly the N1 neighbors over healthy links. Matching
+		// exactly the N1 siblings over healthy links. Matching
 		// messages may already sit in the stash (stored while this
 		// node had not yet entered the phase, or from one round of
 		// skew); scan it once, then block on the inbox — messages from
 		// the next round go back to the stash.
-		want := len(peers)
 		got := 0
 		kept := n.stash[:0]
 		for _, m := range n.stash {
 			if m.kind == msgLevel && m.round == r {
-				n.nbrLevel[m.from] = m.level
+				n.nbrLevel[m.from][m.fromCoord] = m.level
 				got++
 			} else {
 				kept = append(kept, m)
 			}
 		}
 		n.stash = kept
-		for got < want {
+		for got < peers {
 			m := <-n.inbox
 			if m.kind != msgLevel || m.round != r {
 				n.stash = append(n.stash, m)
 				continue
 			}
-			n.nbrLevel[m.from] = m.level
+			n.nbrLevel[m.from][m.fromCoord] = m.level
 			got++
 		}
 		// N2 nodes run NODE_STATUS once, in the last round, treating
@@ -568,13 +660,13 @@ func (n *node) runGS(rounds int) {
 		// nodes update every round.
 		if inN2 {
 			if r == rounds {
-				n.level = core.LevelFromNeighbors(n.nbrLevel, scratch)
+				n.level = n.levelNow(scratch)
 				n.lastChange = r
 				n.changed = append(n.changed, r)
 			}
 			continue
 		}
-		nl := core.LevelFromNeighbors(n.nbrLevel, scratch)
+		nl := n.levelNow(scratch)
 		if nl != n.level {
 			n.level = nl
 			n.public = nl
@@ -589,7 +681,7 @@ func (n *node) runGS(rounds int) {
 // (collected during GS), and the fault status of its neighbors.
 func (n *node) forward(m message) {
 	n.transited++
-	if m.nav.Zero() {
+	if m.dest == n.id {
 		// UNICASTING_AT_INTERMEDIATE_NODE: N = 0 -> this is the
 		// destination.
 		n.report(m, UnicastResult{
@@ -627,37 +719,43 @@ func condOf(m message) core.Condition {
 
 // sourceForward implements UNICASTING_AT_SOURCE_NODE.
 func (n *node) sourceForward(m message) {
-	e, c := n.eng, n.eng.cube
-	h := m.nav.Count()
+	e, t := n.eng, n.eng.t
+	h := t.Distance(n.id, m.dest)
 	// C1: own level covers the distance. (Section 4.1: the far end of
 	// an adjacent faulty link is excluded from the own-level guarantee.)
-	d := n.id ^ topo.NodeID(m.nav)
-	deadLinkDest := h == 1 && e.set.LinkFaulty(n.id, d)
+	deadLinkDest := h == 1 && e.set.LinkFaulty(n.id, m.dest)
 	if !deadLinkDest {
 		if n.level >= h {
 			n.sendPreferred(m, false)
 			return
 		}
 		// C2: a preferred neighbor with level >= H-1.
-		for i := 0; i < c.Dim(); i++ {
-			if m.nav.Bit(i) && n.observedLevel(i) >= h-1 {
+		for i := 0; i < t.Dim(); i++ {
+			if dc := t.Coord(m.dest, i); dc != n.coord[i] && n.observedLevelAt(i, dc) >= h-1 {
 				n.sendPreferred(m, false)
 				return
 			}
 		}
 	}
-	// C3: a spare neighbor with level >= H+1.
-	best, dim := -1, -1
-	for i := 0; i < c.Dim(); i++ {
-		if m.nav.Bit(i) {
+	// C3: a spare neighbor with level >= H+1 (strict improvement keeps
+	// the lowest-dimension, lowest-coordinate winner, matching the
+	// sequential router's tie-break).
+	best, dim, bestCoord := -1, -1, -1
+	for i := 0; i < t.Dim(); i++ {
+		if t.Coord(m.dest, i) != n.coord[i] {
 			continue
 		}
-		if lv := n.observedLevel(i); lv >= h+1 && lv > best {
-			best, dim = lv, i
+		for v := range n.line[i] {
+			if v == n.coord[i] {
+				continue
+			}
+			if lv := n.observedLevelAt(i, v); lv >= h+1 && lv > best {
+				best, dim, bestCoord = lv, i, v
+			}
 		}
 	}
 	if dim >= 0 {
-		n.send(m, dim, true)
+		n.send(m, dim, n.line[dim][bestCoord], true)
 		return
 	}
 	n.report(m, UnicastResult{
@@ -667,16 +765,31 @@ func (n *node) sourceForward(m message) {
 	})
 }
 
-// observedLevel is the level of the neighbor along dim as this node
-// observes it: 0 across a faulty link or for a faulty node, else the
-// last level received in GS.
-func (n *node) observedLevel(dim int) int {
-	e, c := n.eng, n.eng.cube
-	b := c.Neighbor(n.id, dim)
+// observedLevelAt is the level of the sibling with coordinate v along
+// dim as this node observes it: 0 across a faulty link or for a faulty
+// node, else the last level received in GS.
+func (n *node) observedLevelAt(dim, v int) int {
+	e := n.eng
+	b := n.line[dim][v]
 	if e.set.LinkFaulty(n.id, b) || e.set.NodeFaulty(b) {
 		return 0
 	}
-	return n.nbrLevel[dim]
+	return n.nbrLevel[dim][v]
+}
+
+// observedDimLevel reduces dimension dim to its observed sibling
+// minimum — the per-dimension value of Definition 4.
+func (n *node) observedDimLevel(dim int) int {
+	min := -1
+	for v := range n.line[dim] {
+		if v == n.coord[dim] {
+			continue
+		}
+		if lv := n.observedLevelAt(dim, v); min < 0 || lv < min {
+			min = lv
+		}
+	}
+	return min
 }
 
 // intermediateForward implements UNICASTING_AT_INTERMEDIATE_NODE.
@@ -686,59 +799,56 @@ func (n *node) intermediateForward(m message) {
 
 // sendPreferred forwards to the preferred neighbor with the highest
 // observed level (LowestDim tie-break), delivering the final hop
-// unconditionally over a healthy link.
+// unconditionally over a healthy link. In a generalized hypercube the
+// preferred candidate along a dimension is the sibling already holding
+// the destination's coordinate (Section 4.2: one hop crosses the whole
+// dimension).
 func (n *node) sendPreferred(m message, detour bool) {
-	e, c := n.eng, n.eng.cube
-	if m.nav.Count() == 1 {
-		for i := 0; i < c.Dim(); i++ {
-			if m.nav.Bit(i) {
-				b := c.Neighbor(n.id, i)
-				if !e.set.LinkFaulty(n.id, b) && e.nodes[b] != nil {
-					n.send(m, i, detour)
-					return
-				}
-				break
-			}
+	e, t := n.eng, n.eng.t
+	if t.Distance(n.id, m.dest) == 1 {
+		if !e.set.LinkFaulty(n.id, m.dest) && e.nodes[m.dest] != nil {
+			n.send(m, t.LinkDim(n.id, m.dest), m.dest, detour)
+			return
 		}
 		n.report(m, UnicastResult{
 			Outcome: core.Failure,
 			Path:    m.path,
-			Err:     fmt.Errorf("simnet: %s cannot deliver final hop", c.Format(n.id)),
+			Err:     fmt.Errorf("simnet: %s cannot deliver final hop", t.Format(n.id)),
 		})
 		return
 	}
-	best, dim := -1, -1
-	for i := 0; i < c.Dim(); i++ {
-		if !m.nav.Bit(i) {
+	best, dim, bestNode := -1, -1, topo.NodeID(0)
+	for i := 0; i < t.Dim(); i++ {
+		dc := t.Coord(m.dest, i)
+		if dc == n.coord[i] {
 			continue
 		}
-		b := c.Neighbor(n.id, i)
+		b := n.line[i][dc]
 		if e.set.NodeFaulty(b) || e.set.LinkFaulty(n.id, b) {
 			continue
 		}
-		if lv := n.nbrLevel[i]; lv > best {
-			best, dim = lv, i
+		if lv := n.nbrLevel[i][dc]; lv > best {
+			best, dim, bestNode = lv, i, b
 		}
 	}
 	if dim < 0 {
 		n.report(m, UnicastResult{
 			Outcome: core.Failure,
 			Path:    m.path,
-			Err:     fmt.Errorf("simnet: %s has no usable preferred neighbor", c.Format(n.id)),
+			Err:     fmt.Errorf("simnet: %s has no usable preferred neighbor", t.Format(n.id)),
 		})
 		return
 	}
-	n.send(m, dim, detour)
+	n.send(m, dim, bestNode, detour)
 }
 
-// send moves the unicast one hop along dim.
-func (n *node) send(m message, dim int, markDetour bool) {
-	e, c := n.eng, n.eng.cube
-	b := c.Neighbor(n.id, dim)
+// send moves the unicast one hop along dim to sibling b.
+func (n *node) send(m message, dim int, b topo.NodeID, markDetour bool) {
+	e := n.eng
 	next := message{
 		kind:   msgUnicast,
 		tag:    m.tag,
-		nav:    m.nav.Flip(dim),
+		dest:   m.dest,
 		path:   append(append(topo.Path{}, m.path...), b),
 		detour: m.detour || markDetour,
 	}
@@ -749,7 +859,7 @@ func (n *node) send(m message, dim int, markDetour bool) {
 		n.report(m, UnicastResult{
 			Outcome: core.Failure,
 			Path:    m.path,
-			Err:     fmt.Errorf("simnet: hop into dead node %s", c.Format(b)),
+			Err:     fmt.Errorf("simnet: hop into dead node %s", e.t.Format(b)),
 		})
 		return
 	}

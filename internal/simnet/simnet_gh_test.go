@@ -1,0 +1,152 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/topo"
+)
+
+// ghSet builds a fault set over GH(2x3x2) — the paper's Fig. 5 shape —
+// with the given faulty addresses.
+func ghSet(t *testing.T, faulty ...string) (*topo.Mixed, *faults.Set) {
+	t.Helper()
+	m := topo.MustMixed(2, 3, 2)
+	s := faults.NewSet(m)
+	for _, a := range faulty {
+		if err := s.FailNode(m.MustParse(a)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m, s
+}
+
+// TestGHDistributedGS runs the message-passing GS phase on a generalized
+// hypercube and checks the levels against the sequential Definition 4
+// fixpoint — the same equivalence the binary engine tests establish.
+func TestGHDistributedGS(t *testing.T) {
+	m, s := ghSet(t, "011", "100", "111", "121")
+	e := New(s)
+	defer e.Close()
+	e.RunGS(0)
+
+	want := core.Compute(s, core.Options{})
+	for a, got := range e.Levels() {
+		id := topo.NodeID(a)
+		if s.NodeFaulty(id) {
+			continue
+		}
+		if got != want.Level(id) {
+			t.Errorf("level(%s) = %d, want %d", m.Format(id), got, want.Level(id))
+		}
+	}
+	if e.StableRound() > m.Dim()-1 {
+		t.Errorf("stabilized at round %d, beyond the n-1 bound", e.StableRound())
+	}
+}
+
+// TestGHDistributedGSAsync checks the asynchronous protocol reaches the
+// same fixpoint on a generalized hypercube, including EGS behavior
+// around a faulty link.
+func TestGHDistributedGSAsync(t *testing.T) {
+	m, s := ghSet(t, "011", "121")
+	if err := s.FailLink(m.MustParse("000"), m.MustParse("010")); err != nil {
+		t.Fatal(err)
+	}
+	e := New(s)
+	defer e.Close()
+	e.RunGSAsync()
+
+	want := core.Compute(s, core.Options{})
+	for a, got := range e.Levels() {
+		id := topo.NodeID(a)
+		if s.NodeFaulty(id) {
+			continue
+		}
+		if got != want.Level(id) {
+			t.Errorf("public level(%s) = %d, want %d", m.Format(id), got, want.Level(id))
+		}
+	}
+	for a, got := range e.OwnLevels() {
+		id := topo.NodeID(a)
+		if s.NodeFaulty(id) {
+			continue
+		}
+		if got != want.OwnLevel(id) {
+			t.Errorf("own level(%s) = %d, want %d", m.Format(id), got, want.OwnLevel(id))
+		}
+	}
+}
+
+// TestGHDistributedUnicast routes through the live GH node goroutines
+// and cross-checks the outcome class against the sequential router.
+func TestGHDistributedUnicast(t *testing.T) {
+	m, s := ghSet(t, "011", "100", "111", "121")
+	e := New(s)
+	defer e.Close()
+	e.RunGS(0)
+
+	src, dst := m.MustParse("010"), m.MustParse("101")
+	res := e.Unicast(src, dst)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Outcome != core.Optimal || res.Hops != m.Distance(src, dst) {
+		t.Fatalf("distributed route = %v/%d hops, want optimal/%d",
+			res.Outcome, res.Hops, m.Distance(src, dst))
+	}
+	if !res.Path.Valid(m) {
+		t.Fatalf("invalid path %v", res.Path)
+	}
+	for _, a := range res.Path {
+		if s.NodeFaulty(a) {
+			t.Fatalf("path crosses faulty node %s", m.Format(a))
+		}
+	}
+}
+
+// TestGHDistributedBatchAndBroadcast exercises the concurrent batch
+// router and the spanning-tree broadcast on a generalized hypercube:
+// every healthy pair resolves, and the broadcast wave reaches every
+// healthy node exactly once with nodes-1 messages.
+func TestGHDistributedBatchAndBroadcast(t *testing.T) {
+	m, s := ghSet(t, "011")
+	e := New(s)
+	defer e.Close()
+	e.RunGS(0)
+
+	var pairs []Pair
+	src := m.MustParse("000")
+	for a := 0; a < m.Nodes(); a++ {
+		id := topo.NodeID(a)
+		if id != src && !s.NodeFaulty(id) {
+			pairs = append(pairs, Pair{Src: src, Dst: id})
+		}
+	}
+	if len(pairs) > e.MaxBatch() {
+		t.Fatalf("batch %d exceeds MaxBatch %d", len(pairs), e.MaxBatch())
+	}
+	stats, err := e.UnicastBatch(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != len(pairs) {
+		t.Fatalf("delivered %d of %d", stats.Delivered, len(pairs))
+	}
+
+	run, err := e.Broadcast(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy := m.Nodes() - s.NodeFaults()
+	if len(run.Depth) != healthy {
+		t.Fatalf("broadcast reached %d of %d healthy nodes", len(run.Depth), healthy)
+	}
+	if run.Messages != healthy-1 {
+		t.Errorf("broadcast used %d messages, want %d (one per delivery)", run.Messages, healthy-1)
+	}
+	if run.Depth[src] != 0 {
+		t.Errorf("source depth = %d", run.Depth[src])
+	}
+}

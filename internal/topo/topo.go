@@ -49,6 +49,9 @@ func MustCube(n int) *Cube {
 // Dim returns the cube dimension n.
 func (c *Cube) Dim() int { return c.dim }
 
+// String renders the topology name ("Q4").
+func (c *Cube) String() string { return fmt.Sprintf("Q%d", c.dim) }
+
 // Nodes returns the number of nodes, 2^n.
 func (c *Cube) Nodes() int { return 1 << uint(c.dim) }
 
@@ -202,9 +205,9 @@ func (p Path) Len() int {
 	return len(p) - 1
 }
 
-// Valid reports whether p is a walk in the cube: non-empty and each
+// Valid reports whether p is a walk in the topology: non-empty and each
 // consecutive pair adjacent.
-func (p Path) Valid(c *Cube) bool {
+func (p Path) Valid(c Topology) bool {
 	if len(p) == 0 {
 		return false
 	}
@@ -234,7 +237,7 @@ func (p Path) Simple() bool {
 }
 
 // FormatWith renders the path in figure notation: "0001 -> 0000 -> 1000".
-func (p Path) FormatWith(c *Cube) string {
+func (p Path) FormatWith(c Topology) string {
 	parts := make([]string, len(p))
 	for i, a := range p {
 		parts[i] = c.Format(a)
