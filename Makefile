@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt build vet test race bench-smoke bench-json ci
+.PHONY: all fmt build vet test race fuzz bench-smoke bench-json ci
 
 all: ci
 
@@ -21,13 +21,24 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Short coverage-guided runs of every fuzz target (seed corpora live
+# under the packages' testdata/fuzz directories). FUZZTIME tunes the
+# budget per target.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzLevelFromSorted$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzComputeAndRoute$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzRepairLevels$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzChurnSchedule$$' -fuzztime $(FUZZTIME) ./internal/simnet
+
 # One iteration of every benchmark: catches bit-rot in the measurement
 # code without paying for real measurements.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# Regenerate BENCH_1.json (the instrumentation-overhead evidence) and
-# BENCH_2.json (the parallel-GS sweep vs the sequential baseline).
+# Regenerate BENCH_1.json (the instrumentation-overhead evidence),
+# BENCH_2.json (the parallel-GS sweep vs the sequential baseline) and
+# BENCH_3.json (incremental repair vs cold GS under churn).
 bench-json:
 	EMIT_BENCH_JSON=1 $(GO) test -run TestEmitBenchJSON .
 

@@ -1,0 +1,122 @@
+package safecube
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/topo"
+)
+
+// TestEmitBenchJSON3 regenerates BENCH_3.json, the committed measurement
+// of incremental GS repair (core.RepairLevels) against cold recomputation
+// under fault churn. It shares the BENCH_1/BENCH_2 gate:
+//
+//	EMIT_BENCH_JSON=1 go test -run TestEmitBenchJSON .
+//
+// (or `make bench-json`). Each benchmark op replays the same 40-event
+// Q10 fail/recover schedule from a fresh fault set, maintaining the
+// level table either by repairing the previous fixpoint or by
+// recomputing cold after every event; the chaos/differential suites pin
+// the two strategies to identical tables, so this file records only what
+// the equivalence costs.
+func TestEmitBenchJSON3(t *testing.T) {
+	if os.Getenv("EMIT_BENCH_JSON") == "" {
+		t.Skip("set EMIT_BENCH_JSON=1 to regenerate BENCH_3.json")
+	}
+
+	type entry struct {
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
+	}
+	bench := func(name string, fn func(b *testing.B)) entry {
+		r := testing.Benchmark(fn)
+		return entry{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+
+	tp := topo.MustCube(10)
+	events := faults.ChurnSchedule(tp, 3, 40, faults.ChurnOptions{Links: true})
+
+	// replay runs the whole schedule once, maintaining levels by repair
+	// or by cold recomputation, and returns the NODE_STATUS evaluations
+	// spent on the maintenance (excluding the initial cold fill).
+	replay := func(fatal func(args ...interface{}), repair bool) int {
+		set := faults.NewSet(tp)
+		prev := core.Compute(set, core.Options{})
+		gen := set.Generation()
+		evals := 0
+		for _, ev := range events {
+			if err := set.Apply(ev); err != nil {
+				fatal(err)
+			}
+			if repair {
+				delta, ok := set.Since(gen)
+				if !ok {
+					fatal("journal gap after one event")
+				}
+				as, ok := core.RepairLevels(prev, set, delta, core.Options{})
+				if !ok {
+					fatal("repair refused")
+				}
+				prev = as
+			} else {
+				prev = core.Compute(set, core.Options{})
+			}
+			gen = set.Generation()
+			evals += prev.Evals()
+		}
+		return evals
+	}
+	maintain := func(repair bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				replay(b.Fatal, repair)
+			}
+		}
+	}
+
+	repairEvals := replay(t.Fatal, true)
+	coldEvals := replay(t.Fatal, false)
+
+	report := struct {
+		Config  string  `json:"config"`
+		Claim   string  `json:"claim"`
+		Results []entry `json:"results"`
+	}{
+		Config: "Q10 (1024 nodes), 40-event fail/recover schedule with link faults, " +
+			"seed 3, GOMAXPROCS=" + strconv.Itoa(runtime.GOMAXPROCS(0)),
+		Claim: fmt.Sprintf("core.RepairLevels reconverges from the previous fixpoint through a dirty "+
+			"frontier instead of sweeping all nodes: over this schedule it spends %d NODE_STATUS "+
+			"evaluations where cold recomputation spends %d (%.1fx), and the chaos suite pins both "+
+			"to bit-identical tables", repairEvals, coldEvals, float64(coldEvals)/float64(repairEvals)),
+		Results: []entry{
+			bench("churn/q10/40-events/cold", maintain(false)),
+			bench("churn/q10/40-events/repair", maintain(true)),
+		},
+	}
+
+	f, err := os.Create("BENCH_3.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_3.json: %+v", report.Results)
+}

@@ -30,7 +30,7 @@ func main() {
 func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("slreport", flag.ContinueOnError)
 	fs.SetOutput(errOut)
-	experiment := fs.String("experiment", "all", "experiment to run (all, fig1, fig2, table1, safesets, rounds, fig3, guarantee, thm4, fig4, fig5, compare, distributed, ablate, broadcast, traffic, ghcube)")
+	experiment := fs.String("experiment", "all", "experiment to run (all, fig1, fig2, table1, safesets, rounds, fig3, guarantee, thm4, fig4, fig5, compare, distributed, ablate, broadcast, traffic, ghcube, churn)")
 	seed := fs.Uint64("seed", 0, "RNG seed (0 = the recorded default)")
 	trials := fs.Int("trials", 0, "Monte-Carlo trials per point (0 = the recorded default)")
 	csv := fs.Bool("csv", false, "emit CSV instead of formatted tables")
@@ -75,10 +75,13 @@ func run(args []string, out, errOut io.Writer) int {
 		"ghcube": func() []*expt.Table {
 			return []*expt.Table{expt.GHSweep(cfg), expt.GHDistributed(cfg)}
 		},
+		"churn": func() []*expt.Table {
+			return []*expt.Table{expt.ChurnRepair(cfg)}
+		},
 	}
 	order := []string{"fig1", "fig2", "table1", "safesets", "rounds", "fig3",
 		"guarantee", "thm4", "fig4", "fig5", "compare", "distributed", "ablate",
-		"broadcast", "traffic", "ghcube"}
+		"broadcast", "traffic", "ghcube", "churn"}
 
 	var selected []string
 	if *experiment == "all" {

@@ -35,10 +35,11 @@ type Generalized struct {
 	asGen uint64
 
 	// Observability (nil when not instrumented; see Instrument).
-	reg         *obs.Registry
-	routeObs    *obs.RouteObserver
-	cacheHits   *obs.Counter
-	cacheMisses *obs.Counter
+	reg          *obs.Registry
+	routeObs     *obs.RouteObserver
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	cacheRepairs *obs.Counter
 }
 
 // NewGeneralized builds GH with the given per-dimension radixes, listed
@@ -154,9 +155,11 @@ type GLevels struct {
 
 // ComputeLevels runs the generic GS algorithm (EGS when link faults are
 // present) to its Definition 4 fixpoint. Like Cube.ComputeLevels the
-// result is cached keyed on the fault set's mutation generation, and on
-// an instrumented cube every call counts a cache hit or miss and every
-// recomputation records a sequential GSTrace.
+// result is cached keyed on the fault set's mutation generation, a stale
+// entry is incrementally repaired when the delta journal allows it, and
+// on an instrumented cube every call counts a cache hit or miss (a
+// repair counts as a miss plus a repairs counter) and every
+// recomputation records a GSTrace.
 func (g *Generalized) ComputeLevels() *GLevels {
 	gen := g.set.Generation()
 	if g.as != nil && g.asGen == gen {
@@ -164,7 +167,18 @@ func (g *Generalized) ComputeLevels() *GLevels {
 		return &GLevels{as: g.as}
 	}
 	g.cacheMisses.Inc()
-	g.as = core.Compute(g.set, core.Options{})
+	repaired := false
+	if g.as != nil {
+		if delta, ok := g.set.Since(g.asGen); ok {
+			if as, ok := core.RepairLevels(g.as, g.set, delta, core.Options{}); ok {
+				g.as, repaired = as, true
+				g.cacheRepairs.Inc()
+			}
+		}
+	}
+	if !repaired {
+		g.as = core.Compute(g.set, core.Options{})
+	}
 	g.asGen = gen
 	if g.reg != nil {
 		g.recordGS()
@@ -172,7 +186,8 @@ func (g *Generalized) ComputeLevels() *GLevels {
 	return &GLevels{as: g.as}
 }
 
-// recordGS publishes the cost of the sequential GS run that just ended.
+// recordGS publishes the cost of the sequential GS run or incremental
+// repair that just ended.
 func (g *Generalized) recordGS() {
 	deltas := g.as.Deltas()
 	changes := 0
@@ -183,7 +198,7 @@ func (g *Generalized) recordGS() {
 	g.reg.Gauge(obs.MetricGSLastRounds).Set(int64(g.as.Rounds()))
 	g.reg.Histogram(obs.MetricGSRoundsHist).Observe(int64(g.as.Rounds()))
 	g.reg.Counter(obs.MetricGSLevelChangesTotal).Add(int64(changes))
-	g.reg.RecordGS(&obs.GSTrace{
+	tr := &obs.GSTrace{
 		Kind:       "sequential",
 		Topo:       g.t.String(),
 		Dim:        g.Dim(),
@@ -191,7 +206,16 @@ func (g *Generalized) recordGS() {
 		LinkFaults: g.set.LinkFaults(),
 		Rounds:     g.as.Rounds(),
 		Deltas:     deltas,
-	})
+	}
+	if g.as.Repaired() {
+		tr.Kind = "repair"
+		tr.DirtyNodes = g.as.DirtyNodes()
+		tr.Evals = g.as.Evals()
+		g.reg.Gauge(obs.MetricGSRepairRounds).Set(int64(g.as.Rounds()))
+		g.reg.Counter(obs.MetricGSRepairDirtyNodes).Add(int64(g.as.DirtyNodes()))
+		g.reg.Counter(obs.MetricGSRepairEvals).Add(int64(g.as.Evals()))
+	}
+	g.reg.RecordGS(tr)
 }
 
 // Level returns S(a) as observed by a's neighbors (0 for faulty nodes
@@ -275,6 +299,7 @@ func (g *Generalized) Instrument(r *Registry) *Generalized {
 	g.routeObs = r.RouteObserver()
 	g.cacheHits = r.Counter(obs.MetricLevelsCacheHits)
 	g.cacheMisses = r.Counter(obs.MetricLevelsCacheMisses)
+	g.cacheRepairs = r.Counter(obs.MetricLevelsCacheRepairs)
 	return g
 }
 

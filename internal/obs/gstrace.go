@@ -12,8 +12,8 @@ import (
 // turning the paper's "n-1 rounds of information exchange among
 // neighboring nodes" into measured traffic.
 type GSTrace struct {
-	// Kind identifies the execution model: "sequential", "simnet-sync"
-	// or "simnet-async".
+	// Kind identifies the execution model: "sequential", "repair",
+	// "simnet-sync" or "simnet-async".
 	Kind string `json:"kind"`
 	// Topo names the topology ("Q7", "GH(2x3x2)"); Summary falls back to
 	// "Q<Dim>" when empty, so binary producers may leave it unset.
@@ -40,6 +40,11 @@ type GSTrace struct {
 	PerLink map[string]int `json:"per_link,omitempty"`
 	// MaxLinkMessages is the busiest link's message count.
 	MaxLinkMessages int `json:"max_link_messages,omitempty"`
+	// DirtyNodes and Evals describe incremental repairs (Kind "repair"):
+	// total dirty-frontier slots processed and NODE_STATUS evaluations
+	// spent converging back to the fixpoint.
+	DirtyNodes int `json:"dirty_nodes,omitempty"`
+	Evals      int `json:"evals,omitempty"`
 }
 
 // Summary renders the trace as a one-paragraph transcript line.
@@ -59,6 +64,9 @@ func (t *GSTrace) Summary() string {
 	}
 	if t.Updates > 0 {
 		fmt.Fprintf(&b, ", %d async updates", t.Updates)
+	}
+	if t.DirtyNodes > 0 {
+		fmt.Fprintf(&b, ", %d dirty nodes (%d evals)", t.DirtyNodes, t.Evals)
 	}
 	if t.Messages > 0 {
 		fmt.Fprintf(&b, ", %d messages (busiest link %d)", t.Messages, t.MaxLinkMessages)

@@ -192,6 +192,13 @@ const (
 	MetricGSLastRounds        = "gs_last_rounds"
 	MetricGSRoundsHist        = "gs_rounds"
 	MetricGSLevelChangesTotal = "gs_level_changes_total"
+	// Incremental repair metrics: a repair counts as a cache miss (the
+	// assignment was recomputed) plus a repairs counter, so
+	// misses - repairs = cold recomputations.
+	MetricLevelsCacheRepairs = "levels_cache_repairs_total"
+	MetricGSRepairRounds     = "gs_repair_last_rounds"
+	MetricGSRepairDirtyNodes = "gs_repair_dirty_nodes_total"
+	MetricGSRepairEvals      = "gs_repair_evals_total"
 )
 
 // RouteObserver builds (or rebuilds) an observer bound to the registry,

@@ -1,0 +1,171 @@
+package oracle_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/faults"
+	"repro/internal/oracle"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// TestGoldenDistances pins the oracle's BFS against hand-checked
+// distance tables for the paper's figure scenarios. The tables encode
+// the scenarios' load-bearing facts: Fig. 1's detours around the fault
+// cluster, Fig. 3's cut-off node 1110 (distance -1 from everywhere, 0
+// from itself), and Fig. 4's length-3 detour from 1000 to 1001 forced
+// by the faulty link between them.
+func TestGoldenDistances(t *testing.T) {
+	c := topo.MustCube(4)
+	cases := []struct {
+		name string
+		set  *faults.Set
+		src  string
+		want []int
+	}{
+		{"Fig1", expt.Fig1Set(), "0000", []int{0, 1, 1, -1, -1, 2, -1, 3, 1, -1, 2, 3, 2, 3, 3, 4}},
+		{"Fig1", expt.Fig1Set(), "1111", []int{4, 3, 3, -1, -1, 2, -1, 1, 3, -1, 2, 1, 2, 1, 1, 0}},
+		{"Fig1", expt.Fig1Set(), "0111", []int{3, 2, 4, -1, -1, 1, -1, 0, 4, -1, 3, 2, 3, 2, 2, 1}},
+		{"Fig3", expt.Fig3Set(), "0000", []int{0, 1, 1, 2, 1, 2, -1, 3, 1, 2, -1, 3, -1, 3, -1, -1}},
+		{"Fig3", expt.Fig3Set(), "1110", []int{-1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, 0, -1}},
+		{"Fig3", expt.Fig3Set(), "0111", []int{3, 2, 2, 1, 2, 1, -1, 0, 4, 3, -1, 2, -1, 2, -1, -1}},
+		{"Fig4", expt.Fig4Set(), "1000", []int{-1, 4, 2, 3, -1, 5, 3, 4, 0, 3, 1, 2, -1, 4, -1, 3}},
+		{"Fig4", expt.Fig4Set(), "0001", []int{-1, 0, 2, 1, -1, 1, 3, 2, 4, 1, 3, 2, -1, 2, -1, 3}},
+		{"Fig4", expt.Fig4Set(), "1111", []int{-1, 3, 3, 2, -1, 2, 2, 1, 3, 2, 2, 1, -1, 1, -1, 0}},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%s/src=%s", tc.name, tc.src), func(t *testing.T) {
+			got := oracle.Distances(tc.set, c.MustParse(tc.src))
+			for a, want := range tc.want {
+				if got[a] != want {
+					t.Errorf("dist(%s, %s) = %d, want %d",
+						tc.src, c.Format(topo.NodeID(a)), got[a], want)
+				}
+			}
+		})
+	}
+}
+
+// fuzzedSets builds a deterministic spread of fault sets over binary and
+// mixed topologies, with node faults, link faults, and both.
+func fuzzedSets(tb testing.TB) []*faults.Set {
+	tb.Helper()
+	rng := stats.NewRNG(17)
+	var sets []*faults.Set
+	shapes := []topo.Topology{
+		topo.MustCube(4),
+		topo.MustCube(6),
+		topo.MustMixed(2, 3, 2),
+		topo.MustMixed(3, 3, 3),
+	}
+	for _, tp := range shapes {
+		for _, load := range []int{1, tp.Dim(), 2 * tp.Dim()} {
+			s := faults.NewSet(tp)
+			if err := faults.InjectUniform(s, rng, load); err != nil {
+				tb.Fatal(err)
+			}
+			sets = append(sets, s)
+		}
+		for _, ev := range faults.ChurnSchedule(tp, 5, 3*tp.Dim(), faults.ChurnOptions{Links: true}) {
+			s := faults.NewSet(tp)
+			if err := s.Apply(ev); err != nil {
+				tb.Fatal(err)
+			}
+			sets = append(sets, s)
+		}
+	}
+	return sets
+}
+
+// TestOracleAgreesWithConnectivity is the metamorphic check required by
+// the issue: two independently written BFS implementations (the oracle's
+// level-synchronous sweep and internal/faults' FIFO sweep) must agree on
+// every distance and every reachability verdict.
+func TestOracleAgreesWithConnectivity(t *testing.T) {
+	for si, set := range fuzzedSets(t) {
+		tp := set.Topology()
+		for a := 0; a < tp.Nodes(); a++ {
+			src := topo.NodeID(a)
+			got := oracle.Distances(set, src)
+			want := faults.Distances(set, src)
+			for b := range got {
+				if got[b] != want[b] {
+					t.Fatalf("set %d: dist(%d,%d) oracle %d, connectivity %d",
+						si, a, b, got[b], want[b])
+				}
+			}
+			for b := 0; b < tp.Nodes(); b++ {
+				dst := topo.NodeID(b)
+				if r, s := oracle.Reachable(set, src, dst), faults.SameComponent(set, src, dst); r != s {
+					t.Fatalf("set %d: reachable(%d,%d) oracle %v, components %v", si, a, b, r, s)
+				}
+			}
+		}
+	}
+}
+
+// TestCheckLevelsRealizesClaims runs the Theorem-2 realization check on
+// the figure scenarios and the fuzzed spread: every level the fixpoint
+// assigns must be backed by actual fault-free optimal paths.
+func TestCheckLevelsRealizesClaims(t *testing.T) {
+	sets := append(fuzzedSets(t), expt.Fig1Set(), expt.Fig3Set(), expt.Fig4Set())
+	for si, set := range sets {
+		as := core.Compute(set, core.Options{})
+		if err := oracle.CheckLevels(as); err != nil {
+			t.Fatalf("set %d (%s): %v", si, set, err)
+		}
+	}
+}
+
+// TestCheckLevelsCatchesStaleClaim is the oracle's own negative
+// control, built from the exact failure mode that motivates the churn
+// suite: a level table left stale after new faults admits routes that no
+// longer exist. Compute on a healthy cube (everyone n-safe), then cut a
+// corner of the cube off; the stale all-n table now claims optimal reach
+// into the severed region and CheckLevels must object. Without this, a
+// vacuous CheckLevels would silently pass every chaos run.
+func TestCheckLevelsCatchesStaleClaim(t *testing.T) {
+	c := topo.MustCube(4)
+	set := faults.NewSet(c)
+	as := core.Compute(set, core.Options{})
+	for _, s := range []string{"0001", "0010", "0100", "1000"} {
+		if err := set.FailNode(c.MustParse(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := oracle.CheckLevels(as); err == nil {
+		t.Fatal("CheckLevels accepted a stale assignment claiming reach into a severed region")
+	}
+}
+
+// TestCheckPath pins the path judge on the Fig. 1 cube.
+func TestCheckPath(t *testing.T) {
+	set := expt.Fig1Set()
+	c := topo.MustCube(4)
+	p := func(ss ...string) []topo.NodeID {
+		out := make([]topo.NodeID, len(ss))
+		for i, s := range ss {
+			out[i] = c.MustParse(s)
+		}
+		return out
+	}
+	if err := oracle.CheckPath(set, p("0000", "0001", "0101", "0111")); err != nil {
+		t.Fatalf("legal path rejected: %v", err)
+	}
+	if err := oracle.CheckPath(set, nil); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	if err := oracle.CheckPath(set, p("0000", "0100")); err == nil {
+		t.Fatal("path through faulty node accepted")
+	}
+	if err := oracle.CheckPath(set, p("0000", "0011")); err == nil {
+		t.Fatal("non-adjacent hop accepted")
+	}
+	lset := expt.Fig4Set()
+	if err := oracle.CheckPath(lset, p("1000", "1001")); err == nil {
+		t.Fatal("path across faulty link accepted")
+	}
+}

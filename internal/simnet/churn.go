@@ -1,0 +1,209 @@
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// Fault churn on the distributed substrate: fail/recover events applied
+// between protocol phases, each followed by a GS exchange so the live
+// nodes re-agree on safety levels before traffic resumes. This is the
+// message-passing counterpart of the incremental repair in internal/core
+// — the sequential repair patches a level table, the simnet churn mode
+// re-runs the distributed agreement, and the churn tests pin both to the
+// same unique fixpoint.
+
+// ReviveNode brings a faulty node back between phases: it recovers the
+// node in the shared fault oracle (which also clears any link faults
+// recorded against the node while it was down — see
+// faults.Set.RecoverNode), rebuilds the goroutine state, and starts it.
+// The revived node rejoins with the standard initial level; the next GS
+// phase folds it back into the fixpoint, following the paper's
+// state-change-driven update strategy (Section 2.2).
+func (e *Engine) ReviveNode(a topo.NodeID) error {
+	if !e.t.Contains(a) {
+		return fmt.Errorf("simnet: node %d outside cube", a)
+	}
+	if e.nodes[a] != nil {
+		return fmt.Errorf("simnet: node %s already alive", e.t.Format(a))
+	}
+	if !e.set.NodeFaulty(a) {
+		return fmt.Errorf("simnet: node %s not faulty in the oracle", e.t.Format(a))
+	}
+	if err := e.set.RecoverNode(a); err != nil {
+		return err
+	}
+	n := e.buildNode(a)
+	e.nodes[a] = n
+	go n.run()
+	if e.obs != nil {
+		e.obs.Counter("simnet_revives_total").Inc()
+	}
+	return nil
+}
+
+// Apply executes one churn event against the engine between phases:
+// node events kill or revive goroutines, link events mutate the shared
+// fault oracle (the affected endpoints observe them at the next phase).
+func (e *Engine) Apply(ev faults.ChurnEvent) error {
+	switch ev.Kind {
+	case faults.DeltaFailNode:
+		return e.KillNode(ev.A)
+	case faults.DeltaRecoverNode:
+		return e.ReviveNode(ev.A)
+	case faults.DeltaFailLink:
+		return e.set.FailLink(ev.A, ev.B)
+	case faults.DeltaRecoverLink:
+		return e.set.RecoverLink(ev.A, ev.B)
+	}
+	return fmt.Errorf("simnet: unknown churn event kind %d", ev.Kind)
+}
+
+// ChurnRunOptions tune RunChurn. The zero value runs the synchronous
+// protocol with the Corollary round bound and no unicast traffic.
+type ChurnRunOptions struct {
+	// Async selects the asynchronous (demand-driven) GS protocol for the
+	// post-event exchanges — the natural fit for churn, since quiescence
+	// detection charges only the messages the delta actually triggers.
+	Async bool
+	// Rounds is the synchronous round budget (0 = n-1). Ignored when
+	// Async is set.
+	Rounds int
+	// Unicasts routes this many random live-pair unicasts after each
+	// exchange, verifying every produced path hop-by-hop against the
+	// current fault state.
+	Unicasts int
+	// Seed drives the unicast pair selection (deterministic).
+	Seed uint64
+}
+
+// ChurnStep reports one event of a churn run after its GS exchange.
+type ChurnStep struct {
+	Event faults.ChurnEvent
+	// Levels and OwnLevels snapshot the post-exchange agreement (0 for
+	// faulty nodes), comparable 1:1 with core.Compute on the same fault
+	// state.
+	Levels    []int
+	OwnLevels []int
+	// Messages is the message cost of this step's GS exchange.
+	Messages int
+	// Rounds is the last round any level changed (synchronous mode);
+	// Updates is the number of effective level changes (asynchronous
+	// mode).
+	Rounds  int
+	Updates int
+	// Unicast outcome tallies for this step.
+	Delivered, Failed int
+}
+
+// ChurnReport aggregates a RunChurn execution.
+type ChurnReport struct {
+	Steps []ChurnStep
+	// GSMessages totals the per-step exchange costs.
+	GSMessages int
+}
+
+// RunChurn replays a churn schedule on the live engine: apply an event,
+// run a GS exchange, optionally route verification traffic, snapshot the
+// agreement — once per event. It stops at the first infeasible event or
+// illegal routed path; a returned error is a bug in the protocol stack,
+// not noise.
+func (e *Engine) RunChurn(events []faults.ChurnEvent, opts ChurnRunOptions) (*ChurnReport, error) {
+	rng := stats.NewRNG(opts.Seed ^ 0xda942042e4dd58b5)
+	rep := &ChurnReport{Steps: make([]ChurnStep, 0, len(events))}
+	for i, ev := range events {
+		if err := e.Apply(ev); err != nil {
+			return nil, fmt.Errorf("simnet: churn step %d apply %v: %v", i, ev, err)
+		}
+		before := e.MessagesSent()
+		if opts.Async {
+			e.RunGSAsync()
+		} else {
+			e.RunGS(opts.Rounds)
+		}
+		step := ChurnStep{
+			Event:     ev,
+			Levels:    e.Levels(),
+			OwnLevels: e.OwnLevels(),
+			Messages:  e.MessagesSent() - before,
+		}
+		if opts.Async {
+			step.Updates = e.Updates()
+		} else {
+			step.Rounds = e.StableRound()
+		}
+		for u := 0; u < opts.Unicasts; u++ {
+			src, okS := e.randomLive(rng)
+			dst, okD := e.randomLive(rng)
+			if !okS || !okD || src == dst {
+				continue
+			}
+			res := e.Unicast(src, dst)
+			if res.Outcome == core.Failure {
+				step.Failed++
+				continue
+			}
+			step.Delivered++
+			if err := e.checkPathLegal(res.Path); err != nil {
+				return nil, fmt.Errorf("simnet: churn step %d unicast %s->%s: %v",
+					i, e.t.Format(src), e.t.Format(dst), err)
+			}
+		}
+		rep.GSMessages += step.Messages
+		rep.Steps = append(rep.Steps, step)
+		if e.obs != nil {
+			e.obs.Counter("simnet_churn_events_total").Inc()
+			e.obs.Counter("simnet_churn_messages_total").Add(int64(step.Messages))
+			e.obs.Gauge("simnet_churn_node_faults").Set(int64(e.set.NodeFaults()))
+			e.obs.Gauge("simnet_churn_link_faults").Set(int64(e.set.LinkFaults()))
+		}
+	}
+	return rep, nil
+}
+
+// randomLive draws a uniformly random live node.
+func (e *Engine) randomLive(rng *stats.RNG) (topo.NodeID, bool) {
+	alive := e.t.Nodes() - e.set.NodeFaults()
+	if alive <= 0 {
+		return 0, false
+	}
+	k := rng.Intn(alive)
+	for a, n := range e.nodes {
+		if n == nil {
+			continue
+		}
+		if k == 0 {
+			return topo.NodeID(a), true
+		}
+		k--
+	}
+	return 0, false
+}
+
+// checkPathLegal verifies a routed path hop by hop against the current
+// fault state: adjacent hops, no faulty node, no faulty link.
+func (e *Engine) checkPathLegal(path topo.Path) error {
+	if len(path) == 0 {
+		return fmt.Errorf("empty path")
+	}
+	for i, a := range path {
+		if e.set.NodeFaulty(a) {
+			return fmt.Errorf("hop %d visits faulty node %s", i, e.t.Format(a))
+		}
+		if i == 0 {
+			continue
+		}
+		if !e.t.Adjacent(path[i-1], a) {
+			return fmt.Errorf("hop %d not adjacent to predecessor", i)
+		}
+		if e.set.LinkFaulty(path[i-1], a) {
+			return fmt.Errorf("hop %d traverses faulty link (%s,%s)",
+				i, e.t.Format(path[i-1]), e.t.Format(a))
+		}
+	}
+	return nil
+}

@@ -188,37 +188,12 @@ func New(set *faults.Set) *Engine {
 		nodes:   make([]*node, t.Nodes()),
 		results: make(chan UnicastResult, 4),
 	}
-	capacity := inboxCapacity(t)
-	var sibs []topo.NodeID
 	for a := 0; a < t.Nodes(); a++ {
 		id := topo.NodeID(a)
 		if set.NodeFaulty(id) {
 			continue
 		}
-		n := &node{
-			id:         id,
-			eng:        e,
-			inbox:      make(chan message, capacity),
-			ctrl:       make(chan ctrlMsg, 1),
-			coord:      make([]int, t.Dim()),
-			line:       make([][]topo.NodeID, t.Dim()),
-			level:      t.Dim(),
-			public:     t.Dim(),
-			nbrLevel:   make([][]int, t.Dim()),
-			reduced:    make([]int, t.Dim()),
-			sentPerDim: make([]int, t.Dim()),
-		}
-		for i := 0; i < t.Dim(); i++ {
-			n.coord[i] = t.Coord(id, i)
-			n.line[i] = make([]topo.NodeID, t.Radix(i))
-			n.line[i][n.coord[i]] = id
-			sibs = t.Siblings(id, i, sibs[:0])
-			for _, b := range sibs {
-				n.line[i][t.Coord(b, i)] = b
-			}
-			n.nbrLevel[i] = make([]int, t.Radix(i))
-		}
-		e.nodes[a] = n
+		e.nodes[a] = e.buildNode(id)
 	}
 	for _, n := range e.nodes {
 		if n != nil {
@@ -226,6 +201,39 @@ func New(set *faults.Set) *Engine {
 		}
 	}
 	return e
+}
+
+// buildNode constructs the goroutine state of one live node (its
+// coordinate and sibling tables, inbox, and level registers). Used at
+// start-up for every nonfaulty node and by ReviveNode for nodes
+// rejoining after recovery; the caller starts the goroutine.
+func (e *Engine) buildNode(id topo.NodeID) *node {
+	t := e.t
+	n := &node{
+		id:         id,
+		eng:        e,
+		inbox:      make(chan message, inboxCapacity(t)),
+		ctrl:       make(chan ctrlMsg, 1),
+		coord:      make([]int, t.Dim()),
+		line:       make([][]topo.NodeID, t.Dim()),
+		level:      t.Dim(),
+		public:     t.Dim(),
+		nbrLevel:   make([][]int, t.Dim()),
+		reduced:    make([]int, t.Dim()),
+		sentPerDim: make([]int, t.Dim()),
+	}
+	var sibs []topo.NodeID
+	for i := 0; i < t.Dim(); i++ {
+		n.coord[i] = t.Coord(id, i)
+		n.line[i] = make([]topo.NodeID, t.Radix(i))
+		n.line[i][n.coord[i]] = id
+		sibs = t.Siblings(id, i, sibs[:0])
+		for _, b := range sibs {
+			n.line[i][t.Coord(b, i)] = b
+		}
+		n.nbrLevel[i] = make([]int, t.Radix(i))
+	}
+	return n
 }
 
 // Topology returns the topology the engine runs on.

@@ -58,8 +58,12 @@ const (
 	MetricRerouteAbortsTotal = obs.MetricRerouteAbortsTotal
 	MetricLevelsCacheHits    = obs.MetricLevelsCacheHits
 	MetricLevelsCacheMisses  = obs.MetricLevelsCacheMisses
+	MetricLevelsCacheRepairs = obs.MetricLevelsCacheRepairs
 	MetricGSRunsTotal        = obs.MetricGSRunsTotal
 	MetricGSLastRounds       = obs.MetricGSLastRounds
+	MetricGSRepairRounds     = obs.MetricGSRepairRounds
+	MetricGSRepairDirtyNodes = obs.MetricGSRepairDirtyNodes
+	MetricGSRepairEvals      = obs.MetricGSRepairEvals
 )
 
 // NewRegistry returns an empty metrics registry.
@@ -75,6 +79,7 @@ func (c *Cube) Instrument(r *Registry) *Cube {
 	c.routeObs = r.RouteObserver()
 	c.cacheHits = r.Counter(obs.MetricLevelsCacheHits)
 	c.cacheMisses = r.Counter(obs.MetricLevelsCacheMisses)
+	c.cacheRepairs = r.Counter(obs.MetricLevelsCacheRepairs)
 	return c
 }
 

@@ -83,10 +83,11 @@ type Cube struct {
 	asGen uint64
 
 	// Observability (nil when not instrumented; see Instrument).
-	reg         *obs.Registry
-	routeObs    *obs.RouteObserver
-	cacheHits   *obs.Counter
-	cacheMisses *obs.Counter
+	reg          *obs.Registry
+	routeObs     *obs.RouteObserver
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	cacheRepairs *obs.Counter
 }
 
 // New returns an n-dimensional fault-free cube. Dimension must be in
@@ -194,9 +195,13 @@ type Levels struct {
 // fixpoint and returns the assignment. The result is cached keyed on the
 // fault set's mutation generation: any fault injected or recovered —
 // through the Cube, a Distributed engine, or the set itself — invalidates
-// it, and nothing else does. On an instrumented cube every call counts a
-// cache hit or miss, and every recomputation records a sequential GSTrace
-// (rounds to stabilize plus per-round level deltas).
+// it, and nothing else does. A stale cache entry is patched rather than
+// discarded when the fault set can replay the intervening delta journal:
+// core.RepairLevels reconverges from the last stable assignment, touching
+// only the dirty region (same fixpoint by Theorem 1, typically a fraction
+// of the cold work). On an instrumented cube every call counts a cache
+// hit or miss — a repair counts as a miss plus a repairs counter — and
+// every recomputation records a GSTrace (Kind "sequential" or "repair").
 func (c *Cube) ComputeLevels() *Levels {
 	gen := c.set.Generation()
 	if c.as != nil && c.asGen == gen {
@@ -204,7 +209,18 @@ func (c *Cube) ComputeLevels() *Levels {
 		return &Levels{as: c.as}
 	}
 	c.cacheMisses.Inc()
-	c.as = core.Compute(c.set, core.Options{})
+	repaired := false
+	if c.as != nil {
+		if delta, ok := c.set.Since(c.asGen); ok {
+			if as, ok := core.RepairLevels(c.as, c.set, delta, core.Options{}); ok {
+				c.as, repaired = as, true
+				c.cacheRepairs.Inc()
+			}
+		}
+	}
+	if !repaired {
+		c.as = core.Compute(c.set, core.Options{})
+	}
 	c.asGen = gen
 	if c.reg != nil {
 		c.recordGS()
@@ -212,7 +228,8 @@ func (c *Cube) ComputeLevels() *Levels {
 	return &Levels{as: c.as}
 }
 
-// recordGS publishes the cost of the sequential GS run that just ended.
+// recordGS publishes the cost of the sequential GS run or incremental
+// repair that just ended.
 func (c *Cube) recordGS() {
 	deltas := c.as.Deltas()
 	changes := 0
@@ -223,14 +240,23 @@ func (c *Cube) recordGS() {
 	c.reg.Gauge(obs.MetricGSLastRounds).Set(int64(c.as.Rounds()))
 	c.reg.Histogram(obs.MetricGSRoundsHist).Observe(int64(c.as.Rounds()))
 	c.reg.Counter(obs.MetricGSLevelChangesTotal).Add(int64(changes))
-	c.reg.RecordGS(&obs.GSTrace{
+	tr := &obs.GSTrace{
 		Kind:       "sequential",
 		Dim:        c.Dim(),
 		NodeFaults: c.set.NodeFaults(),
 		LinkFaults: c.set.LinkFaults(),
 		Rounds:     c.as.Rounds(),
 		Deltas:     deltas,
-	})
+	}
+	if c.as.Repaired() {
+		tr.Kind = "repair"
+		tr.DirtyNodes = c.as.DirtyNodes()
+		tr.Evals = c.as.Evals()
+		c.reg.Gauge(obs.MetricGSRepairRounds).Set(int64(c.as.Rounds()))
+		c.reg.Counter(obs.MetricGSRepairDirtyNodes).Add(int64(c.as.DirtyNodes()))
+		c.reg.Counter(obs.MetricGSRepairEvals).Add(int64(c.as.Evals()))
+	}
+	c.reg.RecordGS(tr)
 }
 
 // Level returns node a's safety level as observed by its neighbors
