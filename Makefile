@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt build vet test race fuzz bench-smoke bench-json ci
+.PHONY: all fmt build vet test race fuzz bench-smoke bench-hot bench-json cover staticcheck ci
 
 all: ci
 
@@ -36,10 +36,42 @@ fuzz:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# The hot-path benchmark set the CI bench-gate watches. BENCH_OUT
+# captures the raw output for benchstat / internal/ci/benchgate; the
+# regex must stay in sync with benchgate's default -match.
+BENCH_HOT = Benchmark(Unicast|GS|Repair)
+BENCH_COUNT ?= 6
+BENCH_OUT ?= bench.txt
+bench-hot:
+	$(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchtime 200ms \
+		-count $(BENCH_COUNT) -timeout 30m ./... | tee $(BENCH_OUT)
+
 # Regenerate BENCH_1.json (the instrumentation-overhead evidence),
-# BENCH_2.json (the parallel-GS sweep vs the sequential baseline) and
-# BENCH_3.json (incremental repair vs cold GS under churn).
+# BENCH_2.json (the parallel-GS sweep vs the sequential baseline),
+# BENCH_3.json (incremental repair vs cold GS under churn) and
+# BENCH_4.json (snapshot serving vs the mutex-guarded facade under a
+# churn storm).
 bench-json:
 	EMIT_BENCH_JSON=1 $(GO) test -run TestEmitBenchJSON .
 
-ci: fmt vet build race bench-smoke
+# Whole-repo statement coverage, gated by the ratcheting floor in
+# .github/coverage-floor.txt (raise it when new tests push it up; CI
+# fails if total coverage drops below it).
+cover:
+	$(GO) test -coverprofile=cover.out -coverpkg=./... ./...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	floor=$$(cat .github/coverage-floor.txt); \
+	awk -v t="$$total" -v f="$$floor" 'BEGIN { \
+		if (t + 0 < f + 0) { printf "coverage %.1f%% is below the floor %.1f%%\n", t, f; exit 1 } \
+		printf "coverage %.1f%% (floor %.1f%%)\n", t, f }'
+
+# Static analysis; skipped with a notice when staticcheck is not on
+# PATH (the container has no network to install it — CI installs it).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+ci: fmt vet build race bench-smoke staticcheck

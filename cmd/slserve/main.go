@@ -1,0 +1,340 @@
+// Command slserve exposes the concurrent route-serving engine over
+// HTTP: lock-free unicast queries against immutable level snapshots,
+// with fault churn applied through the engine's bounded queue and each
+// repaired assignment published by a single atomic snapshot swap.
+//
+// Usage:
+//
+//	slserve -n 6 -random 4 -seed 3 -listen :8080
+//	slserve -radix 2x3x2 -faults 011,100 -listen :8080
+//
+// Endpoints:
+//
+//	/route?src=ADDR&dst=ADDR    one unicast against the current snapshot
+//	/batch?pairs=A-B,C-D,...    many unicasts pinned to ONE snapshot
+//	/routeall?src=ADDR          fan-out from src to every other node
+//	/fault?op=OP&a=ADDR[&b=ADDR]  enqueue churn: op is fail-node,
+//	                            recover-node, fail-link or recover-link
+//	/healthz                    {"generation","queue_depth","queue_cap"}
+//	/metrics, /vars             Prometheus text / JSON registry dump
+//
+// Addresses use the topology's own notation: n-bit binary strings for
+// a cube ("0110"), per-dimension digit strings for a generalized
+// hypercube ("121"). Fault posts return 202: churn is asynchronous and
+// the snapshot generation in /healthz advances once it is applied.
+// Exit status: 0 ok, 2 usage error.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	safecube "repro"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slserve:", err)
+		if code == 0 {
+			code = 2
+		}
+	}
+	os.Exit(code)
+}
+
+// naming is the slice of both facades the handler needs: address
+// parsing and formatting over a shared NodeID space (NodeID and
+// GNodeID are the same type).
+type naming interface {
+	Parse(addr string) (safecube.NodeID, error)
+	Format(a safecube.NodeID) string
+	Nodes() int
+}
+
+// run executes one invocation; split from main so the CLI is testable.
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("slserve", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	n := fs.Int("n", 6, "cube dimension")
+	radix := fs.String("radix", "", "generalized hypercube shape, e.g. 2x3x2; overrides -n")
+	faultList := fs.String("faults", "", "comma-separated faulty node addresses")
+	random := fs.Int("random", 0, "inject this many uniform random faults")
+	seed := fs.Uint64("seed", 1, "seed for -random")
+	queue := fs.Int("queue", 0, "churn apply-queue depth (0 means the engine default, 64)")
+	workers := fs.Int("workers", 0, "batch worker pool size (0 means GOMAXPROCS)")
+	listen := fs.String("listen", ":8080", "HTTP listen address")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+
+	reg := safecube.NewRegistry()
+	var (
+		nm     naming
+		srv    *safecube.Server
+		header string
+		err    error
+	)
+	opts := safecube.ServeOptions{QueueDepth: *queue, Workers: *workers, Registry: reg}
+	if *radix != "" {
+		rx, rerr := safecube.ParseRadix(*radix)
+		if rerr != nil {
+			return 2, rerr
+		}
+		g, gerr := safecube.NewGeneralized(rx...)
+		if gerr != nil {
+			return 2, gerr
+		}
+		if *faultList != "" {
+			if err := g.FailNamed(splitList(*faultList)...); err != nil {
+				return 2, err
+			}
+		}
+		if *random > 0 {
+			if err := g.InjectRandomFaults(*seed, *random); err != nil {
+				return 2, err
+			}
+		}
+		srv, err = g.Serve(opts)
+		nm = g
+		header = fmt.Sprintf("GH(%s), %d nodes, %d node faults", *radix, g.Nodes(), g.NodeFaults())
+	} else {
+		c, cerr := safecube.New(*n)
+		if cerr != nil {
+			return 2, cerr
+		}
+		if *faultList != "" {
+			if err := c.FailNamed(splitList(*faultList)...); err != nil {
+				return 2, err
+			}
+		}
+		if *random > 0 {
+			if err := c.InjectRandomFaults(*seed, *random); err != nil {
+				return 2, err
+			}
+		}
+		srv, err = c.Serve(opts)
+		nm = c
+		header = c.String()
+	}
+	if err != nil {
+		return 2, err
+	}
+	defer srv.Close()
+
+	queueCap := *queue
+	if queueCap <= 0 {
+		queueCap = 64
+	}
+	mux := newHandler(srv, nm, reg, queueCap)
+	fmt.Fprintf(out, "# %s; serving routes on %s\n", header, *listen)
+	return 0, http.ListenAndServe(*listen, mux)
+}
+
+// routeJSON is the wire form of one route result.
+type routeJSON struct {
+	Src       string   `json:"src"`
+	Dst       string   `json:"dst"`
+	Outcome   string   `json:"outcome"`
+	Condition string   `json:"condition"`
+	Distance  int      `json:"distance"`
+	Hops      int      `json:"hops"`
+	Path      []string `json:"path,omitempty"`
+	Err       string   `json:"err,omitempty"`
+}
+
+func routeWire(r *safecube.Route, nm naming) routeJSON {
+	out := routeJSON{
+		Src:       nm.Format(r.Source),
+		Dst:       nm.Format(r.Dest),
+		Outcome:   r.Outcome.String(),
+		Condition: r.Condition.String(),
+		Distance:  r.Hamming,
+		Hops:      r.Hops(),
+	}
+	for _, a := range r.Path {
+		out.Path = append(out.Path, nm.Format(a))
+	}
+	if r.Err != nil {
+		out.Err = r.Err.Error()
+	}
+	return out
+}
+
+// newHandler builds the serving mux on top of the registry's /metrics
+// and /vars exposition.
+func newHandler(srv *safecube.Server, nm naming, reg *safecube.Registry, queueCap int) http.Handler {
+	mux := reg.Mux()
+
+	node := func(w http.ResponseWriter, r *http.Request, key string) (safecube.NodeID, bool) {
+		v := r.URL.Query().Get(key)
+		if v == "" {
+			httpErr(w, http.StatusBadRequest, fmt.Errorf("missing %q parameter", key))
+			return 0, false
+		}
+		a, err := nm.Parse(v)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, err)
+			return 0, false
+		}
+		return a, true
+	}
+
+	mux.HandleFunc("/route", func(w http.ResponseWriter, r *http.Request) {
+		src, ok := node(w, r, "src")
+		if !ok {
+			return
+		}
+		dst, ok := node(w, r, "dst")
+		if !ok {
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"generation": srv.Generation(),
+			"route":      routeWire(srv.Unicast(src, dst), nm),
+		})
+	})
+
+	mux.HandleFunc("/batch", func(w http.ResponseWriter, r *http.Request) {
+		raw := r.URL.Query().Get("pairs")
+		if raw == "" {
+			httpErr(w, http.StatusBadRequest, errors.New(`missing "pairs" parameter (want "SRC-DST,SRC-DST,...")`))
+			return
+		}
+		var pairs []safecube.TrafficPair
+		for _, item := range splitList(raw) {
+			ab := strings.SplitN(item, "-", 2)
+			if len(ab) != 2 {
+				httpErr(w, http.StatusBadRequest, fmt.Errorf("bad pair %q, want SRC-DST", item))
+				return
+			}
+			src, err := nm.Parse(ab[0])
+			if err != nil {
+				httpErr(w, http.StatusBadRequest, err)
+				return
+			}
+			dst, err := nm.Parse(ab[1])
+			if err != nil {
+				httpErr(w, http.StatusBadRequest, err)
+				return
+			}
+			pairs = append(pairs, safecube.TrafficPair{Src: src, Dst: dst})
+		}
+		routes := srv.BatchUnicast(pairs)
+		wire := make([]routeJSON, len(routes))
+		for i, rt := range routes {
+			wire[i] = routeWire(rt, nm)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"generation": srv.Generation(),
+			"routes":     wire,
+		})
+	})
+
+	mux.HandleFunc("/routeall", func(w http.ResponseWriter, r *http.Request) {
+		src, ok := node(w, r, "src")
+		if !ok {
+			return
+		}
+		all := srv.RouteAll(src)
+		wire := make([]routeJSON, 0, len(all)-1)
+		delivered := 0
+		for _, rt := range all {
+			if rt == nil {
+				continue
+			}
+			if rt.Outcome != safecube.Failure {
+				delivered++
+			}
+			wire = append(wire, routeWire(rt, nm))
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"generation": srv.Generation(),
+			"delivered":  delivered,
+			"routes":     wire,
+		})
+	})
+
+	mux.HandleFunc("/fault", func(w http.ResponseWriter, r *http.Request) {
+		op := r.URL.Query().Get("op")
+		a, ok := node(w, r, "a")
+		if !ok {
+			return
+		}
+		var err error
+		switch op {
+		case "fail-node":
+			err = srv.FailNode(a)
+		case "recover-node":
+			err = srv.RecoverNode(a)
+		case "fail-link", "recover-link":
+			b, ok := node(w, r, "b")
+			if !ok {
+				return
+			}
+			if op == "fail-link" {
+				err = srv.FailLink(a, b)
+			} else {
+				err = srv.RecoverLink(a, b)
+			}
+		default:
+			httpErr(w, http.StatusBadRequest,
+				fmt.Errorf("bad op %q, want fail-node, recover-node, fail-link or recover-link", op))
+			return
+		}
+		if err != nil {
+			httpErr(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		// 202: churn is asynchronous; the generation advances on publish.
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"queued":      true,
+			"generation":  srv.Generation(),
+			"queue_depth": srv.QueueDepth(),
+		})
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"generation":  srv.Generation(),
+			"queue_depth": srv.QueueDepth(),
+			"queue_cap":   queueCap,
+			"nodes":       nm.Nodes(),
+		})
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// splitList splits a comma-separated value, trimming blanks.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	safecube "repro"
+)
+
+// testServer spins up the full handler over a Q4 with fixed faults.
+func testServer(t *testing.T) (*httptest.Server, *safecube.Cube) {
+	t.Helper()
+	c := safecube.MustNew(4)
+	if err := c.FailNamed("0011", "1100"); err != nil {
+		t.Fatal(err)
+	}
+	reg := safecube.NewRegistry()
+	srv, err := c.Serve(safecube.ServeOptions{Registry: reg, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newHandler(srv, c, reg, 8))
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return ts, c
+}
+
+func getJSON(t *testing.T, url string, wantCode int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantCode)
+	}
+	var v map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v", url, err)
+	}
+	return v
+}
+
+func TestRouteEndpoint(t *testing.T) {
+	ts, c := testServer(t)
+	v := getJSON(t, ts.URL+"/route?src=0000&dst=1111", http.StatusOK)
+	route := v["route"].(map[string]any)
+	want := c.Unicast(c.MustParse("0000"), c.MustParse("1111"))
+	if route["outcome"] != want.Outcome.String() {
+		t.Fatalf("outcome %v, want %v", route["outcome"], want.Outcome)
+	}
+	if int(route["distance"].(float64)) != want.Hamming {
+		t.Fatalf("distance %v, want %d", route["distance"], want.Hamming)
+	}
+	if int(route["hops"].(float64)) != want.Hops() {
+		t.Fatalf("hops %v, want %d", route["hops"], want.Hops())
+	}
+	if path := route["path"].([]any); len(path) != len(want.Path) {
+		t.Fatalf("path length %d, want %d", len(path), len(want.Path))
+	} else if len(path) > 0 && path[0] != "0000" {
+		t.Fatalf("path starts at %v, want 0000", path[0])
+	}
+
+	// Bad requests: missing and malformed parameters.
+	getJSON(t, ts.URL+"/route?src=0000", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/route?src=0000&dst=banana", http.StatusBadRequest)
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	ts, c := testServer(t)
+	v := getJSON(t, ts.URL+"/batch?pairs=0000-1111,0001-1110", http.StatusOK)
+	routes := v["routes"].([]any)
+	if len(routes) != 2 {
+		t.Fatalf("batch returned %d routes, want 2", len(routes))
+	}
+	first := routes[0].(map[string]any)
+	if first["src"] != "0000" || first["dst"] != "1111" {
+		t.Fatalf("batch order broken: %v", first)
+	}
+	want := c.Unicast(c.MustParse("0001"), c.MustParse("1110"))
+	second := routes[1].(map[string]any)
+	if second["outcome"] != want.Outcome.String() {
+		t.Fatalf("second outcome %v, want %v", second["outcome"], want.Outcome)
+	}
+	getJSON(t, ts.URL+"/batch?pairs=0000+1111", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/batch", http.StatusBadRequest)
+}
+
+func TestRouteAllEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+	v := getJSON(t, ts.URL+"/routeall?src=0000", http.StatusOK)
+	routes := v["routes"].([]any)
+	if len(routes) != 15 { // every node but the source
+		t.Fatalf("routeall returned %d routes, want 15", len(routes))
+	}
+	if v["delivered"].(float64) <= 0 {
+		t.Fatal("routeall delivered nothing in a connected Q4")
+	}
+}
+
+func TestFaultAndHealthz(t *testing.T) {
+	ts, _ := testServer(t)
+	before := getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	gen := before["generation"].(float64)
+	if before["queue_cap"].(float64) != 8 {
+		t.Fatalf("queue_cap %v, want 8", before["queue_cap"])
+	}
+
+	v := getJSON(t, ts.URL+"/fault?op=recover-node&a=0011", http.StatusAccepted)
+	if v["queued"] != true {
+		t.Fatalf("fault not queued: %v", v)
+	}
+	// Churn is async: poll /healthz until the generation advances.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h := getJSON(t, ts.URL+"/healthz", http.StatusOK)
+		if h["generation"].(float64) > gen {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("generation never advanced after fault post")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The recovered node routes again.
+	r := getJSON(t, ts.URL+"/route?src=0011&dst=0000", http.StatusOK)
+	if r["route"].(map[string]any)["outcome"] == "failure" {
+		t.Fatal("recovered node still fails to route")
+	}
+
+	getJSON(t, ts.URL+"/fault?op=explode&a=0000", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/fault?op=fail-link&a=0000", http.StatusBadRequest)
+	// Semantic validation failure: 0000 and 0011 are not neighbors.
+	getJSON(t, ts.URL+"/fault?op=fail-link&a=0000&b=0011", http.StatusUnprocessableEntity)
+}
+
+func TestMetricsExposition(t *testing.T) {
+	ts, _ := testServer(t)
+	getJSON(t, ts.URL+"/route?src=0000&dst=0111", http.StatusOK)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	if !strings.Contains(body, "serve_routes_total") {
+		t.Fatalf("/metrics missing serve_routes_total:\n%s", body)
+	}
+	vars := getJSON(t, ts.URL+"/vars", http.StatusOK)
+	if len(vars) == 0 {
+		t.Fatal("/vars returned an empty object")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a, b ,,c ")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("splitList = %q", got)
+	}
+	if splitList("") != nil {
+		t.Fatal("splitList(\"\") != nil")
+	}
+}

@@ -1,0 +1,201 @@
+// Command benchgate compares two `go test -bench` output files — the
+// merge-base run and the PR run — and fails when any benchmark matching
+// a hot-path regex regressed beyond a threshold. It is the enforcement
+// half of the CI bench-gate job: benchstat renders the human report,
+// benchgate decides pass/fail, so the gate does not depend on parsing
+// benchstat's output format.
+//
+// Usage:
+//
+//	benchgate -old base.txt -new pr.txt [-match REGEX] [-threshold 0.15]
+//
+// Both files may contain multiple samples per benchmark (go test
+// -count=N); the comparison uses the median ns/op per name, which is
+// robust to one noisy sample on shared CI runners. Benchmarks present
+// in only one file are reported but never fail the gate (new or deleted
+// benchmarks are not regressions). Exit status: 0 ok, 1 regression, 2
+// usage or parse error.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		if code == 0 {
+			code = 2
+		}
+	}
+	os.Exit(code)
+}
+
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	oldPath := fs.String("old", "", "bench output of the merge base")
+	newPath := fs.String("new", "", "bench output of the PR head")
+	match := fs.String("match", `^Benchmark(Unicast|GS|Repair)`, "gate only benchmarks matching this regex")
+	threshold := fs.Float64("threshold", 0.15, "fail when new median ns/op exceeds old by this fraction")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if *oldPath == "" || *newPath == "" {
+		return 2, fmt.Errorf("both -old and -new are required")
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		return 2, fmt.Errorf("bad -match regex: %v", err)
+	}
+
+	oldRuns, err := parseFile(*oldPath)
+	if err != nil {
+		return 2, err
+	}
+	newRuns, err := parseFile(*newPath)
+	if err != nil {
+		return 2, err
+	}
+
+	report, regressions := compare(oldRuns, newRuns, re, *threshold)
+	for _, line := range report {
+		fmt.Fprintln(out, line)
+	}
+	if regressions > 0 {
+		return 1, fmt.Errorf("%d hot-path benchmark(s) regressed beyond %.0f%%",
+			regressions, *threshold*100)
+	}
+	fmt.Fprintf(out, "bench-gate: ok (%d gated benchmarks)\n", countGated(newRuns, re))
+	return 0, nil
+}
+
+// parseFile extracts per-benchmark ns/op samples from `go test -bench`
+// output. Sub-benchmark names keep their slash path; the trailing
+// -GOMAXPROCS suffix is stripped so runs from differently sized
+// machines still line up.
+func parseFile(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	runs, err := parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return runs, nil
+}
+
+func parse(r io.Reader) (map[string][]float64, error) {
+	runs := map[string][]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := trimProcSuffix(fields[0])
+		// ns/op is labeled; find the value preceding the label.
+		for i := 2; i < len(fields); i++ {
+			if fields[i] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad ns/op value in %q", sc.Text())
+			}
+			runs[name] = append(runs[name], v)
+			break
+		}
+	}
+	return runs, sc.Err()
+}
+
+// trimProcSuffix drops the -N GOMAXPROCS suffix go test appends to
+// benchmark names (BenchmarkFoo-8 -> BenchmarkFoo), including on
+// sub-benchmarks (BenchmarkFoo/bar=1-8 -> BenchmarkFoo/bar=1).
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// compare builds the report and counts gated regressions.
+func compare(oldRuns, newRuns map[string][]float64, re *regexp.Regexp, threshold float64) ([]string, int) {
+	names := make([]string, 0, len(newRuns))
+	for name := range newRuns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var report []string
+	regressions := 0
+	for _, name := range names {
+		nv := median(newRuns[name])
+		ov, ok := oldRuns[name]
+		if !ok {
+			report = append(report, fmt.Sprintf("  new   %-60s %12.1f ns/op", name, nv))
+			continue
+		}
+		om := median(ov)
+		delta := (nv - om) / om
+		status := "  ok   "
+		if re.MatchString(name) {
+			if delta > threshold {
+				status = "  FAIL "
+				regressions++
+			} else {
+				status = "  gate "
+			}
+		}
+		report = append(report, fmt.Sprintf("%s%-60s %12.1f -> %10.1f ns/op (%+.1f%%)",
+			status, name, om, nv, delta*100))
+	}
+	var gone []string
+	for name := range oldRuns {
+		if _, ok := newRuns[name]; !ok {
+			gone = append(gone, name)
+		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		report = append(report, "  gone  "+name)
+	}
+	return report, regressions
+}
+
+func countGated(runs map[string][]float64, re *regexp.Regexp) int {
+	n := 0
+	for name := range runs {
+		if re.MatchString(name) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleOld = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R)
+BenchmarkUnicastByDimension/q8-8         	  100000	      1000 ns/op
+BenchmarkUnicastByDimension/q8-8         	  100000	      1100 ns/op
+BenchmarkUnicastByDimension/q8-8         	  100000	      1050 ns/op
+BenchmarkGSByDimension/q8-8              	    5000	     20000 ns/op	  1234 B/op	  56 allocs/op
+BenchmarkRepairLevels-8                  	   50000	     30000 ns/op
+BenchmarkServeRoute/readers=16/churn=true-8 	  200000	      2000 ns/op
+BenchmarkRetired-8                       	    1000	      9999 ns/op
+PASS
+`
+
+const sampleNew = `BenchmarkUnicastByDimension/q8-4         	  100000	      1049 ns/op
+BenchmarkUnicastByDimension/q8-4         	  100000	      1060 ns/op
+BenchmarkUnicastByDimension/q8-4         	  100000	      1055 ns/op
+BenchmarkGSByDimension/q8-4              	    5000	     26000 ns/op
+BenchmarkRepairLevels-4                  	   50000	     31000 ns/op
+BenchmarkServeRoute/readers=16/churn=true-4 	  200000	      9000 ns/op
+BenchmarkBrandNew-4                      	    1000	       100 ns/op
+ok  	repro	1.0s
+`
+
+func TestParseStripsProcSuffixAndCollectsSamples(t *testing.T) {
+	runs, err := parse(strings.NewReader(sampleOld))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runs["BenchmarkUnicastByDimension/q8"]
+	if len(got) != 3 {
+		t.Fatalf("want 3 samples, got %v", got)
+	}
+	if m := median(got); m != 1050 {
+		t.Fatalf("median = %v, want 1050", m)
+	}
+	if v := runs["BenchmarkGSByDimension/q8"]; len(v) != 1 || v[0] != 20000 {
+		t.Fatalf("GS samples = %v", v)
+	}
+	if _, ok := runs["BenchmarkRepairLevels-8"]; ok {
+		t.Fatal("proc suffix not stripped")
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if m := median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("median = %v, want 2.5", m)
+	}
+}
+
+func TestCompareGatesOnlyMatchedNames(t *testing.T) {
+	oldRuns, _ := parse(strings.NewReader(sampleOld))
+	newRuns, _ := parse(strings.NewReader(sampleNew))
+	re := regexp.MustCompile(`^Benchmark(Unicast|GS|Repair)`)
+
+	// GS regressed 30% (gated -> fail); ServeRoute regressed 350% but is
+	// not gated; Unicast moved +0.5% (within threshold); Repair +3.3%.
+	report, regressions := compare(oldRuns, newRuns, re, 0.15)
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (report:\n%s)", regressions, strings.Join(report, "\n"))
+	}
+	joined := strings.Join(report, "\n")
+	for _, want := range []string{
+		"FAIL ", "BenchmarkGSByDimension/q8",
+		"new   BenchmarkBrandNew",
+		"gone  BenchmarkRetired",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("report missing %q:\n%s", want, joined)
+		}
+	}
+	// The unguarded serve benchmark appears as plain ok despite its jump.
+	if !strings.Contains(joined, "ok   BenchmarkServeRoute/readers=16/churn=true") {
+		t.Fatalf("ungated benchmark not reported ok:\n%s", joined)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.txt")
+	newPath := filepath.Join(dir, "new.txt")
+	if err := os.WriteFile(oldPath, []byte(sampleOld), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(sampleNew), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	code, err := run([]string{"-old", oldPath, "-new", newPath}, &out)
+	if code != 1 || err == nil {
+		t.Fatalf("want regression exit 1, got code %d err %v\n%s", code, err, out.String())
+	}
+
+	// With a generous threshold the same files pass.
+	out.Reset()
+	code, err = run([]string{"-old", oldPath, "-new", newPath, "-threshold", "0.5"}, &out)
+	if code != 0 || err != nil {
+		t.Fatalf("want pass, got code %d err %v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "bench-gate: ok") {
+		t.Fatalf("missing ok line:\n%s", out.String())
+	}
+
+	// Usage errors.
+	if code, err := run([]string{"-old", oldPath}, &out); code != 2 || err == nil {
+		t.Fatalf("missing -new: code %d err %v", code, err)
+	}
+	if code, err := run([]string{"-old", oldPath, "-new", newPath, "-match", "("}, &out); code != 2 || err == nil {
+		t.Fatalf("bad regex: code %d err %v", code, err)
+	}
+	if code, err := run([]string{"-old", "nope.txt", "-new", newPath}, &out); code != 2 || err == nil {
+		t.Fatalf("missing file: code %d err %v", code, err)
+	}
+}

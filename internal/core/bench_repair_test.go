@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/topo"
+)
+
+// BenchmarkRepairLevels measures single-event incremental repair on the
+// BENCH_2 workload (Q12, 24 faults): fail or recover one node, replay
+// the journal delta through RepairLevels. This is the hot write path of
+// the serving engine, and the Repair leg of the CI bench gate.
+func BenchmarkRepairLevels(b *testing.B) {
+	set := benchSet(b)
+	as := Compute(set, Options{})
+	gen := set.Generation()
+	victim := topo.NodeID(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if i%2 == 0 {
+			err = set.FailNode(victim)
+		} else {
+			err = set.RecoverNode(victim)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		delta, ok := set.Since(gen)
+		if !ok {
+			b.Fatal("journal gap")
+		}
+		rep, ok := RepairLevels(as, set, delta, Options{})
+		if !ok {
+			b.Fatal("repair refused")
+		}
+		as, gen = rep, set.Generation()
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/topo"
+)
+
+// TestDetachFreezesFaultState pins the Detach contract: the copy keeps
+// routing against the fault state at detach time no matter how the live
+// set mutates afterwards, and it still verifies as a fixpoint (against
+// its own frozen set).
+func TestDetachFreezesFaultState(t *testing.T) {
+	tp := topo.MustCube(4)
+	set := faults.NewSet(tp)
+	for _, a := range []topo.NodeID{3, 5, 12} {
+		if err := set.FailNode(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	as := Compute(set, Options{})
+	det := as.Detach()
+
+	wantLevels := as.Levels()
+	wantRoute := NewRouter(det, nil).Unicast(0, 15)
+
+	// Churn the live set hard: recover everything, fail new nodes.
+	for _, a := range []topo.NodeID{3, 5, 12} {
+		if err := set.RecoverNode(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := set.FailNodes(0, 7, 9); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := det.Levels(); !reflect.DeepEqual(got, wantLevels) {
+		t.Fatalf("detached levels changed under live-set churn:\n got %v\nwant %v", got, wantLevels)
+	}
+	if det.Faults().NodeFaulty(0) {
+		t.Fatal("detached set observed a post-detach fault")
+	}
+	if err := det.Verify(); err != nil {
+		t.Fatalf("detached assignment no longer verifies: %v", err)
+	}
+	got := NewRouter(det, nil).Unicast(0, 15)
+	if got.Outcome != wantRoute.Outcome || !reflect.DeepEqual(got.Path, wantRoute.Path) {
+		t.Fatalf("detached route changed under churn: got %v/%v want %v/%v",
+			got.Outcome, got.Path, wantRoute.Outcome, wantRoute.Path)
+	}
+	// The source failed in the live set after detach; the detached view
+	// must still admit it.
+	if r := NewRouter(det, nil).Unicast(0, 1); r.Err != nil {
+		t.Fatalf("detached router rejected pre-churn-healthy source: %v", r.Err)
+	}
+}
+
+// TestDetachEGSOwnLevels checks the two-view copy: with link faults the
+// own table differs from the public one and both survive detach; without
+// link faults the copy preserves the public/own aliasing.
+func TestDetachEGSOwnLevels(t *testing.T) {
+	tp := topo.MustCube(4)
+	set := faults.NewSet(tp)
+	if err := set.FailLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	as := Compute(set, Options{})
+	det := as.Detach()
+	for a := 0; a < tp.Nodes(); a++ {
+		id := topo.NodeID(a)
+		if det.Level(id) != as.Level(id) || det.OwnLevel(id) != as.OwnLevel(id) {
+			t.Fatalf("node %d: detached levels (%d,%d) != original (%d,%d)",
+				a, det.Level(id), det.OwnLevel(id), as.Level(id), as.OwnLevel(id))
+		}
+	}
+	if det.Level(0) == det.OwnLevel(0) && as.Level(0) != as.OwnLevel(0) {
+		t.Fatal("detach collapsed the N2 public/own distinction")
+	}
+
+	// No link faults: public and own alias in the original; the detached
+	// copy must preserve that (one table, not two).
+	set2 := faults.NewSet(tp)
+	as2 := Compute(set2, Options{})
+	det2 := as2.Detach()
+	if &det2.public[0] != &det2.own[0] {
+		t.Fatal("detach split the aliased public/own tables")
+	}
+}
+
+// TestDetachStatsCarryOver checks that the run statistics (rounds,
+// deltas, evals, repair markers) survive detach, and that the detached
+// set's generation matches the original's at detach time.
+func TestDetachStatsCarryOver(t *testing.T) {
+	tp := topo.MustCube(5)
+	set := faults.NewSet(tp)
+	if err := set.FailNodes(1, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	prev := Compute(set, Options{})
+	gen := set.Generation()
+	if err := set.FailNode(8); err != nil {
+		t.Fatal(err)
+	}
+	delta, ok := set.Since(gen)
+	if !ok {
+		t.Fatal("journal gap")
+	}
+	as, ok := RepairLevels(prev, set, delta, Options{})
+	if !ok {
+		t.Fatal("repair refused")
+	}
+	det := as.Detach()
+	if !det.Repaired() || det.Rounds() != as.Rounds() || det.Evals() != as.Evals() ||
+		det.DirtyNodes() != as.DirtyNodes() || !reflect.DeepEqual(det.Deltas(), as.Deltas()) {
+		t.Fatal("detach dropped run statistics")
+	}
+	if det.Faults().Generation() != set.Generation() {
+		t.Fatalf("detached generation %d != live %d", det.Faults().Generation(), set.Generation())
+	}
+	// CloneState drops the journal: the detached set cannot replay
+	// history it never kept.
+	if _, ok := det.Faults().Since(gen); ok {
+		t.Fatal("detached set replayed journal history it should not hold")
+	}
+}

@@ -158,6 +158,19 @@ func NewSet(t topo.Topology) *Set {
 
 // Clone returns an independent deep copy.
 func (s *Set) Clone() *Set {
+	cp := s.CloneState()
+	cp.journal = append([]Delta(nil), s.journal...)
+	return cp
+}
+
+// CloneState returns an independent copy of the fault state without the
+// delta journal. The copy reports the same faults and generation but
+// Since on it only succeeds for the current generation, so it cannot
+// replay history for an incremental repair — it is the cheap frozen
+// view the serving layer publishes inside each level snapshot, where
+// the journal (up to journalCap entries) would be dead weight copied
+// on every swap.
+func (s *Set) CloneState() *Set {
 	cp := NewSet(s.t)
 	copy(cp.node, s.node)
 	cp.nodeCount = s.nodeCount
@@ -166,7 +179,6 @@ func (s *Set) Clone() *Set {
 	}
 	cp.linkCount = s.linkCount
 	cp.gen = s.gen
-	cp.journal = append([]Delta(nil), s.journal...)
 	return cp
 }
 
@@ -207,6 +219,16 @@ func (s *Set) FailNode(a topo.NodeID) error {
 // would be silently absorbed by the stale record and the link would
 // appear to have been faulty the whole time. Link faults that should
 // survive a node repair must be re-asserted with FailLink.
+//
+// RecoverNode is a composite mutation: it journals one delta (and bumps
+// the generation) per dropped link plus one for the node itself. A Set
+// is not safe for concurrent use, and a reader racing RecoverNode could
+// observe a generation from the middle of the composite — levels where
+// the node is still down but its link faults are already gone. Callers
+// that serve readers concurrently must serialize mutations and publish
+// immutable CloneState views instead of sharing the live set; that is
+// exactly what internal/serve does (see the snapshot/swap argument in
+// DESIGN.md §9 and TestServeChurn).
 func (s *Set) RecoverNode(a topo.NodeID) error {
 	if !s.t.Contains(a) {
 		return fmt.Errorf("faults: node %d outside cube", a)

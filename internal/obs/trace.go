@@ -199,6 +199,25 @@ const (
 	MetricGSRepairRounds     = "gs_repair_last_rounds"
 	MetricGSRepairDirtyNodes = "gs_repair_dirty_nodes_total"
 	MetricGSRepairEvals      = "gs_repair_evals_total"
+	// Serving-engine metrics (internal/serve): the lock-free snapshot
+	// readers, the bounded apply queue, and the swap path.
+	MetricServeSnapshotGen    = "serve_snapshot_generation"
+	MetricServeSwapsTotal     = "serve_swaps_total"
+	MetricServeSwapLastNs     = "serve_swap_last_ns"
+	MetricServeSwapMicros     = "serve_swap_micros"
+	MetricServeRepairsTotal   = "serve_snapshot_repairs_total"
+	MetricServeColdTotal      = "serve_snapshot_cold_total"
+	MetricServeQueueDepth     = "serve_apply_queue_depth"
+	MetricServeApplyTotal     = "serve_apply_events_total"
+	MetricServeApplyErrors    = "serve_apply_errors_total"
+	MetricServeApplyRejected  = "serve_apply_rejected_total"
+	MetricServeApplyCoalesced = "serve_apply_coalesced_total"
+	MetricServeRoutesTotal    = "serve_routes_total"
+	MetricServeStaleReads     = "serve_stale_reads_total"
+	MetricServeBatchesTotal   = "serve_batches_total"
+	MetricServeBatchItems     = "serve_batch_items_total"
+	MetricServeFanoutsTotal   = "serve_fanouts_total"
+	MetricServeFanoutItems    = "serve_fanout_items_total"
 )
 
 // RouteObserver builds (or rebuilds) an observer bound to the registry,

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/topo"
+)
+
+// Batched queries. A batch pins ONE snapshot for all of its requests,
+// so the answers are mutually consistent (all computed against the same
+// fault generation) no matter how many swaps land while the batch runs.
+// Requests are spread over a worker pool sized by Options.Workers
+// (GOMAXPROCS by default); because the snapshot router is deterministic
+// (fixed tie-break, immutable levels), the result slice is element-wise
+// identical to routing the requests sequentially — the property the
+// batch tests pin across both topology families.
+
+// BatchUnicast answers every request against one snapshot and returns
+// the routes in request order. It never blocks on churn.
+func (s *Service) BatchUnicast(reqs []Request) []*core.Route {
+	sn := s.cur.Load()
+	s.mBatches.Inc()
+	s.mBatchN.Add(int64(len(reqs)))
+	if len(s.queue) > 0 {
+		s.mStale.Inc()
+	}
+	return sn.BatchUnicast(reqs, s.workers)
+}
+
+// BatchUnicast answers every request pinned to this snapshot, fanned
+// over at most workers goroutines (<= 1 means sequential).
+func (sn *Snapshot) BatchUnicast(reqs []Request, workers int) []*core.Route {
+	out := make([]*core.Route, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers <= 1 {
+		for i, q := range reqs {
+			out[i] = sn.rt.Unicast(q.Src, q.Dst)
+		}
+		return out
+	}
+	// Work-stealing by atomic cursor: each worker claims the next
+	// unanswered index, so skewed per-route costs (short vs partitioned
+	// unicasts) cannot idle the pool.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				out[i] = sn.rt.Unicast(reqs[i].Src, reqs[i].Dst)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// RouteAll fans one source out to every other node of the topology
+// against one snapshot: the serving-layer analogue of a broadcast
+// reachability sweep. The result is indexed by destination node ID;
+// the source's own slot is nil.
+func (s *Service) RouteAll(src topo.NodeID) []*core.Route {
+	sn := s.cur.Load()
+	nodes := s.t.Nodes()
+	reqs := make([]Request, 0, nodes-1)
+	for a := 0; a < nodes; a++ {
+		if topo.NodeID(a) == src {
+			continue
+		}
+		reqs = append(reqs, Request{Src: src, Dst: topo.NodeID(a)})
+	}
+	s.mFanouts.Inc()
+	s.mFanoutN.Add(int64(len(reqs)))
+	routes := sn.BatchUnicast(reqs, s.workers)
+	out := make([]*core.Route, nodes)
+	for i, q := range reqs {
+		out[q.Dst] = routes[i]
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// TestBatchUnicastMatchesSequential is the batch/sequential equivalence
+// property across both topology families: for random fault sets and
+// random request lists, BatchUnicast over the worker pool returns
+// element-wise exactly the routes that sequential Unicast calls on the
+// same snapshot produce. The equality is structural (outcome, condition,
+// path, hops), not just statistical.
+func TestBatchUnicastMatchesSequential(t *testing.T) {
+	topos := []struct {
+		name string
+		t    topo.Topology
+	}{
+		{"cube/q5", topo.MustCube(5)},
+		{"cube/q7", topo.MustCube(7)},
+		{"mixed/3x2x4", topo.MustMixed(3, 2, 4)},
+		{"mixed/2x3x2x2", topo.MustMixed(2, 3, 2, 2)},
+	}
+	for _, tc := range topos {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for trial := 0; trial < 8; trial++ {
+				seed := uint64(trial)*131 + 7
+				rng := stats.NewRNG(seed)
+				set := faults.NewSet(tc.t)
+				nfaults := rng.Intn(tc.t.Dim() + 2)
+				if err := faults.InjectUniform(set, stats.NewRNG(seed^0xbeef), nfaults); err != nil {
+					t.Fatal(err)
+				}
+
+				// Force a real pool (workers > 1) even on one CPU.
+				s, err := New(set, Options{Workers: 4})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				reqs := make([]Request, 1+rng.Intn(64))
+				for i := range reqs {
+					reqs[i] = Request{
+						Src: topo.NodeID(rng.Intn(tc.t.Nodes())),
+						Dst: topo.NodeID(rng.Intn(tc.t.Nodes())),
+					}
+				}
+
+				sn := s.Current()
+				got := s.BatchUnicast(reqs)
+				for i, q := range reqs {
+					want := sn.Route(q.Src, q.Dst)
+					if err := sameRoute(got[i], want); err != nil {
+						t.Fatalf("trial %d request %d (%d->%d): %v", trial, i, q.Src, q.Dst, err)
+					}
+				}
+				// The snapshot-level pool agrees too, at any worker count.
+				for _, workers := range []int{1, 3, 16} {
+					alt := sn.BatchUnicast(reqs, workers)
+					for i := range reqs {
+						if err := sameRoute(alt[i], got[i]); err != nil {
+							t.Fatalf("trial %d workers=%d request %d: %v", trial, workers, i, err)
+						}
+					}
+				}
+				s.Close()
+			}
+		})
+	}
+}
+
+// sameRoute compares two routes structurally.
+func sameRoute(got, want *core.Route) error {
+	if got == nil || want == nil {
+		return fmt.Errorf("nil route (got %v, want %v)", got, want)
+	}
+	if got.Outcome != want.Outcome || got.Condition != want.Condition ||
+		got.Hamming != want.Hamming || !reflect.DeepEqual(got.Path, want.Path) {
+		return fmt.Errorf("batch %v/%v %v != sequential %v/%v %v",
+			got.Outcome, got.Condition, got.Path, want.Outcome, want.Condition, want.Path)
+	}
+	if (got.Err == nil) != (want.Err == nil) {
+		return fmt.Errorf("error mismatch: %v vs %v", got.Err, want.Err)
+	}
+	return nil
+}
+
+// TestRouteAllCoversTopology checks the fan-out: every destination gets
+// an answer, the source slot stays nil, and answers match singles.
+func TestRouteAllCoversTopology(t *testing.T) {
+	for _, tp := range []topo.Topology{topo.MustCube(5), topo.MustMixed(2, 3, 3)} {
+		set := faults.NewSet(tp)
+		if err := faults.InjectUniform(set, stats.NewRNG(5), 3); err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(set, Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := topo.NodeID(0)
+		if s.Current().Assignment().Faults().NodeFaulty(src) {
+			src = 1
+		}
+		sn := s.Current()
+		all := s.RouteAll(src)
+		if len(all) != tp.Nodes() {
+			t.Fatalf("RouteAll returned %d slots, want %d", len(all), tp.Nodes())
+		}
+		for a := 0; a < tp.Nodes(); a++ {
+			if topo.NodeID(a) == src {
+				if all[a] != nil {
+					t.Fatal("source slot not nil")
+				}
+				continue
+			}
+			if all[a] == nil {
+				t.Fatalf("destination %d missing from fan-out", a)
+			}
+			if err := sameRoute(all[a], sn.Route(src, topo.NodeID(a))); err != nil {
+				t.Fatalf("dest %d: %v", a, err)
+			}
+		}
+		s.Close()
+	}
+}

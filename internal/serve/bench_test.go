@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// Throughput benchmarks of the lock-free read path: 1/4/16 concurrent
+// readers, with and without a background churn storm feeding the apply
+// queue. The BENCH_4.json emitter (bench_json4_test.go at the repo
+// root) additionally measures the same workloads against the
+// mutex-guarded facade baseline; here we only track the engine itself
+// so bench-gate can watch it without the baseline's noise.
+
+// benchService builds a Q10 service with a representative fault load.
+func benchService(b *testing.B, opts Options) *Service {
+	b.Helper()
+	tp := topo.MustCube(10)
+	set := faults.NewSet(tp)
+	if err := faults.InjectUniform(set, stats.NewRNG(42), 12); err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(set, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	return s
+}
+
+// churnStorm hammers the apply queue from one goroutine until stopped,
+// cycling a feasible fail/recover schedule. TryApply keeps the storm
+// from blocking on backpressure (rejected events are simply retried on
+// the next lap, like a real churn feed would).
+func churnStorm(s *Service, events []faults.ChurnEvent) (stop func()) {
+	var quit atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !quit.Load(); i = (i + 1) % len(events) {
+			_ = s.TryApply(events[i])
+			// Yield between events: on a single-CPU box an unyielding
+			// spin loop starves the readers we are measuring, which
+			// would benchmark the Go scheduler rather than the engine.
+			runtime.Gosched()
+		}
+	}()
+	return func() { quit.Store(true); wg.Wait() }
+}
+
+func benchReaders(b *testing.B, readers int, churn bool) {
+	s := benchService(b, Options{QueueDepth: 32})
+	var events []faults.ChurnEvent
+	if churn {
+		events = faults.ChurnSchedule(s.Topology(), 9, 512, faults.ChurnOptions{Links: true})
+		stop := churnStorm(s, events)
+		defer stop()
+	}
+	nodes := s.Topology().Nodes()
+	var seq atomic.Uint64
+	b.ResetTimer()
+	b.SetParallelism(readers) // goroutines = readers × GOMAXPROCS
+	b.RunParallel(func(pb *testing.PB) {
+		rng := stats.NewRNG(seq.Add(1) * 7919)
+		for pb.Next() {
+			src := topo.NodeID(rng.Intn(nodes))
+			dst := topo.NodeID(rng.Intn(nodes))
+			r := s.Route(src, dst)
+			if r == nil {
+				b.Fatal("nil route")
+			}
+		}
+	})
+}
+
+func BenchmarkServeRoute(b *testing.B) {
+	for _, readers := range []int{1, 4, 16} {
+		for _, churn := range []bool{false, true} {
+			name := fmt.Sprintf("readers=%d/churn=%v", readers, churn)
+			b.Run(name, func(b *testing.B) { benchReaders(b, readers, churn) })
+		}
+	}
+}
+
+// BenchmarkServeBatch measures the batched path: one snapshot load
+// amortized over a 64-request batch through the worker pool.
+func BenchmarkServeBatch(b *testing.B) {
+	s := benchService(b, Options{Workers: 4})
+	nodes := s.Topology().Nodes()
+	rng := stats.NewRNG(3)
+	reqs := make([]Request, 64)
+	for i := range reqs {
+		reqs[i] = Request{
+			Src: topo.NodeID(rng.Intn(nodes)),
+			Dst: topo.NodeID(rng.Intn(nodes)),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.BatchUnicast(reqs)
+	}
+}
+
+// BenchmarkServeSwap measures the writer path in isolation: apply one
+// event and wait for the published swap (repair + detach + pointer
+// store), alternating fail/recover so the fault load stays fixed.
+func BenchmarkServeSwap(b *testing.B) {
+	s := benchService(b, Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var ev faults.ChurnEvent
+		if i%2 == 0 {
+			ev = faults.ChurnEvent{Kind: faults.DeltaFailNode, A: 777}
+		} else {
+			ev = faults.ChurnEvent{Kind: faults.DeltaRecoverNode, A: 777}
+		}
+		if err := s.Apply(ev); err != nil {
+			b.Fatal(err)
+		}
+		s.Flush()
+	}
+}

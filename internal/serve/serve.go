@@ -1,0 +1,523 @@
+// Package serve is the concurrent route-serving engine: the first layer
+// of the system that answers unicast queries for many callers at once
+// instead of computing answers for one.
+//
+// The paper's routing decision is read-mostly. Safety levels change only
+// on fault churn (a FailNode/RecoverNode/FailLink event), while every
+// unicast between two churn events routes against the same level
+// fixpoint — exactly the shape RCU-style snapshotting exploits. A
+// Service therefore keeps one immutable, generation-stamped Snapshot
+// behind an atomic pointer:
+//
+//   - Readers (Route, Feasibility, BatchUnicast, RouteAll) load the
+//     pointer, route, and never take a lock. A reader keeps the snapshot
+//     it loaded for the whole query, so every answer is internally
+//     consistent even while the pointer moves underneath it.
+//   - Fault churn goes through a bounded apply queue drained by a single
+//     applier goroutine, which owns the live fault oracle, reconverges
+//     the levels through core.RepairLevels (cold Compute as fallback),
+//     and publishes the next snapshot with a single pointer swap.
+//
+// Stale-snapshot routing is safe, not merely tolerated: by Theorem 1 the
+// safety-level fixpoint for a fault set is unique, so a snapshot is the
+// exact assignment for the faults it was stamped with, and every route
+// it produces is a correct route of that slightly-older cube — the same
+// guarantee any distributed execution gives between two GS exchanges
+// (see DESIGN.md §9 for the full argument).
+//
+// Backpressure: the queue is bounded, so a churn storm throttles
+// writers (Apply blocks, TryApply refuses) while readers keep serving
+// the last published snapshot. The applier additionally coalesces every
+// event queued at drain time into one repair + one swap, so a storm of
+// k events costs one reconvergence, not k.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/topo"
+)
+
+// ErrClosed is returned by mutations submitted after Close.
+var ErrClosed = errors.New("serve: service closed")
+
+// ErrBacklog is returned by TryApply when the apply queue is full — the
+// backpressure signal of a churn storm.
+var ErrBacklog = errors.New("serve: apply queue full")
+
+// Request is one unicast query of a batch.
+type Request struct {
+	Src, Dst topo.NodeID
+}
+
+// Snapshot is one immutable published state: a safety-level assignment
+// detached from the live fault oracle (core.Assignment.Detach), stamped
+// with the fault-set generation it corresponds to. All methods are safe
+// for arbitrary concurrent use; nothing in a Snapshot ever mutates.
+type Snapshot struct {
+	// gen and genCheck carry the same generation; they are written once
+	// at construction and compared by readers (and TestServeChurn) as a
+	// torn-publication canary. A snapshot observed with gen != genCheck
+	// would mean the pointer swap exposed a half-built value.
+	gen      uint64
+	as       *core.Assignment
+	rt       *core.Router
+	genCheck uint64
+}
+
+// newSnapshot builds a snapshot around a detached assignment. The
+// router is shared by every reader of the snapshot: core.Router carries
+// no per-unicast state, and the observer is the counter-only kind,
+// which is safe for concurrent use.
+func newSnapshot(gen uint64, det *core.Assignment, tie core.TieBreak, ro *obs.RouteObserver) *Snapshot {
+	return &Snapshot{
+		gen:      gen,
+		as:       det,
+		rt:       core.NewRouter(det, tie).Observe(ro),
+		genCheck: gen,
+	}
+}
+
+// Generation returns the fault-set generation the snapshot was built
+// from.
+func (sn *Snapshot) Generation() uint64 { return sn.gen }
+
+// Consistent reports whether the generation stamp survived publication
+// untorn. With atomic.Pointer publication this is always true; the
+// method exists so the churn tests can assert it under -race.
+func (sn *Snapshot) Consistent() bool { return sn.gen == sn.genCheck }
+
+// Assignment returns the snapshot's (immutable) safety-level
+// assignment.
+func (sn *Snapshot) Assignment() *core.Assignment { return sn.as }
+
+// Level returns node a's public safety level in this snapshot.
+func (sn *Snapshot) Level(a topo.NodeID) int { return sn.as.Level(a) }
+
+// Route unicasts from src to dst pinned to this snapshot. Callers that
+// must answer several queries against one consistent state (the batch
+// path, the property tests) hold a snapshot and route on it directly.
+func (sn *Snapshot) Route(src, dst topo.NodeID) *core.Route {
+	return sn.rt.Unicast(src, dst)
+}
+
+// Feasibility evaluates the admission test pinned to this snapshot.
+func (sn *Snapshot) Feasibility(src, dst topo.NodeID) (core.Condition, core.Outcome) {
+	return sn.rt.Feasibility(src, dst)
+}
+
+// Options tune a Service. The zero value serves with a 64-entry apply
+// queue, a GOMAXPROCS-sized batch worker pool, the default tie-break,
+// and no instrumentation.
+type Options struct {
+	// QueueDepth bounds the apply queue (<= 0 means 64). A full queue
+	// blocks Apply and refuses TryApply; readers are unaffected.
+	QueueDepth int
+	// Workers sizes the BatchUnicast/RouteAll worker pool (<= 0 means
+	// GOMAXPROCS).
+	Workers int
+	// Tie is the routing tie-break policy (nil means core.LowestDim).
+	Tie core.TieBreak
+	// Registry receives the per-service metrics (nil disables).
+	Registry *obs.Registry
+	// Compute tunes the level computations the applier runs. MaxRounds
+	// must stay 0 (truncated convergence cannot be repaired).
+	Compute core.Options
+}
+
+// applyMsg is one unit of the apply queue: a churn batch, or a barrier
+// marker (events == nil) whose done channel closes once every earlier
+// message has been fully applied and published.
+type applyMsg struct {
+	events []faults.ChurnEvent
+	done   chan struct{}
+}
+
+// Service is the concurrent route-serving engine over one topology. All
+// exported methods are safe for concurrent use; construction is the
+// only exception (New publishes the first snapshot itself).
+type Service struct {
+	t   topo.Topology
+	cur atomic.Pointer[Snapshot]
+
+	queue  chan applyMsg
+	closed chan struct{}
+	once   sync.Once
+	wg     sync.WaitGroup
+
+	// Applier-owned state: the live fault oracle and the repair seed.
+	// Nothing outside the applier goroutine touches these after New.
+	set     *faults.Set
+	live    *core.Assignment
+	liveGen uint64
+
+	workers int
+	tie     core.TieBreak
+	copts   core.Options
+
+	// Metric handles, resolved once (nil-safe no-ops when
+	// uninstrumented).
+	routeObs   *obs.RouteObserver
+	mGen       *obs.Gauge
+	mSwaps     *obs.Counter
+	mSwapNs    *obs.Gauge
+	mSwapHist  *obs.Histogram
+	mRepairs   *obs.Counter
+	mCold      *obs.Counter
+	mDepth     *obs.Gauge
+	mApplied   *obs.Counter
+	mApplyErrs *obs.Counter
+	mRejected  *obs.Counter
+	mCoalesced *obs.Counter
+	mRoutes    *obs.Counter
+	mStale     *obs.Counter
+	mBatches   *obs.Counter
+	mBatchN    *obs.Counter
+	mFanouts   *obs.Counter
+	mFanoutN   *obs.Counter
+}
+
+// New starts a service over the fault state of set, which is cloned:
+// the service's churn stream and the caller's set evolve independently
+// afterwards. The initial snapshot is computed synchronously, so a
+// freshly constructed service answers queries immediately.
+func New(set *faults.Set, opts Options) (*Service, error) {
+	if set == nil {
+		return nil, errors.New("serve: nil fault set")
+	}
+	if opts.Compute.MaxRounds > 0 {
+		return nil, errors.New("serve: truncated convergence (Compute.MaxRounds > 0) cannot be served")
+	}
+	depth := opts.QueueDepth
+	if depth <= 0 {
+		depth = 64
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	tie := opts.Tie
+	if tie == nil {
+		tie = core.LowestDim
+	}
+	s := &Service{
+		t:       set.Topology(),
+		queue:   make(chan applyMsg, depth),
+		closed:  make(chan struct{}),
+		set:     set.Clone(),
+		workers: workers,
+		tie:     tie,
+		copts:   opts.Compute,
+	}
+	s.bindMetrics(opts.Registry)
+	s.live = core.Compute(s.set, s.copts)
+	s.liveGen = s.set.Generation()
+	s.publish(s.live, s.liveGen, false)
+	s.wg.Add(1)
+	go s.applier()
+	return s, nil
+}
+
+// bindMetrics resolves every metric handle once. A nil registry leaves
+// all handles nil, which the obs layer treats as "off".
+func (s *Service) bindMetrics(r *obs.Registry) {
+	s.routeObs = r.RouteObserver()
+	s.mGen = r.Gauge(obs.MetricServeSnapshotGen)
+	s.mSwaps = r.Counter(obs.MetricServeSwapsTotal)
+	s.mSwapNs = r.Gauge(obs.MetricServeSwapLastNs)
+	s.mSwapHist = r.Histogram(obs.MetricServeSwapMicros, 10, 100, 1000, 10000, 100000, 1000000)
+	s.mRepairs = r.Counter(obs.MetricServeRepairsTotal)
+	s.mCold = r.Counter(obs.MetricServeColdTotal)
+	s.mDepth = r.Gauge(obs.MetricServeQueueDepth)
+	s.mApplied = r.Counter(obs.MetricServeApplyTotal)
+	s.mApplyErrs = r.Counter(obs.MetricServeApplyErrors)
+	s.mRejected = r.Counter(obs.MetricServeApplyRejected)
+	s.mCoalesced = r.Counter(obs.MetricServeApplyCoalesced)
+	s.mRoutes = r.Counter(obs.MetricServeRoutesTotal)
+	s.mStale = r.Counter(obs.MetricServeStaleReads)
+	s.mBatches = r.Counter(obs.MetricServeBatchesTotal)
+	s.mBatchN = r.Counter(obs.MetricServeBatchItems)
+	s.mFanouts = r.Counter(obs.MetricServeFanoutsTotal)
+	s.mFanoutN = r.Counter(obs.MetricServeFanoutItems)
+}
+
+// Topology returns the topology the service routes over.
+func (s *Service) Topology() topo.Topology { return s.t }
+
+// Current returns the currently published snapshot. The caller may hold
+// it indefinitely; it never mutates.
+func (s *Service) Current() *Snapshot { return s.cur.Load() }
+
+// Generation returns the generation of the published snapshot.
+func (s *Service) Generation() uint64 { return s.cur.Load().Generation() }
+
+// QueueDepth returns the number of apply messages waiting (a live
+// backpressure signal; also exported as serve_apply_queue_depth).
+func (s *Service) QueueDepth() int { return len(s.queue) }
+
+// Route unicasts from src to dst against the current snapshot, without
+// taking any lock. Under pending churn the answer is served from the
+// last published generation (counted as a stale read).
+func (s *Service) Route(src, dst topo.NodeID) *core.Route {
+	sn := s.cur.Load()
+	s.mRoutes.Inc()
+	if len(s.queue) > 0 {
+		s.mStale.Inc()
+	}
+	return sn.Route(src, dst)
+}
+
+// Feasibility evaluates the admission test against the current
+// snapshot.
+func (s *Service) Feasibility(src, dst topo.NodeID) (core.Condition, core.Outcome) {
+	return s.cur.Load().Feasibility(src, dst)
+}
+
+// validate rejects events that no fault set over this topology could
+// ever accept, so the asynchronous applier only ever sees feasible
+// mutations (redundant ones — failing an already-faulty node — are
+// no-ops by Set semantics).
+func (s *Service) validate(events []faults.ChurnEvent) error {
+	for _, ev := range events {
+		switch ev.Kind {
+		case faults.DeltaFailNode, faults.DeltaRecoverNode:
+			if !s.t.Contains(ev.A) {
+				return fmt.Errorf("serve: node %d outside topology", ev.A)
+			}
+		case faults.DeltaFailLink, faults.DeltaRecoverLink:
+			if !s.t.Contains(ev.A) || !s.t.Contains(ev.B) {
+				return fmt.Errorf("serve: link endpoint outside topology")
+			}
+			if !s.t.Adjacent(ev.A, ev.B) {
+				return fmt.Errorf("serve: %d and %d are not adjacent", ev.A, ev.B)
+			}
+		default:
+			return fmt.Errorf("serve: unknown churn event kind %d", ev.Kind)
+		}
+	}
+	return nil
+}
+
+// Apply submits churn events, blocking while the queue is full (the
+// writer-side backpressure of a churn storm; readers never block). The
+// events are applied asynchronously; use Flush to wait for the swap.
+func (s *Service) Apply(events ...faults.ChurnEvent) error {
+	if len(events) == 0 {
+		return nil
+	}
+	if err := s.validate(events); err != nil {
+		return err
+	}
+	msg := applyMsg{events: append([]faults.ChurnEvent(nil), events...)}
+	// Closed is checked on its own first so a closed service refuses
+	// deterministically even when the queue also has room.
+	select {
+	case <-s.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case <-s.closed:
+		return ErrClosed
+	case s.queue <- msg:
+		s.mDepth.Set(int64(len(s.queue)))
+		return nil
+	}
+}
+
+// TryApply is Apply that refuses with ErrBacklog instead of blocking
+// when the queue is full.
+func (s *Service) TryApply(events ...faults.ChurnEvent) error {
+	if len(events) == 0 {
+		return nil
+	}
+	if err := s.validate(events); err != nil {
+		return err
+	}
+	msg := applyMsg{events: append([]faults.ChurnEvent(nil), events...)}
+	select {
+	case <-s.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case s.queue <- msg:
+		s.mDepth.Set(int64(len(s.queue)))
+		return nil
+	default:
+		s.mRejected.Inc()
+		return ErrBacklog
+	}
+}
+
+// FailNode enqueues a node failure.
+func (s *Service) FailNode(a topo.NodeID) error {
+	return s.Apply(faults.ChurnEvent{Kind: faults.DeltaFailNode, A: a})
+}
+
+// RecoverNode enqueues a node recovery.
+func (s *Service) RecoverNode(a topo.NodeID) error {
+	return s.Apply(faults.ChurnEvent{Kind: faults.DeltaRecoverNode, A: a})
+}
+
+// FailLink enqueues a link failure.
+func (s *Service) FailLink(a, b topo.NodeID) error {
+	return s.Apply(faults.ChurnEvent{Kind: faults.DeltaFailLink, A: a, B: b})
+}
+
+// RecoverLink enqueues a link recovery.
+func (s *Service) RecoverLink(a, b topo.NodeID) error {
+	return s.Apply(faults.ChurnEvent{Kind: faults.DeltaRecoverLink, A: a, B: b})
+}
+
+// Flush blocks until every event submitted before the call has been
+// applied and its snapshot published. If the service is closed
+// concurrently, Flush returns early (the final drain releases pending
+// barriers best-effort).
+func (s *Service) Flush() {
+	done := make(chan struct{})
+	select {
+	case <-s.closed:
+		return
+	case s.queue <- applyMsg{done: done}:
+	}
+	select {
+	case <-done:
+	case <-s.closed:
+	}
+}
+
+// Close stops the applier after draining the queue. Events accepted
+// before Close are applied; later Apply/TryApply calls return
+// ErrClosed. Close is idempotent and safe to call concurrently with
+// readers, which keep serving the final snapshot.
+func (s *Service) Close() {
+	s.once.Do(func() { close(s.closed) })
+	s.wg.Wait()
+	// A submitter that raced the shutdown may have enqueued after the
+	// applier's final drain; release its barrier so no Flush can hang.
+	for {
+		select {
+		case msg := <-s.queue:
+			if msg.done != nil {
+				close(msg.done)
+			}
+		default:
+			return
+		}
+	}
+}
+
+// applier is the single writer: it owns the fault oracle, drains the
+// queue, reconverges levels, and publishes snapshots.
+func (s *Service) applier() {
+	defer s.wg.Done()
+	for {
+		var batch []applyMsg
+		select {
+		case <-s.closed:
+			// Final drain: apply whatever was accepted before Close so
+			// Flush barriers in flight are released, then exit.
+			for {
+				select {
+				case msg := <-s.queue:
+					batch = append(batch, msg)
+				default:
+					s.process(batch)
+					return
+				}
+			}
+		case msg := <-s.queue:
+			batch = append(batch, msg)
+		}
+		// Coalesce: everything already queued joins this cycle, so a
+		// churn storm of k events costs one repair + one swap.
+		for {
+			select {
+			case msg := <-s.queue:
+				batch = append(batch, msg)
+				continue
+			default:
+			}
+			break
+		}
+		s.process(batch)
+	}
+}
+
+// process applies one coalesced batch, publishes at most one snapshot,
+// and releases the batch's barriers.
+func (s *Service) process(batch []applyMsg) {
+	applied := 0
+	churnMsgs := 0
+	for _, msg := range batch {
+		if len(msg.events) > 0 {
+			churnMsgs++
+		}
+		for _, ev := range msg.events {
+			if err := s.set.Apply(ev); err != nil {
+				// validate() screens impossible events; anything left is
+				// a redundant mutation the Set absorbed silently or a
+				// bug worth counting.
+				s.mApplyErrs.Inc()
+			} else {
+				applied++
+			}
+		}
+	}
+	if churnMsgs > 1 {
+		s.mCoalesced.Add(int64(churnMsgs - 1))
+	}
+	s.mApplied.Add(int64(applied))
+	if gen := s.set.Generation(); gen != s.liveGen {
+		s.rebuild(gen)
+	}
+	s.mDepth.Set(int64(len(s.queue)))
+	for _, msg := range batch {
+		if msg.done != nil {
+			close(msg.done)
+		}
+	}
+}
+
+// rebuild reconverges the live assignment to generation gen — by
+// incremental repair from the previous fixpoint when the journal
+// reaches back, cold otherwise — and publishes the detached result.
+func (s *Service) rebuild(gen uint64) {
+	start := time.Now()
+	var as *core.Assignment
+	repaired := false
+	if delta, ok := s.set.Since(s.liveGen); ok {
+		as, repaired = core.RepairLevels(s.live, s.set, delta, s.copts)
+	}
+	if !repaired {
+		as = core.Compute(s.set, s.copts)
+		s.mCold.Inc()
+	} else {
+		s.mRepairs.Inc()
+	}
+	s.live, s.liveGen = as, gen
+	s.publish(as, gen, true)
+	elapsed := time.Since(start)
+	s.mSwapNs.Set(elapsed.Nanoseconds())
+	s.mSwapHist.Observe(elapsed.Microseconds())
+}
+
+// publish detaches the assignment from the live oracle and swaps the
+// snapshot pointer — the single write the readers ever observe.
+func (s *Service) publish(as *core.Assignment, gen uint64, swap bool) {
+	sn := newSnapshot(gen, as.Detach(), s.tie, s.routeObs)
+	s.cur.Store(sn)
+	s.mGen.Set(int64(gen))
+	if swap {
+		s.mSwaps.Inc()
+	}
+}

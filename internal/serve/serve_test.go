@@ -1,0 +1,387 @@
+package serve
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+func newService(t *testing.T, tp topo.Topology, opts Options, failed ...topo.NodeID) *Service {
+	t.Helper()
+	set := faults.NewSet(tp)
+	if err := set.FailNodes(failed...); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(set, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestServeMatchesFacadePath pins the serving engine to the sequential
+// router: same faults, same source/dest, same outcome and path.
+func TestServeMatchesFacadePath(t *testing.T) {
+	tp := topo.MustCube(4)
+	failed := []topo.NodeID{3, 5, 12}
+	s := newService(t, tp, Options{}, failed...)
+
+	set := faults.NewSet(tp)
+	if err := set.FailNodes(failed...); err != nil {
+		t.Fatal(err)
+	}
+	rt := core.NewRouter(core.Compute(set, core.Options{}), nil)
+	for src := 0; src < tp.Nodes(); src++ {
+		for dst := 0; dst < tp.Nodes(); dst++ {
+			want := rt.Unicast(topo.NodeID(src), topo.NodeID(dst))
+			got := s.Route(topo.NodeID(src), topo.NodeID(dst))
+			if got.Outcome != want.Outcome || got.Condition != want.Condition ||
+				!reflect.DeepEqual(got.Path, want.Path) {
+				t.Fatalf("route %d->%d: serve %v/%v %v, sequential %v/%v %v",
+					src, dst, got.Outcome, got.Condition, got.Path,
+					want.Outcome, want.Condition, want.Path)
+			}
+		}
+	}
+}
+
+// TestServeApplyPublishes checks the write path end to end: an applied
+// event bumps the published generation and the snapshot reflects it.
+func TestServeApplyPublishes(t *testing.T) {
+	tp := topo.MustCube(4)
+	s := newService(t, tp, Options{})
+	gen0 := s.Generation()
+
+	if err := s.FailNode(6); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	if s.Generation() <= gen0 {
+		t.Fatalf("generation did not advance: %d -> %d", gen0, s.Generation())
+	}
+	sn := s.Current()
+	if !sn.Assignment().Faults().NodeFaulty(6) {
+		t.Fatal("published snapshot does not record the fault")
+	}
+	if sn.Level(6) != 0 {
+		t.Fatalf("faulty node level = %d, want 0", sn.Level(6))
+	}
+	if err := sn.Assignment().Verify(); err != nil {
+		t.Fatalf("published snapshot is not a fixpoint: %v", err)
+	}
+
+	// Recovery flows the same way.
+	if err := s.RecoverNode(6); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	if sn2 := s.Current(); sn2.Assignment().Faults().NodeFaulty(6) {
+		t.Fatal("recovery was not published")
+	}
+	// The old snapshot is immutable: it still shows the fault.
+	if !sn.Assignment().Faults().NodeFaulty(6) {
+		t.Fatal("old snapshot mutated after recovery")
+	}
+}
+
+// TestServeSnapshotPinning checks that a held snapshot keeps answering
+// from its generation while the service moves on.
+func TestServeSnapshotPinning(t *testing.T) {
+	tp := topo.MustCube(4)
+	s := newService(t, tp, Options{})
+	sn := s.Current()
+	want := sn.Route(0, 15)
+
+	if err := s.FailNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailNode(2); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+
+	got := sn.Route(0, 15)
+	if got.Outcome != want.Outcome || !reflect.DeepEqual(got.Path, want.Path) {
+		t.Fatal("pinned snapshot changed its answer after a swap")
+	}
+	if s.Generation() == sn.Generation() {
+		t.Fatal("service generation should have moved past the pinned snapshot")
+	}
+}
+
+// TestServeBackpressure checks the bounded-queue contract: TryApply
+// refuses with ErrBacklog when the queue is full, and Apply blocks but
+// eventually lands once the applier drains.
+func TestServeBackpressure(t *testing.T) {
+	tp := topo.MustCube(6)
+	s := newService(t, tp, Options{QueueDepth: 1})
+
+	// Saturate: the applier takes messages off the queue quickly, so
+	// drive until a refusal is observed or the attempt budget is spent.
+	refused := false
+	for i := 0; i < 10000 && !refused; i++ {
+		ev := faults.ChurnEvent{Kind: faults.DeltaFailNode, A: topo.NodeID(i % 32)}
+		rv := faults.ChurnEvent{Kind: faults.DeltaRecoverNode, A: topo.NodeID(i % 32)}
+		if err := s.TryApply(ev); errors.Is(err, ErrBacklog) {
+			refused = true
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.TryApply(rv); errors.Is(err, ErrBacklog) {
+			refused = true
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !refused {
+		t.Skip("queue never filled on this machine; backpressure path not exercised")
+	}
+	// Blocking Apply still lands.
+	if err := s.Apply(faults.ChurnEvent{Kind: faults.DeltaFailNode, A: 33}); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+	if !s.Current().Assignment().Faults().NodeFaulty(33) {
+		t.Fatal("blocking Apply lost its event under backpressure")
+	}
+}
+
+// TestServeValidate checks that impossible events are refused at the
+// door rather than poisoning the applier.
+func TestServeValidate(t *testing.T) {
+	tp := topo.MustCube(3)
+	s := newService(t, tp, Options{})
+	if err := s.FailNode(200); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if err := s.FailLink(0, 3); err == nil {
+		t.Fatal("non-adjacent link accepted")
+	}
+	if err := s.Apply(faults.ChurnEvent{Kind: 99, A: 0}); err == nil {
+		t.Fatal("unknown event kind accepted")
+	}
+	if err := s.Apply(); err != nil {
+		t.Fatalf("empty apply should be a no-op, got %v", err)
+	}
+}
+
+// TestServeClosed checks the shutdown contract.
+func TestServeClosed(t *testing.T) {
+	tp := topo.MustCube(3)
+	set := faults.NewSet(tp)
+	s, err := New(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FailNode(1); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if err := s.FailNode(2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Apply after Close: %v, want ErrClosed", err)
+	}
+	if err := s.TryApply(faults.ChurnEvent{Kind: faults.DeltaFailNode, A: 2}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("TryApply after Close: %v, want ErrClosed", err)
+	}
+	// The pre-Close event was drained; readers still serve.
+	if !s.Current().Assignment().Faults().NodeFaulty(1) {
+		t.Fatal("event accepted before Close was dropped")
+	}
+	s.Flush() // must not hang on a closed service
+	if _, err := New(set, Options{Compute: core.Options{MaxRounds: 1}}); err == nil {
+		t.Fatal("truncated-convergence options accepted")
+	}
+	if _, err := New(nil, Options{}); err == nil {
+		t.Fatal("nil set accepted")
+	}
+}
+
+// TestServeMetrics checks the obs wiring: routes, swaps, generation
+// gauge, queue metrics.
+func TestServeMetrics(t *testing.T) {
+	tp := topo.MustCube(4)
+	reg := obs.NewRegistry()
+	set := faults.NewSet(tp)
+	s, err := New(set, Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	s.Route(0, 7)
+	s.BatchUnicast([]Request{{0, 5}, {1, 6}})
+	s.RouteAll(2)
+	if err := s.FailNode(3); err != nil {
+		t.Fatal(err)
+	}
+	s.Flush()
+
+	snap := reg.Snapshot()
+	checks := map[string]int64{
+		obs.MetricServeRoutesTotal:  1,
+		obs.MetricServeBatchesTotal: 1,
+		obs.MetricServeBatchItems:   2,
+		obs.MetricServeFanoutsTotal: 1,
+		obs.MetricServeFanoutItems:  15,
+		obs.MetricServeSwapsTotal:   1,
+		obs.MetricServeApplyTotal:   1,
+		obs.MetricServeRepairsTotal: 1,
+		obs.MetricUnicastsTotal:     1 + 2 + 15, // snapshot router observer
+	}
+	for name, want := range checks {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := snap.Gauges[obs.MetricServeSnapshotGen]; got != int64(s.Generation()) {
+		t.Errorf("generation gauge = %d, want %d", got, s.Generation())
+	}
+	if snap.Histograms[obs.MetricServeSwapMicros].Count != 1 {
+		t.Errorf("swap histogram count = %d, want 1", snap.Histograms[obs.MetricServeSwapMicros].Count)
+	}
+}
+
+// TestServeChurn is the race/torn-snapshot proof for the snapshot-swap
+// design (and the reader-vs-faults.RecoverNode fix): 16 reader
+// goroutines hammer Route/BatchUnicast while the writer replays a
+// recover-heavy churn schedule through the apply queue. Under -race
+// this fails if any reader ever touches mutable fault state (the
+// pre-Detach design raced exactly here, in faults.Set reads vs
+// RecoverNode's composite mutation). The readers also assert the
+// generation canary (never torn) and route-level invariants on every
+// answer, and the test ends with a differential check against a cold
+// recomputation of the final fault state.
+func TestServeChurn(t *testing.T) {
+	tp := topo.MustCube(6)
+	set := faults.NewSet(tp)
+	s, err := New(set, Options{QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Recover-heavy schedule: low fault cap forces constant
+	// fail/recover alternation, including link faults (RecoverNode then
+	// also journals link recoveries — the composite mutation).
+	events := faults.ChurnSchedule(tp, 11, 300, faults.ChurnOptions{
+		Links:         true,
+		MaxNodeFaults: 4,
+	})
+
+	const readers = 16
+	var stop atomic.Bool
+	var routed atomic.Int64
+	errs := make(chan error, readers)
+	var wg sync.WaitGroup
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := stats.NewRNG(uint64(w)*977 + 13)
+			for !stop.Load() {
+				sn := s.Current()
+				if !sn.Consistent() {
+					errs <- errors.New("torn generation observed")
+					return
+				}
+				src := topo.NodeID(rng.Intn(tp.Nodes()))
+				dst := topo.NodeID(rng.Intn(tp.Nodes()))
+				var got []*core.Route
+				if w%2 == 0 {
+					got = []*core.Route{sn.Route(src, dst)}
+				} else {
+					got = sn.BatchUnicast([]Request{{src, dst}, {dst, src}}, 2)
+				}
+				for _, r := range got {
+					if err := checkRouteInvariants(sn, r); err != nil {
+						errs <- err
+						return
+					}
+				}
+				routed.Add(int64(len(got)))
+			}
+		}(w)
+	}
+
+	for _, ev := range events {
+		if err := s.Apply(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Flush()
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if routed.Load() == 0 {
+		t.Fatal("readers made no progress under churn")
+	}
+
+	// Differential close: the final published snapshot must be
+	// bit-identical to a cold recomputation of the same schedule.
+	oracle := faults.NewSet(tp)
+	for _, ev := range events {
+		if err := oracle.Apply(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cold := core.Compute(oracle, core.Options{})
+	final := s.Current().Assignment()
+	if !reflect.DeepEqual(final.Levels(), cold.Levels()) {
+		t.Fatal("final snapshot levels differ from cold recomputation")
+	}
+	if err := final.Verify(); err != nil {
+		t.Fatalf("final snapshot does not verify: %v", err)
+	}
+	if s.Generation() != oracle.Generation() {
+		t.Fatalf("final generation %d != oracle generation %d", s.Generation(), oracle.Generation())
+	}
+}
+
+// checkRouteInvariants validates one answer against the snapshot that
+// produced it: outcome/path-length agreement, hop adjacency, and no
+// path through a node or link the snapshot considers faulty.
+func checkRouteInvariants(sn *Snapshot, r *core.Route) error {
+	set := sn.Assignment().Faults()
+	t := sn.Assignment().Topology()
+	switch r.Outcome {
+	case core.Optimal:
+		if r.Path.Len() != r.Hamming {
+			return errors.New("optimal route with non-Hamming length")
+		}
+	case core.Suboptimal:
+		if r.Path.Len() != r.Hamming+2 {
+			return errors.New("suboptimal route without H+2 length")
+		}
+	case core.Failure:
+		if len(r.Path) > 1 {
+			return errors.New("failed route with a path")
+		}
+		return nil
+	}
+	for i := 1; i < len(r.Path); i++ {
+		a, b := r.Path[i-1], r.Path[i]
+		if !t.Adjacent(a, b) {
+			return errors.New("route hop between non-adjacent nodes")
+		}
+		if set.LinkFaulty(a, b) {
+			return errors.New("route crossed a faulty link")
+		}
+		if i < len(r.Path)-1 && set.NodeFaulty(b) {
+			return errors.New("route through a faulty intermediate node")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/serve"
+	"repro/internal/topo"
+)
+
+// TestServeChurnSimnetParity replays one churn schedule through both
+// execution substrates — the distributed message-passing engine (GS
+// exchange after every event) and the serving engine (incremental
+// repair + atomic snapshot swap after every event) — and checks that
+// the published snapshots agree with the distributed agreement at
+// every step. This ties the serving layer's snapshots to the paper's
+// protocol itself, not just to the sequential oracle: both substrates
+// must land on the unique fixpoint of Definition 1 for each fault set
+// of the schedule.
+func TestServeChurnSimnetParity(t *testing.T) {
+	shapes := []struct {
+		name string
+		tp   topo.Topology
+	}{
+		{"cube/q4", topo.MustCube(4)},
+		{"mixed/2x3x2", topo.MustMixed(2, 3, 2)},
+	}
+	for si, tc := range shapes {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			tp := tc.tp
+			events := faults.ChurnSchedule(tp, uint64(61+si), 25, faults.ChurnOptions{Links: true})
+
+			// Distributed side: RunChurn records the engine's agreed
+			// levels after each event's GS exchange.
+			e := New(faults.NewSet(tp))
+			defer e.Close()
+			rep, err := e.RunChurn(events, ChurnRunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Serving side: same schedule, one event per Apply+Flush so
+			// every step's snapshot is observable.
+			svc, err := serve.New(faults.NewSet(tp), serve.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer svc.Close()
+
+			for i, step := range rep.Steps {
+				if err := svc.Apply(step.Event); err != nil {
+					t.Fatalf("step %d serve apply %v: %v", i, step.Event, err)
+				}
+				svc.Flush()
+				sn := svc.Current()
+				if !sn.Consistent() {
+					t.Fatalf("step %d: torn snapshot publication", i)
+				}
+				as := sn.Assignment()
+				for a := 0; a < tp.Nodes(); a++ {
+					id := topo.NodeID(a)
+					wantPub, wantOwn := as.Level(id), as.OwnLevel(id)
+					if as.Faults().NodeFaulty(id) {
+						// Dead engine goroutines report level 0.
+						wantPub, wantOwn = 0, 0
+					}
+					if step.Levels[a] != wantPub || step.OwnLevels[a] != wantOwn {
+						t.Fatalf("step %d (%v) node %s: engine %d/%d, snapshot %d/%d",
+							i, step.Event, tp.Format(id),
+							step.Levels[a], step.OwnLevels[a], wantPub, wantOwn)
+					}
+				}
+				// Generations advance monotonically, at least one per
+				// event (composite mutations like RecoverNode may burn
+				// several).
+				if sn.Generation() < uint64(i+1) {
+					t.Fatalf("step %d: snapshot generation %d did not advance", i, sn.Generation())
+				}
+			}
+		})
+	}
+}

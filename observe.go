@@ -66,6 +66,28 @@ const (
 	MetricGSRepairEvals      = obs.MetricGSRepairEvals
 )
 
+// Serving metric names — the keys under which a Server started with a
+// Registry reports its snapshot, apply-queue, and query counters.
+const (
+	MetricServeSnapshotGen    = obs.MetricServeSnapshotGen
+	MetricServeSwapsTotal     = obs.MetricServeSwapsTotal
+	MetricServeSwapLastNs     = obs.MetricServeSwapLastNs
+	MetricServeSwapMicros     = obs.MetricServeSwapMicros
+	MetricServeRepairsTotal   = obs.MetricServeRepairsTotal
+	MetricServeColdTotal      = obs.MetricServeColdTotal
+	MetricServeQueueDepth     = obs.MetricServeQueueDepth
+	MetricServeApplyTotal     = obs.MetricServeApplyTotal
+	MetricServeApplyErrors    = obs.MetricServeApplyErrors
+	MetricServeApplyRejected  = obs.MetricServeApplyRejected
+	MetricServeApplyCoalesced = obs.MetricServeApplyCoalesced
+	MetricServeRoutesTotal    = obs.MetricServeRoutesTotal
+	MetricServeStaleReads     = obs.MetricServeStaleReads
+	MetricServeBatchesTotal   = obs.MetricServeBatchesTotal
+	MetricServeBatchItems     = obs.MetricServeBatchItems
+	MetricServeFanoutsTotal   = obs.MetricServeFanoutsTotal
+	MetricServeFanoutItems    = obs.MetricServeFanoutItems
+)
+
 // NewRegistry returns an empty metrics registry.
 func NewRegistry() *Registry { return obs.NewRegistry() }
 

@@ -1,0 +1,168 @@
+package safecube
+
+import (
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/serve"
+)
+
+// Serving facade: a Server wraps the concurrent route-serving engine
+// (internal/serve) behind the package's public types. Readers —
+// Unicast, BatchUnicast, RouteAll, Feasibility — are lock-free; fault
+// churn is applied through a bounded queue by a single background
+// applier that repairs the levels incrementally and publishes each new
+// assignment as an immutable snapshot with one atomic pointer swap.
+// See DESIGN.md §9 for why routing against a momentarily stale
+// snapshot is still exactly the paper's algorithm for that snapshot's
+// fault set.
+
+// ServeOptions configures a Server. The zero value is ready to use.
+type ServeOptions struct {
+	// QueueDepth bounds the churn apply queue (<= 0 means 64).
+	QueueDepth int
+	// Workers sizes the batch worker pool (<= 0 means GOMAXPROCS).
+	Workers int
+	// Registry receives the serving metrics (nil disables).
+	Registry *Registry
+}
+
+// Server is a concurrent route-serving engine over a frozen copy of a
+// facade's fault set. All methods are safe for concurrent use; routing
+// reads never block, even while churn is being applied. Close it when
+// done.
+//
+// The Server clones the facade's fault state at creation: later
+// mutations of the originating Cube/Generalized do not reach the
+// Server, and Server churn does not reach the facade. Feed churn to
+// the Server through its own FailNode/RecoverNode/FailLink/RecoverLink.
+type Server struct {
+	svc *serve.Service
+}
+
+func serveFrom(set *faults.Set, opts ServeOptions) (*Server, error) {
+	svc, err := serve.New(set, serve.Options{
+		QueueDepth: opts.QueueDepth,
+		Workers:    opts.Workers,
+		Registry:   opts.Registry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{svc: svc}, nil
+}
+
+// Serve starts a route-serving engine over a copy of the cube's
+// current fault set.
+func (c *Cube) Serve(opts ServeOptions) (*Server, error) {
+	return serveFrom(c.set, opts)
+}
+
+// Serve starts a route-serving engine over a copy of the generalized
+// hypercube's current fault set. NodeID and GNodeID are the same type,
+// so the Server API is shared between both facades.
+func (g *Generalized) Serve(opts ServeOptions) (*Server, error) {
+	return serveFrom(g.set, opts)
+}
+
+// Generation returns the fault-set generation of the currently
+// published snapshot. It advances monotonically as churn is applied.
+func (s *Server) Generation() uint64 { return s.svc.Generation() }
+
+// QueueDepth returns the number of churn events waiting to be applied.
+func (s *Server) QueueDepth() int { return s.svc.QueueDepth() }
+
+// Unicast routes a message from src to dst against the current
+// snapshot. It never blocks on churn.
+func (s *Server) Unicast(src, dst NodeID) *Route {
+	return routeOf(s.svc.Route(src, dst))
+}
+
+// Feasibility evaluates the source-side admission test against the
+// current snapshot without moving a message.
+func (s *Server) Feasibility(src, dst NodeID) (Condition, Outcome) {
+	return s.svc.Feasibility(src, dst)
+}
+
+// Level returns a's safety level in the current snapshot, as observed
+// by its neighbors (0 for faulty nodes and for nodes with an adjacent
+// faulty link).
+func (s *Server) Level(a NodeID) int { return s.svc.Current().Level(a) }
+
+// BatchUnicast answers every pair against ONE snapshot — the results
+// are mutually consistent even while churn lands mid-batch — and
+// returns the routes in request order. Requests fan out over the
+// Server's worker pool; results are element-wise identical to routing
+// the pairs one by one.
+func (s *Server) BatchUnicast(pairs []TrafficPair) []*Route {
+	reqs := make([]serve.Request, len(pairs))
+	for i, p := range pairs {
+		reqs[i] = serve.Request{Src: p.Src, Dst: p.Dst}
+	}
+	rs := s.svc.BatchUnicast(reqs)
+	out := make([]*Route, len(rs))
+	for i, r := range rs {
+		out[i] = routeOf(r)
+	}
+	return out
+}
+
+// RouteAll routes from src to every other node against one snapshot.
+// The result is indexed by destination NodeID; the slot for src is nil.
+func (s *Server) RouteAll(src NodeID) []*Route {
+	rs := s.svc.RouteAll(src)
+	out := make([]*Route, len(rs))
+	for i, r := range rs {
+		if r != nil {
+			out[i] = routeOf(r)
+		}
+	}
+	return out
+}
+
+// FailNode enqueues a node fault. The snapshot updates asynchronously;
+// use Flush to wait for it.
+func (s *Server) FailNode(a NodeID) error { return s.svc.FailNode(a) }
+
+// RecoverNode enqueues a node recovery (also dropping the node's
+// incident link faults, like the direct facade call does).
+func (s *Server) RecoverNode(a NodeID) error { return s.svc.RecoverNode(a) }
+
+// FailLink enqueues a link fault between neighbors a and b.
+func (s *Server) FailLink(a, b NodeID) error { return s.svc.FailLink(a, b) }
+
+// RecoverLink enqueues a link recovery.
+func (s *Server) RecoverLink(a, b NodeID) error { return s.svc.RecoverLink(a, b) }
+
+// Flush blocks until every churn event enqueued before the call has
+// been applied and published.
+func (s *Server) Flush() { s.svc.Flush() }
+
+// Close stops the applier and releases the Server. Pending churn is
+// drained first. Close is idempotent; methods called after Close see
+// ErrServerClosed from mutators and the last published snapshot from
+// readers.
+func (s *Server) Close() { s.svc.Close() }
+
+// Serving errors, re-exported from the engine.
+var (
+	// ErrServerClosed is returned by mutators after Close.
+	ErrServerClosed = serve.ErrClosed
+	// ErrServerBacklog is returned when the churn queue is full and the
+	// caller asked not to block.
+	ErrServerBacklog = serve.ErrBacklog
+)
+
+func routeOf(r *core.Route) *Route {
+	if r == nil {
+		return nil
+	}
+	return &Route{
+		Source:    r.Source,
+		Dest:      r.Dest,
+		Hamming:   r.Hamming,
+		Outcome:   r.Outcome,
+		Condition: r.Condition,
+		Path:      append([]NodeID(nil), r.Path...),
+		Err:       r.Err,
+	}
+}
