@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt build vet test race fuzz bench-smoke bench-hot bench-json cover staticcheck ci
+.PHONY: all fmt build vet test race fuzz bench-smoke bench-hot bench-json load-smoke cover staticcheck ci
 
 all: ci
 
@@ -39,7 +39,7 @@ bench-smoke:
 # The hot-path benchmark set the CI bench-gate watches. BENCH_OUT
 # captures the raw output for benchstat / internal/ci/benchgate; the
 # regex must stay in sync with benchgate's default -match.
-BENCH_HOT = Benchmark(Unicast|GS|Repair)
+BENCH_HOT = Benchmark(Unicast|GS|Repair|Serve)
 BENCH_COUNT ?= 6
 BENCH_OUT ?= bench.txt
 bench-hot:
@@ -48,11 +48,21 @@ bench-hot:
 
 # Regenerate BENCH_1.json (the instrumentation-overhead evidence),
 # BENCH_2.json (the parallel-GS sweep vs the sequential baseline),
-# BENCH_3.json (incremental repair vs cold GS under churn) and
+# BENCH_3.json (incremental repair vs cold GS under churn),
 # BENCH_4.json (snapshot serving vs the mutex-guarded facade under a
-# churn storm).
+# churn storm) and BENCH_5.json (serving-path tail latency under a
+# churn storm, with vs without admission control — EXPERIMENTS.md E17).
 bench-json:
 	EMIT_BENCH_JSON=1 $(GO) test -run TestEmitBenchJSON .
+
+# Tiny in-process load-generation run (cmd/slload driving the serving
+# engine under a churn storm); fails unless enough requests complete
+# OK. Wired into CI as an end-to-end smoke of the hardened serving
+# path. See docs/OPERATIONS.md for real measurement recipes.
+load-smoke:
+	$(GO) run ./cmd/slload -n 8 -workers 4 -duration 2s -warmup 200ms \
+		-mix route:8,batch:1,routeall:1 -churn 2ms -victims 4 \
+		-deadline 1s -min-ok 500 -o /dev/null
 
 # Whole-repo statement coverage, gated by the ratcheting floor in
 # .github/coverage-floor.txt (raise it when new tests push it up; CI

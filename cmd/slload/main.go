@@ -1,0 +1,215 @@
+// Command slload is the deterministic load generator for the serving
+// stack: it drives either a remote slserve (-target URL) or an
+// in-process serving engine (-n DIM) with a seeded request mix, an
+// optional churn storm, closed- or open-loop pacing, and prints an
+// HDR-style JSON latency report.
+//
+// Usage:
+//
+//	slload [flags]
+//
+// Target selection:
+//
+//	-target URL   drive a running slserve at URL (e.g. http://localhost:8080);
+//	              -n must match the server's dimension for address synthesis
+//	-n DIM        hypercube dimension (default 8); without -target this
+//	              also builds the in-process engine
+//	-faults K     pre-fail K random nodes before the run (in-process only)
+//	-srv-rate R   in-process engine admission rate, unicasts/sec (0 = off)
+//	-srv-burst B  in-process engine admission burst
+//
+// Load shape:
+//
+//	-workers N    concurrent workers (default 8)
+//	-rate R       open-loop offered rate in requests/sec across all
+//	              workers; 0 (default) means closed loop
+//	-duration D   measured window (default 5s)
+//	-warmup D     warmup window, excluded from the digest (default 500ms)
+//	-deadline D   per-request context deadline (0 = none)
+//	-mix SPEC     request mix weights, e.g. route:8,batch:1,routeall:1
+//	              (default route:1)
+//	-batch N      pairs per batch request (default 16)
+//	-seed N       RNG seed; same seed, same offered request stream
+//
+// Churn storm:
+//
+//	-churn D      toggle one victim node every D (0 = no churn)
+//	-victims K    size of the rotating victim set (default 8)
+//
+// Output:
+//
+//	-o FILE       write the JSON report to FILE instead of stdout
+//	-min-ok N     exit 1 unless at least N requests completed OK
+//	              (the CI smoke gate)
+//
+// Exit status: 0 on success, 1 if -min-ok is not met, 2 on usage or
+// setup errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/loadgen"
+	"repro/internal/serve"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("slload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		target   = fs.String("target", "", "slserve base URL; empty runs an in-process engine")
+		dim      = fs.Int("n", 8, "hypercube dimension")
+		nFaults  = fs.Int("faults", 0, "pre-failed random nodes (in-process only)")
+		srvRate  = fs.Float64("srv-rate", 0, "in-process admission rate, unicasts/sec (0 = off)")
+		srvBurst = fs.Int("srv-burst", 0, "in-process admission burst")
+
+		workers  = fs.Int("workers", 8, "concurrent workers")
+		rate     = fs.Float64("rate", 0, "open-loop offered rate, req/sec (0 = closed loop)")
+		duration = fs.Duration("duration", 5*time.Second, "measured window")
+		warmup   = fs.Duration("warmup", 500*time.Millisecond, "warmup window")
+		deadline = fs.Duration("deadline", 0, "per-request deadline (0 = none)")
+		mixSpec  = fs.String("mix", "route:1", "request mix, e.g. route:8,batch:1,routeall:1")
+		batch    = fs.Int("batch", 16, "pairs per batch request")
+		seed     = fs.Uint64("seed", 1, "RNG seed")
+
+		churn   = fs.Duration("churn", 0, "churn-storm toggle interval (0 = off)")
+		victims = fs.Int("victims", 8, "churn victim set size")
+
+		out   = fs.String("o", "", "write JSON report to FILE (default stdout)")
+		minOK = fs.Int64("min-ok", 0, "exit 1 unless at least this many requests completed OK")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		fmt.Fprintln(stderr, "slload:", err)
+		return 2
+	}
+
+	cfg := loadgen.Config{
+		Seed:         *seed,
+		Workers:      *workers,
+		Rate:         *rate,
+		Duration:     *duration,
+		Warmup:       *warmup,
+		Deadline:     *deadline,
+		Mix:          mix,
+		BatchSize:    *batch,
+		ChurnEvery:   *churn,
+		ChurnVictims: *victims,
+	}
+
+	var tgt loadgen.Target
+	if *target != "" {
+		cube, err := topo.NewCube(*dim)
+		if err != nil {
+			fmt.Fprintln(stderr, "slload:", err)
+			return 2
+		}
+		tgt = loadgen.HTTPTarget{
+			Base:   *target,
+			N:      cube.Nodes(),
+			Format: func(a int) string { return cube.Format(topo.NodeID(a)) },
+		}
+	} else {
+		cube, err := topo.NewCube(*dim)
+		if err != nil {
+			fmt.Fprintln(stderr, "slload:", err)
+			return 2
+		}
+		set := faults.NewSet(cube)
+		if *nFaults > 0 {
+			if err := faults.InjectUniform(set, stats.NewRNG(*seed).Split(0xFA17), *nFaults); err != nil {
+				fmt.Fprintln(stderr, "slload:", err)
+				return 2
+			}
+		}
+		svc, err := serve.New(set, serve.Options{
+			QueueDepth: 256,
+			Rate:       *srvRate,
+			Burst:      *srvBurst,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "slload:", err)
+			return 2
+		}
+		defer svc.Close()
+		tgt = loadgen.LocalTarget{Svc: svc}
+	}
+
+	rep := loadgen.Run(tgt, cfg)
+
+	enc := json.NewEncoder(stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, "slload:", err)
+			return 2
+		}
+		defer f.Close()
+		enc = json.NewEncoder(f)
+	}
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(stderr, "slload:", err)
+		return 2
+	}
+
+	fmt.Fprintf(stderr, "# %s loop: %d ops (%.0f ok/s), classes %v, churn %d, p50 %.0fµs p99 %.0fµs p999 %.0fµs\n",
+		rep.Mode, rep.Ops, rep.OKPerSec, rep.Classes, rep.ChurnEvents,
+		rep.Latency.P50Us, rep.Latency.P99Us, rep.Latency.P999Us)
+
+	if ok := rep.Classes[loadgen.ClassOK]; ok < *minOK {
+		fmt.Fprintf(stderr, "slload: only %d requests completed OK, need %d\n", ok, *minOK)
+		return 1
+	}
+	return 0
+}
+
+// parseMix parses "route:8,batch:1,routeall:1" into a Mix.
+func parseMix(spec string) (loadgen.Mix, error) {
+	var m loadgen.Mix
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, weight, found := strings.Cut(part, ":")
+		w := 1
+		if found {
+			var err error
+			if w, err = strconv.Atoi(strings.TrimSpace(weight)); err != nil || w < 0 {
+				return m, fmt.Errorf("bad mix weight %q", part)
+			}
+		}
+		switch strings.TrimSpace(kind) {
+		case "route":
+			m.Route = w
+		case "batch":
+			m.Batch = w
+		case "routeall":
+			m.RouteAll = w
+		default:
+			return m, fmt.Errorf("unknown mix kind %q (want route, batch, routeall)", kind)
+		}
+	}
+	if m.Route+m.Batch+m.RouteAll == 0 {
+		return m, fmt.Errorf("mix %q admits no requests", spec)
+	}
+	return m, nil
+}

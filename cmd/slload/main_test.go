@@ -1,0 +1,82 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("route:8, batch:1 ,routeall:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Route != 8 || m.Batch != 1 || m.RouteAll != 1 {
+		t.Fatalf("mix %+v", m)
+	}
+	if m, err = parseMix("route"); err != nil || m.Route != 1 {
+		t.Fatalf("bare kind: %+v, %v", m, err)
+	}
+	for _, bad := range []string{"explode:1", "route:x", "route:-1", ""} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRunInProcess: a tiny in-process run with churn writes a valid
+// report and honors -min-ok in both directions.
+func TestRunInProcess(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.json")
+	code := run([]string{
+		"-n", "6", "-workers", "2", "-duration", "100ms", "-warmup", "10ms",
+		"-mix", "route:8,batch:1,routeall:1", "-batch", "4",
+		"-churn", "5ms", "-victims", "4", "-faults", "2",
+		"-min-ok", "1", "-o", out,
+	}, os.Stdout, os.Stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("bad report JSON: %v", err)
+	}
+	lat, _ := rep["latency"].(map[string]any)
+	if lat == nil || lat["count"].(float64) <= 0 {
+		t.Fatalf("report has no latency digest: %v", rep)
+	}
+	if rep["churn_events"].(float64) <= 0 {
+		t.Fatal("report recorded no churn events")
+	}
+
+	// An unreachable -min-ok fails the run.
+	code = run([]string{
+		"-n", "4", "-workers", "1", "-duration", "20ms", "-warmup", "0s",
+		"-min-ok", "1000000000",
+	}, os.Stdout, os.Stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 for unmet -min-ok", code)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	for _, argv := range [][]string{
+		{"-mix", "explode:1"},
+		{"-n", "0"},
+		{"-explode"},
+	} {
+		if code := run(argv, devnull, devnull); code != 2 {
+			t.Fatalf("run(%v) exit %d, want 2", argv, code)
+		}
+	}
+}

@@ -1,12 +1,17 @@
 // Command slserve exposes the concurrent route-serving engine over
 // HTTP: lock-free unicast queries against immutable level snapshots,
 // with fault churn applied through the engine's bounded queue and each
-// repaired assignment published by a single atomic snapshot swap.
+// repaired assignment published by a single atomic snapshot swap. The
+// serving path is production-hardened: per-request deadlines, token-
+// bucket admission control, per-endpoint latency histograms, optional
+// pprof/expvar debug endpoints, and a graceful drain on SIGINT/SIGTERM
+// (see docs/OPERATIONS.md for the full operator guide).
 //
 // Usage:
 //
 //	slserve -n 6 -random 4 -seed 3 -listen :8080
 //	slserve -radix 2x3x2 -faults 011,100 -listen :8080
+//	slserve -n 10 -rate 50000 -burst 1000 -deadline 2s -pprof
 //
 // Endpoints:
 //
@@ -15,27 +20,41 @@
 //	/routeall?src=ADDR          fan-out from src to every other node
 //	/fault?op=OP&a=ADDR[&b=ADDR]  enqueue churn: op is fail-node,
 //	                            recover-node, fail-link or recover-link
-//	/healthz                    {"generation","queue_depth","queue_cap"}
+//	/healthz                    generation, queue depth, inflight, state
 //	/metrics, /vars             Prometheus text / JSON registry dump
+//	/debug/pprof/*, /debug/vars profiling + expvar (only with -pprof)
+//
+// The query endpoints accept an optional deadline=DURATION parameter,
+// clamped to the -deadline flag. Status codes on the query endpoints:
+// 200 served, 400 bad request, 429 shed by admission control (-rate),
+// 503 draining after a shutdown signal, 504 deadline exceeded.
 //
 // Addresses use the topology's own notation: n-bit binary strings for
 // a cube ("0110"), per-dimension digit strings for a generalized
 // hypercube ("121"). Fault posts return 202: churn is asynchronous and
 // the snapshot generation in /healthz advances once it is applied.
-// Exit status: 0 ok, 2 usage error.
+// Exit status: 0 ok (including a clean drain), 1 drain timeout,
+// 2 usage error.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	safecube "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -69,6 +88,11 @@ func run(args []string, out io.Writer) (int, error) {
 	seed := fs.Uint64("seed", 1, "seed for -random")
 	queue := fs.Int("queue", 0, "churn apply-queue depth (0 means the engine default, 64)")
 	workers := fs.Int("workers", 0, "batch worker pool size (0 means GOMAXPROCS)")
+	rate := fs.Float64("rate", 0, "admission control: max admitted unicasts/sec (0 disables)")
+	burst := fs.Int("burst", 0, "admission token-bucket depth in unicasts (0 means 1)")
+	deadline := fs.Duration("deadline", 5*time.Second, "per-request deadline ceiling (0 disables)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout on SIGINT/SIGTERM")
+	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof and /debug/vars")
 	listen := fs.String("listen", ":8080", "HTTP listen address")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
@@ -81,7 +105,13 @@ func run(args []string, out io.Writer) (int, error) {
 		header string
 		err    error
 	)
-	opts := safecube.ServeOptions{QueueDepth: *queue, Workers: *workers, Registry: reg}
+	opts := safecube.ServeOptions{
+		QueueDepth: *queue,
+		Workers:    *workers,
+		Rate:       *rate,
+		Burst:      *burst,
+		Registry:   reg,
+	}
 	if *radix != "" {
 		rx, rerr := safecube.ParseRadix(*radix)
 		if rerr != nil {
@@ -132,9 +162,41 @@ func run(args []string, out io.Writer) (int, error) {
 	if queueCap <= 0 {
 		queueCap = 64
 	}
-	mux := newHandler(srv, nm, reg, queueCap)
+	mux := newHandler(srv, nm, reg, handlerOpts{
+		queueCap: queueCap,
+		deadline: *deadline,
+		pprof:    *pprofOn,
+	})
+	httpSrv := &http.Server{Addr: *listen, Handler: mux}
 	fmt.Fprintf(out, "# %s; serving routes on %s\n", header, *listen)
-	return 0, http.ListenAndServe(*listen, mux)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	select {
+	case err := <-errCh:
+		return 0, err
+	case sig := <-sigCh:
+		// Graceful drain, strictly ordered: stop accepting connections
+		// and wait out the HTTP handlers, then drain the engine (its
+		// in-flight requests, then the churn queue, then the final
+		// snapshot swap, then the applier).
+		fmt.Fprintf(out, "# %v: draining (timeout %s)\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if herr := httpSrv.Shutdown(ctx); herr != nil {
+			srv.Close()
+			return 1, fmt.Errorf("http drain incomplete: %w", herr)
+		}
+		if serr := srv.Shutdown(ctx); serr != nil {
+			return 1, fmt.Errorf("engine drain incomplete: %w", serr)
+		}
+		fmt.Fprintln(out, "# drained cleanly")
+		return 0, nil
+	}
 }
 
 // routeJSON is the wire form of one route result.
@@ -167,9 +229,20 @@ func routeWire(r *safecube.Route, nm naming) routeJSON {
 	return out
 }
 
+// handlerOpts configure the HTTP surface.
+type handlerOpts struct {
+	queueCap int
+	// deadline caps (and defaults) the per-request deadline; requests
+	// may lower it with ?deadline=DURATION but never raise it past
+	// this. 0 disables server-imposed deadlines.
+	deadline time.Duration
+	// pprof mounts /debug/pprof/* and /debug/vars.
+	pprof bool
+}
+
 // newHandler builds the serving mux on top of the registry's /metrics
 // and /vars exposition.
-func newHandler(srv *safecube.Server, nm naming, reg *safecube.Registry, queueCap int) http.Handler {
+func newHandler(srv *safecube.Server, nm naming, reg *safecube.Registry, opts handlerOpts) http.Handler {
 	mux := reg.Mux()
 
 	node := func(w http.ResponseWriter, r *http.Request, key string) (safecube.NodeID, bool) {
@@ -186,7 +259,39 @@ func newHandler(srv *safecube.Server, nm naming, reg *safecube.Registry, queueCa
 		return a, true
 	}
 
-	mux.HandleFunc("/route", func(w http.ResponseWriter, r *http.Request) {
+	// reqCtx derives the request context: the server ceiling from
+	// opts.deadline, optionally tightened by a ?deadline= parameter.
+	reqCtx := func(w http.ResponseWriter, r *http.Request) (context.Context, context.CancelFunc, bool) {
+		limit := opts.deadline
+		if raw := r.URL.Query().Get("deadline"); raw != "" {
+			d, err := time.ParseDuration(raw)
+			if err != nil || d <= 0 {
+				httpErr(w, http.StatusBadRequest, fmt.Errorf("bad deadline %q, want a positive duration", raw))
+				return nil, nil, false
+			}
+			if limit == 0 || d < limit {
+				limit = d
+			}
+		}
+		if limit == 0 {
+			return r.Context(), func() {}, true
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), limit)
+		return ctx, cancel, true
+	}
+
+	// instrument wraps a handler with its endpoint latency histogram
+	// (wall time including encoding, recorded in microseconds).
+	instrument := func(name string, h http.HandlerFunc) http.HandlerFunc {
+		hist := reg.LatencyHistogram(name)
+		return func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			h(w, r)
+			hist.ObserveSince(start)
+		}
+	}
+
+	mux.HandleFunc("/route", instrument(obs.MetricLatencyHTTPRoute, func(w http.ResponseWriter, r *http.Request) {
 		src, ok := node(w, r, "src")
 		if !ok {
 			return
@@ -195,13 +300,23 @@ func newHandler(srv *safecube.Server, nm naming, reg *safecube.Registry, queueCa
 		if !ok {
 			return
 		}
+		ctx, cancel, ok := reqCtx(w, r)
+		if !ok {
+			return
+		}
+		defer cancel()
+		rt, err := srv.UnicastCtx(ctx, src, dst)
+		if err != nil {
+			serveErr(w, err)
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]any{
 			"generation": srv.Generation(),
-			"route":      routeWire(srv.Unicast(src, dst), nm),
+			"route":      routeWire(rt, nm),
 		})
-	})
+	}))
 
-	mux.HandleFunc("/batch", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/batch", instrument(obs.MetricLatencyHTTPBatch, func(w http.ResponseWriter, r *http.Request) {
 		raw := r.URL.Query().Get("pairs")
 		if raw == "" {
 			httpErr(w, http.StatusBadRequest, errors.New(`missing "pairs" parameter (want "SRC-DST,SRC-DST,...")`))
@@ -226,7 +341,16 @@ func newHandler(srv *safecube.Server, nm naming, reg *safecube.Registry, queueCa
 			}
 			pairs = append(pairs, safecube.TrafficPair{Src: src, Dst: dst})
 		}
-		routes := srv.BatchUnicast(pairs)
+		ctx, cancel, ok := reqCtx(w, r)
+		if !ok {
+			return
+		}
+		defer cancel()
+		routes, err := srv.BatchUnicastCtx(ctx, pairs)
+		if err != nil {
+			serveErr(w, err)
+			return
+		}
 		wire := make([]routeJSON, len(routes))
 		for i, rt := range routes {
 			wire[i] = routeWire(rt, nm)
@@ -235,14 +359,23 @@ func newHandler(srv *safecube.Server, nm naming, reg *safecube.Registry, queueCa
 			"generation": srv.Generation(),
 			"routes":     wire,
 		})
-	})
+	}))
 
-	mux.HandleFunc("/routeall", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/routeall", instrument(obs.MetricLatencyHTTPRouteAll, func(w http.ResponseWriter, r *http.Request) {
 		src, ok := node(w, r, "src")
 		if !ok {
 			return
 		}
-		all := srv.RouteAll(src)
+		ctx, cancel, ok := reqCtx(w, r)
+		if !ok {
+			return
+		}
+		defer cancel()
+		all, err := srv.RouteAllCtx(ctx, src)
+		if err != nil {
+			serveErr(w, err)
+			return
+		}
 		wire := make([]routeJSON, 0, len(all)-1)
 		delivered := 0
 		for _, rt := range all {
@@ -259,9 +392,9 @@ func newHandler(srv *safecube.Server, nm naming, reg *safecube.Registry, queueCa
 			"delivered":  delivered,
 			"routes":     wire,
 		})
-	})
+	}))
 
-	mux.HandleFunc("/fault", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/fault", instrument(obs.MetricLatencyHTTPFault, func(w http.ResponseWriter, r *http.Request) {
 		op := r.URL.Query().Get("op")
 		a, ok := node(w, r, "a")
 		if !ok {
@@ -289,6 +422,10 @@ func newHandler(srv *safecube.Server, nm naming, reg *safecube.Registry, queueCa
 			return
 		}
 		if err != nil {
+			if errors.Is(err, safecube.ErrServerClosed) {
+				httpErr(w, http.StatusServiceUnavailable, err)
+				return
+			}
 			httpErr(w, http.StatusUnprocessableEntity, err)
 			return
 		}
@@ -298,18 +435,47 @@ func newHandler(srv *safecube.Server, nm naming, reg *safecube.Registry, queueCa
 			"generation":  srv.Generation(),
 			"queue_depth": srv.QueueDepth(),
 		})
-	})
+	}))
 
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/healthz", instrument(obs.MetricLatencyHTTPHealthz, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"generation":  srv.Generation(),
 			"queue_depth": srv.QueueDepth(),
-			"queue_cap":   queueCap,
+			"queue_cap":   opts.queueCap,
+			"inflight":    srv.Inflight(),
 			"nodes":       nm.Nodes(),
 		})
-	})
+	}))
+
+	if opts.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/debug/vars", expvar.Handler())
+	}
 
 	return mux
+}
+
+// serveErr maps an engine error on the query path to its status code:
+// shedding, draining and deadline expiry each get a distinct one so
+// clients (and the slload report) can tell them apart.
+func serveErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, safecube.ErrServerOverload):
+		httpErr(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, safecube.ErrServerDraining):
+		httpErr(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		httpErr(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, context.Canceled):
+		// The client went away; 499 is the conventional (nginx) code.
+		httpErr(w, 499, err)
+	default:
+		httpErr(w, http.StatusInternalServerError, err)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -14,17 +14,24 @@ import (
 
 // testServer spins up the full handler over a Q4 with fixed faults.
 func testServer(t *testing.T) (*httptest.Server, *safecube.Cube) {
+	return testServerOpts(t, safecube.ServeOptions{QueueDepth: 8}, handlerOpts{queueCap: 8})
+}
+
+// testServerOpts is testServer with explicit engine and handler
+// options, for the hardening tests.
+func testServerOpts(t *testing.T, sopts safecube.ServeOptions, hopts handlerOpts) (*httptest.Server, *safecube.Cube) {
 	t.Helper()
 	c := safecube.MustNew(4)
 	if err := c.FailNamed("0011", "1100"); err != nil {
 		t.Fatal(err)
 	}
 	reg := safecube.NewRegistry()
-	srv, err := c.Serve(safecube.ServeOptions{Registry: reg, QueueDepth: 8})
+	sopts.Registry = reg
+	srv, err := c.Serve(sopts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newHandler(srv, c, reg, 8))
+	ts := httptest.NewServer(newHandler(srv, c, reg, hopts))
 	t.Cleanup(func() { ts.Close(); srv.Close() })
 	return ts, c
 }
@@ -159,6 +166,115 @@ func TestMetricsExposition(t *testing.T) {
 	vars := getJSON(t, ts.URL+"/vars", http.StatusOK)
 	if len(vars) == 0 {
 		t.Fatal("/vars returned an empty object")
+	}
+}
+
+// TestDeadlineExceeded: a request whose deadline has no chance of
+// being met returns 504 promptly with a distinct error, and a bad
+// deadline parameter is a 400.
+func TestDeadlineExceeded(t *testing.T) {
+	ts, _ := testServer(t)
+	start := time.Now()
+	v := getJSON(t, ts.URL+"/route?src=0000&dst=1111&deadline=1ns", http.StatusGatewayTimeout)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline-exceeded request took %v, want prompt return", elapsed)
+	}
+	if msg, _ := v["error"].(string); !strings.Contains(msg, "deadline") {
+		t.Fatalf("504 error %q does not mention the deadline", msg)
+	}
+	getJSON(t, ts.URL+"/batch?pairs=0000-1111&deadline=1ns", http.StatusGatewayTimeout)
+	getJSON(t, ts.URL+"/routeall?src=0000&deadline=1ns", http.StatusGatewayTimeout)
+	getJSON(t, ts.URL+"/route?src=0000&dst=1111&deadline=banana", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/route?src=0000&dst=1111&deadline=-1s", http.StatusBadRequest)
+}
+
+// TestOverloadShedding: with a tiny admission bucket the query
+// endpoints shed with 429 while /healthz and the metrics exposition
+// stay reachable.
+func TestOverloadShedding(t *testing.T) {
+	ts, _ := testServerOpts(t,
+		safecube.ServeOptions{QueueDepth: 8, Rate: 1, Burst: 2},
+		handlerOpts{queueCap: 8})
+	shed := false
+	for i := 0; i < 50 && !shed; i++ {
+		resp, err := http.Get(ts.URL + "/route?src=0000&dst=1111")
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusTooManyRequests:
+			shed = true
+		default:
+			t.Fatalf("unexpected status %d under overload", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	if !shed {
+		t.Fatal("burst of 2 admitted 50 requests; no shedding observed")
+	}
+	getJSON(t, ts.URL+"/healthz", http.StatusOK) // health is never shed
+}
+
+// TestLatencyExposition: every query endpoint records into its
+// latency histogram, visible in both expositions.
+func TestLatencyExposition(t *testing.T) {
+	ts, _ := testServer(t)
+	getJSON(t, ts.URL+"/route?src=0000&dst=0111", http.StatusOK)
+	getJSON(t, ts.URL+"/healthz", http.StatusOK)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	body := string(raw)
+	for _, series := range []string{"latency_http_route_us_bucket", "latency_http_healthz_us_count", "latency_route_us_bucket"} {
+		if !strings.Contains(body, "safecube_"+series) {
+			t.Fatalf("/metrics missing %s:\n%s", series, body[:min(len(body), 2000)])
+		}
+	}
+	vars := getJSON(t, ts.URL+"/vars", http.StatusOK)
+	hists, _ := vars["histograms"].(map[string]any)
+	h, ok := hists["latency_http_route_us"].(map[string]any)
+	if !ok {
+		t.Fatal("/vars missing latency_http_route_us histogram")
+	}
+	if _, ok := h["quantiles"].(map[string]any); !ok {
+		t.Fatal("latency histogram snapshot has no quantiles digest")
+	}
+}
+
+// TestPprofGating: /debug/pprof is a 404 by default and serves with
+// the pprof option on.
+func TestPprofGating(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/pprof without -pprof: status %d, want 404", resp.StatusCode)
+	}
+
+	ts2, _ := testServerOpts(t, safecube.ServeOptions{QueueDepth: 8}, handlerOpts{queueCap: 8, pprof: true})
+	resp2, err := http.Get(ts2.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof with -pprof: status %d, want 200", resp2.StatusCode)
+	}
+	resp3, err := http.Get(ts2.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars with -pprof: status %d, want 200", resp3.StatusCode)
 	}
 }
 

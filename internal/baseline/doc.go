@@ -1,0 +1,13 @@
+// Package baseline implements the prior-work schemes the paper compares
+// safety levels against: the Lee–Hayes safe-node definition (Definition 2,
+// ref [7]), the Wu–Fernandez definition (Definition 3, ref [10]), routing
+// built on each, Chen–Shin depth-first fault-tolerant routing (ref [3]),
+// the Gordon–Stout sidetracking heuristic (ref [5]), and an exact BFS
+// oracle used as ground truth.
+//
+// Key invariant: none of these implementations borrow from
+// internal/core — each baseline derives its own node classification and
+// routing decisions from the fault set alone, so the comparison tables
+// (paper Section 5, EXPERIMENTS.md E5/E10) measure genuinely different
+// algorithms rather than reskinned safety levels.
+package baseline

@@ -1,9 +1,3 @@
-// Package baseline implements the prior-work schemes the paper compares
-// safety levels against: the Lee–Hayes safe-node definition (Definition 2,
-// ref [7]), the Wu–Fernandez definition (Definition 3, ref [10]), routing
-// built on each, Chen–Shin depth-first fault-tolerant routing (ref [3]),
-// the Gordon–Stout sidetracking heuristic (ref [5]), and an exact BFS
-// oracle used as ground truth.
 package baseline
 
 import (

@@ -1,0 +1,31 @@
+// Package broadcast implements safety-level-guided broadcasting in
+// faulty hypercubes — the companion application from which the safety
+// level concept originates (the paper's reference [9]: J. Wu, "Safety
+// Level — An Efficient Mechanism for Achieving Reliable Broadcasting in
+// Hypercubes", IEEE TC 44(5), 1995). The unicasting paper reproduced by
+// this repository cites it as the source of Definition 1; this package
+// is the natural extension feature and is validated empirically (the
+// text of [9] is not part of the reproduced paper, so the exact
+// algorithm here is a faithful-in-spirit reconstruction, documented and
+// measured rather than claimed).
+//
+// Algorithm (spanning binomial tree with level-ranked subtree
+// assignment): a node holding the message and a set D of dimensions to
+// cover sorts D by the safety level of the neighbor along each
+// dimension, ascending. The neighbor at rank i — level S_i — receives
+// responsibility for the subtree spanned by the i lower-ranked
+// dimensions, so the safest neighbors take the largest subtrees. When
+// the source is safe, its sorted full sequence dominates (0, 1, ...,
+// n-1), hence the rank-i child has level at least i: exactly the
+// strength needed for a subtree of dimension i. Faulty neighbors sink
+// to the lowest ranks where subtrees are empty; a delivery to a faulty
+// node is skipped entirely (fail-stop nodes need no message).
+//
+// Key invariant: the guarantee is empirical, not theorem-backed here —
+// deep in the recursion a child's *restricted* neighbor sequence can
+// fall short of its rank, leaving nodes uncovered. Result records
+// exactly which nonfaulty, reachable nodes were missed; WithRepair
+// patches each by a safety-level unicast from the source, so the
+// combined operation covers every reachable node whenever the unicast
+// admission (Theorem 2) holds.
+package broadcast

@@ -1,0 +1,18 @@
+// Package chaos drives the safety-level machinery through randomized
+// fault churn and convicts it on the spot when any of its contracts
+// breaks. At every step of a deterministic fail/recover schedule the
+// harness asserts, against the independent oracle package:
+//
+//	(a) the incrementally repaired level table is bit-identical to a
+//	    cold GS/EGS recomputation (the Theorem 1 uniqueness of the
+//	    fixpoint) — public and own views both;
+//	(b) every Theorem-2 guarantee a level claims is realized by an
+//	    actual fault-free path of optimal length;
+//	(c) routed unicast paths never traverse a currently-faulty node or
+//	    link.
+//
+// Key invariant: the schedule is reproducible — the same seed replays
+// the same churn, so any conviction is a deterministic repro case, not
+// a flake. The harness is pure library code so both the test suite and
+// the E16 experiment tables run the same loop.
+package chaos

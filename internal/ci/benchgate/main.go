@@ -1,20 +1,3 @@
-// Command benchgate compares two `go test -bench` output files — the
-// merge-base run and the PR run — and fails when any benchmark matching
-// a hot-path regex regressed beyond a threshold. It is the enforcement
-// half of the CI bench-gate job: benchstat renders the human report,
-// benchgate decides pass/fail, so the gate does not depend on parsing
-// benchstat's output format.
-//
-// Usage:
-//
-//	benchgate -old base.txt -new pr.txt [-match REGEX] [-threshold 0.15]
-//
-// Both files may contain multiple samples per benchmark (go test
-// -count=N); the comparison uses the median ns/op per name, which is
-// robust to one noisy sample on shared CI runners. Benchmarks present
-// in only one file are reported but never fail the gate (new or deleted
-// benchmarks are not regressions). Exit status: 0 ok, 1 regression, 2
-// usage or parse error.
 package main
 
 import (
@@ -45,7 +28,7 @@ func run(args []string, out io.Writer) (int, error) {
 	fs.SetOutput(io.Discard)
 	oldPath := fs.String("old", "", "bench output of the merge base")
 	newPath := fs.String("new", "", "bench output of the PR head")
-	match := fs.String("match", `^Benchmark(Unicast|GS|Repair)`, "gate only benchmarks matching this regex")
+	match := fs.String("match", `^Benchmark(Unicast|GS|Repair|Serve)`, "gate only benchmarks matching this regex")
 	threshold := fs.Float64("threshold", 0.15, "fail when new median ns/op exceeds old by this fraction")
 	if err := fs.Parse(args); err != nil {
 		return 2, err

@@ -101,10 +101,16 @@ func TestRunEndToEnd(t *testing.T) {
 	if code != 1 || err == nil {
 		t.Fatalf("want regression exit 1, got code %d err %v\n%s", code, err, out.String())
 	}
+	// The default match covers the serving hot path too.
+	if !strings.Contains(out.String(), "FAIL BenchmarkServeRoute/readers=16/churn=true") {
+		t.Fatalf("default match did not gate the serve benchmark:\n%s", out.String())
+	}
 
-	// With a generous threshold the same files pass.
+	// With a generous threshold and the serve family excluded via
+	// -match, the same files pass (GS's 30% sits under 50%).
 	out.Reset()
-	code, err = run([]string{"-old", oldPath, "-new", newPath, "-threshold", "0.5"}, &out)
+	code, err = run([]string{"-old", oldPath, "-new", newPath,
+		"-threshold", "0.5", "-match", "^Benchmark(Unicast|GS|Repair)"}, &out)
 	if code != 0 || err != nil {
 		t.Fatalf("want pass, got code %d err %v\n%s", code, err, out.String())
 	}

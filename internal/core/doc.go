@@ -1,0 +1,21 @@
+// Package core implements the paper's primary contribution: the safety
+// level of hypercube nodes (Definition 1), the GLOBAL_STATUS (GS)
+// iterative algorithm that computes it in at most n-1 rounds, the
+// EXTENDED_GLOBAL_STATUS (EGS) variant for cubes with faulty links
+// (Section 4.1), and the optimal/suboptimal unicasting algorithm built on
+// safety levels (Section 3), including its disconnected-cube feasibility
+// check (Section 3.3).
+//
+// Everything is generic over topo.Topology: on a binary cube the
+// per-dimension neighbor is a single XOR away, while on a generalized
+// hypercube (Section 4.2, Definition 4) each dimension first reduces to
+// the minimum level among its m_i - 1 siblings. Since Definition 4
+// collapses to Definition 1 when every radix is 2, one sweep serves both.
+//
+// Key invariant (Theorem 1): the GS iteration is monotonically
+// non-increasing from the all-n start and its fixpoint is unique, so
+// Compute, the parallel sweep, and the incremental RepairLevels used by
+// the serving layer must all land on the same assignment for the same
+// fault set — the property every differential suite in this repository
+// leans on.
+package core

@@ -1,0 +1,11 @@
+// Package expt is the experiment harness: it regenerates every figure
+// and quantitative claim of the paper as a formatted table (see
+// DESIGN.md's experiment index; EXPERIMENTS.md records the outputs,
+// E1–E17). Later experiments extend past the paper into the engineering
+// layers — churn repair (E16) and serving-path tail latency (E17, run
+// through cmd/slload rather than this package).
+//
+// Key invariant: each runner is deterministic given its seed (all
+// randomness flows through stats.RNG), so the committed tables can be
+// regenerated bit-for-bit by `go run ./cmd/slreport`.
+package expt

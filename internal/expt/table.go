@@ -1,7 +1,3 @@
-// Package expt is the experiment harness: it regenerates every figure
-// and quantitative claim of the paper as a formatted table (see
-// DESIGN.md's experiment index E1–E14). Each runner is deterministic
-// given its seed; EXPERIMENTS.md records the outputs.
 package expt
 
 import (

@@ -1,0 +1,16 @@
+// Package faults models fail-stop node and link failures in a hypercube
+// and provides the fault oracle the rest of the system consults.
+//
+// The paper's fault model (Section 1, assumptions 1-2): node faults are
+// fail-stop, and every node knows exactly the status of its neighbors —
+// nothing more. Set is that oracle: the topology-independent record of
+// which nodes and links are down. A Set is generic over topo.Topology,
+// so the same oracle serves the binary cube and the generalized
+// hypercubes of Section 4.2.
+//
+// Key invariant: every mutation bumps the Set's generation counter, and
+// Since(gen) replays the exact delta journal between two generations —
+// the contract the incremental repair (core.RepairLevels) and the
+// serving layer's snapshot stamps are built on. Clone gives a frozen,
+// independently mutable copy at the current generation.
+package faults

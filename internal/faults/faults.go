@@ -1,12 +1,3 @@
-// Package faults models fail-stop node and link failures in a hypercube
-// and provides the fault oracle the rest of the system consults.
-//
-// The paper's fault model (Section 1, assumptions 1-2): node faults are
-// fail-stop, and every node knows exactly the status of its neighbors —
-// nothing more. Set is that oracle: the topology-independent record of
-// which nodes and links are down. A Set is generic over topo.Topology,
-// so the same oracle serves the binary cube and the generalized
-// hypercubes of Section 4.2.
 package faults
 
 import (

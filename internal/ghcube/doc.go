@@ -1,0 +1,15 @@
+// Package ghcube exposes Section 4.2 — safety levels and unicasting in
+// generalized n-dimensional hypercubes GH(m_{n-1} x ... x m_0) of
+// Bhuyan and Agrawal — as a thin adapter over the generic machinery:
+// the topology is topo.Mixed, the fault oracle is faults.Set, and the
+// levels (Definition 4) and the router both come from internal/core,
+// which is generic over topo.Topology. The package keeps the historical
+// int-typed NodeID and its Graph/Assignment/Router/Route shapes so the
+// experiment layer and the exhaustive Section 4.2 tests read unchanged,
+// but contains no independent GS or routing implementation.
+//
+// Key invariant: because Definition 4 collapses to Definition 1 when
+// every radix is 2, a GH(2 x 2 x ... x 2) through this package must
+// agree bit-for-bit with the binary cube path — the equivalence the
+// generalized test suite pins.
+package ghcube

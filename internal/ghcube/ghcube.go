@@ -1,12 +1,3 @@
-// Package ghcube exposes Section 4.2 — safety levels and unicasting in
-// generalized n-dimensional hypercubes GH(m_{n-1} x ... x m_0) of
-// Bhuyan and Agrawal — as a thin adapter over the generic machinery:
-// the topology is topo.Mixed, the fault oracle is faults.Set, and the
-// levels (Definition 4) and the router both come from internal/core,
-// which is generic over topo.Topology. The package keeps the historical
-// int-typed NodeID and its Graph/Assignment/Router/Route shapes so the
-// experiment layer and the exhaustive Section 4.2 tests read unchanged,
-// but contains no independent GS or routing implementation.
 package ghcube
 
 import (

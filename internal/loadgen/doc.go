@@ -1,0 +1,27 @@
+// Package loadgen is the deterministic load generator behind cmd/slload
+// and the E17 churn-storm experiment: it drives a serving engine — in
+// process (LocalTarget) or over HTTP against cmd/slserve (HTTPTarget) —
+// with a seeded, reproducible request stream and reports an HDR-style
+// latency digest.
+//
+// It exists to measure what the paper's complexity analysis cannot: the
+// tail latency of safety-level routing while the fault set is churning
+// underneath the readers (DESIGN.md §9). Two loop disciplines are
+// supported. The closed loop (Config.Rate == 0) keeps Config.Workers
+// requests in flight and measures service time. The open loop offers a
+// fixed schedule regardless of how fast the target answers and measures
+// each request from its *scheduled* start, so a stalled target charges
+// the stall to every request queued behind it — the standard correction
+// for coordinated omission, without which tail percentiles under a
+// churn storm would be flattered by exactly the stalls they are meant
+// to expose.
+//
+// Key invariant: given the same Config.Seed, every worker replays the
+// same op-kind and address sequence (per-worker splitmix64 streams via
+// stats.RNG.Split), so two runs differing only in server-side settings
+// — e.g. admission control on versus off — see identical offered load.
+// Only requests that complete OK are recorded into the latency
+// histograms; shed, drained, and deadline-exceeded requests are counted
+// by class instead, so admission control cannot improve the reported
+// tail by silently dropping the slow requests into it.
+package loadgen

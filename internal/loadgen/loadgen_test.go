@@ -1,0 +1,186 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/serve"
+	"repro/internal/topo"
+)
+
+func newLocal(t *testing.T, opts serve.Options) LocalTarget {
+	t.Helper()
+	svc, err := serve.New(faults.NewSet(topo.MustCube(6)), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return LocalTarget{Svc: svc}
+}
+
+// TestRunClosedLoop: a short closed-loop run over all three op kinds
+// completes, classifies everything OK, and produces a sane digest.
+func TestRunClosedLoop(t *testing.T) {
+	tgt := newLocal(t, serve.Options{})
+	rep := Run(tgt, Config{
+		Seed:     1,
+		Workers:  4,
+		Duration: 100 * time.Millisecond,
+		Warmup:   20 * time.Millisecond,
+		Mix:      Mix{Route: 8, Batch: 1, RouteAll: 1},
+	})
+	if rep.Mode != "closed" {
+		t.Fatalf("mode %q, want closed", rep.Mode)
+	}
+	if rep.Ops == 0 || rep.Classes[ClassOK] != rep.Ops {
+		t.Fatalf("ops=%d classes=%v, want all OK", rep.Ops, rep.Classes)
+	}
+	if rep.Latency.Count != rep.Classes[ClassOK] {
+		t.Fatalf("latency count %d != ok count %d", rep.Latency.Count, rep.Classes[ClassOK])
+	}
+	if rep.Latency.P50Us <= 0 || rep.Latency.P999Us < rep.Latency.P50Us {
+		t.Fatalf("bad quantiles: %+v", rep.Latency)
+	}
+	if rep.Latency.MaxUs <= 0 {
+		t.Fatalf("max latency %d, want > 0", rep.Latency.MaxUs)
+	}
+	if len(rep.PerKind) == 0 {
+		t.Fatal("no per-kind digests")
+	}
+	if rep.WarmupOps == 0 {
+		t.Fatal("warmup window recorded no ops")
+	}
+}
+
+// TestRunOpenLoopChurn: open-loop pacing under a churn storm advances
+// the fault-set generation and still answers the offered load.
+func TestRunOpenLoop(t *testing.T) {
+	tgt := newLocal(t, serve.Options{QueueDepth: 64})
+	gen0 := tgt.Svc.Generation()
+	rep := Run(tgt, Config{
+		Seed:       7,
+		Workers:    2,
+		Rate:       2000,
+		Duration:   150 * time.Millisecond,
+		ChurnEvery: 5 * time.Millisecond,
+	})
+	if rep.Mode != "open" {
+		t.Fatalf("mode %q, want open", rep.Mode)
+	}
+	if rep.ChurnEvents == 0 {
+		t.Fatal("churn storm injected nothing")
+	}
+	if rep.Classes[ClassOK] == 0 {
+		t.Fatalf("no OK ops under churn: %v", rep.Classes)
+	}
+	tgt.Svc.Flush()
+	if tgt.Svc.Generation() == gen0 {
+		t.Fatal("generation never advanced despite churn events")
+	}
+	// Open loop should land near the offered rate, not the maximum
+	// throughput (which for a trivial route would be far higher).
+	if rep.OKPerSec > 3*2000 {
+		t.Fatalf("open loop ran at %.0f ops/s against an offered 2000", rep.OKPerSec)
+	}
+}
+
+// TestRunShedding: a tiny admission bucket turns most of the offered
+// load into ClassOverload without contaminating the OK latency digest.
+func TestRunShedding(t *testing.T) {
+	tgt := newLocal(t, serve.Options{Rate: 50, Burst: 5})
+	rep := Run(tgt, Config{
+		Seed:     3,
+		Workers:  4,
+		Duration: 100 * time.Millisecond,
+	})
+	if rep.Classes[ClassOverload] == 0 {
+		t.Fatalf("no shedding with Rate=50: %v", rep.Classes)
+	}
+	if rep.Latency.Count != rep.Classes[ClassOK] {
+		t.Fatalf("latency digest holds %d samples, want only the %d OK",
+			rep.Latency.Count, rep.Classes[ClassOK])
+	}
+}
+
+// TestClassify covers the error taxonomy mapping.
+func TestClassify(t *testing.T) {
+	cases := map[string]error{
+		ClassOK:       nil,
+		ClassOverload: serve.ErrOverload,
+		ClassDraining: serve.ErrDraining,
+		ClassBacklog:  serve.ErrBacklog,
+		ClassDeadline: context.DeadlineExceeded,
+		ClassError:    context.Canceled,
+	}
+	for want, err := range cases {
+		if got := Classify(err); got != want {
+			t.Errorf("Classify(%v) = %q, want %q", err, got, want)
+		}
+	}
+}
+
+// TestHTTPTargetMapping: the HTTP target maps each slserve status back
+// to the canonical error so classification matches LocalTarget.
+func TestHTTPTargetMapping(t *testing.T) {
+	codes := map[string]int{
+		"/route":    http.StatusOK,
+		"/batch":    http.StatusTooManyRequests,
+		"/routeall": http.StatusGatewayTimeout,
+		"/fault":    http.StatusAccepted,
+	}
+	var lastURL string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		lastURL = r.URL.String()
+		w.WriteHeader(codes[r.URL.Path])
+	}))
+	defer srv.Close()
+
+	tgt := HTTPTarget{Base: srv.URL, N: 16}
+	ctx := context.Background()
+	if err := tgt.Route(ctx, 0, 15); err != nil {
+		t.Fatalf("200 -> %v, want nil", err)
+	}
+	if err := tgt.Batch(ctx, [][2]int{{0, 1}}); Classify(err) != ClassOverload {
+		t.Fatalf("429 -> %v, want overload", err)
+	}
+	if err := tgt.RouteAll(ctx, 0); Classify(err) != ClassDeadline {
+		t.Fatalf("504 -> %v, want deadline", err)
+	}
+	if err := tgt.Fault(ctx, 3, true); err != nil {
+		t.Fatalf("202 -> %v, want nil", err)
+	}
+	if lastURL != "/fault?a=3&op=fail-node" {
+		t.Fatalf("fault URL %q", lastURL)
+	}
+}
+
+// TestDeterministicStream: two runs with the same seed offer the same
+// number of warm+measured requests of each kind when the duration is
+// long enough to drain the schedule (open loop, fast target, fixed op
+// count makes this exact only per-worker; we assert the weaker —
+// but still seed-sensitive — property that op synthesis is stable).
+func TestDeterministicStream(t *testing.T) {
+	rng1 := newKindSeq(42, 100)
+	rng2 := newKindSeq(42, 100)
+	rng3 := newKindSeq(43, 100)
+	if rng1 != rng2 {
+		t.Fatal("same seed produced different op sequences")
+	}
+	if rng1 == rng3 {
+		t.Fatal("different seeds produced identical op sequences")
+	}
+}
+
+func newKindSeq(seed uint64, n int) string {
+	rng := newWorkerRNG(seed, 0)
+	m := Mix{Route: 3, Batch: 2, RouteAll: 1}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = pickKind(rng, m)[0]
+	}
+	return string(out)
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// bucketIndex returns the index of the bucket a value lands in under
+// the histogram's "first bound >= v" rule (len(bounds) for +Inf).
+func bucketIndex(bounds []int64, v int64) int {
+	return sort.Search(len(bounds), func(i int) bool { return bounds[i] >= v })
+}
+
+// TestLatencyQuantileWithinBucket is the histogram-correctness
+// property: for random samples from several distributions, the
+// estimated quantile must land in the same bucket as the exact sample
+// quantile or in one adjacent to it — i.e. the estimate is within one
+// bucket boundary of the truth, the best any fixed-boundary recorder
+// can promise.
+func TestLatencyQuantileWithinBucket(t *testing.T) {
+	rng := rand.New(rand.NewSource(19950701))
+	distributions := map[string]func() int64{
+		// Uniform over the full bucket range.
+		"uniform": func() int64 { return rng.Int63n(12_000_000) },
+		// Log-uniform: equal mass per decade, the latency-like shape.
+		"loguniform": func() int64 {
+			return int64(math10(rng.Float64() * 7)) // 1..10^7 µs
+		},
+		// Bimodal: fast path plus a heavy tail.
+		"bimodal": func() int64 {
+			if rng.Intn(100) < 95 {
+				return 50 + rng.Int63n(400)
+			}
+			return 100_000 + rng.Int63n(4_000_000)
+		},
+		// Constant: every mass point on one value.
+		"constant": func() int64 { return 777 },
+	}
+	quantiles := []float64{0.5, 0.9, 0.99, 0.999}
+
+	for name, draw := range distributions {
+		h := newHistogram(LatencyBuckets)
+		sample := make([]int64, 20_000)
+		for i := range sample {
+			sample[i] = draw()
+			h.Observe(sample[i])
+		}
+		sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+		snap := h.Snapshot()
+		for _, q := range quantiles {
+			// Exact sample quantile: the ceil(q*n)-th order statistic,
+			// matching the histogram's cumulative-count crossing rule.
+			rank := int(q * float64(len(sample)))
+			if rank >= len(sample) {
+				rank = len(sample) - 1
+			}
+			exact := sample[rank]
+			est := snap.Quantile(q)
+			bExact := bucketIndex(LatencyBuckets, exact)
+			bEst := bucketIndex(LatencyBuckets, int64(est))
+			if d := bEst - bExact; d < -1 || d > 1 {
+				t.Errorf("%s p%g: estimate %.0f (bucket %d) vs exact %d (bucket %d): more than one boundary apart",
+					name, q*100, est, bEst, exact, bExact)
+			}
+		}
+		// The digest in the snapshot must agree with direct estimation.
+		if snap.Quantiles == nil {
+			t.Fatalf("%s: non-empty snapshot has nil Quantiles digest", name)
+		}
+		if got, want := snap.Quantiles["p99"], snap.Quantile(0.99); got != want {
+			t.Errorf("%s: digest p99 %v != Quantile(0.99) %v", name, got, want)
+		}
+	}
+}
+
+// math10 is 10^x without importing math for one call site.
+func math10(x float64) float64 {
+	v := 1.0
+	for x >= 1 {
+		v *= 10
+		x--
+	}
+	// Linear blend within the last partial decade is accurate enough
+	// for generating test samples.
+	return v * (1 + 9*x)
+}
+
+// TestLatencyQuantileEdges pins the degenerate cases.
+func TestLatencyQuantileEdges(t *testing.T) {
+	var nilSnap HistSnapshot
+	if got := nilSnap.Quantile(0.5); got != 0 {
+		t.Fatalf("empty snapshot quantile = %v, want 0", got)
+	}
+	h := newHistogram(LatencyBuckets)
+	h.Observe(25_000_000) // beyond the last bound: +Inf bucket
+	if got, want := h.Snapshot().Quantile(0.5), float64(LatencyBuckets[len(LatencyBuckets)-1]); got != want {
+		t.Fatalf("+Inf-bucket quantile = %v, want clamp to last bound %v", got, want)
+	}
+	h2 := newHistogram(LatencyBuckets)
+	h2.Observe(3)
+	if got := h2.Snapshot().Quantile(1.5); got < 2 || got > 5 {
+		t.Fatalf("clamped q>1 quantile = %v, want within the observation's bucket (2,5]", got)
+	}
+	if h2.Snapshot().Quantile(-1) < 0 {
+		t.Fatal("negative q must clamp, not extrapolate below zero")
+	}
+}
+
+// TestLatencyObserveDuringExposition hammers Observe from many
+// goroutines while snapshots and quantile estimates are taken
+// concurrently — the -race check that exposition never tears the
+// wait-free recording path.
+func TestLatencyObserveDuringExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.LatencyHistogram(MetricLatencyRoute)
+	const (
+		writers = 8
+		perW    = 5_000
+	)
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	// Exposition side: snapshots and quantile estimates in a tight loop
+	// while the writers are live.
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := h.Snapshot()
+			if q := snap.Quantile(0.99); q < 0 {
+				t.Error("negative quantile from live snapshot")
+				return
+			}
+			if snap.Count < 0 {
+				t.Error("negative count from live snapshot")
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perW; i++ {
+				h.Observe(rng.Int63n(1_000_000))
+			}
+			h.ObserveSince(time.Now())
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	if got, want := h.Snapshot().Count, int64(writers*(perW+1)); got != want {
+		t.Fatalf("lost observations under concurrency: count %d, want %d", got, want)
+	}
+}

@@ -1,22 +1,3 @@
-// Package obs is the instrumentation layer of the safecube system: a
-// stdlib-only registry of lock-cheap counters, gauges and histograms,
-// plus structured tracers for the two protocols whose cost the paper
-// quantifies — the unicasting algorithm (admission condition, per-hop
-// decisions, reroutes, path length vs Hamming distance) and the GS/EGS
-// safety-level computation (rounds to stabilize, per-round level deltas,
-// per-link message counts).
-//
-// Everything is nil-safe: a nil *Registry (and every metric handle it
-// returns) is a valid "instrumentation disabled" value whose methods are
-// single-branch no-ops, so instrumented hot paths cost one pointer test
-// when observability is off. Metric updates are atomic and snapshots are
-// consistent enough for monitoring (each value is read atomically;
-// cross-metric skew is possible by design), which keeps the fast path
-// free of locks and safe under `go test -race`.
-//
-// Exposition lives in export.go: an expvar-style JSON snapshot, a
-// Prometheus text-format writer, and net/http handlers so both CLI tools
-// and long-running servers can publish the same registry.
 package obs
 
 import (
@@ -124,6 +105,9 @@ type HistSnapshot struct {
 	Counts []int64 `json:"counts"`
 	Sum    int64   `json:"sum"`
 	Count  int64   `json:"count"`
+	// Quantiles holds the p50/p90/p99/p999 estimates (see Quantile),
+	// computed at snapshot time; nil while the histogram is empty.
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
 }
 
 // Snapshot copies the histogram state (zero value for nil).
@@ -140,6 +124,7 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
 	}
+	s.Quantiles = s.quantiles()
 	return s
 }
 

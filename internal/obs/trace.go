@@ -218,6 +218,13 @@ const (
 	MetricServeBatchItems     = "serve_batch_items_total"
 	MetricServeFanoutsTotal   = "serve_fanouts_total"
 	MetricServeFanoutItems    = "serve_fanout_items_total"
+	// Serving-path hardening metrics: token-bucket load shedding
+	// (distinct from serve_apply_rejected_total, which is writer-side
+	// churn backpressure), context cancellation, and the drain state.
+	MetricServeOverloadTotal = "serve_overload_total"
+	MetricServeDeadlineTotal = "serve_deadline_total"
+	MetricServeInflight      = "serve_inflight"
+	MetricServeDraining      = "serve_draining"
 )
 
 // RouteObserver builds (or rebuilds) an observer bound to the registry,

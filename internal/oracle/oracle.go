@@ -1,11 +1,3 @@
-// Package oracle is the independent ground truth the chaos and churn
-// suites judge the safety-level machinery against. It deliberately
-// re-derives everything from first principles — level-synchronous BFS
-// over the surviving graph, pure path inspection — sharing no code with
-// internal/core's fixpoint or internal/faults' connectivity helpers, so
-// that a bug in the machinery under test cannot also hide in the judge.
-// A metamorphic test asserts the oracle and internal/faults agree on
-// reachability.
 package oracle
 
 import (

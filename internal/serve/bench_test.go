@@ -1,11 +1,13 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/faults"
 	"repro/internal/stats"
@@ -88,6 +90,38 @@ func BenchmarkServeRoute(b *testing.B) {
 			b.Run(name, func(b *testing.B) { benchReaders(b, readers, churn) })
 		}
 	}
+}
+
+// BenchmarkServeRouteCtx measures the hardened read path — inflight
+// accounting, phase check, admission bucket, context check — so the
+// production-serving overhead over the raw snapshot read stays visible
+// to bench-gate. The no-deadline/no-admission cell is the floor; the
+// full cell carries a deadline context and an (unsaturated) bucket.
+func BenchmarkServeRouteCtx(b *testing.B) {
+	run := func(b *testing.B, opts Options, withDeadline bool) {
+		s := benchService(b, opts)
+		nodes := s.Topology().Nodes()
+		ctx := context.Background()
+		if withDeadline {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Hour)
+			defer cancel()
+		}
+		rng := stats.NewRNG(17)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src := topo.NodeID(rng.Intn(nodes))
+			dst := topo.NodeID(rng.Intn(nodes))
+			if _, err := s.RouteCtx(ctx, src, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("bare", func(b *testing.B) { run(b, Options{}, false) })
+	b.Run("deadline+admission", func(b *testing.B) {
+		run(b, Options{Rate: 1e12, Burst: 1 << 20}, true)
+	})
 }
 
 // BenchmarkServeBatch measures the batched path: one snapshot load

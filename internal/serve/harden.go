@@ -1,0 +1,329 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/topo"
+)
+
+// Production hardening of the read path. The lock-free snapshot
+// readers in serve.go can never block each other — but a production
+// deployment still needs three guarantees they do not give on their
+// own:
+//
+//   - Deadlines: a caller with a context gets an answer or that
+//     context's error, promptly, even mid-batch.
+//   - Admission control: an offered load beyond the configured rate is
+//     shed at the door with ErrOverload (reader-side shedding), which
+//     is deliberately a different signal from ErrBacklog
+//     (writer-side churn backpressure): shedding protects the latency
+//     of admitted requests, backpressure protects the applier.
+//   - Drain ordering: Shutdown refuses new context-carrying requests,
+//     waits for every in-flight one to finish against its pinned
+//     snapshot, flushes the apply queue (so churn accepted before the
+//     drain still reaches a published snapshot), and only then stops
+//     the applier. A request admitted before the drain therefore
+//     always completes against a consistent, fully published snapshot
+//     — the invariant TestServeDrainOrdering pins under -race.
+//
+// The context-free methods (Route, BatchUnicast, RouteAll) keep their
+// PR-4 semantics: never admitted, never shed, never refused — they
+// serve the last published snapshot even after Close. The hardened
+// surface is the *Ctx family below.
+
+// ErrOverload is returned by the context-aware readers when the
+// token-bucket admission controller sheds the request. It maps to HTTP
+// 429 in cmd/slserve. Compare ErrBacklog, the writer-side signal.
+var ErrOverload = errors.New("serve: overloaded, request shed")
+
+// ErrDraining is returned by the context-aware readers once Shutdown
+// (or Close) has begun: the service no longer admits new requests but
+// still completes the ones already in flight. Maps to HTTP 503.
+var ErrDraining = errors.New("serve: draining, not admitting requests")
+
+// Service lifecycle phases (Service.phase).
+const (
+	phaseServing int32 = iota
+	phaseDraining
+	phaseStopped
+)
+
+// tokenBucket is a lock-free GCRA-style token bucket: the whole state
+// is one atomic "theoretical arrival time" in nanoseconds. take(n)
+// costs one CAS on the uncontended path and never blocks — admission
+// control must not queue, or shed load would still consume the latency
+// budget it exists to protect.
+type tokenBucket struct {
+	interval int64 // nanoseconds earned back per token
+	depth    int64 // burst depth in nanoseconds (burst * interval)
+	tat      atomic.Int64
+}
+
+// newTokenBucket builds a bucket admitting rate tokens/second with the
+// given burst. rate <= 0 disables admission control (nil bucket).
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	interval := int64(float64(time.Second) / rate)
+	if interval < 1 {
+		interval = 1
+	}
+	b := &tokenBucket{interval: interval, depth: int64(burst) * interval}
+	b.tat.Store(time.Now().UnixNano() - b.depth) // start full
+	return b
+}
+
+// take admits n tokens' worth of work, or reports shedding. A nil
+// bucket admits everything.
+func (b *tokenBucket) take(n int) bool {
+	if b == nil {
+		return true
+	}
+	cost := int64(n) * b.interval
+	for {
+		now := time.Now().UnixNano()
+		tat := b.tat.Load()
+		next := tat
+		if now > next {
+			next = now
+		}
+		next += cost
+		if next-now > b.depth {
+			return false
+		}
+		if b.tat.CompareAndSwap(tat, next) {
+			return true
+		}
+	}
+}
+
+// acquire registers one in-flight request. It refuses once draining
+// has begun; the seq-cst re-check after the increment closes the race
+// with Shutdown flipping the phase between our load and our add.
+func (s *Service) acquire() error {
+	if s.phase.Load() != phaseServing {
+		return ErrDraining
+	}
+	s.inflight.Add(1)
+	s.mInflight.Add(1)
+	if s.phase.Load() != phaseServing {
+		s.release()
+		return ErrDraining
+	}
+	return nil
+}
+
+// release retires one in-flight request and, if a drain is waiting on
+// us, signals it when the count hits zero.
+func (s *Service) release() {
+	s.mInflight.Add(-1)
+	if s.inflight.Add(-1) == 0 && s.phase.Load() != phaseServing {
+		s.signalDrained()
+	}
+}
+
+func (s *Service) signalDrained() {
+	s.drainOnce.Do(func() { close(s.drained) })
+}
+
+// Inflight returns the number of context-aware requests currently
+// being served (also exported as serve_inflight).
+func (s *Service) Inflight() int64 { return s.inflight.Load() }
+
+// ctxErr classifies a context error for metrics and returns it.
+func (s *Service) ctxErr(ctx context.Context) error {
+	s.mDeadline.Inc()
+	return ctx.Err()
+}
+
+// RouteCtx is Route with deadlines, admission control and drain
+// awareness: it refuses with ErrDraining after Shutdown begins, sheds
+// with ErrOverload beyond the configured rate, returns ctx.Err() once
+// the context is done, and otherwise routes against the snapshot
+// current at admission time, recording the wall latency.
+func (s *Service) RouteCtx(ctx context.Context, src, dst topo.NodeID) (*core.Route, error) {
+	if err := s.acquire(); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	if err := ctx.Err(); err != nil {
+		return nil, s.ctxErr(ctx)
+	}
+	if !s.bucket.take(1) {
+		s.mOverload.Inc()
+		return nil, ErrOverload
+	}
+	start := time.Now()
+	r := s.Route(src, dst)
+	s.mLatRoute.ObserveSince(start)
+	return r, nil
+}
+
+// BatchUnicastCtx is BatchUnicast with the same hardening. Admission
+// costs one token per request in the batch; cancellation is observed
+// between items, so a batch returns within one unicast of its
+// context's deadline (partial results are discarded: the caller asked
+// for a mutually consistent answer set, and a truncated one is not).
+func (s *Service) BatchUnicastCtx(ctx context.Context, reqs []Request) ([]*core.Route, error) {
+	if err := s.acquire(); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	if err := ctx.Err(); err != nil {
+		return nil, s.ctxErr(ctx)
+	}
+	if !s.bucket.take(len(reqs)) {
+		s.mOverload.Inc()
+		return nil, ErrOverload
+	}
+	start := time.Now()
+	sn := s.cur.Load()
+	s.mBatches.Inc()
+	s.mBatchN.Add(int64(len(reqs)))
+	if len(s.queue) > 0 {
+		s.mStale.Inc()
+	}
+	out, err := sn.batchUnicastCtx(ctx, reqs, s.workers)
+	if err != nil {
+		return nil, s.ctxErr(ctx)
+	}
+	s.mLatBatch.ObserveSince(start)
+	return out, nil
+}
+
+// RouteAllCtx is RouteAll with the same hardening; admission costs one
+// token per destination.
+func (s *Service) RouteAllCtx(ctx context.Context, src topo.NodeID) ([]*core.Route, error) {
+	if err := s.acquire(); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	if err := ctx.Err(); err != nil {
+		return nil, s.ctxErr(ctx)
+	}
+	nodes := s.t.Nodes()
+	if !s.bucket.take(nodes - 1) {
+		s.mOverload.Inc()
+		return nil, ErrOverload
+	}
+	start := time.Now()
+	sn := s.cur.Load()
+	reqs := make([]Request, 0, nodes-1)
+	for a := 0; a < nodes; a++ {
+		if topo.NodeID(a) == src {
+			continue
+		}
+		reqs = append(reqs, Request{Src: src, Dst: topo.NodeID(a)})
+	}
+	s.mFanouts.Inc()
+	s.mFanoutN.Add(int64(len(reqs)))
+	routes, err := sn.batchUnicastCtx(ctx, reqs, s.workers)
+	if err != nil {
+		return nil, s.ctxErr(ctx)
+	}
+	out := make([]*core.Route, nodes)
+	for i, q := range reqs {
+		out[q.Dst] = routes[i]
+	}
+	s.mLatRouteAll.ObserveSince(start)
+	return out, nil
+}
+
+// batchUnicastCtx is Snapshot.BatchUnicast with cooperative
+// cancellation: every worker re-checks the context before claiming the
+// next index, so cancellation latency is bounded by one unicast, not
+// by the batch.
+func (sn *Snapshot) batchUnicastCtx(ctx context.Context, reqs []Request, workers int) ([]*core.Route, error) {
+	if len(reqs) == 0 {
+		return make([]*core.Route, 0), nil
+	}
+	if ctx.Done() == nil {
+		// No deadline and no cancellation possible: take the fast path.
+		return sn.BatchUnicast(reqs, workers), nil
+	}
+	out := make([]*core.Route, len(reqs))
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers <= 1 {
+		for i, q := range reqs {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			out[i] = sn.rt.Unicast(q.Src, q.Dst)
+		}
+		return out, nil
+	}
+	var next atomic.Int64
+	var canceled atomic.Bool
+	done := make(chan struct{})
+	var pending atomic.Int64
+	pending.Store(int64(workers))
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() {
+				if pending.Add(-1) == 0 {
+					close(done)
+				}
+			}()
+			for {
+				if ctx.Err() != nil {
+					canceled.Store(true)
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				out[i] = sn.rt.Unicast(reqs[i].Src, reqs[i].Dst)
+			}
+		}()
+	}
+	<-done
+	if canceled.Load() {
+		return nil, ctx.Err()
+	}
+	return out, nil
+}
+
+// Shutdown drains the service: it stops admitting context-aware
+// requests (they get ErrDraining), waits for every in-flight request
+// to complete, flushes the apply queue so churn accepted before the
+// drain reaches a published snapshot, and then stops the applier.
+// The drain order is the guarantee: in-flight requests first, queue
+// flush second, final snapshot swap third, applier stop last.
+//
+// If ctx expires while in-flight requests remain, Shutdown abandons
+// the drain, hard-closes the service (exactly Close), and returns
+// ctx.Err(). In-flight requests still finish correctly — they hold
+// immutable snapshots — but Shutdown no longer vouches for having
+// waited for them.
+//
+// Shutdown is idempotent and safe to race with Close; the context-free
+// readers keep serving the final snapshot afterwards.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.phase.CompareAndSwap(phaseServing, phaseDraining)
+	s.mDraining.Set(1)
+	if s.inflight.Load() == 0 {
+		s.signalDrained()
+	}
+	select {
+	case <-s.drained:
+	case <-ctx.Done():
+		s.Close()
+		return ctx.Err()
+	}
+	// All in-flight requests have retired. Publish any churn accepted
+	// before (or during) the drain, then stop the applier for good.
+	s.Flush()
+	s.Close()
+	return nil
+}

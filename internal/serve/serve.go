@@ -1,35 +1,3 @@
-// Package serve is the concurrent route-serving engine: the first layer
-// of the system that answers unicast queries for many callers at once
-// instead of computing answers for one.
-//
-// The paper's routing decision is read-mostly. Safety levels change only
-// on fault churn (a FailNode/RecoverNode/FailLink event), while every
-// unicast between two churn events routes against the same level
-// fixpoint — exactly the shape RCU-style snapshotting exploits. A
-// Service therefore keeps one immutable, generation-stamped Snapshot
-// behind an atomic pointer:
-//
-//   - Readers (Route, Feasibility, BatchUnicast, RouteAll) load the
-//     pointer, route, and never take a lock. A reader keeps the snapshot
-//     it loaded for the whole query, so every answer is internally
-//     consistent even while the pointer moves underneath it.
-//   - Fault churn goes through a bounded apply queue drained by a single
-//     applier goroutine, which owns the live fault oracle, reconverges
-//     the levels through core.RepairLevels (cold Compute as fallback),
-//     and publishes the next snapshot with a single pointer swap.
-//
-// Stale-snapshot routing is safe, not merely tolerated: by Theorem 1 the
-// safety-level fixpoint for a fault set is unique, so a snapshot is the
-// exact assignment for the faults it was stamped with, and every route
-// it produces is a correct route of that slightly-older cube — the same
-// guarantee any distributed execution gives between two GS exchanges
-// (see DESIGN.md §9 for the full argument).
-//
-// Backpressure: the queue is bounded, so a churn storm throttles
-// writers (Apply blocks, TryApply refuses) while readers keep serving
-// the last published snapshot. The applier additionally coalesces every
-// event queued at drain time into one repair + one swap, so a storm of
-// k events costs one reconvergence, not k.
 package serve
 
 import (
@@ -124,6 +92,15 @@ type Options struct {
 	// Workers sizes the BatchUnicast/RouteAll worker pool (<= 0 means
 	// GOMAXPROCS).
 	Workers int
+	// Rate caps admitted work on the context-aware readers at this many
+	// unicasts per second through a token bucket (RouteCtx costs 1,
+	// BatchUnicastCtx one per item, RouteAllCtx one per destination).
+	// <= 0 disables admission control. Shed requests fail fast with
+	// ErrOverload; the context-free readers are never shed.
+	Rate float64
+	// Burst is the token-bucket depth in unicasts (< 1 means 1). Only
+	// meaningful when Rate > 0.
+	Burst int
 	// Tie is the routing tie-break policy (nil means core.LowestDim).
 	Tie core.TieBreak
 	// Registry receives the per-service metrics (nil disables).
@@ -163,6 +140,14 @@ type Service struct {
 	tie     core.TieBreak
 	copts   core.Options
 
+	// Hardened read-path state (harden.go): lifecycle phase, in-flight
+	// request count for drain ordering, and the admission bucket.
+	phase     atomic.Int32
+	inflight  atomic.Int64
+	drained   chan struct{}
+	drainOnce sync.Once
+	bucket    *tokenBucket
+
 	// Metric handles, resolved once (nil-safe no-ops when
 	// uninstrumented).
 	routeObs   *obs.RouteObserver
@@ -183,6 +168,15 @@ type Service struct {
 	mBatchN    *obs.Counter
 	mFanouts   *obs.Counter
 	mFanoutN   *obs.Counter
+
+	mOverload    *obs.Counter
+	mDeadline    *obs.Counter
+	mInflight    *obs.Gauge
+	mDraining    *obs.Gauge
+	mLatRoute    *obs.Histogram
+	mLatBatch    *obs.Histogram
+	mLatRouteAll *obs.Histogram
+	mLatRepair   *obs.Histogram
 }
 
 // New starts a service over the fault state of set, which is cloned:
@@ -212,10 +206,12 @@ func New(set *faults.Set, opts Options) (*Service, error) {
 		t:       set.Topology(),
 		queue:   make(chan applyMsg, depth),
 		closed:  make(chan struct{}),
+		drained: make(chan struct{}),
 		set:     set.Clone(),
 		workers: workers,
 		tie:     tie,
 		copts:   opts.Compute,
+		bucket:  newTokenBucket(opts.Rate, opts.Burst),
 	}
 	s.bindMetrics(opts.Registry)
 	s.live = core.Compute(s.set, s.copts)
@@ -247,6 +243,14 @@ func (s *Service) bindMetrics(r *obs.Registry) {
 	s.mBatchN = r.Counter(obs.MetricServeBatchItems)
 	s.mFanouts = r.Counter(obs.MetricServeFanoutsTotal)
 	s.mFanoutN = r.Counter(obs.MetricServeFanoutItems)
+	s.mOverload = r.Counter(obs.MetricServeOverloadTotal)
+	s.mDeadline = r.Counter(obs.MetricServeDeadlineTotal)
+	s.mInflight = r.Gauge(obs.MetricServeInflight)
+	s.mDraining = r.Gauge(obs.MetricServeDraining)
+	s.mLatRoute = r.LatencyHistogram(obs.MetricLatencyRoute)
+	s.mLatBatch = r.LatencyHistogram(obs.MetricLatencyBatch)
+	s.mLatRouteAll = r.LatencyHistogram(obs.MetricLatencyRouteAll)
+	s.mLatRepair = r.LatencyHistogram(obs.MetricLatencyRepair)
 }
 
 // Topology returns the topology the service routes over.
@@ -398,8 +402,13 @@ func (s *Service) Flush() {
 // Close stops the applier after draining the queue. Events accepted
 // before Close are applied; later Apply/TryApply calls return
 // ErrClosed. Close is idempotent and safe to call concurrently with
-// readers, which keep serving the final snapshot.
+// readers: the context-free readers keep serving the final snapshot,
+// while the context-aware ones refuse with ErrDraining. Close does not
+// wait for in-flight context-aware requests — use Shutdown for an
+// ordered drain.
 func (s *Service) Close() {
+	s.phase.Store(phaseStopped)
+	s.mDraining.Set(1)
 	s.once.Do(func() { close(s.closed) })
 	s.wg.Wait()
 	// A submitter that raced the shutdown may have enqueued after the
@@ -509,6 +518,7 @@ func (s *Service) rebuild(gen uint64) {
 	elapsed := time.Since(start)
 	s.mSwapNs.Set(elapsed.Nanoseconds())
 	s.mSwapHist.Observe(elapsed.Microseconds())
+	s.mLatRepair.Observe(elapsed.Microseconds())
 }
 
 // publish detaches the assignment from the live oracle and swaps the

@@ -1,0 +1,22 @@
+// Package simnet executes the paper's protocols on a distributed
+// message-passing substrate: one goroutine per nonfaulty hypercube node,
+// one channel per node inbox, and no shared mutable state during a
+// protocol phase. It is the executable counterpart of the paper's cost
+// model — "the safety level of each node can be easily calculated through
+// n-1 rounds of information exchange among neighboring nodes" — and lets
+// the experiments count real rounds and real per-link messages.
+//
+// The engine is generic over topo.Topology: binary cubes run Definition 1
+// levels, generalized hypercubes (Section 4.2) run Definition 4 by
+// reducing each dimension's sibling levels to their minimum before the
+// safety-level evaluation. Both reach the fixpoint within n-1 rounds
+// because every dimension's minimum is available in one exchange step.
+//
+// Key invariant: within a phase, nodes interact only by messages. The
+// engine serializes phases — a GS phase (bulk-synchronous level
+// exchange over exactly D rounds), unicast phases (hop-by-hop message
+// forwarding), and fault injection between phases (fail-stop nodes die;
+// a state-change-driven GS recomputation follows, matching Section
+// 2.2's update strategies) — and the levels it converges to must equal
+// the sequential core.Compute fixpoint (Theorem 1 uniqueness again).
+package simnet

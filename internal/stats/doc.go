@@ -1,0 +1,12 @@
+// Package stats provides the deterministic random-number generation and
+// small statistical helpers used by the experiment harness and the load
+// generator. Everything in this package is dependency-free and
+// reproducible: the same seed always yields the same stream, which is
+// what lets EXPERIMENTS.md pin exact measured values.
+//
+// Key invariant: the stream is stable across platforms and Go releases
+// — RNG is a hand-rolled splitmix64, deliberately not math/rand, so the
+// fault sets used in every recorded experiment (and every slload
+// request schedule) can be regenerated bit-for-bit. Split derives
+// decorrelated child streams for per-worker determinism.
+package stats

@@ -1,8 +1,3 @@
-// Package stats provides the deterministic random-number generation and
-// small statistical helpers used by the experiment harness. Everything in
-// this package is dependency-free and reproducible: the same seed always
-// yields the same stream, regardless of platform or Go version, which is
-// what lets EXPERIMENTS.md pin exact measured values.
 package stats
 
 import "math"

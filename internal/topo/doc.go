@@ -1,0 +1,17 @@
+// Package topo implements the addressing and structural primitives of
+// the hypercube topologies used throughout the repository: the binary
+// n-dimensional hypercube Q_n (Section 2.1 of the paper) and the
+// mixed-radix generalized hypercube GH(m_{n-1} x ... x m_0) of Section
+// 4.2, both behind the Topology interface the level and routing
+// machinery is generic over.
+//
+// Binary nodes are labeled 0 .. 2^n-1; two nodes are adjacent exactly
+// when their labels differ in one bit, so Hamming distance is graph
+// distance.
+//
+// Key invariant: the package is purely combinatorial — fault knowledge
+// lives in package faults and the safety-level machinery lives in
+// package core, so a Topology is immutable and safely shared by every
+// layer (including concurrently published serving snapshots) without
+// synchronization.
+package topo

@@ -1,10 +1,3 @@
-// Package topo implements the addressing and structural primitives of the
-// binary n-dimensional hypercube Q_n used throughout the repository.
-//
-// Nodes are labeled 0 .. 2^n-1; two nodes are adjacent exactly when their
-// labels differ in one bit (Section 2.1 of the paper). The package is
-// purely combinatorial: fault knowledge lives in package faults and the
-// safety-level machinery lives in package core.
 package topo
 
 import (

@@ -1,6 +1,8 @@
 package safecube
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/serve"
@@ -22,6 +24,15 @@ type ServeOptions struct {
 	QueueDepth int
 	// Workers sizes the batch worker pool (<= 0 means GOMAXPROCS).
 	Workers int
+	// Rate enables token-bucket admission control on the context-aware
+	// readers: at most Rate unicasts per second are admitted
+	// (UnicastCtx costs 1, BatchUnicastCtx one per pair, RouteAllCtx
+	// one per destination); the excess is shed promptly with
+	// ErrServerOverload. <= 0 disables shedding. The context-free
+	// readers are never shed.
+	Rate float64
+	// Burst is the admission bucket depth in unicasts (< 1 means 1).
+	Burst int
 	// Registry receives the serving metrics (nil disables).
 	Registry *Registry
 }
@@ -43,6 +54,8 @@ func serveFrom(set *faults.Set, opts ServeOptions) (*Server, error) {
 	svc, err := serve.New(set, serve.Options{
 		QueueDepth: opts.QueueDepth,
 		Workers:    opts.Workers,
+		Rate:       opts.Rate,
+		Burst:      opts.Burst,
 		Registry:   opts.Registry,
 	})
 	if err != nil {
@@ -77,6 +90,19 @@ func (s *Server) Unicast(src, dst NodeID) *Route {
 	return routeOf(s.svc.Route(src, dst))
 }
 
+// UnicastCtx is Unicast with production semantics: it honors ctx
+// (returning ctx.Err() promptly once the deadline passes or the caller
+// cancels), is subject to admission control (ErrServerOverload beyond
+// ServeOptions.Rate), and refuses with ErrServerDraining once Shutdown
+// has begun.
+func (s *Server) UnicastCtx(ctx context.Context, src, dst NodeID) (*Route, error) {
+	r, err := s.svc.RouteCtx(ctx, src, dst)
+	if err != nil {
+		return nil, err
+	}
+	return routeOf(r), nil
+}
+
 // Feasibility evaluates the source-side admission test against the
 // current snapshot without moving a message.
 func (s *Server) Feasibility(src, dst NodeID) (Condition, Outcome) {
@@ -106,6 +132,25 @@ func (s *Server) BatchUnicast(pairs []TrafficPair) []*Route {
 	return out
 }
 
+// BatchUnicastCtx is BatchUnicast with deadline, admission and drain
+// handling (see UnicastCtx). Admission costs one token per pair; a
+// canceled batch returns ctx.Err() rather than a truncated result set.
+func (s *Server) BatchUnicastCtx(ctx context.Context, pairs []TrafficPair) ([]*Route, error) {
+	reqs := make([]serve.Request, len(pairs))
+	for i, p := range pairs {
+		reqs[i] = serve.Request{Src: p.Src, Dst: p.Dst}
+	}
+	rs, err := s.svc.BatchUnicastCtx(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Route, len(rs))
+	for i, r := range rs {
+		out[i] = routeOf(r)
+	}
+	return out, nil
+}
+
 // RouteAll routes from src to every other node against one snapshot.
 // The result is indexed by destination NodeID; the slot for src is nil.
 func (s *Server) RouteAll(src NodeID) []*Route {
@@ -118,6 +163,26 @@ func (s *Server) RouteAll(src NodeID) []*Route {
 	}
 	return out
 }
+
+// RouteAllCtx is RouteAll with deadline, admission and drain handling
+// (see UnicastCtx). Admission costs one token per destination.
+func (s *Server) RouteAllCtx(ctx context.Context, src NodeID) ([]*Route, error) {
+	rs, err := s.svc.RouteAllCtx(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Route, len(rs))
+	for i, r := range rs {
+		if r != nil {
+			out[i] = routeOf(r)
+		}
+	}
+	return out, nil
+}
+
+// Inflight returns the number of context-aware requests currently in
+// flight (the quantity Shutdown drains to zero).
+func (s *Server) Inflight() int64 { return s.svc.Inflight() }
 
 // FailNode enqueues a node fault. The snapshot updates asynchronously;
 // use Flush to wait for it.
@@ -140,16 +205,33 @@ func (s *Server) Flush() { s.svc.Flush() }
 // Close stops the applier and releases the Server. Pending churn is
 // drained first. Close is idempotent; methods called after Close see
 // ErrServerClosed from mutators and the last published snapshot from
-// readers.
+// readers. Close does not wait for in-flight context-aware requests —
+// use Shutdown for an ordered drain.
 func (s *Server) Close() { s.svc.Close() }
+
+// Shutdown drains the Server gracefully: new context-aware requests
+// are refused with ErrServerDraining, every request already admitted
+// completes against its pinned snapshot, churn accepted before the
+// drain is flushed into a final published snapshot, and only then the
+// applier stops. If ctx expires first, the Server hard-closes and
+// Shutdown returns ctx.Err(). Context-free readers keep serving the
+// final snapshot either way.
+func (s *Server) Shutdown(ctx context.Context) error { return s.svc.Shutdown(ctx) }
 
 // Serving errors, re-exported from the engine.
 var (
 	// ErrServerClosed is returned by mutators after Close.
 	ErrServerClosed = serve.ErrClosed
 	// ErrServerBacklog is returned when the churn queue is full and the
-	// caller asked not to block.
+	// caller asked not to block — writer-side backpressure.
 	ErrServerBacklog = serve.ErrBacklog
+	// ErrServerOverload is returned by the context-aware readers when
+	// admission control sheds the request — reader-side load shedding,
+	// deliberately distinct from ErrServerBacklog.
+	ErrServerOverload = serve.ErrOverload
+	// ErrServerDraining is returned by the context-aware readers once
+	// Shutdown (or Close) has begun.
+	ErrServerDraining = serve.ErrDraining
 )
 
 func routeOf(r *core.Route) *Route {
