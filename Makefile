@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt build vet test race fuzz bench-smoke bench-hot bench-json load-smoke cover staticcheck ci
+.PHONY: all fmt build vet test race fuzz bench-smoke bench-hot bench-json load-smoke flight-smoke cover staticcheck ci
 
 all: ci
 
@@ -39,7 +39,7 @@ bench-smoke:
 # The hot-path benchmark set the CI bench-gate watches. BENCH_OUT
 # captures the raw output for benchstat / internal/ci/benchgate; the
 # regex must stay in sync with benchgate's default -match.
-BENCH_HOT = Benchmark(Unicast|GS|Repair|Serve)
+BENCH_HOT = Benchmark(Unicast|GS|Repair|Serve|Flight)
 BENCH_COUNT ?= 6
 BENCH_OUT ?= bench.txt
 bench-hot:
@@ -50,8 +50,9 @@ bench-hot:
 # BENCH_2.json (the parallel-GS sweep vs the sequential baseline),
 # BENCH_3.json (incremental repair vs cold GS under churn),
 # BENCH_4.json (snapshot serving vs the mutex-guarded facade under a
-# churn storm) and BENCH_5.json (serving-path tail latency under a
-# churn storm, with vs without admission control — EXPERIMENTS.md E17).
+# churn storm), BENCH_5.json (serving-path tail latency under a churn
+# storm, with vs without admission control — EXPERIMENTS.md E17) and
+# BENCH_6.json (flight-recorder overhead on the hardened read path).
 bench-json:
 	EMIT_BENCH_JSON=1 $(GO) test -run TestEmitBenchJSON .
 
@@ -63,6 +64,21 @@ load-smoke:
 	$(GO) run ./cmd/slload -n 8 -workers 4 -duration 2s -warmup 200ms \
 		-mix route:8,batch:1,routeall:1 -churn 2ms -victims 4 \
 		-deadline 1s -min-ok 500 -o /dev/null
+
+# End-to-end flight-recorder smoke: start slserve, drive it briefly
+# over HTTP with slload, then assert /debug/flight returns at least one
+# parseable trace (internal/ci/flightcheck). Uses a fixed localhost
+# port; override FLIGHT_ADDR if it clashes.
+FLIGHT_ADDR ?= 127.0.0.1:18080
+flight-smoke:
+	@$(GO) build -o /tmp/slserve-smoke ./cmd/slserve
+	@/tmp/slserve-smoke -n 6 -random 4 -listen $(FLIGHT_ADDR) & \
+	pid=$$!; trap 'kill $$pid 2>/dev/null' EXIT; \
+	sleep 1; \
+	$(GO) run ./cmd/slload -target http://$(FLIGHT_ADDR) -n 6 \
+		-workers 2 -duration 1s -warmup 100ms -min-ok 50 \
+		-flight -o /dev/null && \
+	$(GO) run ./internal/ci/flightcheck http://$(FLIGHT_ADDR)/debug/flight
 
 # Whole-repo statement coverage, gated by the ratcheting floor in
 # .github/coverage-floor.txt (raise it when new tests push it up; CI

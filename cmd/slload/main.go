@@ -41,6 +41,9 @@
 //	-o FILE       write the JSON report to FILE instead of stdout
 //	-min-ok N     exit 1 unless at least N requests completed OK
 //	              (the CI smoke gate)
+//	-flight       after the run, print the target's flight-recorder
+//	              summary (records and incidents) to stderr; against a
+//	              -target it scrapes /debug/flight and /debug/incidents
 //
 // Exit status: 0 on success, 1 if -min-ok is not met, 2 on usage or
 // setup errors.
@@ -50,6 +53,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -88,8 +92,9 @@ func run(argv []string, stdout, stderr *os.File) int {
 		churn   = fs.Duration("churn", 0, "churn-storm toggle interval (0 = off)")
 		victims = fs.Int("victims", 8, "churn victim set size")
 
-		out   = fs.String("o", "", "write JSON report to FILE (default stdout)")
-		minOK = fs.Int64("min-ok", 0, "exit 1 unless at least this many requests completed OK")
+		out    = fs.String("o", "", "write JSON report to FILE (default stdout)")
+		minOK  = fs.Int64("min-ok", 0, "exit 1 unless at least this many requests completed OK")
+		flight = fs.Bool("flight", false, "after the run, print the target's flight-recorder summary to stderr")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -115,6 +120,7 @@ func run(argv []string, stdout, stderr *os.File) int {
 	}
 
 	var tgt loadgen.Target
+	var localSvc *serve.Service
 	if *target != "" {
 		cube, err := topo.NewCube(*dim)
 		if err != nil {
@@ -149,6 +155,7 @@ func run(argv []string, stdout, stderr *os.File) int {
 			return 2
 		}
 		defer svc.Close()
+		localSvc = svc
 		tgt = loadgen.LocalTarget{Svc: svc}
 	}
 
@@ -174,11 +181,72 @@ func run(argv []string, stdout, stderr *os.File) int {
 		rep.Mode, rep.Ops, rep.OKPerSec, rep.Classes, rep.ChurnEvents,
 		rep.Latency.P50Us, rep.Latency.P99Us, rep.Latency.P999Us)
 
+	if *flight {
+		if err := printFlight(stderr, localSvc, *target); err != nil {
+			fmt.Fprintln(stderr, "slload: flight summary:", err)
+		}
+	}
+
 	if ok := rep.Classes[loadgen.ClassOK]; ok < *minOK {
 		fmt.Fprintf(stderr, "slload: only %d requests completed OK, need %d\n", ok, *minOK)
 		return 1
 	}
 	return 0
+}
+
+// printFlight reports the flight-recorder state after a run: for an
+// in-process engine it reads the recorder directly, for an HTTP target
+// it scrapes the slserve /debug endpoints.
+func printFlight(stderr *os.File, svc *serve.Service, target string) error {
+	if svc != nil {
+		fl := svc.Flight()
+		if fl == nil {
+			fmt.Fprintln(stderr, "# flight: recorder disabled")
+			return nil
+		}
+		snap := fl.Snapshot(0)
+		inc := fl.Incidents()
+		fmt.Fprintf(stderr, "# flight: %d requests recorded (%d retained), %d incidents (%d retained)\n",
+			snap.Issued, len(snap.Records), inc.Total, len(inc.Incidents))
+		return nil
+	}
+	issued, err := fetchCount(target+"/debug/flight?limit=1", "issued")
+	if err != nil {
+		return err
+	}
+	total, err := fetchCount(target+"/debug/incidents", "total")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "# flight: %d requests recorded, %d incidents\n", issued, total)
+	return nil
+}
+
+// fetchCount GETs a JSON endpoint and returns the named integer field.
+func fetchCount(url, field string) (int64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("%s: HTTP %s", url, resp.Status)
+	}
+	dec := json.NewDecoder(resp.Body)
+	dec.UseNumber()
+	var body map[string]any
+	if err := dec.Decode(&body); err != nil {
+		return 0, err
+	}
+	num, ok := body[field].(json.Number)
+	if !ok {
+		return 0, fmt.Errorf("%s: missing %q field", url, field)
+	}
+	n, err := num.Int64()
+	if err != nil {
+		return 0, fmt.Errorf("%s: bad %q field: %v", url, field, err)
+	}
+	return n, nil
 }
 
 // parseMix parses "route:8,batch:1,routeall:1" into a Mix.

@@ -58,6 +58,7 @@ func run(args []string, out io.Writer) (int, error) {
 	pairs := fs.Int("pairs", 64, "number of unicast requests in the sweep")
 	traced := fs.Int("traced", 4, "record full decision traces for this many requests")
 	format := fs.String("format", "both", "dump format: prom, json or both")
+	digest := fs.Bool("digest", false, "also print the latency/size quantile digest table")
 	listen := fs.String("listen", "", "serve metrics over HTTP on this address instead of dumping")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
@@ -150,6 +151,11 @@ func run(args []string, out io.Writer) (int, error) {
 	}
 	if *format == "prom" || *format == "both" {
 		if err := reg.WritePrometheus(out); err != nil {
+			return 2, err
+		}
+	}
+	if *digest {
+		if err := reg.WriteDigest(out); err != nil {
 			return 2, err
 		}
 	}

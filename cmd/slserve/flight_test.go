@@ -1,0 +1,190 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	safecube "repro"
+)
+
+// flightServer builds the full handler over the paper's deterministic
+// suboptimal scenario: Q4 with 0001 and 0010 faulty, so 0000 -> 0011
+// (H = 2) admits under C3 and takes a spare-dimension detour.
+func flightServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	c := safecube.MustNew(4)
+	if err := c.FailNamed("0001", "0010"); err != nil {
+		t.Fatal(err)
+	}
+	reg := safecube.NewRegistry()
+	srv, err := c.Serve(safecube.ServeOptions{QueueDepth: 8, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newHandler(srv, c, reg, handlerOpts{queueCap: 8}))
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	return ts
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// TestFlightEndToEnd is the acceptance scenario for the flight
+// recorder: route a known non-minimal request over HTTP, then retrieve
+// the same request — by ID — from /debug/incidents with its safety-level
+// case sequence, and find the latency exemplar pointing at it.
+func TestFlightEndToEnd(t *testing.T) {
+	ts := flightServer(t)
+
+	// The request reports its flight ID and suboptimal outcome.
+	v := getJSON(t, ts.URL+"/route?src=0000&dst=0011", http.StatusOK)
+	rid := uint64(v["request_id"].(float64))
+	if rid == 0 {
+		t.Fatal("/route returned no request_id")
+	}
+	route := v["route"].(map[string]any)
+	if route["outcome"] != "suboptimal" || route["condition"] != "C3" {
+		t.Fatalf("route = %v/%v, want C3/suboptimal", route["condition"], route["outcome"])
+	}
+
+	// The non-minimal route was promoted: /debug/incidents holds it with
+	// the full per-hop trace.
+	inc := getJSON(t, ts.URL+"/debug/incidents", http.StatusOK)
+	if inc["total"].(float64) < 1 {
+		t.Fatal("no incidents after a suboptimal route")
+	}
+	var found map[string]any
+	for _, raw := range inc["incidents"].([]any) {
+		i := raw.(map[string]any)
+		if rec := i["record"].(map[string]any); uint64(rec["id"].(float64)) == rid {
+			found = i
+			break
+		}
+	}
+	if found == nil {
+		t.Fatalf("request %d not in /debug/incidents", rid)
+	}
+	if found["reason"] != "non-minimal" {
+		t.Errorf("reason = %v, want non-minimal", found["reason"])
+	}
+	rec := found["record"].(map[string]any)
+	if rec["cond"] != "C3" || rec["outcome"] != "suboptimal" {
+		t.Errorf("record cond/outcome = %v/%v, want C3/suboptimal", rec["cond"], rec["outcome"])
+	}
+	if rec["hops"].(float64) != 4 || rec["hamming"].(float64) != 2 || rec["detours"].(float64) != 1 {
+		t.Errorf("record triple = %v/%v/%v, want hops 4 hamming 2 detours 1",
+			rec["hops"], rec["hamming"], rec["detours"])
+	}
+	trace, ok := found["trace"].(map[string]any)
+	if !ok {
+		t.Fatal("incident carries no trace")
+	}
+	if uint64(trace["request_id"].(float64)) != rid {
+		t.Errorf("trace request_id = %v, want %d", trace["request_id"], rid)
+	}
+	events := trace["events"].([]any)
+	admit := events[0].(map[string]any)
+	if admit["kind"].(float64) != 0 || admit["cond"] != "C3" {
+		t.Errorf("first trace event = %v, want a C3 admission", admit)
+	}
+	spare := false
+	for _, raw := range events {
+		if ev := raw.(map[string]any); ev["spare"] == true {
+			spare = true
+		}
+	}
+	if !spare {
+		t.Error("trace shows no spare-dimension hop on a suboptimal route")
+	}
+
+	// The latency histogram exemplar points back at the request ID.
+	metrics := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(metrics, "latency_route_us_exemplar{le=") {
+		t.Fatalf("/metrics has no latency exemplar series:\n%s", metrics[:min(len(metrics), 2000)])
+	}
+	exemplarHit := false
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.Contains(line, "latency_route_us_exemplar{le=") &&
+			strings.HasSuffix(line, fmt.Sprintf(" %d", rid)) {
+			exemplarHit = true
+		}
+	}
+	if !exemplarHit {
+		t.Errorf("no latency_route_us exemplar equals request %d", rid)
+	}
+
+	// The new gauges are exposed.
+	for _, g := range []string{"serve_snapshot_age_us", "serve_repair_lag_gens", "serve_apply_queue_hwm", "flight_records_total"} {
+		if !strings.Contains(metrics, g) {
+			t.Errorf("/metrics missing %s", g)
+		}
+	}
+}
+
+// TestFlightEndpointFormats covers the /debug/flight surface: JSON
+// shape, limit handling, and the text renderers.
+func TestFlightEndpointFormats(t *testing.T) {
+	ts := flightServer(t)
+	for i := 0; i < 3; i++ {
+		getJSON(t, ts.URL+"/route?src=0000&dst=1111", http.StatusOK)
+	}
+
+	v := getJSON(t, ts.URL+"/debug/flight", http.StatusOK)
+	if v["issued"].(float64) < 3 {
+		t.Fatalf("issued = %v, want >= 3", v["issued"])
+	}
+	if recs := v["records"].([]any); len(recs) < 3 {
+		t.Fatalf("retained %d records, want >= 3", len(recs))
+	} else if id := recs[0].(map[string]any)["id"].(float64); id == 0 {
+		t.Fatal("newest record has no ID")
+	}
+	if got := getJSON(t, ts.URL+"/debug/flight?limit=2", http.StatusOK); len(got["records"].([]any)) != 2 {
+		t.Fatalf("limit=2 returned %d records", len(got["records"].([]any)))
+	}
+	getJSON(t, ts.URL+"/debug/flight?limit=banana", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/debug/flight?limit=-1", http.StatusBadRequest)
+
+	text := getBody(t, ts.URL+"/debug/flight?format=text")
+	if !strings.HasPrefix(text, "flight:") || !strings.Contains(text, "kind") {
+		t.Fatalf("text rendering malformed:\n%s", text)
+	}
+	itext := getBody(t, ts.URL+"/debug/incidents?format=text")
+	if !strings.HasPrefix(itext, "incidents:") {
+		t.Fatalf("incident text rendering malformed:\n%s", itext)
+	}
+}
+
+// TestFlightDisabledEndpoints: with the recorder off the endpoints stay
+// mounted and return empty snapshots rather than erroring.
+func TestFlightDisabledEndpoints(t *testing.T) {
+	ts, _ := testServerOpts(t,
+		safecube.ServeOptions{QueueDepth: 8, NoFlight: true},
+		handlerOpts{queueCap: 8})
+	getJSON(t, ts.URL+"/route?src=0000&dst=1111", http.StatusOK)
+	v := getJSON(t, ts.URL+"/debug/flight", http.StatusOK)
+	if v["issued"].(float64) != 0 || len(v["records"].([]any)) != 0 {
+		t.Fatalf("disabled recorder reported activity: %v", v)
+	}
+	inc := getJSON(t, ts.URL+"/debug/incidents", http.StatusOK)
+	if inc["total"].(float64) != 0 {
+		t.Fatalf("disabled recorder reported incidents: %v", inc)
+	}
+}

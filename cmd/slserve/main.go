@@ -22,6 +22,10 @@
 //	                            recover-node, fail-link or recover-link
 //	/healthz                    generation, queue depth, inflight, state
 //	/metrics, /vars             Prometheus text / JSON registry dump
+//	/debug/flight               flight recorder: recent request records
+//	                            (?limit=N, ?format=text)
+//	/debug/incidents            promoted anomalies with per-hop traces
+//	                            (?format=text)
 //	/debug/pprof/*, /debug/vars profiling + expvar (only with -pprof)
 //
 // The query endpoints accept an optional deadline=DURATION parameter,
@@ -49,6 +53,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -94,11 +99,24 @@ func run(args []string, out io.Writer) (int, error) {
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout on SIGINT/SIGTERM")
 	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof and /debug/vars")
 	listen := fs.String("listen", ":8080", "HTTP listen address")
+	noFlight := fs.Bool("no-flight", false, "disable the always-on flight recorder")
+	flightRecords := fs.Int("flight-records", 4096, "flight-recorder ring capacity in request records")
+	flightIncidents := fs.Int("flight-incidents", 64, "incident buffer capacity")
+	flightSlow := fs.Duration("flight-slow", 50*time.Millisecond, "per-route latency threshold that promotes a request to an incident")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
 
 	reg := safecube.NewRegistry()
+	var flight *safecube.FlightRecorder
+	if !*noFlight {
+		flight = safecube.NewFlightRecorder(safecube.FlightOptions{
+			Records:     *flightRecords,
+			Incidents:   *flightIncidents,
+			SlowRouteUS: (*flightSlow).Microseconds(),
+			Registry:    reg,
+		})
+	}
 	var (
 		nm     naming
 		srv    *safecube.Server
@@ -111,6 +129,8 @@ func run(args []string, out io.Writer) (int, error) {
 		Rate:       *rate,
 		Burst:      *burst,
 		Registry:   reg,
+		Flight:     flight,
+		NoFlight:   *noFlight,
 	}
 	if *radix != "" {
 		rx, rerr := safecube.ParseRadix(*radix)
@@ -312,6 +332,7 @@ func newHandler(srv *safecube.Server, nm naming, reg *safecube.Registry, opts ha
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
 			"generation": srv.Generation(),
+			"request_id": rt.RequestID,
 			"route":      routeWire(rt, nm),
 		})
 	}))
@@ -446,6 +467,40 @@ func newHandler(srv *safecube.Server, nm naming, reg *safecube.Registry, opts ha
 			"nodes":       nm.Nodes(),
 		})
 	}))
+
+	// Flight-recorder exposition: always mounted (the recorder is on by
+	// default; with -no-flight these return empty snapshots).
+	// ?limit=N truncates to the N newest records; ?format=text renders
+	// the slmetrics-style table/transcript instead of JSON.
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		limit := 0
+		if raw := r.URL.Query().Get("limit"); raw != "" {
+			n, err := strconv.Atoi(raw)
+			if err != nil || n < 0 {
+				httpErr(w, http.StatusBadRequest, fmt.Errorf("bad limit %q, want a non-negative integer", raw))
+				return
+			}
+			limit = n
+		}
+		snap := srv.Flight().Snapshot(limit)
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = obs.WriteFlightText(w, snap)
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	})
+	mux.HandleFunc("/debug/incidents", func(w http.ResponseWriter, r *http.Request) {
+		snap := srv.Flight().Incidents()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = obs.WriteIncidentsText(w, snap, func(a int) string {
+				return nm.Format(safecube.NodeID(a))
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	})
 
 	if opts.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -314,7 +314,7 @@ func (g *Generalized) traceObserver(s, d GNodeID) *obs.RouteObserver {
 	if ro == nil {
 		ro = obs.NewRegistry().RouteObserver()
 	}
-	return ro.WithTrace(int(s), int(d), g.t.Distance(s, d))
+	return ro.WithTraceGen(int(s), int(d), g.t.Distance(s, d), g.set.Generation())
 }
 
 // UnicastTraced routes like Unicast and additionally records the full

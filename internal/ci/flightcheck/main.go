@@ -1,0 +1,74 @@
+// Command flightcheck is the CI assertion behind `make flight-smoke`:
+// it fetches a running slserve's /debug/flight endpoint, parses the
+// JSON snapshot, and fails unless the recorder holds at least one
+// well-formed request record (nonzero ID, known request kind). It
+// proves the whole flight pipeline end to end — recorder enabled by
+// default, request IDs allocated on the serving path, ring readable
+// over HTTP while traffic is in flight.
+//
+// Usage:
+//
+//	flightcheck URL
+//
+// where URL points at the /debug/flight endpoint. Exit status: 0 when
+// the snapshot holds at least one parseable trace, 1 when it is empty
+// or malformed, 2 on usage or transport errors.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out *os.File) int {
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: flightcheck URL")
+		return 2
+	}
+	url := args[0]
+	resp, err := http.Get(url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flightcheck:", err)
+		return 2
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "flightcheck: GET %s: HTTP %s\n", url, resp.Status)
+		return 2
+	}
+
+	var snap obs.FlightSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		fmt.Fprintf(os.Stderr, "flightcheck: %s: bad snapshot JSON: %v\n", url, err)
+		return 1
+	}
+	if snap.Issued == 0 || len(snap.Records) == 0 {
+		fmt.Fprintf(os.Stderr, "flightcheck: %s: no flight records (issued %d, retained %d)\n",
+			url, snap.Issued, len(snap.Records))
+		return 1
+	}
+	// The decoder already rejected unknown enum spellings via
+	// UnmarshalText; check the invariants a trace must satisfy.
+	for i, rec := range snap.Records {
+		if rec.ID == 0 {
+			fmt.Fprintf(os.Stderr, "flightcheck: record %d has ID 0\n", i)
+			return 1
+		}
+		if rec.Hops < rec.Hamming && rec.Outcome != obs.OutcomeFailure && rec.Outcome != obs.OutcomeNone {
+			fmt.Fprintf(os.Stderr, "flightcheck: record %d delivered in %d hops over distance %d\n",
+				i, rec.Hops, rec.Hamming)
+			return 1
+		}
+	}
+	fmt.Fprintf(out, "flightcheck: %d records retained (%d issued), newest id %d — ok\n",
+		len(snap.Records), snap.Issued, snap.Records[0].ID)
+	return 0
+}

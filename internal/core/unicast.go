@@ -109,6 +109,11 @@ type Route struct {
 	// so that deliberately inconsistent ablations (truncated GS rounds)
 	// can observe the consequence.
 	Err error
+	// FlightID is the flight-recorder request ID the route was served
+	// under (0 when the route was not issued through a serving engine).
+	// It causally links the route to its flight record, histogram
+	// exemplars, and any promoted incident.
+	FlightID uint64
 }
 
 // Len returns the number of hops traveled, or 0 for a failed unicast.
@@ -196,6 +201,15 @@ func (rt *Router) observed(s, b topo.NodeID) int {
 		return 0
 	}
 	return rt.as.Level(b)
+}
+
+// UnicastID is Unicast stamped with a flight-recorder request ID, so
+// every hop decision of the route is causally attributable to one
+// serving-path request.
+func (rt *Router) UnicastID(s, d topo.NodeID, id uint64) *Route {
+	r := rt.Unicast(s, d)
+	r.FlightID = id
+	return r
 }
 
 // Unicast routes a message from s to d and returns the full trace.

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkFlightRecorder measures the hot-path cost of one flight
+// record: ID allocation + pack + seqlock ring write + anomaly check.
+// This is the per-request overhead the serving path pays with the
+// recorder on, so bench-gate watches it; the serial cell is the single
+// reader's view, the parallel cell shows shard contention behavior.
+func BenchmarkFlightRecorder(b *testing.B) {
+	healthy := func(id uint64) FlightRecord {
+		return FlightRecord{
+			ID: id, Kind: ReqRoute, Gen: 7, Start: 1_700_000_000,
+			LatencyUS: 12, Hamming: 5, Hops: 5, Items: 1,
+			Cond: CondCodeC1, Outcome: OutcomeOptimal,
+		}
+	}
+	b.Run("record", func(b *testing.B) {
+		f := NewFlightRecorder(FlightOptions{Records: 4096})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec := healthy(f.NextID())
+			if reason := f.Record(&rec); reason != "" {
+				b.Fatal(reason)
+			}
+		}
+	})
+	b.Run("record-parallel", func(b *testing.B) {
+		f := NewFlightRecorder(FlightOptions{Records: 4096})
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				rec := healthy(f.NextID())
+				if reason := f.Record(&rec); reason != "" {
+					b.Fatal(reason)
+				}
+			}
+		})
+	})
+	// A read of the whole ring while it is being written: the cost an
+	// operator pays per /debug/flight scrape.
+	b.Run("snapshot", func(b *testing.B) {
+		f := NewFlightRecorder(FlightOptions{Records: 4096})
+		for i := 0; i < 8192; i++ {
+			rec := healthy(f.NextID())
+			f.Record(&rec)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if s := f.Snapshot(0); len(s.Records) == 0 {
+				b.Fatal("empty snapshot")
+			}
+		}
+	})
+}
+
+// BenchmarkFlightGauges measures the two metric primitives the flight
+// work added to the serving path: the exemplar-carrying histogram
+// observation (vs the plain one) and the high-water gauge raise.
+func BenchmarkFlightGauges(b *testing.B) {
+	b.Run("observe", func(b *testing.B) {
+		r := NewRegistry()
+		h := r.Histogram("bench_lat_us")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Observe(int64(i & 1023))
+		}
+	})
+	b.Run("observe-exemplar", func(b *testing.B) {
+		r := NewRegistry()
+		h := r.Histogram("bench_lat_us")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.ObserveEx(int64(i&1023), uint64(i+1))
+		}
+	})
+	b.Run("gauge-max", func(b *testing.B) {
+		r := NewRegistry()
+		g := r.Gauge("bench_hwm")
+		var x atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Max(x.Add(1) & 255)
+		}
+	})
+}

@@ -53,6 +53,20 @@ func (g *Gauge) Add(n int64) {
 	g.v.Add(n)
 }
 
+// Max raises the gauge to v if v is larger — a lock-free high-water
+// mark, safe under concurrent Max callers.
+func (g *Gauge) Max(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // Value returns the current value (0 for a nil Gauge).
 func (g *Gauge) Value() int64 {
 	if g == nil {
@@ -70,6 +84,10 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1
 	sum    atomic.Int64
 	count  atomic.Int64
+	// exemplars holds the most recent request ID observed per bucket
+	// (0 when the bucket has never seen an attributed observation), so
+	// a hot tail bucket links straight to a flight-recorder trace.
+	exemplars []atomic.Uint64
 }
 
 // DefaultBuckets suit the small integer measurements of this system
@@ -82,7 +100,11 @@ func newHistogram(bounds []int64) *Histogram {
 	}
 	b := append([]int64(nil), bounds...)
 	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
-	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Int64, len(b)+1),
+		exemplars: make([]atomic.Uint64, len(b)+1),
+	}
 }
 
 // Observe records one value.
@@ -94,6 +116,22 @@ func (h *Histogram) Observe(v int64) {
 	h.counts[i].Add(1)
 	h.sum.Add(v)
 	h.count.Add(1)
+}
+
+// ObserveEx is Observe plus an exemplar: id (a flight-recorder request
+// ID) becomes the bucket's exemplar, replacing the previous one. id 0
+// leaves the exemplar untouched.
+func (h *Histogram) ObserveEx(v int64, id uint64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= v })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+	if id != 0 {
+		h.exemplars[i].Store(id)
+	}
 }
 
 // HistSnapshot is a consistent-enough copy of a histogram for export.
@@ -108,6 +146,9 @@ type HistSnapshot struct {
 	// Quantiles holds the p50/p90/p99/p999 estimates (see Quantile),
 	// computed at snapshot time; nil while the histogram is empty.
 	Quantiles map[string]float64 `json:"quantiles,omitempty"`
+	// Exemplars is the last request ID observed per bucket, aligned
+	// with Counts; nil while no bucket has an exemplar.
+	Exemplars []uint64 `json:"exemplars,omitempty"`
 }
 
 // Snapshot copies the histogram state (zero value for nil).
@@ -124,6 +165,16 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
 	}
+	any := false
+	ex := make([]uint64, len(h.exemplars))
+	for i := range h.exemplars {
+		if ex[i] = h.exemplars[i].Load(); ex[i] != 0 {
+			any = true
+		}
+	}
+	if any {
+		s.Exemplars = ex
+	}
 	s.Quantiles = s.quantiles()
 	return s
 }
@@ -135,6 +186,7 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	gaugeFns map[string]func() int64
 	hists    map[string]*Histogram
 
 	lastGS *GSTrace
@@ -148,6 +200,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]func() int64),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -182,6 +235,25 @@ func (r *Registry) Gauge(name string) *Gauge {
 		r.gauges[name] = g
 	}
 	return g
+}
+
+// GaugeFunc registers a callback gauge: fn is evaluated at Snapshot
+// time and its result appears under name alongside the plain gauges
+// (shadowing a plain gauge of the same name). fn runs with the
+// registry lock held, so it must be fast and must not touch the
+// registry. fn == nil unregisters. Useful for derived values that are
+// cheap to read but awkward to push, like snapshot age.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if fn == nil {
+		delete(r.gaugeFns, name)
+		return
+	}
+	r.gaugeFns[name] = fn
 }
 
 // Histogram returns the named histogram, creating it with the given
@@ -282,6 +354,9 @@ func (r *Registry) Snapshot() *Snapshot {
 	}
 	for name, g := range r.gauges {
 		s.Gauges[name] = g.Value()
+	}
+	for name, fn := range r.gaugeFns {
+		s.Gauges[name] = fn()
 	}
 	for name, h := range r.hists {
 		s.Histograms[name] = h.Snapshot()

@@ -74,10 +74,17 @@ type RouteEvent struct {
 
 // RouteTrace is the full event sequence of one unicast attempt.
 type RouteTrace struct {
-	Source  int          `json:"source"`
-	Dest    int          `json:"dest"`
-	Hamming int          `json:"hamming"`
-	Events  []RouteEvent `json:"events"`
+	Source  int `json:"source"`
+	Dest    int `json:"dest"`
+	Hamming int `json:"hamming"`
+	// RequestID links the trace to its flight record and histogram
+	// exemplars (0 when the unicast was not served by a Server).
+	RequestID uint64 `json:"request_id,omitempty"`
+	// Generation is the fault-set generation of the level snapshot the
+	// unicast routed against, so traces gathered under concurrent churn
+	// stay attributable to one level state (0 when unknown).
+	Generation uint64       `json:"generation,omitempty"`
+	Events     []RouteEvent `json:"events"`
 	// Cond and Outcome mirror the final admission condition and outcome.
 	Cond    string `json:"cond,omitempty"`
 	Outcome string `json:"outcome,omitempty"`
@@ -98,7 +105,14 @@ func (t *RouteTrace) Format(fmtNode func(int) string) string {
 		fmtNode = func(a int) string { return fmt.Sprintf("%d", a) }
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "trace %s -> %s (H = %d)\n", fmtNode(t.Source), fmtNode(t.Dest), t.Hamming)
+	fmt.Fprintf(&b, "trace %s -> %s (H = %d)", fmtNode(t.Source), fmtNode(t.Dest), t.Hamming)
+	if t.Generation != 0 {
+		fmt.Fprintf(&b, " gen %d", t.Generation)
+	}
+	if t.RequestID != 0 {
+		fmt.Fprintf(&b, " req %d", t.RequestID)
+	}
+	b.WriteByte('\n')
 	for _, e := range t.Events {
 		switch e.Kind {
 		case EvAdmit:
@@ -225,6 +239,12 @@ const (
 	MetricServeDeadlineTotal = "serve_deadline_total"
 	MetricServeInflight      = "serve_inflight"
 	MetricServeDraining      = "serve_draining"
+	// Staleness and backlog telemetry: age of the published snapshot,
+	// how many generations the applier is behind the accepted churn,
+	// and the apply queue's high-water occupancy since start.
+	MetricServeSnapshotAgeUs = "serve_snapshot_age_us"
+	MetricServeRepairLag     = "serve_repair_lag_gens"
+	MetricServeQueueHWM      = "serve_apply_queue_hwm"
 )
 
 // RouteObserver builds (or rebuilds) an observer bound to the registry,
@@ -259,11 +279,18 @@ func (r *Registry) RouteObserver() *RouteObserver {
 // WithTrace returns a copy of the observer armed with a fresh trace for
 // one unicast from src to dst. The copy shares the parent's counters.
 func (o *RouteObserver) WithTrace(src, dst, hamming int) *RouteObserver {
+	return o.WithTraceGen(src, dst, hamming, 0)
+}
+
+// WithTraceGen is WithTrace with the fault-set generation of the level
+// snapshot the unicast will route against, so the trace stays
+// attributable to one level state under churn.
+func (o *RouteObserver) WithTraceGen(src, dst, hamming int, gen uint64) *RouteObserver {
 	if o == nil {
 		return nil
 	}
 	cp := *o
-	cp.trace = &RouteTrace{Source: src, Dest: dst, Hamming: hamming}
+	cp.trace = &RouteTrace{Source: src, Dest: dst, Hamming: hamming, Generation: gen}
 	return &cp
 }
 

@@ -95,8 +95,11 @@ func BenchmarkServeRoute(b *testing.B) {
 // BenchmarkServeRouteCtx measures the hardened read path — inflight
 // accounting, phase check, admission bucket, context check — so the
 // production-serving overhead over the raw snapshot read stays visible
-// to bench-gate. The no-deadline/no-admission cell is the floor; the
-// full cell carries a deadline context and an (unsaturated) bucket.
+// to bench-gate. The bare cell is the default path (flight recorder
+// on); noflight is the same path with the recorder disabled, so the
+// bare−noflight delta is the recorder's hot-path cost (the ≤5% budget
+// BENCH_6.json documents); the full cell adds a deadline context and
+// an (unsaturated) bucket.
 func BenchmarkServeRouteCtx(b *testing.B) {
 	run := func(b *testing.B, opts Options, withDeadline bool) {
 		s := benchService(b, opts)
@@ -119,6 +122,7 @@ func BenchmarkServeRouteCtx(b *testing.B) {
 		}
 	}
 	b.Run("bare", func(b *testing.B) { run(b, Options{}, false) })
+	b.Run("noflight", func(b *testing.B) { run(b, Options{NoFlight: true}, false) })
 	b.Run("deadline+admission", func(b *testing.B) {
 		run(b, Options{Rate: 1e12, Burst: 1 << 20}, true)
 	})

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/topo"
 )
 
@@ -150,20 +151,68 @@ func (s *Service) ctxErr(ctx context.Context) error {
 // the context is done, and otherwise routes against the snapshot
 // current at admission time, recording the wall latency.
 func (s *Service) RouteCtx(ctx context.Context, src, dst topo.NodeID) (*core.Route, error) {
+	fl := s.flight
+	var start time.Time
+	if fl != nil {
+		start = time.Now()
+	}
 	if err := s.acquire(); err != nil {
+		s.flightRefuse(obs.ReqRoute, start, ctx, 1, err)
 		return nil, err
 	}
 	defer s.release()
 	if err := ctx.Err(); err != nil {
-		return nil, s.ctxErr(ctx)
+		err = s.ctxErr(ctx)
+		s.flightRefuse(obs.ReqRoute, start, ctx, 1, err)
+		return nil, err
 	}
 	if !s.bucket.take(1) {
 		s.mOverload.Inc()
+		s.flightRefuse(obs.ReqRoute, start, ctx, 1, ErrOverload)
 		return nil, ErrOverload
 	}
-	start := time.Now()
-	r := s.Route(src, dst)
-	s.mLatRoute.ObserveSince(start)
+	if fl == nil {
+		start = time.Now()
+		r := s.Route(src, dst)
+		s.mLatRoute.ObserveSince(start)
+		return r, nil
+	}
+	// Flight-recorded path: inline s.Route so the snapshot stays in
+	// hand for generation attribution and (rare) trace reconstruction.
+	sn := s.cur.Load()
+	s.mRoutes.Inc()
+	stale := len(s.queue) > 0
+	if stale {
+		s.mStale.Inc()
+	}
+	id := fl.NextID()
+	r := sn.rt.UnicastID(src, dst, id)
+	lat := time.Since(start).Microseconds()
+	s.mLatRoute.ObserveEx(lat, id)
+	rec := obs.FlightRecord{
+		ID:         id,
+		Kind:       obs.ReqRoute,
+		Gen:        sn.gen,
+		Start:      start.Unix(),
+		LatencyUS:  lat,
+		DeadlineUS: deadlineUS(ctx, start),
+		Hamming:    r.Hamming,
+		Hops:       r.Len(),
+		Detours:    detoursOf(r),
+		Items:      1,
+		Cond:       obs.CondCode(r.Condition),
+		Outcome:    outcomeOf(r),
+		Stale:      stale,
+	}
+	switch {
+	case !sn.Consistent():
+		rec.Err = obs.ErrClassTorn
+	case r.Err != nil:
+		rec.Err = obs.ErrClassOther
+	}
+	if reason := fl.Record(&rec); reason != "" {
+		fl.Promote(&rec, reason, traceOfRoute(r, sn.as, id, sn.gen))
+	}
 	return r, nil
 }
 
@@ -173,49 +222,79 @@ func (s *Service) RouteCtx(ctx context.Context, src, dst topo.NodeID) (*core.Rou
 // context's deadline (partial results are discarded: the caller asked
 // for a mutually consistent answer set, and a truncated one is not).
 func (s *Service) BatchUnicastCtx(ctx context.Context, reqs []Request) ([]*core.Route, error) {
+	fl := s.flight
+	var start time.Time
+	if fl != nil {
+		start = time.Now()
+	}
 	if err := s.acquire(); err != nil {
+		s.flightRefuse(obs.ReqBatch, start, ctx, len(reqs), err)
 		return nil, err
 	}
 	defer s.release()
 	if err := ctx.Err(); err != nil {
-		return nil, s.ctxErr(ctx)
+		err = s.ctxErr(ctx)
+		s.flightRefuse(obs.ReqBatch, start, ctx, len(reqs), err)
+		return nil, err
 	}
 	if !s.bucket.take(len(reqs)) {
 		s.mOverload.Inc()
+		s.flightRefuse(obs.ReqBatch, start, ctx, len(reqs), ErrOverload)
 		return nil, ErrOverload
 	}
-	start := time.Now()
+	if fl == nil {
+		start = time.Now()
+	}
 	sn := s.cur.Load()
 	s.mBatches.Inc()
 	s.mBatchN.Add(int64(len(reqs)))
-	if len(s.queue) > 0 {
+	stale := len(s.queue) > 0
+	if stale {
 		s.mStale.Inc()
 	}
 	out, err := sn.batchUnicastCtx(ctx, reqs, s.workers)
 	if err != nil {
-		return nil, s.ctxErr(ctx)
+		err = s.ctxErr(ctx)
+		s.flightRefuse(obs.ReqBatch, start, ctx, len(reqs), err)
+		return nil, err
 	}
-	s.mLatBatch.ObserveSince(start)
+	if fl == nil {
+		s.mLatBatch.ObserveSince(start)
+		return out, nil
+	}
+	s.flightServed(obs.ReqBatch, start, ctx, len(reqs), sn, stale, s.mLatBatch)
 	return out, nil
 }
 
 // RouteAllCtx is RouteAll with the same hardening; admission costs one
 // token per destination.
 func (s *Service) RouteAllCtx(ctx context.Context, src topo.NodeID) ([]*core.Route, error) {
+	fl := s.flight
+	var start time.Time
+	if fl != nil {
+		start = time.Now()
+	}
+	nodes := s.t.Nodes()
 	if err := s.acquire(); err != nil {
+		s.flightRefuse(obs.ReqRouteAll, start, ctx, nodes-1, err)
 		return nil, err
 	}
 	defer s.release()
 	if err := ctx.Err(); err != nil {
-		return nil, s.ctxErr(ctx)
+		err = s.ctxErr(ctx)
+		s.flightRefuse(obs.ReqRouteAll, start, ctx, nodes-1, err)
+		return nil, err
 	}
-	nodes := s.t.Nodes()
 	if !s.bucket.take(nodes - 1) {
 		s.mOverload.Inc()
+		s.flightRefuse(obs.ReqRouteAll, start, ctx, nodes-1, ErrOverload)
 		return nil, ErrOverload
 	}
-	start := time.Now()
+	if fl == nil {
+		start = time.Now()
+	}
 	sn := s.cur.Load()
+	stale := len(s.queue) > 0
 	reqs := make([]Request, 0, nodes-1)
 	for a := 0; a < nodes; a++ {
 		if topo.NodeID(a) == src {
@@ -227,13 +306,19 @@ func (s *Service) RouteAllCtx(ctx context.Context, src topo.NodeID) ([]*core.Rou
 	s.mFanoutN.Add(int64(len(reqs)))
 	routes, err := sn.batchUnicastCtx(ctx, reqs, s.workers)
 	if err != nil {
-		return nil, s.ctxErr(ctx)
+		err = s.ctxErr(ctx)
+		s.flightRefuse(obs.ReqRouteAll, start, ctx, len(reqs), err)
+		return nil, err
 	}
 	out := make([]*core.Route, nodes)
 	for i, q := range reqs {
 		out[q.Dst] = routes[i]
 	}
-	s.mLatRouteAll.ObserveSince(start)
+	if fl == nil {
+		s.mLatRouteAll.ObserveSince(start)
+		return out, nil
+	}
+	s.flightServed(obs.ReqRouteAll, start, ctx, len(reqs), sn, stale, s.mLatRouteAll)
 	return out, nil
 }
 

@@ -38,6 +38,7 @@ type Snapshot struct {
 	gen      uint64
 	as       *core.Assignment
 	rt       *core.Router
+	at       time.Time
 	genCheck uint64
 }
 
@@ -50,9 +51,14 @@ func newSnapshot(gen uint64, det *core.Assignment, tie core.TieBreak, ro *obs.Ro
 		gen:      gen,
 		as:       det,
 		rt:       core.NewRouter(det, tie).Observe(ro),
+		at:       time.Now(),
 		genCheck: gen,
 	}
 }
+
+// Age returns how long ago the snapshot was published — the staleness
+// a reader routed against, exported as serve_snapshot_age_us.
+func (sn *Snapshot) Age() time.Duration { return time.Since(sn.at) }
 
 // Generation returns the fault-set generation the snapshot was built
 // from.
@@ -108,6 +114,14 @@ type Options struct {
 	// Compute tunes the level computations the applier runs. MaxRounds
 	// must stay 0 (truncated convergence cannot be repaired).
 	Compute core.Options
+	// Flight supplies a pre-built flight recorder (shared across
+	// services, or sized via obs.FlightOptions). When nil, the service
+	// builds a default recorder — the flight recorder is on by default;
+	// set NoFlight to serve without one.
+	Flight *obs.FlightRecorder
+	// NoFlight disables the flight recorder entirely (benchmarking the
+	// bare path; ignored when Flight is non-nil).
+	NoFlight bool
 }
 
 // applyMsg is one unit of the apply queue: a churn batch, or a barrier
@@ -177,6 +191,12 @@ type Service struct {
 	mLatBatch    *obs.Histogram
 	mLatRouteAll *obs.Histogram
 	mLatRepair   *obs.Histogram
+	mRepairLag   *obs.Gauge
+	mQueueHWM    *obs.Gauge
+
+	// flight is the always-on request recorder (nil only with
+	// Options.NoFlight).
+	flight *obs.FlightRecorder
 }
 
 // New starts a service over the fault state of set, which is cloned:
@@ -212,6 +232,12 @@ func New(set *faults.Set, opts Options) (*Service, error) {
 		tie:     tie,
 		copts:   opts.Compute,
 		bucket:  newTokenBucket(opts.Rate, opts.Burst),
+	}
+	switch {
+	case opts.Flight != nil:
+		s.flight = opts.Flight
+	case !opts.NoFlight:
+		s.flight = obs.NewFlightRecorder(obs.FlightOptions{Registry: opts.Registry})
 	}
 	s.bindMetrics(opts.Registry)
 	s.live = core.Compute(s.set, s.copts)
@@ -251,7 +277,21 @@ func (s *Service) bindMetrics(r *obs.Registry) {
 	s.mLatBatch = r.LatencyHistogram(obs.MetricLatencyBatch)
 	s.mLatRouteAll = r.LatencyHistogram(obs.MetricLatencyRouteAll)
 	s.mLatRepair = r.LatencyHistogram(obs.MetricLatencyRepair)
+	s.mRepairLag = r.Gauge(obs.MetricServeRepairLag)
+	s.mQueueHWM = r.Gauge(obs.MetricServeQueueHWM)
+	// Snapshot age is derived at scrape time, not pushed per request.
+	// Registered before the first publish, so guard the nil snapshot.
+	r.GaugeFunc(obs.MetricServeSnapshotAgeUs, func() int64 {
+		sn := s.cur.Load()
+		if sn == nil {
+			return 0
+		}
+		return sn.Age().Microseconds()
+	})
 }
+
+// Flight returns the service's flight recorder (nil with NoFlight).
+func (s *Service) Flight() *obs.FlightRecorder { return s.flight }
 
 // Topology returns the topology the service routes over.
 func (s *Service) Topology() topo.Topology { return s.t }
@@ -332,7 +372,9 @@ func (s *Service) Apply(events ...faults.ChurnEvent) error {
 	case <-s.closed:
 		return ErrClosed
 	case s.queue <- msg:
-		s.mDepth.Set(int64(len(s.queue)))
+		depth := int64(len(s.queue))
+		s.mDepth.Set(depth)
+		s.mQueueHWM.Max(depth)
 		return nil
 	}
 }
@@ -354,10 +396,13 @@ func (s *Service) TryApply(events ...faults.ChurnEvent) error {
 	}
 	select {
 	case s.queue <- msg:
-		s.mDepth.Set(int64(len(s.queue)))
+		depth := int64(len(s.queue))
+		s.mDepth.Set(depth)
+		s.mQueueHWM.Max(depth)
 		return nil
 	default:
 		s.mRejected.Inc()
+		s.flightRefuse(obs.ReqApply, time.Time{}, nil, len(events), ErrBacklog)
 		return ErrBacklog
 	}
 }
@@ -501,6 +546,9 @@ func (s *Service) process(batch []applyMsg) {
 // incremental repair from the previous fixpoint when the journal
 // reaches back, cold otherwise — and publishes the detached result.
 func (s *Service) rebuild(gen uint64) {
+	// How many generations of accepted churn this rebuild catches up on
+	// — the applier's lag behind the write stream.
+	s.mRepairLag.Set(int64(gen - s.liveGen))
 	start := time.Now()
 	var as *core.Assignment
 	repaired := false

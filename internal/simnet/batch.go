@@ -79,10 +79,11 @@ func (e *Engine) UnicastBatch(pairs []Pair) (*BatchStats, error) {
 			continue
 		}
 		src.inbox <- message{
-			kind: msgUnicast,
-			tag:  i + 1, // 0 means untagged (single-unicast mode)
-			dest: p.Dst,
-			path: topo.Path{p.Src},
+			kind:  msgUnicast,
+			tag:   i + 1, // 0 means untagged (single-unicast mode)
+			dest:  p.Dst,
+			path:  topo.Path{p.Src},
+			trace: e.nextTrace(),
 		}
 		inFlight++
 	}

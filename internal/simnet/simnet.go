@@ -3,6 +3,7 @@ package simnet
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -43,6 +44,11 @@ type message struct {
 	dest   topo.NodeID
 	path   topo.Path
 	detour bool // the C3 spare hop was already taken
+	// trace identifies the unicast attempt across every exchange it
+	// causes: stamped at injection, copied onto every forwarded hop, and
+	// reported back in UnicastResult.TraceID — the causal attribution
+	// the flight recorder uses over the serving path.
+	trace uint64
 }
 
 // ctrlKind discriminates engine-to-node commands.
@@ -67,6 +73,10 @@ type UnicastResult struct {
 	// Hops is the number of link traversals of the unicast message.
 	Hops int
 	Err  error
+	// TraceID is the engine-assigned ID of this unicast attempt
+	// (1-based, monotonic per engine); every message exchanged on its
+	// behalf carried it, so per-node logs are causally attributable.
+	TraceID uint64
 }
 
 // node is the per-goroutine state. Everything here is owned by the
@@ -131,6 +141,9 @@ type Engine struct {
 	// gsRounds is the D used in the last RunGS.
 	gsRounds int
 	closed   bool
+
+	// traceSeq allocates unicast trace IDs (1-based).
+	traceSeq atomic.Uint64
 
 	// obs, when non-nil, receives per-phase protocol-cost metrics and GS
 	// traces. Set it between phases with SetObs.
@@ -446,9 +459,10 @@ func (e *Engine) Unicast(s, d topo.NodeID) UnicastResult {
 	}
 	e.resetPhaseCounters()
 	src.inbox <- message{
-		kind: msgUnicast,
-		dest: d,
-		path: topo.Path{s},
+		kind:  msgUnicast,
+		dest:  d,
+		path:  topo.Path{s},
+		trace: e.nextTrace(),
 	}
 	res := <-e.results
 	if e.obs != nil {
@@ -460,6 +474,9 @@ func (e *Engine) Unicast(s, d topo.NodeID) UnicastResult {
 	}
 	return res
 }
+
+// nextTrace allocates the ID the next injected unicast travels under.
+func (e *Engine) nextTrace() uint64 { return e.traceSeq.Add(1) }
 
 // Close stops every live goroutine. The engine is unusable afterwards.
 func (e *Engine) Close() {
@@ -840,6 +857,7 @@ func (n *node) send(m message, dim int, b topo.NodeID, markDetour bool) {
 		dest:   m.dest,
 		path:   append(append(topo.Path{}, m.path...), b),
 		detour: m.detour || markDetour,
+		trace:  m.trace,
 	}
 	peer := e.nodes[b]
 	if peer == nil {
@@ -859,6 +877,7 @@ func (n *node) send(m message, dim int, b topo.NodeID, markDetour bool) {
 // report routes a unicast outcome to the right collector: the batch
 // channel for tagged messages, the single-unicast channel otherwise.
 func (n *node) report(m message, res UnicastResult) {
+	res.TraceID = m.trace
 	if m.tag != 0 {
 		n.eng.batchResults <- taggedResult{tag: m.tag, res: res}
 		return

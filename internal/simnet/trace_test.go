@@ -1,0 +1,72 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestUnicastTraceIDs verifies the engine stamps every injected unicast
+// with a distinct trace ID and carries it through forwarding to the
+// reported result — single unicasts and batch entries share one
+// monotonic sequence, so a result can always be tied back to its
+// injection order.
+func TestUnicastTraceIDs(t *testing.T) {
+	s := fig1Set(t)
+	c := s.Cube()
+	e := New(s)
+	defer e.Close()
+	e.RunGS(0)
+
+	r1 := e.Unicast(c.MustParse("0000"), c.MustParse("1111"))
+	r2 := e.Unicast(c.MustParse("0000"), c.MustParse("0101"))
+	if r1.TraceID == 0 || r2.TraceID == 0 {
+		t.Fatalf("trace IDs = %d, %d; want nonzero", r1.TraceID, r2.TraceID)
+	}
+	if r2.TraceID <= r1.TraceID {
+		t.Fatalf("trace IDs not monotonic: %d then %d", r1.TraceID, r2.TraceID)
+	}
+
+	pairs := []Pair{
+		{Src: c.MustParse("0000"), Dst: c.MustParse("1111")},
+		{Src: c.MustParse("0101"), Dst: c.MustParse("1010")},
+		{Src: c.MustParse("1000"), Dst: c.MustParse("0111")},
+	}
+	stats, err := e.UnicastBatch(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{r1.TraceID: true, r2.TraceID: true}
+	for i, br := range stats.Results {
+		if br.Outcome == core.Failure && br.TraceID == 0 {
+			// Requests refused at injection (faulty endpoint) are never
+			// stamped; none of the pairs above qualify.
+			t.Fatalf("batch entry %d refused unexpectedly: %v", i, br.Err)
+		}
+		if br.TraceID <= r2.TraceID {
+			t.Errorf("batch entry %d: trace ID %d not after the singles (%d)", i, br.TraceID, r2.TraceID)
+		}
+		if seen[br.TraceID] {
+			t.Errorf("batch entry %d: duplicate trace ID %d", i, br.TraceID)
+		}
+		seen[br.TraceID] = true
+	}
+}
+
+// TestUnicastTraceIDFaultyEndpoint pins the refusal path: a request
+// that never enters the network carries no trace ID.
+func TestUnicastTraceIDFaultyEndpoint(t *testing.T) {
+	s := fig1Set(t)
+	c := s.Cube()
+	e := New(s)
+	defer e.Close()
+	e.RunGS(0)
+
+	r := e.Unicast(c.MustParse("0011"), c.MustParse("0000")) // 0011 is faulty
+	if r.Outcome != core.Failure {
+		t.Fatalf("faulty source delivered: %+v", r)
+	}
+	if r.TraceID != 0 {
+		t.Errorf("refused request stamped with trace ID %d", r.TraceID)
+	}
+}

@@ -86,7 +86,42 @@ const (
 	MetricServeBatchItems     = obs.MetricServeBatchItems
 	MetricServeFanoutsTotal   = obs.MetricServeFanoutsTotal
 	MetricServeFanoutItems    = obs.MetricServeFanoutItems
+	MetricServeSnapshotAgeUs  = obs.MetricServeSnapshotAgeUs
+	MetricServeRepairLag      = obs.MetricServeRepairLag
+	MetricServeQueueHWM       = obs.MetricServeQueueHWM
+	MetricFlightRecords       = obs.MetricFlightRecords
+	MetricFlightIncidents     = obs.MetricFlightIncidents
 )
+
+// Flight recorder surface (see internal/obs/flight.go): the always-on
+// low-overhead ring of per-request records a Server feeds, plus the
+// bounded incident buffer anomalous requests are promoted to with
+// their full per-hop trace.
+type (
+	// FlightRecorder is the lock-free request recorder.
+	FlightRecorder = obs.FlightRecorder
+	// FlightOptions size a FlightRecorder.
+	FlightOptions = obs.FlightOptions
+	// FlightRecord is one request's compact flight entry.
+	FlightRecord = obs.FlightRecord
+	// FlightSnapshot is the exported view of the flight ring.
+	FlightSnapshot = obs.FlightSnapshot
+	// Incident is one promoted anomaly with its trace.
+	Incident = obs.Incident
+	// IncidentSnapshot is the exported view of the incident buffer.
+	IncidentSnapshot = obs.IncidentSnapshot
+	// ReqKind classifies flight-recorded requests.
+	ReqKind = obs.ReqKind
+	// FlightErrClass buckets the serving-path error of a flight record.
+	FlightErrClass = obs.ErrClass
+)
+
+// NewFlightRecorder builds a flight recorder sized by opts; pass it to
+// ServeOptions.Flight to share one recorder across Servers or override
+// the default sizing. A Server started without one builds its own.
+func NewFlightRecorder(opts FlightOptions) *FlightRecorder {
+	return obs.NewFlightRecorder(opts)
+}
 
 // NewRegistry returns an empty metrics registry.
 func NewRegistry() *Registry { return obs.NewRegistry() }
@@ -116,7 +151,10 @@ func (c *Cube) traceObserver(s, d NodeID) *obs.RouteObserver {
 	if ro == nil {
 		ro = obs.NewRegistry().RouteObserver()
 	}
-	return ro.WithTrace(int(s), int(d), topo.Hamming(s, d))
+	// Stamp the trace with the fault-set generation the unicast routes
+	// against, so traces collected under churn stay attributable to one
+	// level state.
+	return ro.WithTraceGen(int(s), int(d), topo.Hamming(s, d), c.set.Generation())
 }
 
 // UnicastTraced routes like Unicast and additionally records the full

@@ -269,6 +269,11 @@ type Route struct {
 	// Err carries endpoint validation problems (faulty source, node
 	// outside the cube). A clean source-side abort has Err == nil.
 	Err error
+	// RequestID is the flight-recorder ID of the serving request the
+	// route answered (nonzero only for routes served by a Server's
+	// context-aware readers); it links the route to /debug/flight
+	// records, incident traces, and histogram exemplars.
+	RequestID uint64
 }
 
 // Hops returns the number of links traveled (0 on failure).

@@ -35,6 +35,13 @@ type ServeOptions struct {
 	Burst int
 	// Registry receives the serving metrics (nil disables).
 	Registry *Registry
+	// Flight supplies a pre-sized flight recorder (see NewFlightRecorder).
+	// When nil the Server builds a default one — the recorder is on by
+	// default; set NoFlight to opt out.
+	Flight *FlightRecorder
+	// NoFlight serves without a flight recorder (ignored when Flight is
+	// non-nil).
+	NoFlight bool
 }
 
 // Server is a concurrent route-serving engine over a frozen copy of a
@@ -57,6 +64,8 @@ func serveFrom(set *faults.Set, opts ServeOptions) (*Server, error) {
 		Rate:       opts.Rate,
 		Burst:      opts.Burst,
 		Registry:   opts.Registry,
+		Flight:     opts.Flight,
+		NoFlight:   opts.NoFlight,
 	})
 	if err != nil {
 		return nil, err
@@ -184,6 +193,11 @@ func (s *Server) RouteAllCtx(ctx context.Context, src NodeID) ([]*Route, error) 
 // flight (the quantity Shutdown drains to zero).
 func (s *Server) Inflight() int64 { return s.svc.Inflight() }
 
+// Flight returns the Server's flight recorder (nil when the Server was
+// started with NoFlight). Snapshot it for the recent request records,
+// Incidents for the promoted anomalies.
+func (s *Server) Flight() *FlightRecorder { return s.svc.Flight() }
+
 // FailNode enqueues a node fault. The snapshot updates asynchronously;
 // use Flush to wait for it.
 func (s *Server) FailNode(a NodeID) error { return s.svc.FailNode(a) }
@@ -246,5 +260,6 @@ func routeOf(r *core.Route) *Route {
 		Condition: r.Condition,
 		Path:      append([]NodeID(nil), r.Path...),
 		Err:       r.Err,
+		RequestID: r.FlightID,
 	}
 }
