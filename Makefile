@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt build vet test race fuzz bench-smoke bench-hot bench-json load-smoke flight-smoke cover staticcheck ci
+.PHONY: all fmt build vet test race fuzz bench-smoke bench-hot bench-json load-smoke flight-smoke scale-smoke cover staticcheck ci
 
 all: ci
 
@@ -38,12 +38,14 @@ bench-smoke:
 
 # The hot-path benchmark set the CI bench-gate watches. BENCH_OUT
 # captures the raw output for benchstat / internal/ci/benchgate; the
-# regex must stay in sync with benchgate's default -match.
+# regex must stay in sync with benchgate's default -match. -benchmem
+# makes every benchmark report allocs/op so the gate can fail on
+# allocation regressions, not just time.
 BENCH_HOT = Benchmark(Unicast|GS|Repair|Serve|Flight)
 BENCH_COUNT ?= 6
 BENCH_OUT ?= bench.txt
 bench-hot:
-	$(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchtime 200ms \
+	$(GO) test -run '^$$' -bench '$(BENCH_HOT)' -benchtime 200ms -benchmem \
 		-count $(BENCH_COUNT) -timeout 30m ./... | tee $(BENCH_OUT)
 
 # Regenerate BENCH_1.json (the instrumentation-overhead evidence),
@@ -51,8 +53,9 @@ bench-hot:
 # BENCH_3.json (incremental repair vs cold GS under churn),
 # BENCH_4.json (snapshot serving vs the mutex-guarded facade under a
 # churn storm), BENCH_5.json (serving-path tail latency under a churn
-# storm, with vs without admission control — EXPERIMENTS.md E17) and
-# BENCH_6.json (flight-recorder overhead on the hardened read path).
+# storm, with vs without admission control — EXPERIMENTS.md E17),
+# BENCH_6.json (flight-recorder overhead on the hardened read path) and
+# BENCH_7.json (flat SoA data plane vs the BENCH_3 map-based baseline).
 bench-json:
 	EMIT_BENCH_JSON=1 $(GO) test -run TestEmitBenchJSON .
 
@@ -79,6 +82,13 @@ flight-smoke:
 		-workers 2 -duration 1s -warmup 100ms -min-ok 50 \
 		-flight -o /dev/null && \
 	$(GO) run ./internal/ci/flightcheck http://$(FLIGHT_ADDR)/debug/flight
+
+# Million-node scale gate: cold GS over the full Q20 cube plus one
+# incremental repair, under a wall-clock budget (see
+# internal/core/scale_test.go). Exercises the flat SoA core at the
+# size the refactor targets.
+scale-smoke:
+	SCALE_SMOKE=1 $(GO) test -run '^TestScaleSmokeQ20$$' -timeout 150s -v ./internal/core
 
 # Whole-repo statement coverage, gated by the ratcheting floor in
 # .github/coverage-floor.txt (raise it when new tests push it up; CI

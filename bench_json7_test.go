@@ -1,0 +1,162 @@
+package safecube
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// TestEmitBenchJSON7 regenerates BENCH_7.json, the committed measurement
+// of the flat SoA core: dense []uint8 level tables, bitset fault and
+// frontier sets, and pooled repair scratch in place of the map-based
+// data plane BENCH_3 measured. It shares the BENCH_1..6 gate:
+//
+//	EMIT_BENCH_JSON=1 go test -run TestEmitBenchJSON .
+//
+// (or `make bench-json`). The headline number is the repair-maintained
+// replay of the exact BENCH_3 schedule (Q10, 40 events, seed 3): the
+// acceptance bar for the refactor is >= 10x fewer bytes/op than the
+// 1,105,011 B/op BENCH_3 recorded for the same loop. Alongside it the
+// file records cold-GS and single-repair cost at Q16 (65,536 nodes) —
+// the scale the map-based plane could not reach without multi-hundred-
+// megabyte sweeps; the Q20 (1,048,576 node) end-to-end run lives in
+// `make scale-smoke` and EXPERIMENTS.md E18.
+func TestEmitBenchJSON7(t *testing.T) {
+	if os.Getenv("EMIT_BENCH_JSON") == "" {
+		t.Skip("set EMIT_BENCH_JSON=1 to regenerate BENCH_7.json")
+	}
+
+	type entry struct {
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
+	}
+	bench := func(name string, fn func(b *testing.B)) entry {
+		r := testing.Benchmark(fn)
+		return entry{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+
+	// The exact BENCH_3 replay: same topology, schedule, and seed, so
+	// bytes/op is directly comparable across the two files.
+	tp := topo.MustCube(10)
+	events := faults.ChurnSchedule(tp, 3, 40, faults.ChurnOptions{Links: true})
+	replayRepair := func(fatal func(args ...interface{})) {
+		set := faults.NewSet(tp)
+		prev := core.Compute(set, core.Options{})
+		gen := set.Generation()
+		for _, ev := range events {
+			if err := set.Apply(ev); err != nil {
+				fatal(err)
+			}
+			delta, ok := set.Since(gen)
+			if !ok {
+				fatal("journal gap after one event")
+			}
+			as, ok := core.RepairLevels(prev, set, delta, core.Options{})
+			if !ok {
+				fatal("repair refused")
+			}
+			prev = as
+			gen = set.Generation()
+		}
+	}
+
+	// Q16 steady state: one cold sharded fill, then alternating
+	// fail/recover repairs of a single node.
+	q16 := topo.MustCube(16)
+	q16Set := faults.NewSet(q16)
+	if err := faults.InjectUniform(q16Set, stats.NewRNG(7), 40); err != nil {
+		t.Fatal(err)
+	}
+
+	results := []entry{
+		bench("churn/q10/40-events/repair-flat", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				replayRepair(b.Fatal)
+			}
+		}),
+		bench("gs/q16/cold-sharded", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.Compute(q16Set, core.Options{Workers: -1})
+			}
+		}),
+		bench("repair/q16/single-node", func(b *testing.B) {
+			b.ReportAllocs()
+			prev := core.Compute(q16Set, core.Options{})
+			gen := q16Set.Generation()
+			const victim = topo.NodeID(31337)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if i%2 == 0 {
+					err = q16Set.FailNode(victim)
+				} else {
+					err = q16Set.RecoverNode(victim)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				delta, ok := q16Set.Since(gen)
+				if !ok {
+					b.Fatal("journal gap")
+				}
+				as, ok := core.RepairLevels(prev, q16Set, delta, core.Options{})
+				if !ok {
+					b.Fatal("repair refused")
+				}
+				prev, gen = as, q16Set.Generation()
+			}
+			b.StopTimer()
+			q16Set.RecoverNode(victim)
+		}),
+	}
+
+	const bench3RepairBytes = 1105011 // committed BENCH_3 repair bytes/op
+	ratio := float64(bench3RepairBytes) / float64(results[0].BytesPerOp)
+
+	report := struct {
+		Config  string  `json:"config"`
+		Claim   string  `json:"claim"`
+		Results []entry `json:"results"`
+	}{
+		Config: "flat SoA core; Q10 replay identical to BENCH_3 (40-event schedule, seed 3), " +
+			"Q16 = 65536 nodes with 40 faults, GOMAXPROCS=" + strconv.Itoa(runtime.GOMAXPROCS(0)),
+		Claim: fmt.Sprintf("the flat data plane (dense []uint8 tables, bitset sets, pooled repair "+
+			"scratch) replays the BENCH_3 churn schedule in %d B/op against the map-based plane's "+
+			"1105011 B/op (%.1fx fewer bytes), and holds single-node repair at Q16 to microseconds "+
+			"against a cold sharded sweep of all 65536 nodes", results[0].BytesPerOp, ratio),
+		Results: results,
+	}
+	if ratio < 10 {
+		t.Fatalf("acceptance: repair replay bytes/op %d is only %.1fx below the BENCH_3 baseline (need >= 10x)",
+			results[0].BytesPerOp, ratio)
+	}
+
+	f, err := os.Create("BENCH_7.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_7.json: %+v", report.Results)
+}

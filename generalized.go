@@ -206,6 +206,7 @@ func (g *Generalized) recordGS() {
 		LinkFaults: g.set.LinkFaults(),
 		Rounds:     g.as.Rounds(),
 		Deltas:     deltas,
+		TableBytes: g.as.TableBytes(),
 	}
 	if g.as.Repaired() {
 		tr.Kind = "repair"

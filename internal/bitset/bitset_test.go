@@ -1,0 +1,119 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(200)
+	if s.Any() || s.Count() != 0 {
+		t.Fatal("new set not empty")
+	}
+	for _, i := range []int{0, 1, 63, 64, 127, 128, 199} {
+		s.Add(i)
+		if !s.Test(i) {
+			t.Fatalf("Test(%d) false after Add", i)
+		}
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+	s.Remove(64)
+	if s.Test(64) {
+		t.Fatal("Test(64) true after Remove")
+	}
+	s.Flip(64)
+	if !s.Test(64) {
+		t.Fatal("Test(64) false after Flip")
+	}
+	s.Flip(64)
+	if s.Test(64) {
+		t.Fatal("Test(64) true after double Flip")
+	}
+	s.Reset()
+	if s.Any() {
+		t.Fatal("set not empty after Reset")
+	}
+}
+
+// TestAgainstMap drives the set and a map[int]bool with the same random
+// mutation stream and requires identical membership, count, and
+// ascending iteration order — the exact contract the repair frontier
+// relies on after replacing its maps.
+func TestAgainstMap(t *testing.T) {
+	const n = 1000
+	s := New(n)
+	ref := map[int]bool{}
+	rng := rand.New(rand.NewSource(7))
+	for step := 0; step < 5000; step++ {
+		i := rng.Intn(n)
+		switch rng.Intn(3) {
+		case 0:
+			s.Add(i)
+			ref[i] = true
+		case 1:
+			s.Remove(i)
+			delete(ref, i)
+		case 2:
+			s.Flip(i)
+			if ref[i] {
+				delete(ref, i)
+			} else {
+				ref[i] = true
+			}
+		}
+	}
+	if s.Count() != len(ref) {
+		t.Fatalf("Count = %d, map has %d", s.Count(), len(ref))
+	}
+	want := make([]int32, 0, len(ref))
+	for i := range ref {
+		want = append(want, int32(i))
+	}
+	sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+	got := s.AppendIndices(nil)
+	if len(got) != len(want) {
+		t.Fatalf("AppendIndices len %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("index %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+	var walked []int32
+	s.ForEach(func(i int) { walked = append(walked, int32(i)) })
+	for i := range walked {
+		if walked[i] != want[i] {
+			t.Fatalf("ForEach order diverges at %d", i)
+		}
+	}
+	cl := s.Clone()
+	drained := s.DrainInto(nil)
+	for i := range drained {
+		if drained[i] != want[i] {
+			t.Fatalf("DrainInto order diverges at %d", i)
+		}
+	}
+	if s.Any() {
+		t.Fatal("set not empty after DrainInto")
+	}
+	if cl.Count() != len(ref) {
+		t.Fatal("Clone shares storage with drained set")
+	}
+	s.CopyFrom(cl)
+	if s.Count() != len(ref) {
+		t.Fatal("CopyFrom did not restore membership")
+	}
+}
+
+func TestWordBoundaries(t *testing.T) {
+	s := New(128)
+	s.Add(63)
+	s.Add(64)
+	got := s.AppendIndices(nil)
+	if len(got) != 2 || got[0] != 63 || got[1] != 64 {
+		t.Fatalf("boundary indices = %v", got)
+	}
+}

@@ -1,3 +1,9 @@
+// Command benchgate compares two `go test -bench` outputs (merge base
+// vs PR head) and fails when a gated hot-path benchmark regresses
+// beyond the threshold on either median ns/op or median allocs/op.
+// Time catches slow code, allocation count catches the quieter
+// regressions that eventually show up as GC pressure — the flat SoA
+// core's repair path is gated on both.
 package main
 
 import (
@@ -29,7 +35,7 @@ func run(args []string, out io.Writer) (int, error) {
 	oldPath := fs.String("old", "", "bench output of the merge base")
 	newPath := fs.String("new", "", "bench output of the PR head")
 	match := fs.String("match", `^Benchmark(Unicast|GS|Repair|Serve|Flight)`, "gate only benchmarks matching this regex")
-	threshold := fs.Float64("threshold", 0.15, "fail when new median ns/op exceeds old by this fraction")
+	threshold := fs.Float64("threshold", 0.15, "fail when new median ns/op or allocs/op exceeds old by this fraction")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -62,11 +68,19 @@ func run(args []string, out io.Writer) (int, error) {
 	return 0, nil
 }
 
-// parseFile extracts per-benchmark ns/op samples from `go test -bench`
-// output. Sub-benchmark names keep their slash path; the trailing
-// -GOMAXPROCS suffix is stripped so runs from differently sized
-// machines still line up.
-func parseFile(path string) (map[string][]float64, error) {
+// samples holds the per-benchmark measurements of one bench file:
+// ns/op is always present; allocs/op only when the benchmark reported
+// allocations (b.ReportAllocs or -benchmem).
+type samples struct {
+	ns     []float64
+	allocs []float64
+}
+
+// parseFile extracts per-benchmark ns/op and allocs/op samples from
+// `go test -bench` output. Sub-benchmark names keep their slash path;
+// the trailing -GOMAXPROCS suffix is stripped so runs from differently
+// sized machines still line up.
+func parseFile(path string) (map[string]*samples, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -79,8 +93,8 @@ func parseFile(path string) (map[string][]float64, error) {
 	return runs, nil
 }
 
-func parse(r io.Reader) (map[string][]float64, error) {
-	runs := map[string][]float64{}
+func parse(r io.Reader) (map[string]*samples, error) {
+	runs := map[string]*samples{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -89,17 +103,32 @@ func parse(r io.Reader) (map[string][]float64, error) {
 			continue
 		}
 		name := trimProcSuffix(fields[0])
-		// ns/op is labeled; find the value preceding the label.
+		// Metric values precede their unit labels.
 		for i := 2; i < len(fields); i++ {
-			if fields[i] != "ns/op" {
+			var dst *[]float64
+			switch fields[i] {
+			case "ns/op":
+				s := runs[name]
+				if s == nil {
+					s = &samples{}
+					runs[name] = s
+				}
+				dst = &s.ns
+			case "allocs/op":
+				s := runs[name]
+				if s == nil {
+					s = &samples{}
+					runs[name] = s
+				}
+				dst = &s.allocs
+			default:
 				continue
 			}
 			v, err := strconv.ParseFloat(fields[i-1], 64)
 			if err != nil {
-				return nil, fmt.Errorf("bad ns/op value in %q", sc.Text())
+				return nil, fmt.Errorf("bad %s value in %q", fields[i], sc.Text())
 			}
-			runs[name] = append(runs[name], v)
-			break
+			*dst = append(*dst, v)
 		}
 	}
 	return runs, sc.Err()
@@ -129,8 +158,18 @@ func median(v []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
-// compare builds the report and counts gated regressions.
-func compare(oldRuns, newRuns map[string][]float64, re *regexp.Regexp, threshold float64) ([]string, int) {
+// allocsRegressed applies the allocs/op rule: beyond the relative
+// threshold AND at least one whole allocation worse. The absolute floor
+// keeps sub-allocation jitter from tripping the relative test, while a
+// 0 -> N jump (new allocation on a formerly allocation-free path) always
+// fails, since any N exceeds 0*(1+threshold).
+func allocsRegressed(om, nm, threshold float64) bool {
+	return nm > om*(1+threshold) && nm-om >= 1
+}
+
+// compare builds the report and counts gated regressions. A benchmark
+// counts once even if both metrics regressed.
+func compare(oldRuns, newRuns map[string]*samples, re *regexp.Regexp, threshold float64) ([]string, int) {
 	names := make([]string, 0, len(newRuns))
 	for name := range newRuns {
 		names = append(names, name)
@@ -140,25 +179,40 @@ func compare(oldRuns, newRuns map[string][]float64, re *regexp.Regexp, threshold
 	var report []string
 	regressions := 0
 	for _, name := range names {
-		nv := median(newRuns[name])
-		ov, ok := oldRuns[name]
+		ns := newRuns[name]
+		nv := median(ns.ns)
+		os, ok := oldRuns[name]
 		if !ok {
 			report = append(report, fmt.Sprintf("  new   %-60s %12.1f ns/op", name, nv))
 			continue
 		}
-		om := median(ov)
+		om := median(os.ns)
 		delta := (nv - om) / om
+		gated := re.MatchString(name)
+		failed := gated && delta > threshold
+		line := fmt.Sprintf("%-60s %12.1f -> %10.1f ns/op (%+.1f%%)", name, om, nv, delta*100)
+		if len(os.allocs) > 0 && len(ns.allocs) > 0 {
+			oa, na := median(os.allocs), median(ns.allocs)
+			aDelta := 0.0
+			if oa > 0 {
+				aDelta = (na - oa) / oa * 100
+			} else if na > 0 {
+				aDelta = 100
+			}
+			if gated && allocsRegressed(oa, na, threshold) {
+				failed = true
+			}
+			line += fmt.Sprintf(" | %.0f -> %.0f allocs/op (%+.1f%%)", oa, na, aDelta)
+		}
 		status := "  ok   "
-		if re.MatchString(name) {
-			if delta > threshold {
+		if gated {
+			status = "  gate "
+			if failed {
 				status = "  FAIL "
 				regressions++
-			} else {
-				status = "  gate "
 			}
 		}
-		report = append(report, fmt.Sprintf("%s%-60s %12.1f -> %10.1f ns/op (%+.1f%%)",
-			status, name, om, nv, delta*100))
+		report = append(report, status+line)
 	}
 	var gone []string
 	for name := range oldRuns {
@@ -173,7 +227,7 @@ func compare(oldRuns, newRuns map[string][]float64, re *regexp.Regexp, threshold
 	return report, regressions
 }
 
-func countGated(runs map[string][]float64, re *regexp.Regexp) int {
+func countGated(runs map[string]*samples, re *regexp.Regexp) int {
 	n := 0
 	for name := range runs {
 		if re.MatchString(name) {

@@ -25,7 +25,7 @@ PASS
 const sampleNew = `BenchmarkUnicastByDimension/q8-4         	  100000	      1049 ns/op
 BenchmarkUnicastByDimension/q8-4         	  100000	      1060 ns/op
 BenchmarkUnicastByDimension/q8-4         	  100000	      1055 ns/op
-BenchmarkGSByDimension/q8-4              	    5000	     26000 ns/op
+BenchmarkGSByDimension/q8-4              	    5000	     26000 ns/op	  2000 B/op	  70 allocs/op
 BenchmarkRepairLevels-4                  	   50000	     31000 ns/op
 BenchmarkServeRoute/readers=16/churn=true-4 	  200000	      9000 ns/op
 BenchmarkBrandNew-4                      	    1000	       100 ns/op
@@ -38,14 +38,21 @@ func TestParseStripsProcSuffixAndCollectsSamples(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := runs["BenchmarkUnicastByDimension/q8"]
-	if len(got) != 3 {
+	if got == nil || len(got.ns) != 3 {
 		t.Fatalf("want 3 samples, got %v", got)
 	}
-	if m := median(got); m != 1050 {
+	if m := median(got.ns); m != 1050 {
 		t.Fatalf("median = %v, want 1050", m)
 	}
-	if v := runs["BenchmarkGSByDimension/q8"]; len(v) != 1 || v[0] != 20000 {
-		t.Fatalf("GS samples = %v", v)
+	if len(got.allocs) != 0 {
+		t.Fatalf("unexpected allocs samples without -benchmem: %v", got.allocs)
+	}
+	gs := runs["BenchmarkGSByDimension/q8"]
+	if gs == nil || len(gs.ns) != 1 || gs.ns[0] != 20000 {
+		t.Fatalf("GS ns samples = %v", gs)
+	}
+	if len(gs.allocs) != 1 || gs.allocs[0] != 56 {
+		t.Fatalf("GS allocs samples = %v, want [56]", gs.allocs)
 	}
 	if _, ok := runs["BenchmarkRepairLevels-8"]; ok {
 		t.Fatal("proc suffix not stripped")
@@ -58,13 +65,33 @@ func TestMedianEven(t *testing.T) {
 	}
 }
 
+func TestAllocsRegressedRule(t *testing.T) {
+	cases := []struct {
+		om, nm float64
+		want   bool
+	}{
+		{0, 0, false},   // allocation-free stays allocation-free
+		{0, 1, true},    // new allocation on a formerly clean path
+		{56, 60, false}, // +7% under threshold
+		{56, 70, true},  // +25% and 14 allocs worse
+		{2, 2.4, false}, // +20% but under the 1-alloc absolute floor
+		{4, 5, true},    // +25% and exactly one alloc worse
+	}
+	for _, c := range cases {
+		if got := allocsRegressed(c.om, c.nm, 0.15); got != c.want {
+			t.Errorf("allocsRegressed(%v, %v) = %v, want %v", c.om, c.nm, got, c.want)
+		}
+	}
+}
+
 func TestCompareGatesOnlyMatchedNames(t *testing.T) {
 	oldRuns, _ := parse(strings.NewReader(sampleOld))
 	newRuns, _ := parse(strings.NewReader(sampleNew))
 	re := regexp.MustCompile(`^Benchmark(Unicast|GS|Repair)`)
 
-	// GS regressed 30% (gated -> fail); ServeRoute regressed 350% but is
-	// not gated; Unicast moved +0.5% (within threshold); Repair +3.3%.
+	// GS regressed 30% ns/op and 25% allocs/op (gated -> one fail, not
+	// two); ServeRoute regressed 350% but is not gated; Unicast moved
+	// +0.5% (within threshold); Repair +3.3%.
 	report, regressions := compare(oldRuns, newRuns, re, 0.15)
 	if regressions != 1 {
 		t.Fatalf("regressions = %d, want 1 (report:\n%s)", regressions, strings.Join(report, "\n"))
@@ -72,6 +99,7 @@ func TestCompareGatesOnlyMatchedNames(t *testing.T) {
 	joined := strings.Join(report, "\n")
 	for _, want := range []string{
 		"FAIL ", "BenchmarkGSByDimension/q8",
+		"56 -> 70 allocs/op",
 		"new   BenchmarkBrandNew",
 		"gone  BenchmarkRetired",
 	} {
@@ -82,6 +110,33 @@ func TestCompareGatesOnlyMatchedNames(t *testing.T) {
 	// The unguarded serve benchmark appears as plain ok despite its jump.
 	if !strings.Contains(joined, "ok   BenchmarkServeRoute/readers=16/churn=true") {
 		t.Fatalf("ungated benchmark not reported ok:\n%s", joined)
+	}
+}
+
+func TestCompareFailsOnAllocsOnlyRegression(t *testing.T) {
+	// ns/op flat, allocs/op 4 -> 8: the time gate alone would pass this.
+	oldRuns, _ := parse(strings.NewReader(
+		"BenchmarkRepairLevels-8 50000 30000 ns/op 4427 B/op 4 allocs/op\n"))
+	newRuns, _ := parse(strings.NewReader(
+		"BenchmarkRepairLevels-8 50000 30100 ns/op 9000 B/op 8 allocs/op\n"))
+	re := regexp.MustCompile(`^BenchmarkRepair`)
+
+	report, regressions := compare(oldRuns, newRuns, re, 0.15)
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (report:\n%s)", regressions, strings.Join(report, "\n"))
+	}
+	joined := strings.Join(report, "\n")
+	if !strings.Contains(joined, "FAIL ") || !strings.Contains(joined, "4 -> 8 allocs/op") {
+		t.Fatalf("allocs regression not reported:\n%s", joined)
+	}
+
+	// A benchmark that only reports allocs on one side is gated on time
+	// alone rather than erroring out.
+	newNoAllocs, _ := parse(strings.NewReader(
+		"BenchmarkRepairLevels-8 50000 30100 ns/op\n"))
+	report, regressions = compare(oldRuns, newNoAllocs, re, 0.15)
+	if regressions != 0 {
+		t.Fatalf("one-sided allocs data caused failure:\n%s", strings.Join(report, "\n"))
 	}
 }
 
@@ -107,7 +162,8 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 
 	// With a generous threshold and the serve family excluded via
-	// -match, the same files pass (GS's 30% sits under 50%).
+	// -match, the same files pass (GS's 30% ns and 25% allocs sit
+	// under 50%).
 	out.Reset()
 	code, err = run([]string{"-old", oldPath, "-new", newPath,
 		"-threshold", "0.5", "-match", "^Benchmark(Unicast|GS|Repair)"}, &out)

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/bitset"
 	"repro/internal/faults"
 	"repro/internal/topo"
 )
@@ -25,16 +26,67 @@ func LevelFromSorted(sorted []int) int {
 }
 
 // LevelFromNeighbors evaluates Definition 1 from an unsorted neighbor
-// level sequence. scratch, if non-nil and large enough, avoids an
-// allocation; callers in hot loops pass a reusable buffer.
+// level sequence. Because levels live in the bounded domain [0, n] (a
+// level never exceeds the cube dimension), the sequence is reduced to a
+// counting histogram instead of being sorted — O(n) with no comparison
+// sort. scratch, if non-nil and of capacity at least len(levels)+1,
+// avoids an allocation; callers in hot loops pass a reusable buffer.
 func LevelFromNeighbors(levels []int, scratch []int) int {
-	if cap(scratch) < len(levels) {
-		scratch = make([]int, len(levels))
+	n := len(levels)
+	if cap(scratch) < n+1 {
+		scratch = make([]int, n+1)
 	}
-	scratch = scratch[:len(levels)]
-	copy(scratch, levels)
-	sort.Ints(scratch)
-	return LevelFromSorted(scratch)
+	cnt := scratch[:n+1]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	for _, v := range levels {
+		if v < 0 {
+			// A negative value sorts first, so index 0 already fails.
+			return 0
+		}
+		if v > n {
+			// Values beyond n behave exactly like n: every index they can
+			// occupy is at most n-1 < n <= v, so the condition holds there
+			// regardless of the exact value.
+			v = n
+		}
+		cnt[v]++
+	}
+	return levelFromCounts(cnt)
+}
+
+// levelFromCounts evaluates Definition 1 over a level histogram:
+// cnt[v] = number of neighbors at level v, len(cnt) = n+1. It walks the
+// values ascending, tracking the sorted index i the next occurrence
+// would occupy — the counting-sort twin of LevelFromSorted, verified
+// equivalent by TestLevelFromCountsMatchesSorted.
+func levelFromCounts(cnt []int) int {
+	i := 0
+	for v, c := range cnt {
+		if c == 0 {
+			continue
+		}
+		if v < i {
+			// The first copy of v sits at sorted index i with v < i.
+			return i
+		}
+		// The c copies of v occupy sorted indexes i..i+c-1, all >= v's
+		// value... the first failing index is v+1 (value v at index v
+		// still satisfies s >= i; at v+1 it does not).
+		if v+1 <= i+c-1 {
+			return v + 1
+		}
+		i += c
+	}
+	return i
+}
+
+// stableEntry records one repaired node's final-change round in the
+// sparse stability table (sorted by node after finalize).
+type stableEntry struct {
+	node  int32
+	round int32
 }
 
 // Assignment holds the safety level of every node of one faulty cube.
@@ -45,11 +97,16 @@ func LevelFromNeighbors(levels []int, scratch []int) int {
 // faulty link (the set N2) — and the node's own level, which an N2 node
 // computes for itself by treating only the far ends of its faulty links
 // as faulty. Public and Own coincide for every node outside N2.
+//
+// Tables are flat structure-of-arrays keyed by dense node index: levels
+// are bounded by the cube dimension (<= topo.MaxDim), so one byte per
+// node per table suffices. At Q20 the whole public table is 1 MiB of
+// contiguous memory and a snapshot publish copies it with one memcpy.
 type Assignment struct {
 	t      topo.Topology
 	set    *faults.Set
-	public []int
-	own    []int
+	public []uint8
+	own    []uint8
 	// rounds is the number of synchronous information-exchange rounds
 	// after which no level changed (the statistic plotted in Fig. 2).
 	rounds int
@@ -59,8 +116,14 @@ type Assignment struct {
 	deltas []int
 	// stableAt[a] is the first round after which node a's level never
 	// changes again (0 = the initial value was already final). Used to
-	// validate Property 1: a k-safe node stabilizes by round k.
-	stableAt []int
+	// validate Property 1: a k-safe node stabilizes by round k. Cold
+	// runs fill the dense table; repairs, which touch few nodes, record
+	// stability sparsely in stableSparse instead and leave this nil.
+	stableAt []int32
+	// stableSparse holds (node, final round) pairs for the nodes a
+	// repair changed, sorted by node; nodes absent stabilized at round 0.
+	// Only one of stableAt/stableSparse is non-nil.
+	stableSparse []stableEntry
 	// evals counts NODE_STATUS evaluations performed to reach this
 	// assignment — the node-update work a distributed execution would
 	// pay in messages. A cold run evaluates every live node every round;
@@ -96,12 +159,12 @@ func (as *Assignment) Faults() *faults.Set { return as.set }
 // Level returns the public safety level of node a: the value a's
 // neighbors observe. Faulty nodes and nodes with adjacent faulty links
 // report 0.
-func (as *Assignment) Level(a topo.NodeID) int { return as.public[a] }
+func (as *Assignment) Level(a topo.NodeID) int { return int(as.public[a]) }
 
 // OwnLevel returns node a's own view of its safety level. It differs
 // from Level(a) only for nonfaulty nodes with adjacent faulty links,
 // which consider themselves regular healthy nodes (Section 4.1).
-func (as *Assignment) OwnLevel(a topo.NodeID) int { return as.own[a] }
+func (as *Assignment) OwnLevel(a topo.NodeID) int { return int(as.own[a]) }
 
 // Rounds returns how many synchronous rounds GS/EGS needed before the
 // levels stabilized. A fault-free cube needs 0 rounds.
@@ -113,7 +176,19 @@ func (as *Assignment) Deltas() []int { return append([]int(nil), as.deltas...) }
 
 // StableRound returns the first round after which node a's level is
 // final.
-func (as *Assignment) StableRound(a topo.NodeID) int { return as.stableAt[a] }
+func (as *Assignment) StableRound(a topo.NodeID) int {
+	if as.stableAt != nil {
+		return int(as.stableAt[a])
+	}
+	// Repaired assignment: sparse table, absent nodes never changed.
+	i := sort.Search(len(as.stableSparse), func(i int) bool {
+		return as.stableSparse[i].node >= int32(a)
+	})
+	if i < len(as.stableSparse) && as.stableSparse[i].node == int32(a) {
+		return int(as.stableSparse[i].round)
+	}
+	return 0
+}
 
 // Evals returns the number of NODE_STATUS evaluations performed to
 // reach this assignment — the per-node update work of the run, and the
@@ -129,14 +204,26 @@ func (as *Assignment) Repaired() bool { return as.repaired }
 // repair (0 for cold runs).
 func (as *Assignment) DirtyNodes() int { return as.dirty }
 
+// TableBytes returns the bytes held by the level tables (public + own,
+// counted once when they alias). At one byte per node per table this is
+// the snapshot-publish copy cost the serving layer pays per swap.
+func (as *Assignment) TableBytes() int {
+	b := len(as.public)
+	if len(as.own) > 0 && (len(as.public) == 0 || &as.own[0] != &as.public[0]) {
+		b += len(as.own)
+	}
+	return b
+}
+
 // Safe reports whether node a is safe, i.e. has the maximum level n.
-func (as *Assignment) Safe(a topo.NodeID) bool { return as.public[a] == as.t.Dim() }
+func (as *Assignment) Safe(a topo.NodeID) bool { return int(as.public[a]) == as.t.Dim() }
 
 // SafeSet returns all safe nodes in ascending order.
 func (as *Assignment) SafeSet() []topo.NodeID {
 	var out []topo.NodeID
+	n := uint8(as.t.Dim())
 	for a := 0; a < as.t.Nodes(); a++ {
-		if as.public[a] == as.t.Dim() {
+		if as.public[a] == n {
 			out = append(out, topo.NodeID(a))
 		}
 	}
@@ -145,7 +232,11 @@ func (as *Assignment) SafeSet() []topo.NodeID {
 
 // Levels returns a copy of the public level table indexed by node ID.
 func (as *Assignment) Levels() []int {
-	return append([]int(nil), as.public...)
+	out := make([]int, len(as.public))
+	for a, v := range as.public {
+		out[a] = int(v)
+	}
+	return out
 }
 
 // Options tune the GS computation. The zero value reproduces the paper's
@@ -190,20 +281,19 @@ func maxRounds(t topo.Topology, opts Options) int {
 // computeGS implements Algorithm GLOBAL_STATUS for node faults only.
 func computeGS(set *faults.Set, opts Options) *Assignment {
 	t := set.Topology()
-	n := t.Dim()
+	n := uint8(t.Dim())
 	nodes := t.Nodes()
-	cur := make([]int, nodes)
-	for a := 0; a < nodes; a++ {
-		if set.NodeFaulty(topo.NodeID(a)) {
-			cur[a] = 0
-		} else {
-			cur[a] = n
-		}
+	cur := make([]uint8, nodes)
+	for a := range cur {
+		cur[a] = n
+	}
+	for _, f := range set.FaultyNodes() {
+		cur[f] = 0
 	}
 	as := &Assignment{
 		t:        t,
 		set:      set,
-		stableAt: make([]int, nodes),
+		stableAt: make([]int32, nodes),
 	}
 	as.rounds, as.deltas, as.evals = iterate(t, set, cur, as.stableAt, maxRounds(t, opts), nil, opts.Workers)
 	as.public = cur
@@ -214,26 +304,26 @@ func computeGS(set *faults.Set, opts Options) *Assignment {
 // sweeper holds the per-goroutine scratch state of one NODE_STATUS
 // sweep. The binary cube keeps its bit-twiddling fast path (one XOR per
 // neighbor); generalized topologies reduce each dimension to the minimum
-// sibling level first (Definition 4).
+// sibling level first (Definition 4). Neighbor levels are folded into a
+// counting histogram over the bounded level domain [0, dim] — no sort,
+// no per-eval allocation.
 type sweeper struct {
-	t       topo.Topology
-	bin     *topo.Cube // non-nil: binary fast path
-	set     *faults.Set
-	frozen  []bool
-	reduced []int
-	scratch []int
-	sibs    []topo.NodeID
+	t      topo.Topology
+	bin    *topo.Cube // non-nil: binary fast path
+	set    *faults.Set
+	frozen bitset.Set
+	cnt    []int
+	sibs   []topo.NodeID
 	// evals counts NODE_STATUS evaluations this sweeper performed.
 	evals int
 }
 
-func newSweeper(t topo.Topology, set *faults.Set, frozen []bool) *sweeper {
+func newSweeper(t topo.Topology, set *faults.Set, frozen bitset.Set) *sweeper {
 	sw := &sweeper{
-		t:       t,
-		set:     set,
-		frozen:  frozen,
-		reduced: make([]int, t.Dim()),
-		scratch: make([]int, t.Dim()),
+		t:      t,
+		set:    set,
+		frozen: frozen,
+		cnt:    make([]int, t.Dim()+1),
 	}
 	if c, ok := t.(*topo.Cube); ok {
 		sw.bin = c
@@ -243,14 +333,19 @@ func newSweeper(t topo.Topology, set *faults.Set, frozen []bool) *sweeper {
 
 // eval runs one NODE_STATUS evaluation of node id against the level
 // table cur: each dimension reduces to its minimum sibling level
-// (Definition 4 — the identity reduction on a binary cube) and
-// Definition 1 evaluates the reduced sequence.
-func (sw *sweeper) eval(cur []int, id topo.NodeID) int {
+// (Definition 4 — the identity reduction on a binary cube), the reduced
+// levels accumulate into the bounded histogram, and Definition 1
+// evaluates it via levelFromCounts.
+func (sw *sweeper) eval(cur []uint8, id topo.NodeID) int {
 	n := sw.t.Dim()
 	sw.evals++
+	cnt := sw.cnt
+	for i := range cnt {
+		cnt[i] = 0
+	}
 	if sw.bin != nil {
 		for i := 0; i < n; i++ {
-			sw.reduced[i] = cur[sw.bin.Neighbor(id, i)]
+			cnt[cur[sw.bin.Neighbor(id, i)]]++
 		}
 	} else {
 		for i := 0; i < n; i++ {
@@ -261,30 +356,30 @@ func (sw *sweeper) eval(cur []int, id topo.NodeID) int {
 					m = cur[b]
 				}
 			}
-			sw.reduced[i] = m
+			cnt[m]++
 		}
 	}
-	return LevelFromNeighbors(sw.reduced, sw.scratch)
+	return levelFromCounts(cnt)
 }
 
 // sweep updates next[lo:hi] from cur, records first-change rounds in
 // stableAt, and returns the number of nodes whose level changed. It only
 // reads cur and only writes indexes in [lo, hi), so disjoint ranges can
 // run concurrently.
-func (sw *sweeper) sweep(cur, next, stableAt []int, lo, hi, r int) int {
+func (sw *sweeper) sweep(cur, next []uint8, stableAt []int32, lo, hi, r int) int {
 	delta := 0
 	for a := lo; a < hi; a++ {
 		id := topo.NodeID(a)
-		if sw.set.NodeFaulty(id) || (sw.frozen != nil && sw.frozen[a]) {
+		if sw.set.NodeFaulty(id) || (sw.frozen != nil && sw.frozen.Test(a)) {
 			next[a] = cur[a]
 			continue
 		}
-		v := sw.eval(cur, id)
+		v := uint8(sw.eval(cur, id))
 		next[a] = v
 		if v != cur[a] {
 			delta++
 			if stableAt != nil {
-				stableAt[a] = r
+				stableAt[a] = int32(r)
 			}
 		}
 	}
@@ -300,9 +395,9 @@ func (sw *sweeper) sweep(cur, next, stableAt []int, lo, hi, r int) int {
 // chunks; each chunk writes a disjoint range of next and stableAt and
 // per-worker deltas are summed after the round barrier, so the parallel
 // sweep is deterministic and identical to the sequential one.
-func iterate(t topo.Topology, set *faults.Set, cur []int, stableAt []int, cap int, frozen []bool, workers int) (int, []int, int) {
+func iterate(t topo.Topology, set *faults.Set, cur []uint8, stableAt []int32, cap int, frozen bitset.Set, workers int) (int, []int, int) {
 	nodes := t.Nodes()
-	next := make([]int, nodes)
+	next := make([]uint8, nodes)
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -371,13 +466,13 @@ func iterate(t topo.Topology, set *faults.Set, cur []int, stableAt []int, cap in
 // minimum public level among its dimension-i siblings, with the far end
 // of a faulty link counted as 0 (Section 4.1). For a binary cube this is
 // simply the (single) neighbor's level.
-func reduceObserved(t topo.Topology, set *faults.Set, cur []int, id topo.NodeID, i int, sibs []topo.NodeID) (int, []topo.NodeID) {
+func reduceObserved(t topo.Topology, set *faults.Set, cur []uint8, id topo.NodeID, i int, sibs []topo.NodeID) (int, []topo.NodeID) {
 	sibs = t.Siblings(id, i, sibs[:0])
 	m := -1
 	for _, b := range sibs {
 		v := 0
 		if !set.LinkFaulty(id, b) {
-			v = cur[b]
+			v = int(cur[b])
 		}
 		if m < 0 || v < m {
 			m = v
@@ -394,46 +489,54 @@ func reduceObserved(t topo.Topology, set *faults.Set, cur []int, id topo.NodeID,
 // faulty links as faulty but using its other neighbors' public levels.
 func computeEGS(set *faults.Set, opts Options) *Assignment {
 	t := set.Topology()
-	n := t.Dim()
+	n := uint8(t.Dim())
 	nodes := t.Nodes()
-	cur := make([]int, nodes)
-	frozen := make([]bool, nodes)
-	for a := 0; a < nodes; a++ {
-		id := topo.NodeID(a)
-		switch {
-		case set.NodeFaulty(id):
-			cur[a] = 0
-		case len(set.AdjacentFaultyLinks(id)) > 0:
-			cur[a] = 0
-			frozen[a] = true
-		default:
-			cur[a] = n
+	cur := make([]uint8, nodes)
+	for a := range cur {
+		cur[a] = n
+	}
+	for _, f := range set.FaultyNodes() {
+		cur[f] = 0
+	}
+	// N2 membership comes straight from the faulty-link list — O(link
+	// faults), not a per-node adjacency scan over the whole cube.
+	frozen := bitset.New(nodes)
+	for _, l := range set.FaultyLinks() {
+		if !set.NodeFaulty(l.A) {
+			frozen.Add(int(l.A))
+			cur[l.A] = 0
+		}
+		if !set.NodeFaulty(l.B) {
+			frozen.Add(int(l.B))
+			cur[l.B] = 0
 		}
 	}
 	as := &Assignment{
 		t:        t,
 		set:      set,
-		stableAt: make([]int, nodes),
+		stableAt: make([]int32, nodes),
 	}
 	as.rounds, as.deltas, as.evals = iterate(t, set, cur, as.stableAt, maxRounds(t, opts), frozen, opts.Workers)
 	as.public = cur
 
 	// Final round: each N2 node computes its own level once.
-	own := append([]int(nil), cur...)
-	neigh := make([]int, n)
-	scratch := make([]int, n)
+	if !frozen.Any() {
+		as.own = cur
+		return as
+	}
+	own := append([]uint8(nil), cur...)
+	dim := t.Dim()
+	neigh := make([]int, dim)
+	scratch := make([]int, dim+1)
 	var sibs []topo.NodeID
-	for a := 0; a < nodes; a++ {
+	frozen.ForEach(func(a int) {
 		id := topo.NodeID(a)
-		if !frozen[a] {
-			continue
-		}
-		for i := 0; i < n; i++ {
+		for i := 0; i < dim; i++ {
 			neigh[i], sibs = reduceObserved(t, set, cur, id, i, sibs)
 		}
-		own[a] = LevelFromNeighbors(neigh, scratch)
+		own[a] = uint8(LevelFromNeighbors(neigh, scratch))
 		as.evals++
-	}
+	})
 	as.own = own
 	return as
 }
@@ -449,6 +552,7 @@ func (as *Assignment) Verify() error {
 	t := as.t
 	n := t.Dim()
 	neigh := make([]int, n)
+	scratch := make([]int, n+1)
 	var sibs []topo.NodeID
 	for a := 0; a < t.Nodes(); a++ {
 		id := topo.NodeID(a)
@@ -466,7 +570,7 @@ func (as *Assignment) Verify() error {
 			for i := 0; i < n; i++ {
 				neigh[i], sibs = reduceObserved(t, as.set, as.public, id, i, sibs)
 			}
-			if want := LevelFromNeighbors(neigh, nil); as.own[a] != want {
+			if want := LevelFromNeighbors(neigh, scratch); int(as.own[a]) != want {
 				return fmt.Errorf("core: N2 node %s own level %d, Definition 1 gives %d", t.Format(id), as.own[a], want)
 			}
 			continue
@@ -479,9 +583,9 @@ func (as *Assignment) Verify() error {
 					m = as.public[b]
 				}
 			}
-			neigh[i] = m
+			neigh[i] = int(m)
 		}
-		if want := LevelFromNeighbors(neigh, nil); as.public[a] != want {
+		if want := LevelFromNeighbors(neigh, scratch); int(as.public[a]) != want {
 			return fmt.Errorf("core: node %s level %d, Definition 1 gives %d", t.Format(id), as.public[a], want)
 		}
 	}
@@ -491,9 +595,10 @@ func (as *Assignment) Verify() error {
 // UnsafeNonfaulty returns the nonfaulty nodes whose level is below n.
 func (as *Assignment) UnsafeNonfaulty() []topo.NodeID {
 	var out []topo.NodeID
+	n := uint8(as.t.Dim())
 	for a := 0; a < as.t.Nodes(); a++ {
 		id := topo.NodeID(a)
-		if !as.set.NodeFaulty(id) && as.public[a] < as.t.Dim() {
+		if !as.set.NodeFaulty(id) && as.public[a] < n {
 			out = append(out, id)
 		}
 	}
@@ -514,7 +619,7 @@ func (as *Assignment) CheckProperty2() error {
 		for i := 0; i < n && !hasSafe; i++ {
 			sibs = t.Siblings(a, i, sibs[:0])
 			for _, b := range sibs {
-				if as.public[b] == n {
+				if int(as.public[b]) == n {
 					hasSafe = true
 					break
 				}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// This file pins the flat SoA core (dense []uint8 tables, bitset fault
+// sets, counting-sort NODE_STATUS, pooled repair scratch) to a
+// deliberately naive map-based reference implementation of GS/EGS. The
+// reference shares no code with the production path: it keeps levels in
+// map[NodeID]int, sorts neighbor levels with sort.Ints, and evaluates
+// Definition 1 positionally. Exhaustive small-cube sweeps and randomized
+// Q8/Q10 scenarios must agree bit for bit on both the public and own
+// tables, cold and after incremental repairs.
+
+// refLevel is Definition 1 evaluated positionally: sort the observed
+// neighbor levels ascending and return the first index j whose level
+// sits below j, or the neighbor count when none does.
+func refLevel(neigh []int) int {
+	s := append([]int(nil), neigh...)
+	sort.Ints(s)
+	for j, v := range s {
+		if v < j {
+			return j
+		}
+	}
+	return len(s)
+}
+
+// refCompute runs synchronous GS/EGS rounds over map tables until the
+// fixpoint and returns the public and own level maps.
+func refCompute(set *faults.Set) (public, own map[topo.NodeID]int) {
+	t := set.Topology()
+	n := t.Dim()
+
+	// N2: nonfaulty endpoints of faulty links, frozen at public 0.
+	frozen := map[topo.NodeID]bool{}
+	for _, l := range set.FaultyLinks() {
+		for _, e := range []topo.NodeID{l.A, l.B} {
+			if !set.NodeFaulty(e) {
+				frozen[e] = true
+			}
+		}
+	}
+
+	cur := map[topo.NodeID]int{}
+	for a := 0; a < t.Nodes(); a++ {
+		id := topo.NodeID(a)
+		switch {
+		case set.NodeFaulty(id):
+			cur[id] = 0
+		case frozen[id]:
+			cur[id] = 0
+		default:
+			cur[id] = n
+		}
+	}
+
+	// Per-dimension reduction: minimum sibling level (identity on the
+	// binary cube per Definition 4).
+	dimMin := func(tbl map[topo.NodeID]int, id topo.NodeID, i int) int {
+		m := -1
+		for _, b := range t.Siblings(id, i, nil) {
+			if m < 0 || tbl[b] < m {
+				m = tbl[b]
+			}
+		}
+		return m
+	}
+
+	for {
+		next := map[topo.NodeID]int{}
+		changed := false
+		for a := 0; a < t.Nodes(); a++ {
+			id := topo.NodeID(a)
+			if set.NodeFaulty(id) || frozen[id] {
+				next[id] = cur[id]
+				continue
+			}
+			neigh := make([]int, n)
+			for i := 0; i < n; i++ {
+				neigh[i] = dimMin(cur, id, i)
+			}
+			next[id] = refLevel(neigh)
+			if next[id] != cur[id] {
+				changed = true
+			}
+		}
+		cur = next
+		if !changed {
+			break
+		}
+	}
+
+	public = cur
+	if len(frozen) == 0 {
+		return public, public
+	}
+	// Final round: each N2 node evaluates once for itself, treating the
+	// far end of each faulty link as faulty.
+	own = map[topo.NodeID]int{}
+	for id, v := range public {
+		own[id] = v
+	}
+	for id := range frozen {
+		neigh := make([]int, n)
+		for i := 0; i < n; i++ {
+			m := -1
+			for _, b := range t.Siblings(id, i, nil) {
+				v := 0
+				if !set.LinkFaulty(id, b) {
+					v = public[b]
+				}
+				if m < 0 || v < m {
+					m = v
+				}
+			}
+			neigh[i] = m
+		}
+		own[id] = refLevel(neigh)
+	}
+	return public, own
+}
+
+// assertMatchesReference compares the flat assignment against the map
+// reference at every node.
+func assertMatchesReference(t *testing.T, name string, as *Assignment, set *faults.Set) {
+	t.Helper()
+	public, own := refCompute(set)
+	tp := set.Topology()
+	for a := 0; a < tp.Nodes(); a++ {
+		id := topo.NodeID(a)
+		if got, want := as.Level(id), public[id]; got != want {
+			t.Fatalf("%s: public level of node %d = %d, reference %d", name, a, got, want)
+		}
+		if got, want := as.OwnLevel(id), own[id]; got != want {
+			t.Fatalf("%s: own level of node %d = %d, reference %d", name, a, got, want)
+		}
+	}
+}
+
+// TestFlatMatchesReferenceExhaustiveQ3 sweeps every node-fault subset of
+// size <= 2 crossed with every single link fault on Q3: 481 scenarios
+// covering GS, EGS, frozen N2 corners, and faulty link endpoints.
+func TestFlatMatchesReferenceExhaustiveQ3(t *testing.T) {
+	tp := topo.MustCube(3)
+	var nodeSets [][]topo.NodeID
+	nodeSets = append(nodeSets, nil)
+	for a := 0; a < tp.Nodes(); a++ {
+		nodeSets = append(nodeSets, []topo.NodeID{topo.NodeID(a)})
+		for b := a + 1; b < tp.Nodes(); b++ {
+			nodeSets = append(nodeSets, []topo.NodeID{topo.NodeID(a), topo.NodeID(b)})
+		}
+	}
+	linkSets := [][2]topo.NodeID{{0, 0}} // sentinel: no link fault
+	for a := 0; a < tp.Nodes(); a++ {
+		for i := 0; i < tp.Dim(); i++ {
+			b := tp.Neighbor(topo.NodeID(a), i)
+			if topo.NodeID(a) < b {
+				linkSets = append(linkSets, [2]topo.NodeID{topo.NodeID(a), b})
+			}
+		}
+	}
+	for ni, nodes := range nodeSets {
+		for li, link := range linkSets {
+			set := faults.NewSet(tp)
+			for _, a := range nodes {
+				if err := set.FailNode(a); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if link[0] != link[1] {
+				// Skip links whose endpoints are already node-faulty: the
+				// fault set rejects redundant link faults on dead nodes.
+				if set.NodeFaulty(link[0]) || set.NodeFaulty(link[1]) {
+					continue
+				}
+				if err := set.FailLink(link[0], link[1]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			name := fmt.Sprintf("nodes=%d link=%d", ni, li)
+			assertMatchesReference(t, name, Compute(set, Options{}), set)
+		}
+	}
+}
+
+// TestFlatMatchesReferenceExhaustiveQ4 sweeps every single and double
+// node-fault subset of Q4, sequential and sharded.
+func TestFlatMatchesReferenceExhaustiveQ4(t *testing.T) {
+	tp := topo.MustCube(4)
+	for a := 0; a < tp.Nodes(); a++ {
+		for b := a; b < tp.Nodes(); b++ {
+			set := faults.NewSet(tp)
+			if err := set.FailNode(topo.NodeID(a)); err != nil {
+				t.Fatal(err)
+			}
+			if b != a {
+				if err := set.FailNode(topo.NodeID(b)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			name := fmt.Sprintf("faults={%d,%d}", a, b)
+			assertMatchesReference(t, name, Compute(set, Options{}), set)
+			assertMatchesReference(t, name+"/sharded", Compute(set, Options{Workers: -1}), set)
+		}
+	}
+}
+
+// TestFlatMatchesReferenceRandomized drives randomized mixed-fault
+// scenarios on Q5, Q8 and Q10 (and a mixed-radix shape) through the flat
+// core, sequential and sharded, against the map reference.
+func TestFlatMatchesReferenceRandomized(t *testing.T) {
+	cases := []struct {
+		tp           topo.Topology
+		trials       int
+		nodes, links int
+	}{
+		{topo.MustCube(5), 40, 6, 3},
+		{topo.MustCube(8), 8, 20, 6},
+		{topo.MustCube(10), 3, 40, 10},
+		{topo.MustMixed(3, 3, 3), 10, 5, 3},
+	}
+	for ci, c := range cases {
+		for trial := 0; trial < c.trials; trial++ {
+			set := faults.NewSet(c.tp)
+			rng := stats.NewRNG(uint64(1000*ci + trial))
+			if err := faults.InjectUniform(set, rng, c.nodes); err != nil {
+				t.Fatal(err)
+			}
+			if err := faults.InjectUniformLinks(set, rng, c.links); err != nil {
+				t.Fatal(err)
+			}
+			name := fmt.Sprintf("case%d/trial%d", ci, trial)
+			assertMatchesReference(t, name, Compute(set, Options{}), set)
+			if trial%2 == 0 {
+				assertMatchesReference(t, name+"/sharded", Compute(set, Options{Workers: -1}), set)
+			}
+		}
+	}
+}
+
+// TestRepairMatchesReferenceUnderChurn replays a mixed node/link churn
+// schedule on Q8, repairing incrementally after every event, and checks
+// the repaired flat tables against a fresh map-reference fixpoint each
+// time — so repair correctness is pinned to Definition 1 itself, not
+// just to the flat cold path.
+func TestRepairMatchesReferenceUnderChurn(t *testing.T) {
+	tp := topo.MustCube(8)
+	events := faults.ChurnSchedule(tp, 424242, 50, faults.ChurnOptions{Links: true})
+	set := faults.NewSet(tp)
+	as := Compute(set, Options{})
+	gen := set.Generation()
+	for i, ev := range events {
+		if err := set.Apply(ev); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		delta, ok := set.Since(gen)
+		if !ok {
+			t.Fatalf("step %d: journal gap", i)
+		}
+		rep, ok := RepairLevels(as, set, delta, Options{})
+		if !ok {
+			as = Compute(set, Options{})
+		} else {
+			as = rep
+		}
+		gen = set.Generation()
+		assertMatchesReference(t, fmt.Sprintf("step %d (%v)", i, ev), as, set)
+	}
+}

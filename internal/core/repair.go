@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/bitset"
 	"repro/internal/faults"
 	"repro/internal/topo"
 )
@@ -52,6 +53,13 @@ import (
 // therefore bit-for-bit the assignment a cold Compute would produce —
 // the property the differential, fuzz and chaos suites enforce at every
 // churn step.
+//
+// The working state lives in a pooled repairScratch: word-addressed
+// bitsets for the N2/released/affected/toggle/dirty-mark sets and
+// preallocated frontier and update buffers, reused across repairs of
+// the same topology size. A steady churn stream therefore allocates
+// only what each repair's Assignment must retain (its level tables and
+// sparse stability entries), not per-round sets.
 
 // RepairLevels patches the previous stable assignment prev to the
 // current state of set, given the journal deltas (faults.Set.Since)
@@ -79,25 +87,26 @@ func RepairLevels(prev *Assignment, set *faults.Set, delta []faults.Delta, opts 
 	// Fast path: a fault-free cube has the known fixpoint "everyone is
 	// n-safe" with zero rounds, exactly what a cold run reports.
 	if set.NodeFaults() == 0 && set.LinkFaults() == 0 {
-		cur := make([]int, nodes)
+		cur := make([]uint8, nodes)
+		n := uint8(t.Dim())
 		for a := range cur {
-			cur[a] = t.Dim()
+			cur[a] = n
 		}
 		return &Assignment{
 			t: t, set: set,
 			public: cur, own: cur,
-			stableAt: make([]int, nodes),
 			repaired: true,
 		}, true
 	}
 
-	st := newRepairState(prev, set, delta)
+	sc := getRepairScratch(t)
+	defer putRepairScratch(sc)
+	st := newRepairState(prev, set, delta, sc)
 	if st == nil {
 		return nil, false
 	}
 	as := &Assignment{
 		t: t, set: set,
-		stableAt: make([]int, nodes),
 		repaired: true,
 	}
 
@@ -111,30 +120,28 @@ func RepairLevels(prev *Assignment, set *faults.Set, delta []faults.Delta, opts 
 		return nil, false
 	}
 	as.public = st.cur
+	as.stableSparse = finalizeStable(as.stableSparse)
 
 	// Own levels: identical to the EGS final round — every N2 node runs
 	// NODE_STATUS once against the settled public levels, with the far
 	// ends of its faulty links counted as faulty.
 	as.own = as.public
-	if len(st.n2) > 0 {
-		own := append([]int(nil), as.public...)
+	if sc.n2.Any() {
+		own := append([]uint8(nil), as.public...)
 		n := t.Dim()
-		neigh := make([]int, n)
-		scratch := make([]int, n)
-		var sibs []topo.NodeID
-		members := make([]int, 0, len(st.n2))
-		for a := range st.n2 {
-			members = append(members, a)
+		if cap(sc.neigh) < n+1 {
+			sc.neigh = make([]int, n+1)
+			sc.lvlCnt = make([]int, n+1)
 		}
-		sort.Ints(members)
-		for _, a := range members {
+		neigh, scratch := sc.neigh[:n], sc.lvlCnt[:n+1]
+		sc.n2.ForEach(func(a int) {
 			id := topo.NodeID(a)
 			for i := 0; i < n; i++ {
-				neigh[i], sibs = reduceObserved(t, set, as.public, id, i, sibs)
+				neigh[i], sc.sibs = reduceObserved(t, set, as.public, id, i, sc.sibs)
 			}
-			own[a] = LevelFromNeighbors(neigh, scratch)
+			own[a] = uint8(LevelFromNeighbors(neigh, scratch))
 			as.evals++
-		}
+		})
 		as.own = own
 	}
 	return as, true
@@ -144,46 +151,137 @@ func RepairLevels(prev *Assignment, set *faults.Set, delta []faults.Delta, opts 
 // are collected during the round and applied after its barrier, keeping
 // the synchronous-round semantics of the cold sweep.
 type repairUpdate struct {
-	node  int
-	level int
+	node  int32
+	level uint8
+}
+
+// repairScratch holds every reusable buffer of one repair: the
+// membership bitsets, the frontier/update slices, and the sweepers.
+// Instances recycle through repairPool so steady-state churn repairs
+// allocate nothing here; buffers are sized for one topology and
+// reallocated only when a repair arrives for a different node count.
+type repairScratch struct {
+	nodes int
+	// n2 is the new N2 set (nonfaulty endpoints of faulty links); n2 ∪
+	// faulty is the phase-2 clamp set.
+	n2 bitset.Set
+	// inU marks U: nodes clamped under the old set but not the new one.
+	inU bitset.Set
+	// affected marks nodes named by the delta journal; nodeTog holds the
+	// per-node toggle parity of the journal entries.
+	affected bitset.Set
+	nodeTog  bitset.Set
+	// mark accumulates each round's next frontier; DrainInto empties it
+	// into dirty in ascending node order.
+	mark      bitset.Set
+	dirty     []int32
+	released  []int32
+	seedDirty []int32
+	updates   []repairUpdate
+	linkAll   []faults.Link
+	sibs      []topo.NodeID
+	neigh     []int
+	lvlCnt    []int
+	sw        *sweeper
+	// Per-worker state for evalParallel.
+	sws   []*sweeper
+	parts [][]repairUpdate
+	wEval []int
+}
+
+var repairPool = sync.Pool{New: func() interface{} { return &repairScratch{} }}
+
+func getRepairScratch(t topo.Topology) *repairScratch {
+	sc := repairPool.Get().(*repairScratch)
+	nodes := t.Nodes()
+	if sc.nodes != nodes {
+		sc.nodes = nodes
+		sc.n2 = bitset.New(nodes)
+		sc.inU = bitset.New(nodes)
+		sc.affected = bitset.New(nodes)
+		sc.nodeTog = bitset.New(nodes)
+		sc.mark = bitset.New(nodes)
+		sc.sw = nil
+		sc.sws = nil
+	}
+	return sc
+}
+
+func putRepairScratch(sc *repairScratch) {
+	sc.n2.Reset()
+	sc.inU.Reset()
+	sc.affected.Reset()
+	sc.nodeTog.Reset()
+	sc.mark.Reset()
+	repairPool.Put(sc)
+}
+
+// sweeperFor returns the scratch's sequential sweeper rebound to the
+// current topology/set (pool entries outlive any one fault set).
+func (sc *repairScratch) sweeperFor(t topo.Topology, set *faults.Set) *sweeper {
+	if sc.sw == nil || sc.sw.t != t {
+		sc.sw = newSweeper(t, set, nil)
+	} else {
+		sc.sw.set = set
+		sc.sw.evals = 0
+	}
+	return sc.sw
+}
+
+// finalizeStable sorts the appended (node, round) stability entries by
+// node and keeps each node's last-written round — the first round after
+// which the node's level never changed again.
+func finalizeStable(entries []stableEntry) []stableEntry {
+	if len(entries) == 0 {
+		return nil
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].node != entries[j].node {
+			return entries[i].node < entries[j].node
+		}
+		return entries[i].round < entries[j].round
+	})
+	w := 0
+	for i := range entries {
+		if i+1 < len(entries) && entries[i+1].node == entries[i].node {
+			continue
+		}
+		entries[w] = entries[i]
+		w++
+	}
+	return entries[:w]
 }
 
 // repairState carries the frontier iteration of one repair.
 type repairState struct {
 	t   topo.Topology
 	set *faults.Set
-	cur []int
-	// n2 is the new N2 set (nonfaulty endpoints of faulty links); n2 ∪
-	// faulty is the phase-2 clamp set.
-	n2 map[int]bool
-	// released holds U: nodes clamped under the old set but not the new
-	// one. They stay frozen through phase 1 and seed phase 2's frontier.
-	released []int
-	inU      map[int]bool
+	cur []uint8
+	sc  *repairScratch
 	// seedDirty is the next phase's initial frontier, ascending.
-	seedDirty []int
+	seedDirty []int32
 }
 
 // newRepairState classifies the delta into seed values and the two
 // frontier sets. It returns nil when the delta journal is malformed
 // (unknown kind or nodes outside the topology — impossible through the
 // Set mutators, but the journal crosses a package boundary).
-func newRepairState(prev *Assignment, set *faults.Set, delta []faults.Delta) *repairState {
+func newRepairState(prev *Assignment, set *faults.Set, delta []faults.Delta, sc *repairScratch) *repairState {
 	t := set.Topology()
 	st := &repairState{
 		t:   t,
 		set: set,
-		cur: append([]int(nil), prev.public...),
-		n2:  make(map[int]bool),
-		inU: make(map[int]bool),
+		cur: make([]uint8, t.Nodes()),
+		sc:  sc,
 	}
+	copy(st.cur, prev.public)
 	// New N2 membership from the current faulty-link list.
 	for _, l := range set.FaultyLinks() {
 		if !set.NodeFaulty(l.A) {
-			st.n2[int(l.A)] = true
+			sc.n2.Add(int(l.A))
 		}
 		if !set.NodeFaulty(l.B) {
-			st.n2[int(l.B)] = true
+			sc.n2.Add(int(l.B))
 		}
 	}
 
@@ -191,33 +289,56 @@ func newRepairState(prev *Assignment, set *faults.Set, delta []faults.Delta) *re
 	// status of exactly the affected elements without cloning the whole
 	// set: every journal entry flips its element's state, so
 	// old = current XOR (odd number of touches).
-	nodeTog := make(map[int]bool)
-	linkTog := make(map[faults.Link]bool)
-	affected := make(map[int]bool)
+	linkAll := sc.linkAll[:0]
 	for _, d := range delta {
 		switch d.Kind {
 		case faults.DeltaFailNode, faults.DeltaRecoverNode:
 			if !t.Contains(d.A) {
 				return nil
 			}
-			nodeTog[int(d.A)] = !nodeTog[int(d.A)]
-			affected[int(d.A)] = true
+			sc.nodeTog.Flip(int(d.A))
+			sc.affected.Add(int(d.A))
 		case faults.DeltaFailLink, faults.DeltaRecoverLink:
 			if !t.Contains(d.A) || !t.Contains(d.B) {
 				return nil
 			}
-			l := faults.Link{A: d.A, B: d.B}.Normalize()
-			linkTog[l] = !linkTog[l]
-			affected[int(d.A)] = true
-			affected[int(d.B)] = true
+			linkAll = append(linkAll, faults.Link{A: d.A, B: d.B}.Normalize())
+			sc.affected.Add(int(d.A))
+			sc.affected.Add(int(d.B))
 		default:
 			return nil
 		}
 	}
+	// Reduce the touched-link list to the odd-parity (state-flipping)
+	// links, sorted for binary search.
+	sort.Slice(linkAll, func(i, j int) bool {
+		if linkAll[i].A != linkAll[j].A {
+			return linkAll[i].A < linkAll[j].A
+		}
+		return linkAll[i].B < linkAll[j].B
+	})
+	w := 0
+	for i := 0; i < len(linkAll); {
+		j := i
+		for j < len(linkAll) && linkAll[j] == linkAll[i] {
+			j++
+		}
+		if (j-i)%2 == 1 {
+			linkAll[w] = linkAll[i]
+			w++
+		}
+		i = j
+	}
+	sc.linkAll = linkAll
+	linkOdd := linkAll[:w]
 	oldLinkFaulty := func(a, b topo.NodeID) bool {
 		l := faults.Link{A: a, B: b}.Normalize()
 		was := set.LinkFaulty(a, b)
-		if linkTog[l] {
+		i := sort.Search(len(linkOdd), func(i int) bool {
+			e := linkOdd[i]
+			return e.A > l.A || (e.A == l.A && e.B >= l.B)
+		})
+		if i < len(linkOdd) && linkOdd[i] == l {
 			was = !was
 		}
 		return was
@@ -225,16 +346,15 @@ func newRepairState(prev *Assignment, set *faults.Set, delta []faults.Delta) *re
 	oldClamped := func(a int) bool {
 		id := topo.NodeID(a)
 		wasFaulty := set.NodeFaulty(id)
-		if nodeTog[a] {
+		if sc.nodeTog.Test(a) {
 			wasFaulty = !wasFaulty
 		}
 		if wasFaulty {
 			return true
 		}
-		var sibs []topo.NodeID
 		for i := 0; i < t.Dim(); i++ {
-			sibs = t.Siblings(id, i, sibs[:0])
-			for _, b := range sibs {
+			sc.sibs = t.Siblings(id, i, sc.sibs[:0])
+			for _, b := range sc.sibs {
 				if oldLinkFaulty(id, b) {
 					return true
 				}
@@ -244,17 +364,11 @@ func newRepairState(prev *Assignment, set *faults.Set, delta []faults.Delta) *re
 	}
 
 	// Classify affected nodes into D (newly clamped) and U (released),
-	// seed D with 0 and collect the phase-1 frontier. Ascending node
-	// order throughout, for determinism.
-	ids := make([]int, 0, len(affected))
-	for a := range affected {
-		ids = append(ids, a)
-	}
-	sort.Ints(ids)
-	dirtyMark := make(map[int]bool)
-	var sibs []topo.NodeID
-	for _, a := range ids {
-		newC := set.NodeFaulty(topo.NodeID(a)) || st.n2[a]
+	// seed D with 0 and collect the phase-1 frontier. The bitsets
+	// iterate and drain in ascending node order, for determinism.
+	sc.released = sc.released[:0]
+	sc.affected.ForEach(func(a int) {
+		newC := set.NodeFaulty(topo.NodeID(a)) || sc.n2.Test(a)
 		oldC := oldClamped(a)
 		switch {
 		case newC && !oldC: // D: newly clamped
@@ -262,38 +376,35 @@ func newRepairState(prev *Assignment, set *faults.Set, delta []faults.Delta) *re
 				st.cur[a] = 0
 				// The drop is visible to every neighbor.
 				for i := 0; i < t.Dim(); i++ {
-					sibs = t.Siblings(topo.NodeID(a), i, sibs[:0])
-					for _, b := range sibs {
-						dirtyMark[int(b)] = true
+					sc.sibs = t.Siblings(topo.NodeID(a), i, sc.sibs[:0])
+					for _, b := range sc.sibs {
+						sc.mark.Add(int(b))
 					}
 				}
 			}
 		case oldC && !newC: // U: released (rises in phase 2)
-			st.inU[a] = true
-			st.released = append(st.released, a)
+			sc.inU.Add(a)
+			sc.released = append(sc.released, int32(a))
 		}
-	}
-	st.seedDirty = make([]int, 0, len(dirtyMark))
-	for a := range dirtyMark {
-		st.seedDirty = append(st.seedDirty, a)
-	}
-	sort.Ints(st.seedDirty)
+	})
+	sc.seedDirty = sc.mark.DrainInto(sc.seedDirty[:0])
+	st.seedDirty = sc.seedDirty
 	return st
 }
 
 // clamped reports whether node a is frozen at 0 in the given phase.
 func (st *repairState) clamped(a int, phase1 bool) bool {
-	if st.set.NodeFaulty(topo.NodeID(a)) || st.n2[a] {
+	if st.set.NodeFaulty(topo.NodeID(a)) || st.sc.n2.Test(a) {
 		return true
 	}
-	return phase1 && st.inU[a]
+	return phase1 && st.sc.inU.Test(a)
 }
 
 // release ends phase 1: the released nodes become phase 2's frontier
 // (their own equations are the only ones the phase-1 fixpoint may
 // violate). released was filled in ascending order.
 func (st *repairState) release() {
-	st.seedDirty = append([]int(nil), st.released...)
+	st.seedDirty = st.sc.released
 }
 
 // repairRoundCap bounds repair rounds defensively. Every counted round
@@ -308,30 +419,29 @@ func repairRoundCap(t topo.Topology) int { return t.Nodes()*(t.Dim()+1) + 2 }
 // is exceeded.
 func (st *repairState) run(as *Assignment, opts Options, phase1 bool) bool {
 	t := st.t
-	nodes := t.Nodes()
+	sc := st.sc
 	workers := opts.Workers
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	// The next round's frontier is collected as marks on a dense bitmap
-	// and emitted in ascending node order, so sequential and parallel
+	// The next round's frontier is collected as marks on a dense bitset
+	// and drained in ascending node order, so sequential and parallel
 	// runs walk identical work lists.
-	mark := make([]bool, nodes)
-	dirty := make([]int, 0, len(st.seedDirty))
+	mark := sc.mark
 	for _, a := range st.seedDirty {
-		if !st.clamped(a, phase1) && !mark[a] {
-			mark[a] = true
-			dirty = append(dirty, a)
+		if !st.clamped(int(a), phase1) {
+			mark.Add(int(a))
 		}
 	}
+	dirty := mark.DrainInto(sc.dirty[:0])
 
-	var updates []repairUpdate
+	updates := sc.updates[:0]
 	roundCap := repairRoundCap(t)
-	var sibs []topo.NodeID
-	sw := newSweeper(t, st.set, nil)
+	sw := sc.sweeperFor(t, st.set)
 	for round := 0; len(dirty) > 0; round++ {
 		if round >= roundCap {
+			sc.dirty = dirty
 			return false
 		}
 		// Evaluate the frontier against the previous round's table.
@@ -340,7 +450,7 @@ func (st *repairState) run(as *Assignment, opts Options, phase1 bool) bool {
 			updates = st.evalParallel(sw, dirty, workers, updates)
 		} else {
 			for _, a := range dirty {
-				if v := sw.eval(st.cur, topo.NodeID(a)); v != st.cur[a] {
+				if v := uint8(sw.eval(st.cur, topo.NodeID(a))); v != st.cur[a] {
 					updates = append(updates, repairUpdate{a, v})
 				}
 			}
@@ -349,31 +459,30 @@ func (st *repairState) run(as *Assignment, opts Options, phase1 bool) bool {
 
 		// Apply after the barrier; the changed nodes' neighborhoods form
 		// the next frontier.
-		for _, a := range dirty {
-			mark[a] = false
-		}
-		dirty = dirty[:0]
 		if len(updates) == 0 {
+			dirty = dirty[:0]
 			break
 		}
 		as.rounds++
 		as.deltas = append(as.deltas, len(updates))
 		for _, u := range updates {
 			st.cur[u.node] = u.level
-			as.stableAt[u.node] = as.rounds
+			as.stableSparse = append(as.stableSparse, stableEntry{node: u.node, round: int32(as.rounds)})
 			for i := 0; i < t.Dim(); i++ {
-				sibs = t.Siblings(topo.NodeID(u.node), i, sibs[:0])
-				for _, b := range sibs {
-					if !st.clamped(int(b), phase1) && !mark[b] {
-						mark[b] = true
-						dirty = append(dirty, int(b))
+				sc.sibs = t.Siblings(topo.NodeID(u.node), i, sc.sibs[:0])
+				for _, b := range sc.sibs {
+					if !st.clamped(int(b), phase1) {
+						mark.Add(int(b))
 					}
 				}
 			}
 		}
-		sort.Ints(dirty)
+		dirty = mark.DrainInto(dirty[:0])
 	}
 	as.evals += sw.evals
+	sw.evals = 0
+	sc.dirty = dirty
+	sc.updates = updates
 	st.seedDirty = nil
 	return true
 }
@@ -382,14 +491,23 @@ func (st *repairState) run(as *Assignment, opts Options, phase1 bool) bool {
 // only read the shared level table (writes wait for the round barrier)
 // and collect changes for contiguous frontier chunks; chunks are
 // concatenated in order, making the update list identical to the
-// sequential one.
-func (st *repairState) evalParallel(sw *sweeper, dirty []int, workers int, out []repairUpdate) []repairUpdate {
+// sequential one. Worker sweepers and chunk buffers live in the scratch
+// and are reused round over round.
+func (st *repairState) evalParallel(sw *sweeper, dirty []int32, workers int, out []repairUpdate) []repairUpdate {
 	if workers > len(dirty) {
 		workers = len(dirty)
 	}
+	sc := st.sc
+	for len(sc.sws) < workers {
+		sc.sws = append(sc.sws, newSweeper(st.t, st.set, nil))
+	}
+	for len(sc.parts) < workers {
+		sc.parts = append(sc.parts, nil)
+	}
+	for len(sc.wEval) < workers {
+		sc.wEval = append(sc.wEval, 0)
+	}
 	chunk := (len(dirty) + workers - 1) / workers
-	parts := make([][]repairUpdate, workers)
-	evals := make([]int, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
@@ -397,25 +515,33 @@ func (st *repairState) evalParallel(sw *sweeper, dirty []int, workers int, out [
 		if hi > len(dirty) {
 			hi = len(dirty)
 		}
+		sc.parts[w] = sc.parts[w][:0]
+		sc.wEval[w] = 0
 		if lo >= hi {
 			continue
 		}
+		wsw := sc.sws[w]
+		if wsw.t != st.t {
+			wsw = newSweeper(st.t, st.set, nil)
+			sc.sws[w] = wsw
+		}
+		wsw.set = st.set
+		wsw.evals = 0
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func(w, lo, hi int, wsw *sweeper) {
 			defer wg.Done()
-			wsw := newSweeper(st.t, st.set, nil)
 			for _, a := range dirty[lo:hi] {
-				if v := wsw.eval(st.cur, topo.NodeID(a)); v != st.cur[a] {
-					parts[w] = append(parts[w], repairUpdate{a, v})
+				if v := uint8(wsw.eval(st.cur, topo.NodeID(a))); v != st.cur[a] {
+					sc.parts[w] = append(sc.parts[w], repairUpdate{a, v})
 				}
 			}
-			evals[w] = wsw.evals
-		}(w, lo, hi)
+			sc.wEval[w] = wsw.evals
+		}(w, lo, hi, wsw)
 	}
 	wg.Wait()
 	for w := 0; w < workers; w++ {
-		out = append(out, parts[w]...)
-		sw.evals += evals[w]
+		out = append(out, sc.parts[w]...)
+		sw.evals += sc.wEval[w]
 	}
 	return out
 }

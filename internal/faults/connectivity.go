@@ -16,7 +16,7 @@ func Components(s *Set) (labels []int, count int) {
 	queue := make([]topo.NodeID, 0, n)
 	var sibs []topo.NodeID
 	for start := 0; start < n; start++ {
-		if s.node[start] || labels[start] >= 0 {
+		if s.node.Test(start) || labels[start] >= 0 {
 			continue
 		}
 		labels[start] = count
@@ -27,7 +27,7 @@ func Components(s *Set) (labels []int, count int) {
 			for i := 0; i < t.Dim(); i++ {
 				sibs = t.Siblings(a, i, sibs[:0])
 				for _, b := range sibs {
-					if s.node[b] || labels[b] >= 0 || s.LinkFaulty(a, b) {
+					if s.node.Test(int(b)) || labels[b] >= 0 || s.LinkFaulty(a, b) {
 						continue
 					}
 					labels[b] = count
@@ -51,7 +51,7 @@ func Connected(s *Set) bool {
 // SameComponent reports whether nonfaulty nodes a and b are connected in
 // the surviving subgraph. It returns false if either is faulty.
 func SameComponent(s *Set, a, b topo.NodeID) bool {
-	if s.node[a] || s.node[b] {
+	if s.node.Test(int(a)) || s.node.Test(int(b)) {
 		return false
 	}
 	labels, _ := Components(s)
@@ -69,7 +69,7 @@ func Distances(s *Set, src topo.NodeID) []int {
 	for i := range dist {
 		dist[i] = -1
 	}
-	if s.node[src] {
+	if s.node.Test(int(src)) {
 		return dist
 	}
 	dist[src] = 0
@@ -81,7 +81,7 @@ func Distances(s *Set, src topo.NodeID) []int {
 		for i := 0; i < t.Dim(); i++ {
 			sibs = t.Siblings(a, i, sibs[:0])
 			for _, b := range sibs {
-				if s.node[b] || dist[b] >= 0 || s.LinkFaulty(a, b) {
+				if s.node.Test(int(b)) || dist[b] >= 0 || s.LinkFaulty(a, b) {
 					continue
 				}
 				dist[b] = dist[a] + 1
@@ -102,7 +102,7 @@ func Distances(s *Set, src topo.NodeID) []int {
 // analogue) and is computed by dynamic programming over the sub-lattice
 // between src and dst (2^H states).
 func HasOptimalPath(set *Set, src, dst topo.NodeID) bool {
-	if set.node[src] || set.node[dst] {
+	if set.node.Test(int(src)) || set.node.Test(int(dst)) {
 		return false
 	}
 	t := set.t
@@ -125,7 +125,7 @@ func HasOptimalPath(set *Set, src, dst topo.NodeID) bool {
 				node = t.Toward(node, dst, d)
 			}
 		}
-		if set.node[node] {
+		if set.node.Test(int(node)) {
 			continue
 		}
 		for j := range dims {

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/bitset"
 	"repro/internal/topo"
 )
 
@@ -85,12 +86,19 @@ const journalCap = 4096
 
 // Set records the faulty nodes and links of one topology instance.
 // The zero value is not usable; construct with NewSet.
+//
+// Storage is flat: faulty nodes live in a word-addressed bitset keyed
+// by dense node index, faulty links in a slice kept sorted by
+// normalized endpoints. Both clone with a memcpy — the property the
+// serving layer's per-publish CloneState depends on — and both stay
+// near-linear in the fault count rather than the topology size.
 type Set struct {
 	t         topo.Topology
-	node      []bool
+	node      bitset.Set
 	nodeCount int
-	links     map[Link]bool
-	linkCount int
+	// links holds the normalized faulty links sorted by (A, B); lookups
+	// binary-search it and FaultyLinks returns a copy without sorting.
+	links []Link
 	// gen increments on every effective mutation; caches keyed on it
 	// (e.g. the Cube level cache) detect staleness without callers
 	// having to flag every mutation path by hand.
@@ -141,9 +149,8 @@ func (s *Set) Since(gen uint64) (deltas []Delta, ok bool) {
 // NewSet returns an empty fault set over topology t.
 func NewSet(t topo.Topology) *Set {
 	return &Set{
-		t:     t,
-		node:  make([]bool, t.Nodes()),
-		links: make(map[Link]bool),
+		t:    t,
+		node: bitset.New(t.Nodes()),
 	}
 }
 
@@ -160,17 +167,30 @@ func (s *Set) Clone() *Set {
 // replay history for an incremental repair — it is the cheap frozen
 // view the serving layer publishes inside each level snapshot, where
 // the journal (up to journalCap entries) would be dead weight copied
-// on every swap.
+// on every swap. With the flat storage the whole clone is two slice
+// copies (node bitset + sorted link slice): a memcpy, not a map walk.
 func (s *Set) CloneState() *Set {
-	cp := NewSet(s.t)
-	copy(cp.node, s.node)
-	cp.nodeCount = s.nodeCount
-	for l := range s.links {
-		cp.links[l] = true
+	cp := &Set{
+		t:         s.t,
+		node:      s.node.Clone(),
+		nodeCount: s.nodeCount,
+		gen:       s.gen,
 	}
-	cp.linkCount = s.linkCount
-	cp.gen = s.gen
+	if len(s.links) > 0 {
+		cp.links = append([]Link(nil), s.links...)
+	}
 	return cp
+}
+
+// linkIndex binary-searches the sorted link slice for normalized link
+// l, returning its position (or insertion point) and whether it is
+// present.
+func (s *Set) linkIndex(l Link) (int, bool) {
+	i := sort.Search(len(s.links), func(i int) bool {
+		e := s.links[i]
+		return e.A > l.A || (e.A == l.A && e.B >= l.B)
+	})
+	return i, i < len(s.links) && s.links[i] == l
 }
 
 // Topology returns the topology the set is defined over.
@@ -192,8 +212,8 @@ func (s *Set) FailNode(a topo.NodeID) error {
 	if !s.t.Contains(a) {
 		return fmt.Errorf("faults: node %d outside cube", a)
 	}
-	if !s.node[a] {
-		s.node[a] = true
+	if !s.node.Test(int(a)) {
+		s.node.Add(int(a))
 		s.nodeCount++
 		s.record(DeltaFailNode, a, a)
 	}
@@ -224,24 +244,23 @@ func (s *Set) RecoverNode(a topo.NodeID) error {
 	if !s.t.Contains(a) {
 		return fmt.Errorf("faults: node %d outside cube", a)
 	}
-	if !s.node[a] {
+	if !s.node.Test(int(a)) {
 		return nil
 	}
-	if s.linkCount > 0 {
+	if len(s.links) > 0 {
 		var sibs []topo.NodeID
 		for i := 0; i < s.t.Dim(); i++ {
 			sibs = s.t.Siblings(a, i, sibs[:0])
 			for _, b := range sibs {
 				l := Link{a, b}.Normalize()
-				if s.links[l] {
-					delete(s.links, l)
-					s.linkCount--
+				if idx, ok := s.linkIndex(l); ok {
+					s.links = append(s.links[:idx], s.links[idx+1:]...)
 					s.record(DeltaRecoverLink, l.A, l.B)
 				}
 			}
 		}
 	}
-	s.node[a] = false
+	s.node.Remove(int(a))
 	s.nodeCount--
 	s.record(DeltaRecoverNode, a, a)
 	return nil
@@ -267,9 +286,10 @@ func (s *Set) FailLink(a, b topo.NodeID) error {
 		return fmt.Errorf("faults: %d and %d are not adjacent", a, b)
 	}
 	l := Link{a, b}.Normalize()
-	if !s.links[l] {
-		s.links[l] = true
-		s.linkCount++
+	if idx, ok := s.linkIndex(l); !ok {
+		s.links = append(s.links, Link{})
+		copy(s.links[idx+1:], s.links[idx:])
+		s.links[idx] = l
 		s.record(DeltaFailLink, l.A, l.B)
 	}
 	return nil
@@ -281,23 +301,26 @@ func (s *Set) RecoverLink(a, b topo.NodeID) error {
 		return fmt.Errorf("faults: link endpoint outside cube")
 	}
 	l := Link{a, b}.Normalize()
-	if s.links[l] {
-		delete(s.links, l)
-		s.linkCount--
+	if idx, ok := s.linkIndex(l); ok {
+		s.links = append(s.links[:idx], s.links[idx+1:]...)
 		s.record(DeltaRecoverLink, l.A, l.B)
 	}
 	return nil
 }
 
 // NodeFaulty reports whether node a is faulty.
-func (s *Set) NodeFaulty(a topo.NodeID) bool { return s.node[a] }
+func (s *Set) NodeFaulty(a topo.NodeID) bool { return s.node.Test(int(a)) }
 
 // LinkFaulty reports whether the undirected link (a, b) is faulty.
 // A link incident to a faulty node is NOT automatically reported faulty:
 // the paper keeps node and link faults distinct (Section 4.1), and the
 // safety-level machinery composes them itself.
 func (s *Set) LinkFaulty(a, b topo.NodeID) bool {
-	return s.links[Link{a, b}.Normalize()]
+	if len(s.links) == 0 {
+		return false
+	}
+	_, ok := s.linkIndex(Link{a, b}.Normalize())
+	return ok
 }
 
 // Usable reports whether a message can traverse the edge from a to b:
@@ -310,52 +333,41 @@ func (s *Set) Usable(a, b topo.NodeID) bool {
 	if !s.t.Adjacent(a, b) {
 		return false
 	}
-	return !s.LinkFaulty(a, b) && !s.node[b] && !s.node[a]
+	return !s.LinkFaulty(a, b) && !s.node.Test(int(b)) && !s.node.Test(int(a))
 }
 
 // NodeFaults returns the number of faulty nodes.
 func (s *Set) NodeFaults() int { return s.nodeCount }
 
 // LinkFaults returns the number of faulty links.
-func (s *Set) LinkFaults() int { return s.linkCount }
+func (s *Set) LinkFaults() int { return len(s.links) }
 
 // FaultyNodes returns the faulty node IDs in ascending order.
 func (s *Set) FaultyNodes() []topo.NodeID {
 	out := make([]topo.NodeID, 0, s.nodeCount)
-	for a, f := range s.node {
-		if f {
-			out = append(out, topo.NodeID(a))
-		}
-	}
+	s.node.ForEach(func(a int) { out = append(out, topo.NodeID(a)) })
 	return out
 }
 
 // FaultyLinks returns the faulty links, normalized, in deterministic
-// (sorted) order.
+// (sorted) order. The slice is already kept sorted, so this is one copy.
 func (s *Set) FaultyLinks() []Link {
-	out := make([]Link, 0, s.linkCount)
-	for l := range s.links {
-		out = append(out, l)
+	if len(s.links) == 0 {
+		return []Link{}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].A != out[j].A {
-			return out[i].A < out[j].A
-		}
-		return out[i].B < out[j].B
-	})
-	return out
+	return append([]Link(nil), s.links...)
 }
 
 // HasLinkFaults reports whether any link fault is present; the core
 // package uses this to decide between GS and EGS.
-func (s *Set) HasLinkFaults() bool { return s.linkCount > 0 }
+func (s *Set) HasLinkFaults() bool { return len(s.links) > 0 }
 
 // AdjacentFaultyLinks returns the dimensions of the faulty links incident
 // to node a, ascending; a dimension with several faulty sibling links is
 // listed once. A node with a non-empty result belongs to the paper's set
 // N2 (Section 4.1).
 func (s *Set) AdjacentFaultyLinks(a topo.NodeID) []int {
-	if s.linkCount == 0 {
+	if len(s.links) == 0 {
 		return nil
 	}
 	var dims []int
@@ -383,7 +395,7 @@ func (s *Set) String() string {
 		b.WriteString(s.t.Format(a))
 	}
 	b.WriteString("}")
-	if s.linkCount > 0 {
+	if len(s.links) > 0 {
 		b.WriteString(" links{")
 		for i, l := range s.FaultyLinks() {
 			if i > 0 {

@@ -19,7 +19,7 @@ func InjectUniform(s *Set, rng *stats.RNG, count int) error {
 	// compose (always failing `count` *additional* nodes).
 	healthy := make([]topo.NodeID, 0, n)
 	for a := 0; a < n; a++ {
-		if !s.node[a] {
+		if !s.node.Test(a) {
 			healthy = append(healthy, topo.NodeID(a))
 		}
 	}

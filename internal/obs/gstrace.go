@@ -45,6 +45,10 @@ type GSTrace struct {
 	// spent converging back to the fixpoint.
 	DirtyNodes int `json:"dirty_nodes,omitempty"`
 	Evals      int `json:"evals,omitempty"`
+	// TableBytes is the memory footprint of the run's retained level
+	// tables (core.Assignment.TableBytes: one byte per node per distinct
+	// table) — the per-snapshot copy cost of the flat SoA layout.
+	TableBytes int `json:"table_bytes,omitempty"`
 }
 
 // Summary renders the trace as a one-paragraph transcript line.
@@ -70,6 +74,9 @@ func (t *GSTrace) Summary() string {
 	}
 	if t.Messages > 0 {
 		fmt.Fprintf(&b, ", %d messages (busiest link %d)", t.Messages, t.MaxLinkMessages)
+	}
+	if t.TableBytes > 0 {
+		fmt.Fprintf(&b, ", %d table bytes", t.TableBytes)
 	}
 	return b.String()
 }

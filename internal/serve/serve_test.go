@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -319,6 +320,12 @@ func TestServeChurn(t *testing.T) {
 		}
 	}
 	s.Flush()
+	// The flat-core applier can drain the whole schedule before the
+	// reader goroutines first run on a loaded machine; wait for at least
+	// one route so the progress assertion checks readers, not scheduling.
+	for i := 0; routed.Load() == 0 && i < 5000; i++ {
+		time.Sleep(time.Millisecond)
+	}
 	stop.Store(true)
 	wg.Wait()
 	close(errs)

@@ -80,7 +80,7 @@ func (n *node) runGSAsync(st *asyncState) {
 	n.lastChange = 0
 	n.updates = 0
 	n.initNbrLevels()
-	scratch := make([]int, dim)
+	scratch := make([]int, dim+1) // LevelFromNeighbors counting buckets
 
 	// One local recomputation before the initial push: a node adjacent
 	// to faults must lower its level even if it never receives a

@@ -614,7 +614,7 @@ func (n *node) runGS(rounds int) {
 	n.updates = 0
 	n.initNbrLevels()
 
-	scratch := make([]int, dim)
+	scratch := make([]int, dim+1) // LevelFromNeighbors counting buckets
 	for r := 1; r <= rounds; r++ {
 		// Send current public level to peers over healthy links. N2
 		// nodes stay silent (they already declared level 0), but N1

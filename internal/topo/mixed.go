@@ -98,6 +98,30 @@ func (t *Mixed) Coord(a NodeID, i int) int {
 	return (int(a) / t.stride[i]) % t.radix[i]
 }
 
+// CoordsInto appends all coordinates of node a to dst (dimension 0
+// first) in one mixed-radix decomposition pass — n divmods total,
+// against the 2n stride divisions of calling Coord per dimension. The
+// dense-index accessor the flat SoA core uses when it needs a whole
+// coordinate vector.
+func (t *Mixed) CoordsInto(a NodeID, dst []int) []int {
+	r := int(a)
+	for _, m := range t.radix {
+		dst = append(dst, r%m)
+		r /= m
+	}
+	return dst
+}
+
+// Index converts a coordinate vector (dimension 0 first, as produced by
+// CoordsInto) back to its dense node index.
+func (t *Mixed) Index(coords []int) NodeID {
+	id := 0
+	for i, v := range coords {
+		id += v * t.stride[i]
+	}
+	return NodeID(id)
+}
+
 // WithCoord returns a with coordinate i replaced by v.
 func (t *Mixed) WithCoord(a NodeID, i, v int) NodeID {
 	cur := t.Coord(a, i)
@@ -110,26 +134,49 @@ func (t *Mixed) Toward(a, d NodeID, i int) NodeID {
 }
 
 // Distance returns the number of coordinates in which a and b differ —
-// the graph distance in a fault-free GH.
+// the graph distance in a fault-free GH. Both addresses decompose in a
+// single divmod walk, so the cost is one divmod per dimension per node.
 func (t *Mixed) Distance(a, b NodeID) int {
 	d := 0
-	for i := range t.radix {
-		if t.Coord(a, i) != t.Coord(b, i) {
+	ra, rb := int(a), int(b)
+	for _, m := range t.radix {
+		if ra%m != rb%m {
 			d++
 		}
+		ra /= m
+		rb /= m
 	}
 	return d
 }
 
 // Adjacent reports whether a and b differ in exactly one coordinate.
-func (t *Mixed) Adjacent(a, b NodeID) bool { return a != b && t.Distance(a, b) == 1 }
+func (t *Mixed) Adjacent(a, b NodeID) bool {
+	if a == b {
+		return false
+	}
+	diff := 0
+	ra, rb := int(a), int(b)
+	for _, m := range t.radix {
+		if ra%m != rb%m {
+			if diff++; diff > 1 {
+				return false
+			}
+		}
+		ra /= m
+		rb /= m
+	}
+	return diff == 1
+}
 
 // LinkDim returns the dimension along which adjacent a and b differ.
 func (t *Mixed) LinkDim(a, b NodeID) int {
-	for i := range t.radix {
-		if t.Coord(a, i) != t.Coord(b, i) {
+	ra, rb := int(a), int(b)
+	for i, m := range t.radix {
+		if ra%m != rb%m {
 			return i
 		}
+		ra /= m
+		rb /= m
 	}
 	return -1
 }

@@ -68,6 +68,19 @@ func NavIn(t Topology, a, b NodeID) NavVector {
 	if _, ok := t.(*Cube); ok {
 		return Nav(a, b)
 	}
+	if m, ok := t.(*Mixed); ok {
+		// Single-pass mixed-radix decomposition of both addresses.
+		var v NavVector
+		ra, rb := int(a), int(b)
+		for i, rad := range m.radix {
+			if ra%rad != rb%rad {
+				v |= 1 << uint(i)
+			}
+			ra /= rad
+			rb /= rad
+		}
+		return v
+	}
 	var v NavVector
 	for i := 0; i < t.Dim(); i++ {
 		if t.Coord(a, i) != t.Coord(b, i) {

@@ -218,6 +218,7 @@ func (c *Cube) recordGS() {
 		LinkFaults: c.set.LinkFaults(),
 		Rounds:     c.as.Rounds(),
 		Deltas:     deltas,
+		TableBytes: c.as.TableBytes(),
 	}
 	if c.as.Repaired() {
 		tr.Kind = "repair"
