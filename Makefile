@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt build vet test race fuzz bench-smoke bench-hot bench-json load-smoke flight-smoke scale-smoke cover staticcheck ci
+.PHONY: all fmt build vet test race fuzz bench-smoke bench-hot bench-json load-smoke flight-smoke scenario-smoke scale-smoke cover staticcheck ci
 
 all: ci
 
@@ -82,6 +82,20 @@ flight-smoke:
 		-workers 2 -duration 1s -warmup 100ms -min-ok 50 \
 		-flight -o /dev/null && \
 	$(GO) run ./internal/ci/flightcheck http://$(FLIGHT_ADDR)/debug/flight
+
+# Correlated-fault scenario smoke: one short seeded slload pass per
+# scenario profile against the in-process engine (the schedule replays
+# through the same Target.ApplyEvent surface an HTTP run uses), then
+# the scenario unit/differential suites. -min-ok keeps it an
+# end-to-end gate, not just a generator check.
+scenario-smoke:
+	@for p in subcube dimcut rolling flap partition; do \
+		echo "# scenario $$p"; \
+		$(GO) run ./cmd/slload -n 6 -workers 4 -duration 1s -warmup 100ms \
+			-scenario $$p -seed 11 -deadline 1s -min-ok 200 -o /dev/null \
+			|| exit 1; \
+	done
+	$(GO) test -run 'TestScenario|TestRunScenario|TestScheduleReplay' ./...
 
 # Million-node scale gate: cold GS over the full Q20 cube plus one
 # incremental repair, under a wall-clock budget (see

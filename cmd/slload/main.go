@@ -35,6 +35,13 @@
 //
 //	-churn D      toggle one victim node every D (0 = no churn)
 //	-victims K    size of the rotating victim set (default 8)
+//	-scenario P   replace the rotating storm with a seeded correlated-fault
+//	              scenario (subcube, dimcut, rolling, flap or partition);
+//	              the same -seed replays the identical schedule against a
+//	              local engine or a remote -target. Paced by -churn, or
+//	              spread evenly across the run when -churn is 0
+//	-waves N      scenario wave count (0 = generator default)
+//	-subdim K     scenario subcube dimension (0 = generator default)
 //
 // Output:
 //
@@ -92,6 +99,10 @@ func run(argv []string, stdout, stderr *os.File) int {
 		churn   = fs.Duration("churn", 0, "churn-storm toggle interval (0 = off)")
 		victims = fs.Int("victims", 8, "churn victim set size")
 
+		scenario = fs.String("scenario", "", "replay a seeded correlated-fault scenario: subcube, dimcut, rolling, flap or partition")
+		waves    = fs.Int("waves", 0, "scenario wave count (0 = generator default)")
+		subdim   = fs.Int("subdim", 0, "scenario subcube dimension (0 = generator default)")
+
 		out    = fs.String("o", "", "write JSON report to FILE (default stdout)")
 		minOK  = fs.Int64("min-ok", 0, "exit 1 unless at least this many requests completed OK")
 		flight = fs.Bool("flight", false, "after the run, print the target's flight-recorder summary to stderr")
@@ -101,6 +112,12 @@ func run(argv []string, stdout, stderr *os.File) int {
 	}
 
 	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		fmt.Fprintln(stderr, "slload:", err)
+		return 2
+	}
+
+	cube, err := topo.NewCube(*dim)
 	if err != nil {
 		fmt.Fprintln(stderr, "slload:", err)
 		return 2
@@ -118,26 +135,33 @@ func run(argv []string, stdout, stderr *os.File) int {
 		ChurnEvery:   *churn,
 		ChurnVictims: *victims,
 	}
-
-	var tgt loadgen.Target
-	var localSvc *serve.Service
-	if *target != "" {
-		cube, err := topo.NewCube(*dim)
+	if *scenario != "" {
+		prof, err := faults.ParseScenarioProfile(*scenario)
 		if err != nil {
 			fmt.Fprintln(stderr, "slload:", err)
 			return 2
 		}
+		sched, err := faults.ScenarioSchedule(cube, prof, *seed, faults.ScenarioOptions{
+			Waves:  *waves,
+			Subdim: *subdim,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "slload:", err)
+			return 2
+		}
+		cfg.Schedule = sched
+		cfg.Scenario = *scenario
+	}
+
+	var tgt loadgen.Target
+	var localSvc *serve.Service
+	if *target != "" {
 		tgt = loadgen.HTTPTarget{
 			Base:   *target,
 			N:      cube.Nodes(),
 			Format: func(a int) string { return cube.Format(topo.NodeID(a)) },
 		}
 	} else {
-		cube, err := topo.NewCube(*dim)
-		if err != nil {
-			fmt.Fprintln(stderr, "slload:", err)
-			return 2
-		}
 		set := faults.NewSet(cube)
 		if *nFaults > 0 {
 			if err := faults.InjectUniform(set, stats.NewRNG(*seed).Split(0xFA17), *nFaults); err != nil {
@@ -180,6 +204,10 @@ func run(argv []string, stdout, stderr *os.File) int {
 	fmt.Fprintf(stderr, "# %s loop: %d ops (%.0f ok/s), classes %v, churn %d, p50 %.0fµs p99 %.0fµs p999 %.0fµs\n",
 		rep.Mode, rep.Ops, rep.OKPerSec, rep.Classes, rep.ChurnEvents,
 		rep.Latency.P50Us, rep.Latency.P99Us, rep.Latency.P999Us)
+	if *scenario != "" {
+		fmt.Fprintf(stderr, "# scenario %s: replayed %d/%d events (%d errors)\n",
+			*scenario, rep.ChurnEvents, len(cfg.Schedule), rep.ChurnErrors)
+	}
 
 	if *flight {
 		if err := printFlight(stderr, localSvc, *target); err != nil {

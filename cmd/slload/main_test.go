@@ -64,6 +64,47 @@ func TestRunInProcess(t *testing.T) {
 	}
 }
 
+// TestRunScenario: -scenario replays the full seeded schedule in-process
+// (paced by -churn, remainder drained at window close) and reports the
+// profile label.
+func TestRunScenario(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.json")
+	code := run([]string{
+		"-n", "5", "-workers", "2", "-duration", "80ms", "-warmup", "0s",
+		"-scenario", "rolling", "-waves", "1", "-seed", "7",
+		"-min-ok", "1", "-o", out,
+	}, os.Stdout, os.Stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("bad report JSON: %v", err)
+	}
+	cfg, _ := rep["config"].(map[string]any)
+	if cfg == nil || cfg["Scenario"] != "rolling" {
+		t.Fatalf("report config lacks scenario label: %v", cfg)
+	}
+	// One rolling wave over Q5 fails and recovers every node once.
+	if got := rep["churn_events"].(float64); got != 64 {
+		t.Fatalf("replayed %v events, want 64 (2 * 32 nodes)", got)
+	}
+	if errs := rep["churn_errors"].(float64); errs != 0 {
+		t.Fatalf("%v schedule events failed", errs)
+	}
+
+	// An unknown profile is a usage error.
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	defer devnull.Close()
+	if code := run([]string{"-scenario", "explode"}, devnull, devnull); code != 2 {
+		t.Fatalf("unknown scenario exit %d, want 2", code)
+	}
+}
+
 func TestRunUsageErrors(t *testing.T) {
 	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	if err != nil {

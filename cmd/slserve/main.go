@@ -20,6 +20,12 @@
 //	/routeall?src=ADDR          fan-out from src to every other node
 //	/fault?op=OP&a=ADDR[&b=ADDR]  enqueue churn: op is fail-node,
 //	                            recover-node, fail-link or recover-link
+//	/probe?node=ADDR            per-node health: 200 if the served
+//	                            snapshot holds the node healthy, 503 if
+//	                            it is marked faulty
+//	/monitor                    self-healing monitor status (declared
+//	                            nodes, probe counters); 404 unless the
+//	                            monitor is enabled
 //	/healthz                    generation, queue depth, inflight, state
 //	/metrics, /vars             Prometheus text / JSON registry dump
 //	/debug/flight               flight recorder: recent request records
@@ -37,6 +43,15 @@
 // a cube ("0110"), per-dimension digit strings for a generalized
 // hypercube ("121"). Fault posts return 202: churn is asynchronous and
 // the snapshot generation in /healthz advances once it is applied.
+//
+// Self-healing monitor (-monitor-target URL): probe an upstream
+// slserve's /probe endpoint for every node, declare a node into THIS
+// server's fault set after -monitor-k consecutive misses, and
+// un-declare it after -monitor-recover consecutive healthy probes — so
+// this server's routes detour around whatever the upstream reports
+// down, with flap hysteresis (see internal/monitor). Do not point a
+// server's monitor at itself: its own declarations would read back as
+// misses and stick forever.
 // Exit status: 0 ok (including a clean drain), 1 drain timeout,
 // 2 usage error.
 package main
@@ -51,6 +66,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"os"
 	"os/signal"
 	"strconv"
@@ -59,6 +75,7 @@ import (
 	"time"
 
 	safecube "repro"
+	"repro/internal/monitor"
 	"repro/internal/obs"
 )
 
@@ -100,6 +117,10 @@ func run(args []string, out io.Writer) (int, error) {
 	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof and /debug/vars")
 	listen := fs.String("listen", ":8080", "HTTP listen address")
 	noFlight := fs.Bool("no-flight", false, "disable the always-on flight recorder")
+	monTarget := fs.String("monitor-target", "", "upstream slserve base URL to health-probe; declares its down nodes into this server's fault set")
+	monEvery := fs.Duration("monitor-every", time.Second, "monitor probe sweep interval")
+	monK := fs.Int("monitor-k", 3, "consecutive missed probes before a node is declared faulty")
+	monRecover := fs.Int("monitor-recover", 2, "consecutive healthy probes before a declared node recovers")
 	flightRecords := fs.Int("flight-records", 4096, "flight-recorder ring capacity in request records")
 	flightIncidents := fs.Int("flight-incidents", 64, "incident buffer capacity")
 	flightSlow := fs.Duration("flight-slow", 50*time.Millisecond, "per-route latency threshold that promotes a request to an incident")
@@ -178,6 +199,36 @@ func run(args []string, out io.Writer) (int, error) {
 	}
 	defer srv.Close()
 
+	var mon *monitor.Monitor
+	var monCancel context.CancelFunc
+	if *monTarget != "" {
+		base := strings.TrimRight(*monTarget, "/")
+		mon, err = monitor.New(
+			monitor.HTTPProber{URL: func(node int) string {
+				return base + "/probe?node=" + url.QueryEscape(nm.Format(safecube.NodeID(node)))
+			}},
+			monitor.ApplyFunc(func(_ context.Context, node int, down bool) error {
+				if down {
+					return srv.FailNode(safecube.NodeID(node))
+				}
+				return srv.RecoverNode(safecube.NodeID(node))
+			}),
+			monitor.Options{
+				Nodes:    nm.Nodes(),
+				FailK:    *monK,
+				RecoverK: *monRecover,
+				Interval: *monEvery,
+				Registry: reg,
+			})
+		if err != nil {
+			return 2, err
+		}
+		var monCtx context.Context
+		monCtx, monCancel = context.WithCancel(context.Background())
+		defer monCancel()
+		go mon.Run(monCtx)
+	}
+
 	queueCap := *queue
 	if queueCap <= 0 {
 		queueCap = 64
@@ -186,6 +237,7 @@ func run(args []string, out io.Writer) (int, error) {
 		queueCap: queueCap,
 		deadline: *deadline,
 		pprof:    *pprofOn,
+		mon:      mon,
 	})
 	httpSrv := &http.Server{Addr: *listen, Handler: mux}
 	fmt.Fprintf(out, "# %s; serving routes on %s\n", header, *listen)
@@ -205,6 +257,11 @@ func run(args []string, out io.Writer) (int, error) {
 		// in-flight requests, then the churn queue, then the final
 		// snapshot swap, then the applier).
 		fmt.Fprintf(out, "# %v: draining (timeout %s)\n", sig, *drain)
+		if monCancel != nil {
+			// Stop the monitor first so no new declarations race the
+			// engine drain.
+			monCancel()
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if herr := httpSrv.Shutdown(ctx); herr != nil {
@@ -258,6 +315,8 @@ type handlerOpts struct {
 	deadline time.Duration
 	// pprof mounts /debug/pprof/* and /debug/vars.
 	pprof bool
+	// mon, when non-nil, backs the /monitor status endpoint.
+	mon *monitor.Monitor
 }
 
 // newHandler builds the serving mux on top of the registry's /metrics
@@ -457,6 +516,32 @@ func newHandler(srv *safecube.Server, nm naming, reg *safecube.Registry, opts ha
 			"queue_depth": srv.QueueDepth(),
 		})
 	}))
+
+	mux.HandleFunc("/probe", instrument(obs.MetricLatencyHTTPProbe, func(w http.ResponseWriter, r *http.Request) {
+		a, ok := node(w, r, "node")
+		if !ok {
+			return
+		}
+		// 503 for a faulty node so any status-driven prober (including
+		// monitor.HTTPProber) reads it as a miss without parsing JSON.
+		if srv.NodeFaulty(a) {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"node": nm.Format(a), "faulty": true,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"node": nm.Format(a), "faulty": false, "level": srv.Level(a),
+		})
+	}))
+
+	mux.HandleFunc("/monitor", func(w http.ResponseWriter, r *http.Request) {
+		if opts.mon == nil {
+			httpErr(w, http.StatusNotFound, errors.New("monitor disabled (start slserve with -monitor-target)"))
+			return
+		}
+		writeJSON(w, http.StatusOK, opts.mon.Status())
+	})
 
 	mux.HandleFunc("/healthz", instrument(obs.MetricLatencyHTTPHealthz, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	safecube "repro"
+	"repro/internal/monitor"
 )
 
 // testServer spins up the full handler over a Q4 with fixed faults.
@@ -275,6 +277,107 @@ func TestPprofGating(t *testing.T) {
 	resp3.Body.Close()
 	if resp3.StatusCode != http.StatusOK {
 		t.Fatalf("/debug/vars with -pprof: status %d, want 200", resp3.StatusCode)
+	}
+}
+
+// TestProbeAndMonitorEndpoints: /probe reflects the served snapshot's
+// per-node fault status with prober-friendly status codes, and /monitor
+// is a 404 until the self-healing monitor is enabled.
+func TestProbeAndMonitorEndpoints(t *testing.T) {
+	ts, _ := testServer(t)
+	v := getJSON(t, ts.URL+"/probe?node=0000", http.StatusOK)
+	if v["faulty"] != false {
+		t.Fatalf("healthy probe: %v", v)
+	}
+	if v["level"].(float64) < 1 {
+		t.Fatalf("healthy node reports level %v", v["level"])
+	}
+	v = getJSON(t, ts.URL+"/probe?node=0011", http.StatusServiceUnavailable)
+	if v["faulty"] != true {
+		t.Fatalf("faulty probe: %v", v)
+	}
+	getJSON(t, ts.URL+"/probe", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/probe?node=banana", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/monitor", http.StatusNotFound)
+}
+
+// TestMonitorAgainstUpstream closes the two-server healing loop over
+// real HTTP on a fake clock: an upstream slserve reports node 0011 down
+// through /probe, a downstream server's monitor declares it into its
+// own fault set after FailK sweeps, /monitor exposes the declaration,
+// and an upstream recovery un-declares it.
+func TestMonitorAgainstUpstream(t *testing.T) {
+	up := safecube.MustNew(4)
+	if err := up.FailNamed("0011"); err != nil {
+		t.Fatal(err)
+	}
+	upReg := safecube.NewRegistry()
+	upSrv, err := up.Serve(safecube.ServeOptions{QueueDepth: 8, Registry: upReg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	upTS := httptest.NewServer(newHandler(upSrv, up, upReg, handlerOpts{queueCap: 8}))
+	t.Cleanup(func() { upTS.Close(); upSrv.Close() })
+
+	down := safecube.MustNew(4)
+	reg := safecube.NewRegistry()
+	srv, err := down.Serve(safecube.ServeOptions{QueueDepth: 8, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	mon, err := monitor.New(
+		monitor.HTTPProber{URL: func(node int) string {
+			return upTS.URL + "/probe?node=" + down.Format(safecube.NodeID(node))
+		}},
+		monitor.ApplyFunc(func(_ context.Context, node int, dn bool) error {
+			if dn {
+				return srv.FailNode(safecube.NodeID(node))
+			}
+			return srv.RecoverNode(safecube.NodeID(node))
+		}),
+		monitor.Options{
+			Nodes: down.Nodes(), FailK: 2, RecoverK: 1,
+			Now: func() time.Time { return now }, Registry: reg,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newHandler(srv, down, reg, handlerOpts{queueCap: 8, mon: mon}))
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+	tick := func() monitor.TickResult {
+		now = now.Add(time.Second)
+		res := mon.Tick(context.Background())
+		srv.Flush()
+		return res
+	}
+
+	victim := down.MustParse("0011")
+	tick()
+	if res := tick(); res.Declared != 1 {
+		t.Fatalf("second sweep declared %d nodes, want 1", res.Declared)
+	}
+	if !srv.NodeFaulty(victim) {
+		t.Fatal("declaration did not land in the downstream fault set")
+	}
+	v := getJSON(t, ts.URL+"/monitor", http.StatusOK)
+	declared, _ := v["declared"].([]any)
+	if len(declared) != 1 || int(declared[0].(float64)) != int(victim) {
+		t.Fatalf("/monitor declared %v, want [%d]", declared, int(victim))
+	}
+	if v["declarations"].(float64) != 1 {
+		t.Fatalf("/monitor declarations %v, want 1", v["declarations"])
+	}
+
+	if err := upSrv.RecoverNode(up.MustParse("0011")); err != nil {
+		t.Fatal(err)
+	}
+	upSrv.Flush()
+	if res := tick(); res.Undeclared != 1 {
+		t.Fatalf("upstream recovery not mirrored: %+v", res)
+	}
+	if srv.NodeFaulty(victim) {
+		t.Fatal("downstream still marks the recovered node faulty")
 	}
 }
 

@@ -59,6 +59,19 @@ func Run(tp topo.Topology, steps int, opts Options) (*Report, error) {
 	if len(events) == 0 {
 		return nil, fmt.Errorf("chaos: empty schedule for %d steps", steps)
 	}
+	return RunEvents(tp, events, opts)
+}
+
+// RunEvents replays an explicit event schedule — a ChurnSchedule, a
+// correlated-fault ScenarioSchedule, or a monitor declaration journal —
+// with the same per-event differential Run applies: incremental repair
+// vs cold recompute bit-for-bit, Theorem-2 oracle realization, and
+// routed-path legality. Options.Churn is ignored (the schedule is
+// already fixed); Seed still drives oracle sampling and unicast draws.
+func RunEvents(tp topo.Topology, events []faults.ChurnEvent, opts Options) (*Report, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("chaos: empty event schedule")
+	}
 	set := faults.NewSet(tp)
 	prev := core.Compute(set, opts.Core)
 	gen := set.Generation()

@@ -1,0 +1,338 @@
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// Correlated-fault scenarios: deterministic seeded schedules shaped
+// like real production incidents rather than uniform random churn. Each
+// profile emits plain ChurnEvents, so a scenario replays through the
+// same paths as ChurnSchedule output — the Delta journal, incremental
+// repair, the chaos differential, the loadgen churn storm, and the
+// slload -scenario flag all consume them unchanged.
+//
+// The structure-fault work on hypercubes (subcube and dimension cuts;
+// see PAPERS.md) motivates the shapes: a whole-subcube outage models a
+// rack/enclosure loss, a dimension-wide link cut models a failed switch
+// plane, a rolling wave models an upgrade sweep, flapping models a node
+// oscillating across its health threshold, and a partition isolates a
+// subcube behind a failed boundary — the one shape that drives the
+// paper's Theorem-4 disconnected-detection path with healthy nodes on
+// both sides.
+
+// ScenarioProfile names one correlated-fault schedule shape.
+type ScenarioProfile string
+
+// The five scenario profiles. Subcube, DimCut and Partition need a
+// binary cube (their geometry is mask-based); Rolling and Flap work on
+// any topology.
+const (
+	// ScenarioSubcube fails every node of a random subcube at once, then
+	// recovers them — a rack/enclosure outage.
+	ScenarioSubcube ScenarioProfile = "subcube"
+	// ScenarioDimCut fails every link crossing one dimension, then
+	// recovers them — a switch-plane loss. With all 2^(n-1) links of a
+	// dimension down every node is in N2, so all public safety levels
+	// collapse to 0 (Section 4.1) while the cube stays node-connected
+	// through the other dimensions... until the routing layer needs that
+	// dimension, which is exactly what the chaos differential exercises.
+	ScenarioDimCut ScenarioProfile = "dimcut"
+	// ScenarioRolling takes nodes down and back up in a sliding window
+	// over a random permutation — an upgrade wave.
+	ScenarioRolling ScenarioProfile = "rolling"
+	// ScenarioFlap toggles a small victim set down/up repeatedly — the
+	// workload the monitor's flap suppression exists for.
+	ScenarioFlap ScenarioProfile = "flap"
+	// ScenarioPartition fails the full node boundary of a random subcube,
+	// disconnecting its healthy interior from the rest of the cube
+	// (Theorem 4: every safe set empty), then recovers the boundary.
+	ScenarioPartition ScenarioProfile = "partition"
+)
+
+// ScenarioProfiles returns all profiles in fixed (documentation) order.
+func ScenarioProfiles() []ScenarioProfile {
+	return []ScenarioProfile{
+		ScenarioSubcube, ScenarioDimCut, ScenarioRolling,
+		ScenarioFlap, ScenarioPartition,
+	}
+}
+
+// ParseScenarioProfile maps a -scenario flag value to its profile.
+func ParseScenarioProfile(s string) (ScenarioProfile, error) {
+	for _, p := range ScenarioProfiles() {
+		if string(p) == s {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("faults: unknown scenario profile %q (want one of subcube, dimcut, rolling, flap, partition)", s)
+}
+
+// ScenarioOptions tune schedule generation. The zero value picks
+// topology-appropriate defaults for every field.
+type ScenarioOptions struct {
+	// Waves is the number of outage/recovery cycles (0 means 2). Each
+	// wave picks fresh random victims, and ends with everything it broke
+	// recovered, so waves compose without feasibility conflicts.
+	Waves int
+	// Subdim is the dimension of the failed (subcube) or isolated
+	// (partition) subcube. 0 means dim/2; values are clamped so at least
+	// one healthy node remains outside the blast radius.
+	Subdim int
+	// FlapNodes is the flapping victim-set size (flap profile; 0 means
+	// min(dim, nodes/4), at least 1).
+	FlapNodes int
+	// FlapToggles is the number of down/up cycles per wave (flap
+	// profile; 0 means 3).
+	FlapToggles int
+	// RollWidth is the number of simultaneously-down nodes in a rolling
+	// wave (0 means 1 — the classic one-at-a-time upgrade).
+	RollWidth int
+}
+
+// ScenarioSchedule generates the deterministic event schedule for one
+// profile over topology t. The same (t, profile, seed, opts) always
+// yields the same schedule on every platform, and replaying it in order
+// from an empty Set never hits an infeasible event — the same contract
+// ChurnSchedule gives, checked here against a shadow set the same way.
+func ScenarioSchedule(t topo.Topology, profile ScenarioProfile, seed uint64, opts ScenarioOptions) ([]ChurnEvent, error) {
+	waves := opts.Waves
+	if waves <= 0 {
+		waves = 2
+	}
+	rng := stats.NewRNG(seed)
+	var events []ChurnEvent
+	var err error
+	switch profile {
+	case ScenarioSubcube:
+		events, err = subcubeSchedule(t, rng, waves, opts.Subdim, false)
+	case ScenarioDimCut:
+		events, err = dimCutSchedule(t, rng, waves)
+	case ScenarioRolling:
+		events = rollingSchedule(t, rng, waves, opts.RollWidth)
+	case ScenarioFlap:
+		events = flapSchedule(t, rng, waves, opts.FlapNodes, opts.FlapToggles)
+	case ScenarioPartition:
+		events, err = subcubeSchedule(t, rng, waves, opts.Subdim, true)
+	default:
+		return nil, fmt.Errorf("faults: unknown scenario profile %q", profile)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Feasibility check: replay against a shadow set exactly as the
+	// consumer will. A violation is a generator bug, same as in
+	// ChurnSchedule.
+	shadow := NewSet(t)
+	for _, ev := range events {
+		if err := shadow.Apply(ev); err != nil {
+			panic(fmt.Sprintf("faults: scenario %s generated infeasible event %v: %v", profile, ev, err))
+		}
+	}
+	if shadow.NodeFaults() != 0 || shadow.LinkFaults() != 0 {
+		panic(fmt.Sprintf("faults: scenario %s schedule does not end clean (%d node, %d link faults)",
+			profile, shadow.NodeFaults(), shadow.LinkFaults()))
+	}
+	return events, nil
+}
+
+// binaryCube asserts the profile's mask-based geometry has a binary
+// cube to work with.
+func binaryCube(t topo.Topology, profile ScenarioProfile) (*topo.Cube, error) {
+	c, ok := t.(*topo.Cube)
+	if !ok {
+		return nil, fmt.Errorf("faults: scenario %s requires a binary cube, got %v", profile, t)
+	}
+	return c, nil
+}
+
+// subcubeMask draws a random subdim-dimensional subcube: an anchor node
+// plus the fixed-bit mask freezing the other dim-subdim coordinates.
+// The free dimension set is drawn from a permutation so different waves
+// cut along different axes.
+func subcubeMask(c *topo.Cube, rng *stats.RNG, subdim int) (anchor topo.NodeID, fixed topo.NodeID) {
+	anchor = topo.NodeID(rng.Intn(c.Nodes()))
+	fixed = topo.NodeID(1<<uint(c.Dim())) - 1
+	for _, d := range rng.Perm(c.Dim())[:subdim] {
+		fixed &^= 1 << uint(d)
+	}
+	return anchor, fixed
+}
+
+// subcubeSchedule emits Waves cycles of either a whole-subcube node
+// outage (partition=false) or a subcube isolation that fails only the
+// boundary neighbors of the subcube (partition=true), each followed by
+// full recovery in the same order.
+func subcubeSchedule(t topo.Topology, rng *stats.RNG, waves, subdim int, partition bool) ([]ChurnEvent, error) {
+	profile := ScenarioSubcube
+	if partition {
+		profile = ScenarioPartition
+	}
+	c, err := binaryCube(t, profile)
+	if err != nil {
+		return nil, err
+	}
+	n := c.Dim()
+	if n < 2 {
+		return nil, fmt.Errorf("faults: scenario %s needs dim >= 2, got Q%d", profile, n)
+	}
+	if subdim <= 0 {
+		subdim = n / 2
+	}
+	// Clamp so the blast radius leaves healthy nodes outside: a failed
+	// or isolated subcube of dimension n-1 already takes half the cube
+	// (plus boundary, for partition), so cap at n-2 for partition and
+	// n-1 for subcube.
+	max := n - 1
+	if partition {
+		max = n - 2
+	}
+	if subdim > max {
+		subdim = max
+	}
+	if subdim < 1 {
+		subdim = 1
+	}
+	var events []ChurnEvent
+	for w := 0; w < waves; w++ {
+		anchor, fixed := subcubeMask(c, rng, subdim)
+		inside := c.SubcubeNodes(anchor, fixed)
+		var victims []topo.NodeID
+		if partition {
+			// The boundary: every neighbor of an inside node across a
+			// fixed dimension. A boundary node differs from every inside
+			// node in exactly one fixed bit, so inside and boundary never
+			// overlap; and two distinct (inside, fixed-dim) pairs always
+			// yield distinct boundary nodes (their XOR would have to lie
+			// in both the free and the fixed bit sets), so no dedup is
+			// needed.
+			for _, a := range inside {
+				for d := 0; d < n; d++ {
+					if fixed&(1<<uint(d)) != 0 {
+						victims = append(victims, c.Neighbor(a, d))
+					}
+				}
+			}
+		} else {
+			victims = inside
+		}
+		for _, a := range victims {
+			events = append(events, ChurnEvent{Kind: DeltaFailNode, A: a})
+		}
+		for _, a := range victims {
+			events = append(events, ChurnEvent{Kind: DeltaRecoverNode, A: a})
+		}
+	}
+	return events, nil
+}
+
+// dimCutSchedule emits Waves cycles that fail every link crossing one
+// dimension (2^(n-1) links), then recover them. The cut dimension walks
+// a random permutation so consecutive waves cut different planes.
+func dimCutSchedule(t topo.Topology, rng *stats.RNG, waves int) ([]ChurnEvent, error) {
+	c, err := binaryCube(t, ScenarioDimCut)
+	if err != nil {
+		return nil, err
+	}
+	n := c.Dim()
+	perm := rng.Perm(n)
+	var events []ChurnEvent
+	for w := 0; w < waves; w++ {
+		d := perm[w%n]
+		cut := DimensionLinks(c, d)
+		for _, l := range cut {
+			events = append(events, ChurnEvent{Kind: DeltaFailLink, A: l.A, B: l.B})
+		}
+		for _, l := range cut {
+			events = append(events, ChurnEvent{Kind: DeltaRecoverLink, A: l.A, B: l.B})
+		}
+	}
+	return events, nil
+}
+
+// DimensionLinks returns every link of the cube crossing dimension d,
+// normalized and in ascending order of the low endpoint. The dimcut
+// scenario and the Theorem-4 tests share this enumeration.
+func DimensionLinks(c *topo.Cube, d int) []Link {
+	out := make([]Link, 0, c.Nodes()/2)
+	for a := 0; a < c.Nodes(); a++ {
+		if a&(1<<uint(d)) == 0 {
+			out = append(out, Link{topo.NodeID(a), topo.NodeID(a) | 1<<uint(d)})
+		}
+	}
+	return out
+}
+
+// rollingSchedule emits Waves upgrade sweeps: a random permutation of
+// all nodes, taken down and brought back in a sliding window of width
+// RollWidth, so at most RollWidth nodes are ever down at once and every
+// node cycles exactly once per wave.
+func rollingSchedule(t topo.Topology, rng *stats.RNG, waves, width int) []ChurnEvent {
+	if width <= 0 {
+		width = 1
+	}
+	nodes := t.Nodes()
+	if width > nodes-2 {
+		// Keep at least two nodes up so routing endpoints always exist
+		// (degenerate tiny cubes still roll one node at a time).
+		width = nodes - 2
+		if width < 1 {
+			width = 1
+		}
+	}
+	var events []ChurnEvent
+	for w := 0; w < waves; w++ {
+		perm := rng.Perm(nodes)
+		for i, a := range perm {
+			events = append(events, ChurnEvent{Kind: DeltaFailNode, A: topo.NodeID(a)})
+			if i >= width-1 {
+				events = append(events, ChurnEvent{Kind: DeltaRecoverNode, A: topo.NodeID(perm[i-width+1])})
+			}
+		}
+		for i := nodes - width + 1; i < nodes; i++ {
+			events = append(events, ChurnEvent{Kind: DeltaRecoverNode, A: topo.NodeID(perm[i])})
+		}
+	}
+	return events
+}
+
+// flapSchedule emits Waves bursts in which a small random victim set
+// toggles down/up FlapToggles times in quick succession — each toggle
+// is one full fail/recover cycle per victim, interleaved round-robin so
+// several nodes flap concurrently the way a bad rack does.
+func flapSchedule(t topo.Topology, rng *stats.RNG, waves, flapNodes, toggles int) []ChurnEvent {
+	nodes := t.Nodes()
+	if flapNodes <= 0 {
+		flapNodes = t.Dim()
+		if q := nodes / 4; flapNodes > q {
+			flapNodes = q
+		}
+		if flapNodes < 1 {
+			flapNodes = 1
+		}
+	}
+	if flapNodes > nodes-2 {
+		flapNodes = nodes - 2
+		if flapNodes < 1 {
+			flapNodes = 1
+		}
+	}
+	if toggles <= 0 {
+		toggles = 3
+	}
+	var events []ChurnEvent
+	for w := 0; w < waves; w++ {
+		victims := rng.Sample(nodes, flapNodes)
+		for c := 0; c < toggles; c++ {
+			for _, v := range victims {
+				events = append(events, ChurnEvent{Kind: DeltaFailNode, A: topo.NodeID(v)})
+			}
+			for _, v := range victims {
+				events = append(events, ChurnEvent{Kind: DeltaRecoverNode, A: topo.NodeID(v)})
+			}
+		}
+	}
+	return events
+}

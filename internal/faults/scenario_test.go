@@ -1,0 +1,300 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+// replayScenario applies the schedule to a fresh set, tracking the peak
+// node- and link-fault populations and whether the set was ever
+// disconnected among the healthy nodes.
+func replayScenario(t *testing.T, c topo.Topology, events []ChurnEvent) (peakNodes, peakLinks int, sawDisconnect bool) {
+	t.Helper()
+	s := NewSet(c)
+	for _, ev := range events {
+		if err := s.Apply(ev); err != nil {
+			t.Fatalf("infeasible event %v: %v", ev, err)
+		}
+		if n := s.NodeFaults(); n > peakNodes {
+			peakNodes = n
+		}
+		if l := s.LinkFaults(); l > peakLinks {
+			peakLinks = l
+		}
+		if !Connected(s) {
+			sawDisconnect = true
+		}
+	}
+	if s.NodeFaults() != 0 || s.LinkFaults() != 0 {
+		t.Fatalf("schedule does not end clean: %d node, %d link faults", s.NodeFaults(), s.LinkFaults())
+	}
+	return peakNodes, peakLinks, sawDisconnect
+}
+
+func TestScenarioScheduleDeterministic(t *testing.T) {
+	c := topo.MustCube(5)
+	for _, p := range ScenarioProfiles() {
+		a, err := ScenarioSchedule(c, p, 42, ScenarioOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		b, err := ScenarioSchedule(c, p, 42, ScenarioOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed produced different schedules", p)
+		}
+		d, err := ScenarioSchedule(c, p, 43, ScenarioOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if reflect.DeepEqual(a, d) {
+			t.Errorf("%s: different seeds produced identical schedules", p)
+		}
+		if len(a) == 0 {
+			t.Errorf("%s: empty schedule", p)
+		}
+	}
+}
+
+func TestScenarioSubcubeShape(t *testing.T) {
+	c := topo.MustCube(5)
+	events, err := ScenarioSchedule(c, ScenarioSubcube, 7, ScenarioOptions{Waves: 3, Subdim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 waves x (4 fails + 4 recovers) for a 2-subcube.
+	if len(events) != 3*8 {
+		t.Fatalf("len(events) = %d, want 24", len(events))
+	}
+	peakNodes, peakLinks, _ := replayScenario(t, c, events)
+	if peakNodes != 4 {
+		t.Errorf("peak node faults = %d, want 4 (one whole 2-subcube)", peakNodes)
+	}
+	if peakLinks != 0 {
+		t.Errorf("peak link faults = %d, want 0", peakLinks)
+	}
+	// The first wave's victims must form a subcube: all pairwise XORs
+	// confined to the same 2 dimensions.
+	var mask topo.NodeID
+	first := events[0].A
+	for _, ev := range events[:4] {
+		if ev.Kind != DeltaFailNode {
+			t.Fatalf("event %v: want fail-node in first wave", ev)
+		}
+		mask |= ev.A ^ first
+	}
+	if on := popcount(uint32(mask)); on != 2 {
+		t.Errorf("first-wave victims span %d dimensions (mask %05b), want 2", on, mask)
+	}
+}
+
+func popcount(x uint32) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+func TestScenarioDimCutShape(t *testing.T) {
+	c := topo.MustCube(4)
+	events, err := ScenarioSchedule(c, ScenarioDimCut, 11, ScenarioOptions{Waves: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each wave: 2^(n-1) = 8 link fails + 8 recovers.
+	if len(events) != 2*16 {
+		t.Fatalf("len(events) = %d, want 32", len(events))
+	}
+	peakNodes, peakLinks, _ := replayScenario(t, c, events)
+	if peakNodes != 0 || peakLinks != 8 {
+		t.Errorf("peaks = (%d nodes, %d links), want (0, 8)", peakNodes, peakLinks)
+	}
+	// All first-wave links must cross the same dimension and cover it.
+	d := Link{events[0].A, events[0].B}.Dimension()
+	if d < 0 {
+		t.Fatalf("first event %v is not a cube link", events[0])
+	}
+	seen := map[Link]bool{}
+	for _, ev := range events[:8] {
+		if ev.Kind != DeltaFailLink {
+			t.Fatalf("event %v: want fail-link in first wave", ev)
+		}
+		l := Link{ev.A, ev.B}
+		if l.Dimension() != d {
+			t.Errorf("link %v crosses dim %d, want %d", l, l.Dimension(), d)
+		}
+		seen[l.Normalize()] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("first wave covers %d distinct links, want all 8 of dimension %d", len(seen), d)
+	}
+	// Consecutive waves cut different dimensions (the permutation walk).
+	d2 := Link{events[16].A, events[16].B}.Dimension()
+	if d2 == d {
+		t.Errorf("both waves cut dimension %d; want distinct dims", d)
+	}
+}
+
+func TestDimensionLinks(t *testing.T) {
+	c := topo.MustCube(4)
+	for d := 0; d < 4; d++ {
+		links := DimensionLinks(c, d)
+		if len(links) != 8 {
+			t.Fatalf("dim %d: %d links, want 8", d, len(links))
+		}
+		for _, l := range links {
+			if l.Dimension() != d {
+				t.Errorf("link %v reports dim %d, want %d", l, l.Dimension(), d)
+			}
+			if l.A > l.B {
+				t.Errorf("link %v not normalized", l)
+			}
+		}
+	}
+}
+
+func TestScenarioRollingShape(t *testing.T) {
+	c := topo.MustCube(4)
+	for _, width := range []int{1, 3} {
+		events, err := ScenarioSchedule(c, ScenarioRolling, 5, ScenarioOptions{Waves: 1, RollWidth: width})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every node fails exactly once and recovers exactly once.
+		if len(events) != 2*c.Nodes() {
+			t.Fatalf("width %d: len(events) = %d, want %d", width, len(events), 2*c.Nodes())
+		}
+		peakNodes, _, _ := replayScenario(t, c, events)
+		if peakNodes != width {
+			t.Errorf("width %d: peak simultaneous faults = %d, want %d", width, peakNodes, width)
+		}
+		failed := map[topo.NodeID]int{}
+		for _, ev := range events {
+			if ev.Kind == DeltaFailNode {
+				failed[ev.A]++
+			}
+		}
+		if len(failed) != c.Nodes() {
+			t.Errorf("width %d: wave visited %d nodes, want all %d", width, len(failed), c.Nodes())
+		}
+	}
+}
+
+func TestScenarioFlapShape(t *testing.T) {
+	c := topo.MustCube(4)
+	events, err := ScenarioSchedule(c, ScenarioFlap, 9, ScenarioOptions{Waves: 1, FlapNodes: 2, FlapToggles: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 victims x 4 toggles x (fail + recover).
+	if len(events) != 16 {
+		t.Fatalf("len(events) = %d, want 16", len(events))
+	}
+	peakNodes, _, _ := replayScenario(t, c, events)
+	if peakNodes != 2 {
+		t.Errorf("peak node faults = %d, want 2", peakNodes)
+	}
+	toggles := map[topo.NodeID]int{}
+	for _, ev := range events {
+		if ev.Kind == DeltaFailNode {
+			toggles[ev.A]++
+		}
+	}
+	if len(toggles) != 2 {
+		t.Fatalf("flapping victim set has %d nodes, want 2", len(toggles))
+	}
+	for a, n := range toggles {
+		if n != 4 {
+			t.Errorf("node %d flapped %d times, want 4", a, n)
+		}
+	}
+}
+
+func TestScenarioPartitionDisconnects(t *testing.T) {
+	c := topo.MustCube(5)
+	events, err := ScenarioSchedule(c, ScenarioPartition, 3, ScenarioOptions{Waves: 2, Subdim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, sawDisconnect := replayScenario(t, c, events)
+	if !sawDisconnect {
+		t.Error("partition scenario never disconnected the healthy nodes (Theorem-4 path not exercised)")
+	}
+	// Mid-wave (all boundary nodes down, interior healthy): verify the
+	// isolated interior is intact. Boundary of a 2-subcube in Q5 is
+	// 3 fixed dims x 4 inside nodes = 12 nodes; wave 1 is events[:24].
+	s := NewSet(c)
+	for _, ev := range events[:12] {
+		if err := s.Apply(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.NodeFaults() != 12 {
+		t.Fatalf("mid-wave node faults = %d, want 12", s.NodeFaults())
+	}
+	if Connected(s) {
+		t.Error("boundary fully down but healthy nodes still connected")
+	}
+}
+
+func TestScenarioRejectsBadInput(t *testing.T) {
+	if _, err := ParseScenarioProfile("meteor"); err == nil {
+		t.Error("ParseScenarioProfile should reject unknown names")
+	}
+	for _, p := range ScenarioProfiles() {
+		got, err := ParseScenarioProfile(string(p))
+		if err != nil || got != p {
+			t.Errorf("ParseScenarioProfile(%q) = %v, %v", p, got, err)
+		}
+	}
+	c := topo.MustCube(4)
+	if _, err := ScenarioSchedule(c, ScenarioProfile("meteor"), 1, ScenarioOptions{}); err == nil {
+		t.Error("ScenarioSchedule should reject unknown profiles")
+	}
+	// Mask-geometry profiles need a binary cube.
+	m, err := topo.NewMixed([]int{3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []ScenarioProfile{ScenarioSubcube, ScenarioDimCut, ScenarioPartition} {
+		if _, err := ScenarioSchedule(m, p, 1, ScenarioOptions{}); err == nil {
+			t.Errorf("%s over a mixed-radix topology should error", p)
+		}
+	}
+	// Rolling and flap are topology-generic.
+	for _, p := range []ScenarioProfile{ScenarioRolling, ScenarioFlap} {
+		events, err := ScenarioSchedule(m, p, 1, ScenarioOptions{Waves: 1})
+		if err != nil {
+			t.Errorf("%s over a mixed-radix topology: %v", p, err)
+		}
+		replayScenario(t, m, events)
+	}
+}
+
+func TestScenarioSubdimClamped(t *testing.T) {
+	c := topo.MustCube(3)
+	// Subdim far too large: subcube clamps to n-1, partition to n-2, and
+	// both must still leave healthy nodes and end clean.
+	events, err := ScenarioSchedule(c, ScenarioSubcube, 1, ScenarioOptions{Waves: 1, Subdim: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, _, _ := replayScenario(t, c, events)
+	if peak != 4 {
+		t.Errorf("subcube peak = %d, want 4 (clamped to a 2-subcube of Q3)", peak)
+	}
+	events, err = ScenarioSchedule(c, ScenarioPartition, 1, ScenarioOptions{Waves: 1, Subdim: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, _, _ = replayScenario(t, c, events)
+	// Partition clamps to a 1-subcube: 2 inside nodes x 2 fixed dims.
+	if peak != 4 {
+		t.Errorf("partition peak = %d, want 4 boundary nodes", peak)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/stats"
@@ -56,6 +57,11 @@ type Target interface {
 	// Fault reports node a as failed (down) or recovered (!down) —
 	// the churn-storm injection path.
 	Fault(ctx context.Context, a int, down bool) error
+	// ApplyEvent drives one scheduled churn event — node or link, fail
+	// or recover — through the same injection path as Fault. This is
+	// the scenario-replay surface: a seeded faults.ScenarioSchedule
+	// replays identically against both targets.
+	ApplyEvent(ctx context.Context, ev faults.ChurnEvent) error
 }
 
 // Mix weights the request kinds. Zero weights drop the kind; the zero
@@ -98,10 +104,22 @@ type Config struct {
 	BatchSize int
 	// ChurnEvery enables the churn storm: every interval, one victim
 	// node is toggled between failed and recovered through
-	// Target.Fault. 0 disables. ChurnVictims bounds the rotating
-	// victim set (default 8).
+	// Target.Fault. 0 disables (unless Schedule is set). ChurnVictims
+	// bounds the rotating victim set (default 8).
 	ChurnEvery   time.Duration
 	ChurnVictims int
+	// Schedule, when non-empty, replaces the rotating-victim storm with
+	// an externally supplied event sequence (e.g. a seeded
+	// faults.ScenarioSchedule): one event replays through
+	// Target.ApplyEvent per ChurnEvery tick, in order, stopping when
+	// the schedule is exhausted; events still pending when the run
+	// window closes apply unpaced so the target always reaches the
+	// schedule's final state. With ChurnEvery 0 the schedule is
+	// spread evenly across warmup+duration so the last event lands
+	// before the window closes. Scenario labels the schedule in the
+	// report; the events themselves stay out of the JSON.
+	Schedule []faults.ChurnEvent `json:"-"`
+	Scenario string              `json:",omitempty"`
 }
 
 // LatencyReport is the HDR-style digest of one latency population:
@@ -223,7 +241,42 @@ func Run(t Target, cfg Config) *Report {
 	stopChurn := make(chan struct{})
 	var churnWg sync.WaitGroup
 	var churnEvents, churnErrors atomic.Int64
-	if cfg.ChurnEvery > 0 {
+	if len(cfg.Schedule) > 0 {
+		// Scenario replay: the schedule is the storm. Pacing defaults
+		// to an even spread over the whole run so the final recovery
+		// wave lands inside the measured window.
+		every := cfg.ChurnEvery
+		if every <= 0 {
+			every = (cfg.Warmup + cfg.Duration) / time.Duration(len(cfg.Schedule)+1)
+			if every <= 0 {
+				every = time.Millisecond
+			}
+		}
+		churnWg.Add(1)
+		go func() {
+			defer churnWg.Done()
+			tick := time.NewTicker(every)
+			defer tick.Stop()
+			for _, ev := range cfg.Schedule {
+				select {
+				case <-stopChurn:
+					// The window closed first: drain the rest unpaced so
+					// the target still ends in the schedule's final
+					// (ends-clean) state instead of keeping residual
+					// faults a later run would inherit.
+				case <-tick.C:
+				}
+				// A failed apply (backlog, transport) is counted and the
+				// event dropped; later events may then be no-ops against
+				// the target's set, which the apply path tolerates.
+				if err := t.ApplyEvent(context.Background(), ev); err != nil {
+					churnErrors.Add(1)
+					continue
+				}
+				churnEvents.Add(1)
+			}
+		}()
+	} else if cfg.ChurnEvery > 0 {
 		victims := cfg.ChurnVictims
 		if victims <= 0 {
 			victims = 8

@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -155,6 +156,102 @@ func TestHTTPTargetMapping(t *testing.T) {
 	}
 	if lastURL != "/fault?a=3&op=fail-node" {
 		t.Fatalf("fault URL %q", lastURL)
+	}
+}
+
+// TestScheduleReplayLocal: a seeded scenario schedule replays in full
+// through the local target's TryApply path, every event lands, and the
+// ends-clean invariant leaves the served fault set empty again.
+func TestScheduleReplayLocal(t *testing.T) {
+	tgt := newLocal(t, serve.Options{QueueDepth: 256})
+	sched, err := faults.ScenarioSchedule(tgt.Svc.Topology(), faults.ScenarioSubcube, 42, faults.ScenarioOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen0 := tgt.Svc.Generation()
+	rep := Run(tgt, Config{
+		Seed:       9,
+		Workers:    2,
+		Duration:   200 * time.Millisecond,
+		ChurnEvery: 2 * time.Millisecond,
+		Schedule:   sched,
+		Scenario:   string(faults.ScenarioSubcube),
+	})
+	if rep.ChurnEvents != int64(len(sched)) {
+		t.Fatalf("replayed %d/%d events (errors %d)", rep.ChurnEvents, len(sched), rep.ChurnErrors)
+	}
+	if rep.ChurnErrors != 0 {
+		t.Fatalf("%d schedule events failed to apply", rep.ChurnErrors)
+	}
+	tgt.Svc.Flush()
+	if tgt.Svc.Generation() == gen0 {
+		t.Fatal("generation never advanced despite schedule replay")
+	}
+	if rep.Config.Scenario != "subcube" {
+		t.Fatalf("report scenario %q", rep.Config.Scenario)
+	}
+	// Scenario schedules end clean: a fresh replay against ground truth
+	// confirms the run left no residual faults behind.
+	set := faults.NewSet(tgt.Svc.Topology())
+	for _, ev := range sched {
+		if err := set.Apply(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if set.NodeFaults() != 0 || set.LinkFaults() != 0 {
+		t.Fatalf("schedule not ends-clean: %d node / %d link faults", set.NodeFaults(), set.LinkFaults())
+	}
+}
+
+// TestScheduleReplayHTTP: the same event vocabulary reaches a remote
+// slserve as /fault queries — node events carry op+a, link events add
+// b — in exact schedule order.
+func TestScheduleReplayHTTP(t *testing.T) {
+	var mu sync.Mutex
+	var faultURLs []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/fault" {
+			mu.Lock()
+			faultURLs = append(faultURLs, r.URL.String())
+			mu.Unlock()
+			w.WriteHeader(http.StatusAccepted)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	sched := []faults.ChurnEvent{
+		{Kind: faults.DeltaFailNode, A: 3},
+		{Kind: faults.DeltaFailLink, A: 0, B: 8},
+		{Kind: faults.DeltaRecoverLink, A: 0, B: 8},
+		{Kind: faults.DeltaRecoverNode, A: 3},
+	}
+	tgt := HTTPTarget{Base: srv.URL, N: 16}
+	rep := Run(tgt, Config{
+		Workers:    1,
+		Duration:   120 * time.Millisecond,
+		ChurnEvery: 2 * time.Millisecond,
+		Schedule:   sched,
+	})
+	if rep.ChurnEvents != int64(len(sched)) || rep.ChurnErrors != 0 {
+		t.Fatalf("replayed %d/%d events, %d errors", rep.ChurnEvents, len(sched), rep.ChurnErrors)
+	}
+	want := []string{
+		"/fault?a=3&op=fail-node",
+		"/fault?a=0&b=8&op=fail-link",
+		"/fault?a=0&b=8&op=recover-link",
+		"/fault?a=3&op=recover-node",
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(faultURLs) != len(want) {
+		t.Fatalf("fault URLs %v, want %v", faultURLs, want)
+	}
+	for i, u := range want {
+		if faultURLs[i] != u {
+			t.Fatalf("fault URL %d = %q, want %q", i, faultURLs[i], u)
+		}
 	}
 }
 

@@ -56,6 +56,10 @@ func (l LocalTarget) Fault(_ context.Context, a int, down bool) error {
 	return l.Svc.TryApply(ev)
 }
 
+func (l LocalTarget) ApplyEvent(_ context.Context, ev faults.ChurnEvent) error {
+	return l.Svc.TryApply(ev)
+}
+
 // HTTPTarget drives a remote slserve over its HTTP endpoints,
 // translating the server's status-code taxonomy back into the
 // canonical errors so Classify works identically for both targets.
@@ -147,4 +151,14 @@ func (h HTTPTarget) Fault(ctx context.Context, a int, down bool) error {
 		op = "fail-node"
 	}
 	return h.get(ctx, "/fault", url.Values{"op": {op}, "a": {h.fmtNode(a)}})
+}
+
+func (h HTTPTarget) ApplyEvent(ctx context.Context, ev faults.ChurnEvent) error {
+	// DeltaKind.String is exactly the slserve op vocabulary: fail-node,
+	// recover-node, fail-link, recover-link.
+	q := url.Values{"op": {ev.Kind.String()}, "a": {h.fmtNode(int(ev.A))}}
+	if ev.Kind == faults.DeltaFailLink || ev.Kind == faults.DeltaRecoverLink {
+		q.Set("b", h.fmtNode(int(ev.B)))
+	}
+	return h.get(ctx, "/fault", q)
 }

@@ -1,0 +1,27 @@
+// Package monitor closes the probe -> declare -> repair loop the paper
+// leaves out: the safety-level machinery (Definition 1, Section 2)
+// assumes fault status is simply known, but a real system has to
+// *detect* faults, declare them into the fault journal, and un-declare
+// them on recovery without thrashing the repair applier.
+//
+// The Monitor sweeps every node with a pluggable Prober — the ground
+// truth of a test harness, the simnet exchange path (a self-unicast
+// through a node's real inbox), or an HTTP /probe endpoint — and runs a
+// small per-node state machine:
+//
+//	Healthy --k misses--> Declared --j hits--> Healthy
+//	                       |    ^
+//	                       flap suppression (declared FlapMax times
+//	                       within FlapWindow => recovery additionally
+//	                       requires FlapHold of stable health)
+//
+// A declaration drives an Applier (the same surface as the serving
+// engine's /fault apply path), so the router starts detouring around
+// the node as soon as the declaration lands; un-declaration restores
+// it. Both transitions append to a journal of faults.ChurnEvents whose
+// replay is idempotent against ground-truth injection — the property
+// the chaos harness leans on.
+//
+// Time is injected (Options.Now), so every state-machine test runs on a
+// fake clock with explicit Tick calls: no wall-clock sleeps anywhere.
+package monitor

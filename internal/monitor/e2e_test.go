@@ -1,0 +1,186 @@
+package monitor_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/loadgen"
+	"repro/internal/monitor"
+	"repro/internal/serve"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+)
+
+// TestMonitorServeEndToEnd closes the full loop with deterministic
+// seeds and zero wall-clock sleeps: ground-truth faults are injected,
+// the monitor detects them after FailK missed probes, declares them
+// through the serving engine's apply path (a loadgen.LocalTarget — the
+// exact structural surface slserve's /fault uses), the router detours
+// around the declared nodes, and recovery un-declares them after the
+// hysteresis streak, restoring the optimal route.
+func TestMonitorServeEndToEnd(t *testing.T) {
+	c := topo.MustCube(4)
+	truth := faults.NewSet(c)
+	svc, err := serve.New(faults.NewSet(c), serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	applier := loadgen.LocalTarget{Svc: svc}
+
+	now := time.Unix(1_700_000_000, 0)
+	mon, err := monitor.New(monitor.SetProber{Set: truth}, applier, monitor.Options{
+		Nodes: c.Nodes(), FailK: 3, RecoverK: 2,
+		Now: func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick := func() monitor.TickResult {
+		now = now.Add(time.Second)
+		res := mon.Tick(context.Background())
+		// The LocalTarget applies through the async coalescing applier;
+		// Flush publishes everything the sweep declared before we route.
+		svc.Flush()
+		return res
+	}
+
+	ctx := context.Background()
+	src, dst := c.MustParse("0000"), c.MustParse("0011")
+	r, err := svc.RouteCtx(ctx, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Outcome != core.Optimal || r.Len() != 2 {
+		t.Fatalf("healthy route: outcome %v len %d, want optimal 2", r.Outcome, r.Len())
+	}
+
+	// Kill both minimal intermediates (0001, 0010) in ground truth: the
+	// only minimal s->d paths run through them, so once the monitor has
+	// declared both, delivery requires a spare-dimension detour.
+	victims := c.MustParseAll("0001", "0010")
+	for _, v := range victims {
+		if err := truth.FailNode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if res := tick(); res.Declared != 0 {
+			t.Fatalf("sweep %d: declared %d nodes before the FailK streak", i, res.Declared)
+		}
+	}
+	if res := tick(); res.Declared != 2 {
+		t.Fatalf("third sweep: declared %d nodes, want 2", res.Declared)
+	}
+	if gen := svc.Current().Generation(); gen != 2 {
+		t.Fatalf("served snapshot at generation %d, want 2 (both declarations applied)", gen)
+	}
+
+	r, err = svc.RouteCtx(ctx, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Outcome != core.Suboptimal || r.Len() != 4 {
+		t.Fatalf("detour route: outcome %v len %d, want suboptimal 4 (H+2)", r.Outcome, r.Len())
+	}
+	for _, hop := range r.Path {
+		if hop == victims[0] || hop == victims[1] {
+			t.Fatalf("detour path %v crosses a declared-faulty node", r.Path)
+		}
+	}
+
+	// Ground truth recovers; hysteresis holds for one healthy sweep,
+	// then the second un-declares both and the optimal route returns.
+	for _, v := range victims {
+		if err := truth.RecoverNode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res := tick(); res.Undeclared != 0 {
+		t.Fatal("un-declared after a single healthy probe (no hysteresis)")
+	}
+	if res := tick(); res.Undeclared != 2 {
+		t.Fatal("second healthy sweep did not un-declare both nodes")
+	}
+	r, err = svc.RouteCtx(ctx, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Outcome != core.Optimal || r.Len() != 2 {
+		t.Fatalf("post-recovery route: outcome %v len %d, want optimal 2", r.Outcome, r.Len())
+	}
+
+	// The journal is exactly the two declarations and two recoveries.
+	j := mon.Journal()
+	if len(j) != 4 {
+		t.Fatalf("journal %v, want 4 events", j)
+	}
+	replay := faults.NewSet(c)
+	for _, ev := range j {
+		if err := replay.Apply(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if replay.NodeFaults() != 0 {
+		t.Fatalf("journal replay leaves %d faults, want 0", replay.NodeFaults())
+	}
+}
+
+// TestMonitorEngineProber runs the monitor against the message-passing
+// engine: probes are real self-unicasts through each node's inbox, so a
+// killed node misses and a revived one answers — the in-process
+// "exchange path" probe of the issue, with no sleeps (the engine's
+// unicasts are synchronous).
+func TestMonitorEngineProber(t *testing.T) {
+	c := topo.MustCube(3)
+	set := faults.NewSet(c)
+	eng := simnet.New(set)
+	defer eng.Close()
+
+	declared := faults.NewSet(c)
+	now := time.Unix(0, 0)
+	mon, err := monitor.New(monitor.EngineProber{Eng: eng}, monitor.ApplyFunc(
+		func(_ context.Context, node int, down bool) error {
+			if down {
+				return declared.FailNode(topo.NodeID(node))
+			}
+			return declared.RecoverNode(topo.NodeID(node))
+		}), monitor.Options{
+		Nodes: c.Nodes(), FailK: 2, RecoverK: 1,
+		Now: func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick := func() monitor.TickResult {
+		now = now.Add(time.Second)
+		return mon.Tick(context.Background())
+	}
+
+	if res := tick(); res.Misses != 0 {
+		t.Fatalf("all-alive engine sweep missed %d probes", res.Misses)
+	}
+	victim := c.MustParse("101")
+	if err := eng.KillNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	tick()
+	if res := tick(); res.Declared != 1 {
+		t.Fatalf("killed node not declared after FailK sweeps: %+v", res)
+	}
+	if !declared.NodeFaulty(victim) {
+		t.Fatal("declaration did not reach the applier")
+	}
+	if err := eng.ReviveNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	if res := tick(); res.Undeclared != 1 {
+		t.Fatalf("revived node not un-declared: %+v", res)
+	}
+	if declared.NodeFaulty(victim) {
+		t.Fatal("applier still shows the node faulty")
+	}
+}

@@ -1,0 +1,92 @@
+package monitor
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+)
+
+// SetProber probes a ground-truth fault set directly: a faulty node
+// misses, a healthy one answers. This is the harness prober — the
+// injected truth the monitor's declarations are verified against. Mu,
+// when set, guards Set against a concurrently mutating injector.
+type SetProber struct {
+	Set *faults.Set
+	Mu  *sync.Mutex
+}
+
+// Probe implements Prober.
+func (p SetProber) Probe(_ context.Context, node int) error {
+	if p.Mu != nil {
+		p.Mu.Lock()
+		defer p.Mu.Unlock()
+	}
+	if p.Set.NodeFaulty(topo.NodeID(node)) {
+		return fmt.Errorf("monitor: node %d down", node)
+	}
+	return nil
+}
+
+// EngineProber probes through the simnet exchange path: a self-unicast
+// puts a real message through the node's inbox and back, so the probe
+// exercises the same goroutine and channels that carry traffic. A dead
+// node fails immediately at injection (the engine refuses a faulty
+// source); a wedged one would fail to echo.
+//
+// Engine methods are only safe between phases, so the caller must not
+// run concurrent unicasts on the same engine during a sweep — the
+// monitor's serialized Tick respects that by construction.
+type EngineProber struct {
+	Eng *simnet.Engine
+}
+
+// Probe implements Prober.
+func (p EngineProber) Probe(_ context.Context, node int) error {
+	res := p.Eng.Unicast(topo.NodeID(node), topo.NodeID(node))
+	if res.Err != nil {
+		return res.Err
+	}
+	if res.Outcome == core.Failure {
+		return fmt.Errorf("monitor: probe of node %d not delivered", node)
+	}
+	return nil
+}
+
+// HTTPProber probes a remote server's per-node health endpoint
+// (slserve's /probe): any 2xx answer is healthy, anything else — a
+// non-2xx status, a transport error, a context timeout — is a miss.
+type HTTPProber struct {
+	// URL renders the probe URL for a node.
+	URL func(node int) string
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+}
+
+// Probe implements Prober.
+func (p HTTPProber) Probe(ctx context.Context, node int) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.URL(node), nil)
+	if err != nil {
+		return err
+	}
+	client := p.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("monitor: probe of node %d: %s", node, resp.Status)
+	}
+	return nil
+}

@@ -79,8 +79,8 @@ func (k *ReqKind) UnmarshalText(b []byte) error {
 }
 
 // ErrClass buckets the serving-path error a request resolved with.
-// ErrClassNone means the request was served (its route may still have
-// failed at admission — that is OutcomeFailure, not an error class).
+// ErrClassNone means the request was served; a route the safety-level
+// admission refused carries OutcomeFailure plus ErrClassUnreachable.
 type ErrClass uint8
 
 const (
@@ -101,6 +101,13 @@ const (
 	// ErrClassOther: a transport anomaly (core.Route.Err) or an
 	// unclassified error.
 	ErrClassOther
+	// ErrClassUnreachable: the router refused the pair at admission —
+	// no safe route exists under the current fault state (the paper's
+	// Theorem-4 disconnected-detection surface). Distinct from
+	// ErrClassOther so a partition reads as "unreachable", not as a
+	// generic transport anomaly. Must stay within the record format's
+	// 4-bit error field (15 max).
+	ErrClassUnreachable
 )
 
 // String names the error class ("" for none, matching omitempty).
@@ -122,6 +129,8 @@ func (e ErrClass) String() string {
 		return "torn"
 	case ErrClassOther:
 		return "other"
+	case ErrClassUnreachable:
+		return "unreachable"
 	default:
 		return fmt.Sprintf("err(%d)", int(e))
 	}
@@ -149,6 +158,8 @@ func (e *ErrClass) UnmarshalText(b []byte) error {
 		*e = ErrClassTorn
 	case "other":
 		*e = ErrClassOther
+	case "unreachable":
+		*e = ErrClassUnreachable
 	default:
 		return fmt.Errorf("obs: unknown error class %q", b)
 	}
@@ -428,10 +439,10 @@ const flightShards = 8
 const defaultPromoteGapUS = 1000
 
 // Anomaly classes for the promotion throttle: one slot per error class
-// (ErrClassOverload..ErrClassOther), then route-failure, non-minimal
-// and slow.
+// (ErrClassOverload..ErrClassUnreachable), then route-failure,
+// non-minimal and slow.
 const (
-	classFailure = iota + int(ErrClassOther) // error classes occupy 0..Other-1
+	classFailure = iota + int(ErrClassUnreachable) // error classes occupy 0..Unreachable-1
 	classNonMinimal
 	classSlow
 	numAnomalyClasses

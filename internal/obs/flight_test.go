@@ -72,7 +72,7 @@ func TestFlightEnumText(t *testing.T) {
 			t.Errorf("kind %q: round trip gave %v, %v", b, back, err)
 		}
 	}
-	for e := ErrClassNone; e <= ErrClassOther; e++ {
+	for e := ErrClassNone; e <= ErrClassUnreachable; e++ {
 		b, _ := e.MarshalText()
 		var back ErrClass
 		if err := back.UnmarshalText(b); err != nil || back != e {
@@ -109,6 +109,7 @@ func TestFlightAnomaly(t *testing.T) {
 		{FlightRecord{Kind: ReqRoute, Outcome: OutcomeOptimal, Hamming: 3, Hops: 3}, ""},
 		{FlightRecord{Kind: ReqRoute, Err: ErrClassOverload}, "error:overload"},
 		{FlightRecord{Kind: ReqRoute, Err: ErrClassTorn, Outcome: OutcomeFailure}, "error:torn"},
+		{FlightRecord{Kind: ReqRoute, Err: ErrClassUnreachable, Outcome: OutcomeFailure}, "error:unreachable"},
 		{FlightRecord{Kind: ReqRoute, Outcome: OutcomeFailure, Hamming: 3}, "route-failure"},
 		{FlightRecord{Kind: ReqRoute, Outcome: OutcomeSuboptimal, Hamming: 3, Hops: 5, Detours: 1}, "non-minimal"},
 		{FlightRecord{Kind: ReqRoute, Outcome: OutcomeOptimal, Hamming: 3, Hops: 4}, "non-minimal"},

@@ -28,6 +28,7 @@ const (
 	MetricLatencyHTTPRouteAll = "latency_http_routeall_us"
 	MetricLatencyHTTPFault    = "latency_http_fault_us"
 	MetricLatencyHTTPHealthz  = "latency_http_healthz_us"
+	MetricLatencyHTTPProbe    = "latency_http_probe_us"
 )
 
 // LatencyBuckets are log-spaced (1-2-5 per decade) microsecond bounds

@@ -245,6 +245,16 @@ const (
 	MetricServeSnapshotAgeUs = "serve_snapshot_age_us"
 	MetricServeRepairLag     = "serve_repair_lag_gens"
 	MetricServeQueueHWM      = "serve_apply_queue_hwm"
+	// Self-healing monitor metrics (internal/monitor): probe sweep
+	// outcomes, fault declarations driven through the apply path, and
+	// flap-suppression activity.
+	MetricMonitorProbesTotal     = "monitor_probes_total"
+	MetricMonitorMissesTotal     = "monitor_probe_misses_total"
+	MetricMonitorDeclaredTotal   = "monitor_declared_total"
+	MetricMonitorUndeclaredTotal = "monitor_undeclared_total"
+	MetricMonitorFlapSuppressed  = "monitor_flap_suppressions_total"
+	MetricMonitorApplyErrors     = "monitor_apply_errors_total"
+	MetricMonitorDeclaredNodes   = "monitor_declared_nodes"
 )
 
 // RouteObserver builds (or rebuilds) an observer bound to the registry,

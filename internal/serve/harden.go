@@ -209,6 +209,12 @@ func (s *Service) RouteCtx(ctx context.Context, src, dst topo.NodeID) (*core.Rou
 		rec.Err = obs.ErrClassTorn
 	case r.Err != nil:
 		rec.Err = obs.ErrClassOther
+	case r.Outcome == core.Failure:
+		// Admission refused the pair outright (Route.Err stays nil on
+		// that path): no safe route exists under the current faults.
+		// A partition or dimension cut surfaces here as "unreachable"
+		// (Theorem 4), not as a transport anomaly.
+		rec.Err = obs.ErrClassUnreachable
 	}
 	if reason := fl.Record(&rec); reason != "" {
 		fl.Promote(&rec, reason, traceOfRoute(r, sn.as, id, sn.gen))

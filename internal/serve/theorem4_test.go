@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/topo"
+)
+
+// Theorem-4 exhaustive suite: a disconnected faulty cube has an empty
+// safe set, and the serving path must surface cross-partition requests
+// as route failures carrying the "unreachable" flight error class —
+// not as transport anomalies. These tests enumerate every correlated
+// shape that disconnects Q4 and Q5: all dimension-wide link cuts and
+// all (victim, subdim) subcube isolations.
+
+// assertUnreachable routes src->dst on a service over set and asserts
+// the admission-refused outcome plus the unreachable flight class.
+func assertUnreachable(t *testing.T, set *faults.Set, src, dst topo.NodeID) {
+	t.Helper()
+	fl := obs.NewFlightRecorder(obs.FlightOptions{Records: 64})
+	s, err := New(set, Options{Flight: fl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r, err := s.RouteCtx(context.Background(), src, dst)
+	if err != nil {
+		t.Fatalf("RouteCtx(%d, %d): %v", src, dst, err)
+	}
+	if r.Outcome != core.Failure {
+		t.Fatalf("route %d->%d across the partition: outcome %v, want Failure", src, dst, r.Outcome)
+	}
+	recs := fl.Records(0)
+	if len(recs) == 0 {
+		t.Fatal("no flight record for the refused route")
+	}
+	rec := recs[len(recs)-1]
+	if rec.Err != obs.ErrClassUnreachable {
+		t.Fatalf("flight record error class = %q, want %q",
+			rec.Err.String(), obs.ErrClassUnreachable.String())
+	}
+	if rec.Outcome != obs.OutcomeFailure {
+		t.Fatalf("flight record outcome = %v, want failure", rec.Outcome)
+	}
+}
+
+// TestTheorem4DimCutUnreachable cuts every dimension of Q4 and Q5 in
+// turn: with all 2^(n-1) links of dimension d faulty the cube separates
+// into two (n-1)-subcubes, every node is in N2 with public level 0
+// (Section 4.1), the safe set is empty, and a route across the cut is
+// refused as unreachable while a route inside one half still delivers.
+func TestTheorem4DimCutUnreachable(t *testing.T) {
+	for _, n := range []int{4, 5} {
+		c := topo.MustCube(n)
+		for d := 0; d < n; d++ {
+			t.Run(fmt.Sprintf("Q%d/dim%d", n, d), func(t *testing.T) {
+				set := faults.NewSet(c)
+				for _, l := range faults.DimensionLinks(c, d) {
+					if err := set.FailLink(l.A, l.B); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if faults.Connected(set) {
+					t.Fatal("cube still connected with a full dimension cut")
+				}
+				as := core.Compute(set, core.Options{})
+				if safe := as.SafeSet(); len(safe) != 0 {
+					t.Fatalf("safe set %v not empty under a full dimension cut (Theorem 4)", safe)
+				}
+				for a := 0; a < c.Nodes(); a++ {
+					if lvl := as.Level(topo.NodeID(a)); lvl != 0 {
+						t.Fatalf("node %d has public level %d, want 0 (all nodes are N2)", a, lvl)
+					}
+				}
+				// Across the cut: refused as unreachable.
+				assertUnreachable(t, set, 0, topo.NodeID(1)<<uint(d))
+				// Inside one half the cut is irrelevant: a healthy
+				// neighbor across a different dimension still delivers.
+				other := (d + 1) % n
+				fl := obs.NewFlightRecorder(obs.FlightOptions{Records: 16})
+				s, err := New(set, Options{Flight: fl})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer s.Close()
+				r, err := s.RouteCtx(context.Background(), 0, topo.NodeID(1)<<uint(other))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.Outcome == core.Failure {
+					t.Fatalf("same-half neighbor route refused under a dim-%d cut", d)
+				}
+			})
+		}
+	}
+}
+
+// TestTheorem4SubcubeIsolationUnreachable isolates every subcube of
+// every dimension 0..n-2 around every victim of Q4 and Q5 by failing
+// the subcube's full node boundary (faults.InjectIsolatingSubcube): the
+// healthy interior is disconnected from the healthy exterior, the safe
+// set is empty, and an interior->exterior route is refused as
+// unreachable.
+func TestTheorem4SubcubeIsolationUnreachable(t *testing.T) {
+	for _, n := range []int{4, 5} {
+		c := topo.MustCube(n)
+		for victim := 0; victim < c.Nodes(); victim++ {
+			for subdim := 0; subdim <= n-2; subdim++ {
+				t.Run(fmt.Sprintf("Q%d/victim%d/sub%d", n, victim, subdim), func(t *testing.T) {
+					set := faults.NewSet(c)
+					if err := faults.InjectIsolatingSubcube(set, topo.NodeID(victim), subdim); err != nil {
+						t.Fatal(err)
+					}
+					if faults.Connected(set) {
+						t.Fatal("healthy nodes still connected with the boundary down")
+					}
+					as := core.Compute(set, core.Options{})
+					if safe := as.SafeSet(); len(safe) != 0 {
+						t.Fatalf("safe set %v not empty in a disconnected cube (Theorem 4)", safe)
+					}
+					// Any healthy node outside the interior subcube and
+					// its boundary serves as the exterior endpoint. The
+					// interior matches the victim on dims subdim..n-1.
+					var fixed topo.NodeID
+					for d := subdim; d < n; d++ {
+						fixed |= 1 << uint(d)
+					}
+					exterior := topo.NodeID(0)
+					found := false
+					for a := 0; a < c.Nodes(); a++ {
+						id := topo.NodeID(a)
+						if set.NodeFaulty(id) || id&fixed == topo.NodeID(victim)&fixed {
+							continue
+						}
+						exterior, found = id, true
+						break
+					}
+					if !found {
+						t.Fatal("no healthy exterior node; isolation geometry wrong")
+					}
+					assertUnreachable(t, set, topo.NodeID(victim), exterior)
+				})
+			}
+		}
+	}
+}

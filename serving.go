@@ -123,6 +123,14 @@ func (s *Server) Feasibility(src, dst NodeID) (Condition, Outcome) {
 // faulty link).
 func (s *Server) Level(a NodeID) int { return s.svc.Current().Level(a) }
 
+// NodeFaulty reports whether the currently published snapshot marks a
+// faulty. This backs the per-node health probe (slserve's /probe): a
+// downstream fault monitor polls it to learn this server's view of the
+// node, then declares the fault into its own engine.
+func (s *Server) NodeFaulty(a NodeID) bool {
+	return s.svc.Current().Assignment().Faults().NodeFaulty(a)
+}
+
 // BatchUnicast answers every pair against ONE snapshot — the results
 // are mutually consistent even while churn lands mid-batch — and
 // returns the routes in request order. Requests fan out over the
