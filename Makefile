@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt build vet test race fuzz bench-smoke bench-hot bench-json load-smoke flight-smoke scenario-smoke scale-smoke cover staticcheck ci
+.PHONY: all fmt build vet test race fuzz bench-smoke bench-hot bench-json load-smoke flight-smoke scenario-smoke wire-smoke scale-smoke cover staticcheck ci
 
 all: ci
 
@@ -30,6 +30,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzComputeAndRoute$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzRepairLevels$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzChurnSchedule$$' -fuzztime $(FUZZTIME) ./internal/simnet
+	$(GO) test -run '^$$' -fuzz '^FuzzWireDecode$$' -fuzztime $(FUZZTIME) ./internal/wire
 
 # One iteration of every benchmark: catches bit-rot in the measurement
 # code without paying for real measurements.
@@ -41,7 +42,7 @@ bench-smoke:
 # regex must stay in sync with benchgate's default -match. -benchmem
 # makes every benchmark report allocs/op so the gate can fail on
 # allocation regressions, not just time.
-BENCH_HOT = Benchmark(Unicast|GS|Repair|Serve|Flight)
+BENCH_HOT = Benchmark(Unicast|GS|Repair|Serve|Flight|Wire)
 BENCH_COUNT ?= 6
 BENCH_OUT ?= bench.txt
 bench-hot:
@@ -54,8 +55,9 @@ bench-hot:
 # BENCH_4.json (snapshot serving vs the mutex-guarded facade under a
 # churn storm), BENCH_5.json (serving-path tail latency under a churn
 # storm, with vs without admission control — EXPERIMENTS.md E17),
-# BENCH_6.json (flight-recorder overhead on the hardened read path) and
-# BENCH_7.json (flat SoA data plane vs the BENCH_3 map-based baseline).
+# BENCH_6.json (flight-recorder overhead on the hardened read path),
+# BENCH_7.json (flat SoA data plane vs the BENCH_3 map-based baseline)
+# and BENCH_8.json (binary wire data plane vs the HTTP/JSON path).
 bench-json:
 	EMIT_BENCH_JSON=1 $(GO) test -run TestEmitBenchJSON .
 
@@ -96,6 +98,28 @@ scenario-smoke:
 			|| exit 1; \
 	done
 	$(GO) test -run 'TestScenario|TestRunScenario|TestScheduleReplay' ./...
+
+# End-to-end binary data-plane smoke: start slserve with both surfaces
+# up, replay a seeded slload run over the wire protocol (coalesced
+# batches + a correlated-fault scenario streamed as OpFaultDelta
+# frames), and require an only-OK digest — every request answered,
+# every answer a typed success, no overload/deadline/draining/error
+# classes at all. Uses a fixed localhost port; override WIRE_ADDR if it
+# clashes.
+WIRE_ADDR ?= 127.0.0.1:18090
+wire-smoke:
+	@$(GO) build -o /tmp/slserve-wire-smoke ./cmd/slserve
+	@/tmp/slserve-wire-smoke -n 6 -random 4 -listen 127.0.0.1:18091 -wire-addr $(WIRE_ADDR) & \
+	pid=$$!; trap 'kill $$pid 2>/dev/null' EXIT; \
+	sleep 1; \
+	echo "# wire-smoke: plain seeded run" && \
+	$(GO) run ./cmd/slload -wire $(WIRE_ADDR) -n 6 -seed 7 \
+		-workers 4 -duration 1s -warmup 100ms -mix route:8,batch:1,routeall:1 \
+		-deadline 2s -min-ok 500 -only-ok -o /dev/null && \
+	echo "# wire-smoke: coalesced run with scenario churn" && \
+	$(GO) run ./cmd/slload -wire $(WIRE_ADDR) -n 6 -seed 7 -coalesce 4 \
+		-workers 4 -duration 1s -warmup 100ms -scenario flap \
+		-deadline 2s -min-ok 500 -only-ok -o /dev/null
 
 # Million-node scale gate: cold GS over the full Q20 cube plus one
 # incremental repair, under a wall-clock budget (see

@@ -12,6 +12,12 @@
 //
 //	-target URL   drive a running slserve at URL (e.g. http://localhost:8080);
 //	              -n must match the server's dimension for address synthesis
+//	-wire ADDR    drive a slserve wire-protocol listener (host:port, the
+//	              server's -wire-addr) over the binary protocol instead of
+//	              HTTP; overrides -target. -n must match the server
+//	-wire-conns K wire client connection pool size (0 = max(1, workers/4))
+//	-coalesce N   merge concurrent route calls into wire batches of up to
+//	              N pairs (0 disables client-side coalescing)
 //	-n DIM        hypercube dimension (default 8); without -target this
 //	              also builds the in-process engine
 //	-faults K     pre-fail K random nodes before the run (in-process only)
@@ -48,6 +54,8 @@
 //	-o FILE       write the JSON report to FILE instead of stdout
 //	-min-ok N     exit 1 unless at least N requests completed OK
 //	              (the CI smoke gate)
+//	-only-ok      exit 1 if ANY request finished in a non-OK class
+//	              (the wire-smoke digest gate)
 //	-flight       after the run, print the target's flight-recorder
 //	              summary (records and incidents) to stderr; against a
 //	              -target it scrapes /debug/flight and /debug/incidents
@@ -71,6 +79,7 @@ import (
 	"repro/internal/serve"
 	"repro/internal/stats"
 	"repro/internal/topo"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -82,6 +91,9 @@ func run(argv []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	var (
 		target   = fs.String("target", "", "slserve base URL; empty runs an in-process engine")
+		wireAddr = fs.String("wire", "", "slserve wire-protocol address (host:port); overrides -target")
+		conns    = fs.Int("wire-conns", 0, "wire client connection pool size (0 means max(1, workers/4))")
+		coalesce = fs.Int("coalesce", 0, "coalesce concurrent route calls into wire batches of up to N pairs (0 disables)")
 		dim      = fs.Int("n", 8, "hypercube dimension")
 		nFaults  = fs.Int("faults", 0, "pre-failed random nodes (in-process only)")
 		srvRate  = fs.Float64("srv-rate", 0, "in-process admission rate, unicasts/sec (0 = off)")
@@ -105,6 +117,7 @@ func run(argv []string, stdout, stderr *os.File) int {
 
 		out    = fs.String("o", "", "write JSON report to FILE (default stdout)")
 		minOK  = fs.Int64("min-ok", 0, "exit 1 unless at least this many requests completed OK")
+		onlyOK = fs.Bool("only-ok", false, "exit 1 if any request finished in a non-OK class")
 		flight = fs.Bool("flight", false, "after the run, print the target's flight-recorder summary to stderr")
 	)
 	if err := fs.Parse(argv); err != nil {
@@ -155,7 +168,28 @@ func run(argv []string, stdout, stderr *os.File) int {
 
 	var tgt loadgen.Target
 	var localSvc *serve.Service
-	if *target != "" {
+	if *wireAddr != "" {
+		nc := *conns
+		if nc <= 0 {
+			nc = max(1, *workers/4)
+		}
+		cl, err := wire.Dial(*wireAddr, wire.ClientOptions{Conns: nc})
+		if err != nil {
+			fmt.Fprintln(stderr, "slload:", err)
+			return 2
+		}
+		defer cl.Close()
+		wt := loadgen.WireTarget{Client: cl, N: cube.Nodes()}
+		if *coalesce > 0 {
+			co := wire.NewCoalescer(cl, wire.CoalescerOptions{
+				MaxBatch: *coalesce,
+				Deadline: *deadline,
+			})
+			defer co.Close()
+			wt.Coalescer = co
+		}
+		tgt = wt
+	} else if *target != "" {
 		tgt = loadgen.HTTPTarget{
 			Base:   *target,
 			N:      cube.Nodes(),
@@ -218,6 +252,14 @@ func run(argv []string, stdout, stderr *os.File) int {
 	if ok := rep.Classes[loadgen.ClassOK]; ok < *minOK {
 		fmt.Fprintf(stderr, "slload: only %d requests completed OK, need %d\n", ok, *minOK)
 		return 1
+	}
+	if *onlyOK {
+		for class, n := range rep.Classes {
+			if class != loadgen.ClassOK && n > 0 {
+				fmt.Fprintf(stderr, "slload: -only-ok violated: %d requests in class %q\n", n, class)
+				return 1
+			}
+		}
 	}
 	return 0
 }

@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	safecube "repro"
 )
 
 func TestParseMix(t *testing.T) {
@@ -102,6 +104,84 @@ func TestRunScenario(t *testing.T) {
 	defer devnull.Close()
 	if code := run([]string{"-scenario", "explode"}, devnull, devnull); code != 2 {
 		t.Fatalf("unknown scenario exit %d, want 2", code)
+	}
+}
+
+// TestRunWire drives a real wire server over loopback: a plain seeded
+// run with the full mix under -only-ok, then a coalesced run replaying
+// a correlated-fault scenario as OpFaultDelta frames — the same two
+// passes `make wire-smoke` gates in CI, shrunk to test budget.
+func TestRunWire(t *testing.T) {
+	c, err := safecube.New(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InjectRandomFaults(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := c.Serve(safecube.ServeOptions{NoFlight: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ws, err := srv.ServeWire("127.0.0.1:0", safecube.WireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close()
+
+	out := filepath.Join(t.TempDir(), "report.json")
+	code := run([]string{
+		"-wire", ws.Addr(), "-n", "6", "-seed", "7",
+		"-workers", "4", "-duration", "150ms", "-warmup", "20ms",
+		"-mix", "route:8,batch:1,routeall:1", "-batch", "4",
+		"-deadline", "2s", "-min-ok", "50", "-only-ok", "-o", out,
+	}, os.Stdout, os.Stderr)
+	if code != 0 {
+		t.Fatalf("plain wire run exit %d, want 0", code)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("bad report JSON: %v", err)
+	}
+	classes, _ := rep["classes"].(map[string]any)
+	if len(classes) != 1 || classes["ok"].(float64) < 50 {
+		t.Fatalf("-only-ok run finished with classes %v", classes)
+	}
+
+	code = run([]string{
+		"-wire", ws.Addr(), "-n", "6", "-seed", "7", "-coalesce", "4",
+		"-workers", "4", "-duration", "150ms", "-warmup", "20ms",
+		"-scenario", "flap", "-deadline", "2s",
+		"-min-ok", "50", "-only-ok", "-o", out,
+	}, os.Stdout, os.Stderr)
+	if code != 0 {
+		t.Fatalf("coalesced scenario run exit %d, want 0", code)
+	}
+	if raw, err = os.ReadFile(out); err != nil {
+		t.Fatal(err)
+	}
+	rep = map[string]any{}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("bad report JSON: %v", err)
+	}
+	if rep["churn_events"].(float64) <= 0 {
+		t.Fatal("scenario replay streamed no fault-delta frames")
+	}
+	if rep["churn_errors"].(float64) != 0 {
+		t.Fatalf("%v fault-delta frames failed", rep["churn_errors"])
+	}
+
+	// The first pool connection dials eagerly, so an unreachable wire
+	// address is a startup error, not a run full of failures.
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	defer devnull.Close()
+	if code := run([]string{"-wire", "127.0.0.1:1", "-n", "6"}, devnull, devnull); code != 2 {
+		t.Fatalf("dead wire address exit %d, want 2", code)
 	}
 }
 

@@ -12,6 +12,12 @@
 //	slserve -n 6 -random 4 -seed 3 -listen :8080
 //	slserve -radix 2x3x2 -faults 011,100 -listen :8080
 //	slserve -n 10 -rate 50000 -burst 1000 -deadline 2s -pprof
+//	slserve -n 8 -listen :8080 -wire-addr :9090
+//
+// With -wire-addr the server additionally speaks the length-prefixed
+// binary wire protocol (internal/wire) on that address — the high-
+// throughput data plane that slload -wire drives — while HTTP stays up
+// for ops. See docs/OPERATIONS.md ("The binary wire protocol").
 //
 // Endpoints:
 //
@@ -116,6 +122,8 @@ func run(args []string, out io.Writer) (int, error) {
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout on SIGINT/SIGTERM")
 	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof and /debug/vars")
 	listen := fs.String("listen", ":8080", "HTTP listen address")
+	wireAddr := fs.String("wire-addr", "", "binary wire-protocol listen address (empty disables)")
+	wireWorkers := fs.Int("wire-workers", 0, "wire per-connection worker count (0 means min(GOMAXPROCS, 4))")
 	noFlight := fs.Bool("no-flight", false, "disable the always-on flight recorder")
 	monTarget := fs.String("monitor-target", "", "upstream slserve base URL to health-probe; declares its down nodes into this server's fault set")
 	monEvery := fs.Duration("monitor-every", time.Second, "monitor probe sweep interval")
@@ -229,6 +237,18 @@ func run(args []string, out io.Writer) (int, error) {
 		go mon.Run(monCtx)
 	}
 
+	var wireSrv *safecube.WireServer
+	if *wireAddr != "" {
+		wireSrv, err = srv.ServeWire(*wireAddr, safecube.WireOptions{
+			Workers:  *wireWorkers,
+			Registry: reg,
+		})
+		if err != nil {
+			return 2, err
+		}
+		defer wireSrv.Close()
+	}
+
 	queueCap := *queue
 	if queueCap <= 0 {
 		queueCap = 64
@@ -240,7 +260,11 @@ func run(args []string, out io.Writer) (int, error) {
 		mon:      mon,
 	})
 	httpSrv := &http.Server{Addr: *listen, Handler: mux}
-	fmt.Fprintf(out, "# %s; serving routes on %s\n", header, *listen)
+	if wireSrv != nil {
+		fmt.Fprintf(out, "# %s; serving routes on %s, wire on %s\n", header, *listen, wireSrv.Addr())
+	} else {
+		fmt.Fprintf(out, "# %s; serving routes on %s\n", header, *listen)
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
@@ -264,6 +288,12 @@ func run(args []string, out io.Writer) (int, error) {
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
+		if wireSrv != nil {
+			// Close the wire surface before the engine drains: Close
+			// waits out the per-connection pipelines, so no wire request
+			// is in flight when srv.Shutdown starts.
+			_ = wireSrv.Close()
+		}
 		if herr := httpSrv.Shutdown(ctx); herr != nil {
 			srv.Close()
 			return 1, fmt.Errorf("http drain incomplete: %w", herr)

@@ -34,7 +34,7 @@ func run(args []string, out io.Writer) (int, error) {
 	fs.SetOutput(io.Discard)
 	oldPath := fs.String("old", "", "bench output of the merge base")
 	newPath := fs.String("new", "", "bench output of the PR head")
-	match := fs.String("match", `^Benchmark(Unicast|GS|Repair|Serve|Flight)`, "gate only benchmarks matching this regex")
+	match := fs.String("match", `^Benchmark(Unicast|GS|Repair|Serve|Flight|Wire)`, "gate only benchmarks matching this regex")
 	threshold := fs.Float64("threshold", 0.15, "fail when new median ns/op or allocs/op exceeds old by this fraction")
 	if err := fs.Parse(args); err != nil {
 		return 2, err

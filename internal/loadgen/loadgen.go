@@ -11,6 +11,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/stats"
+	"repro/internal/wire"
 )
 
 // Outcome classes a driven request can land in. OK requests (and only
@@ -24,18 +25,20 @@ const (
 	ClassError    = "error"    // anything else
 )
 
-// Classify maps an error from a Target to its outcome class.
+// Classify maps an error from a Target to its outcome class. The wire
+// protocol's typed error frames land in the same classes as their
+// in-process and HTTP counterparts, so reports are target-agnostic.
 func Classify(err error) string {
 	switch {
 	case err == nil:
 		return ClassOK
-	case errors.Is(err, serve.ErrOverload):
+	case errors.Is(err, serve.ErrOverload), errors.Is(err, wire.ErrOverload):
 		return ClassOverload
-	case errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, wire.ErrDeadline):
 		return ClassDeadline
-	case errors.Is(err, serve.ErrDraining):
+	case errors.Is(err, serve.ErrDraining), errors.Is(err, wire.ErrDraining):
 		return ClassDraining
-	case errors.Is(err, serve.ErrBacklog):
+	case errors.Is(err, serve.ErrBacklog), errors.Is(err, wire.ErrBacklog):
 		return ClassBacklog
 	default:
 		return ClassError

@@ -245,6 +245,12 @@ const (
 	MetricServeSnapshotAgeUs = "serve_snapshot_age_us"
 	MetricServeRepairLag     = "serve_repair_lag_gens"
 	MetricServeQueueHWM      = "serve_apply_queue_hwm"
+	// Binary wire-protocol data plane (internal/serve WireServer):
+	// connection lifecycle and the frame/error-frame flow.
+	MetricWireConns       = "wire_conns_active"
+	MetricWireAccepted    = "wire_conns_accepted_total"
+	MetricWireFrames      = "wire_frames_total"
+	MetricWireErrorFrames = "wire_error_frames_total"
 	// Self-healing monitor metrics (internal/monitor): probe sweep
 	// outcomes, fault declarations driven through the apply path, and
 	// flap-suppression activity.

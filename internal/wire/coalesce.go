@@ -1,0 +1,143 @@
+package wire
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Coalescer batches concurrent single-unicast calls into OpBatch
+// frames: callers enqueue a pair and block for their slot's answer
+// while the coalescer flushes whenever MaxBatch pairs are waiting or
+// MaxDelay has passed since the first — amortizing one frame, one
+// syscall and one server snapshot load over the whole batch. This is
+// how a load generator (or any high-QPS caller) saturates the router
+// through the wire without one connection per in-flight request.
+type Coalescer struct {
+	c    *Client
+	opts CoalescerOptions
+
+	mu      sync.Mutex
+	pairs   []Pair
+	waiters []chan coalResult
+	timer   *time.Timer
+	closed  bool
+}
+
+// CoalescerOptions tune a Coalescer. The zero value batches up to 64
+// pairs with a 200µs linger.
+type CoalescerOptions struct {
+	// MaxBatch flushes when this many pairs are waiting (<= 0 means 64).
+	MaxBatch int
+	// MaxDelay flushes the batch this long after its first pair arrives
+	// even if it is not full (<= 0 means 200µs) — the latency bound a
+	// lone request pays for the batching win.
+	MaxDelay time.Duration
+	// Deadline is the per-flush server-side deadline budget (0 = none).
+	Deadline time.Duration
+}
+
+// coalResult is one slot's answer.
+type coalResult struct {
+	info RouteInfo
+	gen  uint64
+	err  error
+}
+
+// NewCoalescer wraps a client in a batching front.
+func NewCoalescer(c *Client, opts CoalescerOptions) *Coalescer {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 64
+	}
+	if opts.MaxDelay <= 0 {
+		opts.MaxDelay = 200 * time.Microsecond
+	}
+	return &Coalescer{c: c, opts: opts}
+}
+
+// Unicast enqueues one pair and waits for its coalesced answer. The
+// caller's ctx bounds only the wait — the flush itself rides the
+// coalescer's Deadline option, so one impatient caller cannot cancel
+// a batch others are riding.
+func (co *Coalescer) Unicast(ctx context.Context, src, dst uint32) (RouteInfo, uint64, error) {
+	ch := make(chan coalResult, 1)
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		return RouteInfo{}, 0, ErrClosed
+	}
+	co.pairs = append(co.pairs, Pair{Src: src, Dst: dst})
+	co.waiters = append(co.waiters, ch)
+	if len(co.pairs) >= co.opts.MaxBatch {
+		pairs, waiters := co.take()
+		co.mu.Unlock()
+		go co.flush(pairs, waiters)
+	} else {
+		if len(co.pairs) == 1 {
+			// First pair of a fresh batch arms the linger timer.
+			co.timer = time.AfterFunc(co.opts.MaxDelay, co.flushTimer)
+		}
+		co.mu.Unlock()
+	}
+	select {
+	case r := <-ch:
+		return r.info, r.gen, r.err
+	case <-ctx.Done():
+		// The flush still runs; the abandoned slot's buffered channel
+		// absorbs the late result.
+		return RouteInfo{}, 0, ctx.Err()
+	}
+}
+
+// take detaches the current batch. Caller holds co.mu.
+func (co *Coalescer) take() ([]Pair, []chan coalResult) {
+	pairs, waiters := co.pairs, co.waiters
+	co.pairs, co.waiters = nil, nil
+	if co.timer != nil {
+		co.timer.Stop()
+		co.timer = nil
+	}
+	return pairs, waiters
+}
+
+func (co *Coalescer) flushTimer() {
+	co.mu.Lock()
+	pairs, waiters := co.take()
+	co.mu.Unlock()
+	if len(pairs) > 0 {
+		co.flush(pairs, waiters)
+	}
+}
+
+// flush issues one Batch call and fans the answers back out.
+func (co *Coalescer) flush(pairs []Pair, waiters []chan coalResult) {
+	ctx := context.Background()
+	if co.opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, co.opts.Deadline)
+		defer cancel()
+	}
+	gen, routes, err := co.c.Batch(ctx, pairs, make([]RouteInfo, 0, len(pairs)))
+	if err == nil && len(routes) != len(pairs) {
+		err = ErrShort
+	}
+	for i, ch := range waiters {
+		if err != nil {
+			ch <- coalResult{err: err}
+			continue
+		}
+		ch <- coalResult{info: routes[i], gen: gen}
+	}
+}
+
+// Close flushes nothing and fails later callers with ErrClosed; pairs
+// already enqueued are still flushed by their timer path.
+func (co *Coalescer) Close() {
+	co.mu.Lock()
+	co.closed = true
+	pairs, waiters := co.take()
+	co.mu.Unlock()
+	if len(pairs) > 0 {
+		co.flush(pairs, waiters)
+	}
+}

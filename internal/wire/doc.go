@@ -1,0 +1,28 @@
+// Package wire is the binary serving protocol: a length-prefixed,
+// little-endian framing with a fixed 20-byte header (magic, protocol
+// version, request ID, opcode, payload length) and flat fixed-layout
+// payloads for the five serving operations — Unicast, BatchUnicast,
+// Feasibility, FaultDelta and Ping — plus a typed error frame that
+// carries the server's refusal taxonomy (overload, backlog, draining,
+// deadline, version) to the client without string parsing.
+//
+// The codec is allocation-free on the hot path by construction: every
+// encoder appends into a caller-supplied buffer (recycled through
+// GetBuf/PutBuf), every decoder reads fixed offsets out of the raw
+// payload with no reflection and no intermediate structs behind
+// interfaces, and batch decoders fill caller-owned slices. ReadFrame
+// rejects oversized payload lengths *before* allocating, so a hostile
+// header cannot balloon memory (FuzzWireDecode pins this).
+//
+// The v1 byte layout is pinned by golden frame vectors in
+// testdata/golden_frames.txt; any change to the encoding must bump the
+// protocol version instead of silently shifting bytes. Requests carry
+// the client's version pair; a server that cannot serve that version
+// answers with an Error frame coded CodeVersion, which clients surface
+// as ErrVersion (the clean-degrade path the compat tests exercise).
+//
+// The serving loop that speaks this protocol lives in internal/serve
+// (WireServer); the pooled, pipelining client with BatchUnicast
+// coalescing is Client/Coalescer in this package. See
+// docs/OPERATIONS.md for the frame diagrams and the operator cookbook.
+package wire

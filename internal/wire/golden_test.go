@@ -1,0 +1,151 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_frames.txt from the current encoder")
+
+// goldenFrames are the pinned v1 byte vectors: one fully-framed message
+// per wire shape. TestGoldenFrames fails if the encoding of any of them
+// drifts — byte layout is the protocol contract; changing it is a major
+// version bump, not a refactor.
+func goldenFrames() map[string][]byte {
+	return map[string][]byte{
+		"ping_req": AppendFrame(nil, OpPing, 0, 1, nil),
+		"ping_resp": AppendFrame(nil, OpPing, FlagResponse, 1,
+			AppendPingResp(nil, PingResp{Major: 1, Minor: 0})),
+		"unicast_req": AppendFrame(nil, OpUnicast, 0, 0x0102030405060708,
+			AppendUnicastReq(nil, UnicastReq{Src: 5, Dst: 250, DeadlineUS: 1500})),
+		"unicast_resp": AppendFrame(nil, OpUnicast, FlagResponse, 0x0102030405060708,
+			AppendUnicastResp(nil, UnicastResp{
+				Gen: 7, FlightID: 99,
+				Route: RouteInfo{Outcome: 1, Cond: 2, Hamming: 3, Hops: 5},
+			})),
+		"batch_req": AppendFrame(nil, OpBatch, 0, 2,
+			AppendBatchReq(nil, 2000, []Pair{{1, 2}, {3, 4}})),
+		"batch_resp": AppendFrame(nil, OpBatch, FlagResponse, 2,
+			AppendBatchResp(nil, 11, []RouteInfo{
+				{Outcome: 0, Cond: 1, Hamming: 2, Hops: 2},
+				{Outcome: 2, Cond: 0, Hamming: 4, Hops: 0},
+			})),
+		"feasibility_req": AppendFrame(nil, OpFeasibility, 0, 3,
+			AppendFeasReq(nil, FeasReq{Src: 9, Dst: 12})),
+		"feasibility_resp": AppendFrame(nil, OpFeasibility, FlagResponse, 3,
+			AppendFeasResp(nil, FeasResp{Cond: 3, Outcome: 0})),
+		"fault_req": AppendFrame(nil, OpFaultDelta, 0, 4,
+			AppendFaultReq(nil, FaultReq{Kind: 1, A: 42, B: 0})),
+		"fault_resp": AppendFrame(nil, OpFaultDelta, FlagResponse, 4,
+			AppendFaultResp(nil, FaultResp{Gen: 8, QueueDepth: 3})),
+		"error_overload": AppendFrame(nil, OpError, FlagResponse, 5,
+			AppendError(nil, CodeOverload, "shed")),
+		"error_version": AppendFrame(nil, OpError, FlagResponse, 6,
+			AppendError(nil, CodeVersion, "server speaks 1.0")),
+	}
+}
+
+const goldenPath = "testdata/golden_frames.txt"
+
+func TestGoldenFrames(t *testing.T) {
+	frames := goldenFrames()
+
+	if *updateGolden {
+		var sb strings.Builder
+		sb.WriteString("# Pinned v1 wire frames: <name> <hex>. Regenerate with\n")
+		sb.WriteString("#   go test ./internal/wire -run TestGoldenFrames -update\n")
+		sb.WriteString("# but only alongside a protocol version bump.\n")
+		names := make([]string, 0, len(frames))
+		for name := range frames {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(&sb, "%s %s\n", name, hex.EncodeToString(frames[name]))
+		}
+		if err := os.WriteFile(goldenPath, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	f, err := os.Open(goldenPath)
+	if err != nil {
+		t.Fatalf("golden vectors missing (run with -update to create): %v", err)
+	}
+	defer f.Close()
+
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, hx, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("bad golden line %q", line)
+		}
+		want, err := hex.DecodeString(hx)
+		if err != nil {
+			t.Fatalf("golden %s: bad hex: %v", name, err)
+		}
+		got, present := frames[name]
+		if !present {
+			t.Errorf("golden %s: no encoder in goldenFrames()", name)
+			continue
+		}
+		seen[name] = true
+		if !bytes.Equal(got, want) {
+			t.Errorf("golden %s drifted:\n got  %x\n want %x\n(the v1 byte layout is pinned; a relayout is a major version bump)",
+				name, got, want)
+		}
+		// Every pinned frame must also parse back through the public
+		// decoders — the file is a decode corpus too.
+		h, err := ParseHeader(want)
+		if err != nil {
+			t.Errorf("golden %s: ParseHeader: %v", name, err)
+			continue
+		}
+		if int(h.Len) != len(want)-HeaderSize {
+			t.Errorf("golden %s: header len %d, payload %d", name, h.Len, len(want)-HeaderSize)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for name := range frames {
+		if !seen[name] {
+			t.Errorf("frame %s missing from %s (run with -update)", name, goldenPath)
+		}
+	}
+}
+
+// TestGoldenHeaderLayout pins the exact header byte offsets of v1
+// independent of the golden file, so a PutHeader refactor cannot move
+// fields even if the file is regenerated in the same commit.
+func TestGoldenHeaderLayout(t *testing.T) {
+	var b [HeaderSize]byte
+	PutHeader(b[:], Header{
+		Major: 1, Minor: 2, Op: OpBatch, Flags: FlagResponse,
+		ReqID: 0x1122334455667788, Len: 0xAABBCCDD,
+	})
+	want := []byte{
+		0x53, 0x4C, 0x57, 0x31, // "SLW1"
+		0x01,                                           // major
+		0x02,                                           // minor
+		0x03,                                           // opcode (batch)
+		0x01,                                           // flags (response)
+		0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11, // request ID LE
+		0xDD, 0xCC, 0xBB, 0xAA, // payload length LE
+	}
+	if !bytes.Equal(b[:], want) {
+		t.Fatalf("header layout drifted:\n got  %x\n want %x", b, want)
+	}
+}

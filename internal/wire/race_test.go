@@ -1,0 +1,7 @@
+//go:build race
+
+package wire
+
+// raceEnabled skips the exact zero-alloc assertions under the race
+// detector, whose instrumentation makes sync.Pool drop puts at random.
+const raceEnabled = true

@@ -1,0 +1,57 @@
+package safecube
+
+import (
+	"repro/internal/serve"
+)
+
+// Binary wire-protocol facade: a WireServer serves the length-prefixed
+// binary protocol (internal/wire) for a running Server — the data
+// plane that saturates the routing engine where HTTP/JSON cannot. The
+// HTTP surface stays for ops; the wire surface carries the traffic.
+// See docs/OPERATIONS.md ("The binary wire protocol") for the frame
+// layout, the opcode table and the error taxonomy.
+
+// WireOptions tune a wire listener. The zero value serves with
+// min(GOMAXPROCS, 4) workers per connection and 128 queued frames.
+type WireOptions struct {
+	// Workers is the per-connection routing worker count (<= 0 means
+	// min(GOMAXPROCS, 4)).
+	Workers int
+	// QueueDepth bounds the per-connection in-flight frame queue
+	// (<= 0 means 128); a full queue pushes back on the client's TCP
+	// stream instead of buffering server memory.
+	QueueDepth int
+	// MaxBatch bounds the pair count of one batch frame (<= 0 means
+	// 4096).
+	MaxBatch int
+	// Registry receives the wire_* metrics (nil disables).
+	Registry *Registry
+}
+
+// WireServer is a live binary-protocol listener bound to a Server.
+type WireServer struct {
+	ws *serve.WireServer
+}
+
+// ServeWire starts serving the binary protocol on addr (host:port;
+// use ":0" to let the kernel pick and Addr to discover it). Close the
+// returned WireServer before closing the Server.
+func (s *Server) ServeWire(addr string, opts WireOptions) (*WireServer, error) {
+	ws, err := serve.ListenWire(s.svc, addr, serve.WireOptions{
+		Workers:    opts.Workers,
+		QueueDepth: opts.QueueDepth,
+		MaxBatch:   opts.MaxBatch,
+		Registry:   opts.Registry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &WireServer{ws: ws}, nil
+}
+
+// Addr returns the bound listen address.
+func (w *WireServer) Addr() string { return w.ws.Addr() }
+
+// Close stops accepting, closes every live connection and waits for
+// the per-connection pipelines to drain. Idempotent.
+func (w *WireServer) Close() error { return w.ws.Close() }
