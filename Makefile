@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all fmt build vet test race fuzz bench-smoke bench-hot bench-json load-smoke flight-smoke scenario-smoke wire-smoke scale-smoke cover staticcheck ci
+.PHONY: all fmt build vet test race fuzz bench-smoke bench-hot bench-json load-smoke flight-smoke scenario-smoke wire-smoke diagnose-smoke scale-smoke cover staticcheck ci
 
 all: ci
 
@@ -120,6 +120,22 @@ wire-smoke:
 	$(GO) run ./cmd/slload -wire $(WIRE_ADDR) -n 6 -seed 7 -coalesce 4 \
 		-workers 4 -duration 1s -warmup 100ms -scenario flap \
 		-deadline 2s -min-ok 500 -only-ok -o /dev/null
+
+# Syndrome-diagnosis smoke: close the test→diagnose→journal→route loop
+# end to end. First a seeded scenario run where the churn schedule is
+# produced by PMC syndrome diagnosis instead of declared faults
+# (-diagnosed), gated only-OK — within the diagnosability bound the
+# diagnosed schedule must be indistinguishable from the truth. Then the
+# decoder differentials and the journal/replay suites.
+diagnose-smoke:
+	@for adv in invert random; do \
+		echo "# diagnosed scenario rolling, adversary $$adv"; \
+		$(GO) run ./cmd/slload -n 6 -workers 4 -duration 1s -warmup 100ms \
+			-scenario rolling -diagnosed -adversary $$adv -seed 11 \
+			-deadline 1s -min-ok 200 -only-ok -o /dev/null \
+			|| exit 1; \
+	done
+	$(GO) test -run 'TestDiagnose|TestDecode|TestLocal|TestSyndrome|TestReplay|TestReconciler|TestDedup|TestScheduleReplayDiagnosed' ./...
 
 # Million-node scale gate: cold GS over the full Q20 cube plus one
 # incremental repair, under a wall-clock budget (see

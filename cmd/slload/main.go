@@ -48,6 +48,14 @@
 //	              spread evenly across the run when -churn is 0
 //	-waves N      scenario wave count (0 = generator default)
 //	-subdim K     scenario subcube dimension (0 = generator default)
+//	-diagnosed    run the -scenario schedule through PMC syndrome
+//	              diagnosis (internal/diagnose.ReplaySchedule) and drive
+//	              the target with the DIAGNOSED schedule instead of the
+//	              declared one; exits 2 if any step decodes ambiguous
+//	              (fault count past the diagnosability bound — keep the
+//	              profile's simultaneous node faults within -n)
+//	-adversary P  faulty-tester policy for -diagnosed: truthful,
+//	              stealth, slander, invert or random (default invert)
 //
 // Output:
 //
@@ -74,6 +82,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/diagnose"
 	"repro/internal/faults"
 	"repro/internal/loadgen"
 	"repro/internal/serve"
@@ -111,9 +120,11 @@ func run(argv []string, stdout, stderr *os.File) int {
 		churn   = fs.Duration("churn", 0, "churn-storm toggle interval (0 = off)")
 		victims = fs.Int("victims", 8, "churn victim set size")
 
-		scenario = fs.String("scenario", "", "replay a seeded correlated-fault scenario: subcube, dimcut, rolling, flap or partition")
-		waves    = fs.Int("waves", 0, "scenario wave count (0 = generator default)")
-		subdim   = fs.Int("subdim", 0, "scenario subcube dimension (0 = generator default)")
+		scenario  = fs.String("scenario", "", "replay a seeded correlated-fault scenario: subcube, dimcut, rolling, flap or partition")
+		waves     = fs.Int("waves", 0, "scenario wave count (0 = generator default)")
+		subdim    = fs.Int("subdim", 0, "scenario subcube dimension (0 = generator default)")
+		diagnosed = fs.Bool("diagnosed", false, "drive the -scenario schedule through PMC syndrome diagnosis instead of declared faults")
+		adversary = fs.String("adversary", "", "faulty-tester policy for -diagnosed (default invert)")
 
 		out    = fs.String("o", "", "write JSON report to FILE (default stdout)")
 		minOK  = fs.Int64("min-ok", 0, "exit 1 unless at least this many requests completed OK")
@@ -161,6 +172,21 @@ func run(argv []string, stdout, stderr *os.File) int {
 		if err != nil {
 			fmt.Fprintln(stderr, "slload:", err)
 			return 2
+		}
+		if *diagnosed {
+			adv, err := diagnose.ParseAdversary(*adversary)
+			if err != nil {
+				fmt.Fprintln(stderr, "slload:", err)
+				return 2
+			}
+			sched, err = diagnose.ReplaySchedule(cube, sched, diagnose.ReplayOptions{
+				Seed:      *seed,
+				Adversary: adv,
+			})
+			if err != nil {
+				fmt.Fprintln(stderr, "slload:", err)
+				return 2
+			}
 		}
 		cfg.Schedule = sched
 		cfg.Scenario = *scenario
@@ -239,8 +265,12 @@ func run(argv []string, stdout, stderr *os.File) int {
 		rep.Mode, rep.Ops, rep.OKPerSec, rep.Classes, rep.ChurnEvents,
 		rep.Latency.P50Us, rep.Latency.P99Us, rep.Latency.P999Us)
 	if *scenario != "" {
+		label := *scenario
+		if *diagnosed {
+			label += " (diagnosed)"
+		}
 		fmt.Fprintf(stderr, "# scenario %s: replayed %d/%d events (%d errors)\n",
-			*scenario, rep.ChurnEvents, len(cfg.Schedule), rep.ChurnErrors)
+			label, rep.ChurnEvents, len(cfg.Schedule), rep.ChurnErrors)
 	}
 
 	if *flight {

@@ -107,6 +107,52 @@ func TestRunScenario(t *testing.T) {
 	}
 }
 
+// TestRunScenarioDiagnosed: -diagnosed swaps the declared schedule for
+// the syndrome-diagnosed one. Within the bound the two are identical,
+// so the run replays the same event count with zero errors; past the
+// bound (a default-width subcube on Q6) the decode is ambiguous and the
+// run refuses up front.
+func TestRunScenarioDiagnosed(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.json")
+	code := run([]string{
+		"-n", "5", "-workers", "2", "-duration", "80ms", "-warmup", "0s",
+		"-scenario", "rolling", "-waves", "1", "-seed", "7",
+		"-diagnosed", "-adversary", "invert",
+		"-min-ok", "1", "-o", out,
+	}, os.Stdout, os.Stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("bad report JSON: %v", err)
+	}
+	if got := rep["churn_events"].(float64); got != 64 {
+		t.Fatalf("diagnosed replay drove %v events, want 64", got)
+	}
+	if errs := rep["churn_errors"].(float64); errs != 0 {
+		t.Fatalf("%v diagnosed schedule events failed", errs)
+	}
+
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	defer devnull.Close()
+	if code := run([]string{
+		"-n", "6", "-duration", "20ms", "-warmup", "0s",
+		"-scenario", "subcube", "-diagnosed",
+	}, devnull, devnull); code != 2 {
+		t.Fatalf("beyond-bound diagnosed run exit %d, want 2", code)
+	}
+	if code := run([]string{
+		"-n", "5", "-scenario", "rolling", "-diagnosed", "-adversary", "liar",
+	}, devnull, devnull); code != 2 {
+		t.Fatalf("bad adversary exit %d, want 2", code)
+	}
+}
+
 // TestRunWire drives a real wire server over loopback: a plain seeded
 // run with the full mix under -only-ok, then a coalesced run replaying
 // a correlated-fault scenario as OpFaultDelta frames — the same two

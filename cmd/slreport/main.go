@@ -4,7 +4,8 @@
 // Usage:
 //
 //	slreport [-experiment all|fig1|fig2|table1|safesets|rounds|fig3|
-//	          guarantee|thm4|fig4|fig5|compare|distributed|ablate]
+//	          guarantee|thm4|fig4|fig5|compare|distributed|ablate|
+//	          broadcast|traffic|ghcube|churn|diagnose]
 //	         [-seed N] [-trials N] [-csv]
 //
 // The default regenerates everything with the seeds and trial counts
@@ -30,7 +31,7 @@ func main() {
 func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("slreport", flag.ContinueOnError)
 	fs.SetOutput(errOut)
-	experiment := fs.String("experiment", "all", "experiment to run (all, fig1, fig2, table1, safesets, rounds, fig3, guarantee, thm4, fig4, fig5, compare, distributed, ablate, broadcast, traffic, ghcube, churn)")
+	experiment := fs.String("experiment", "all", "experiment to run (all, fig1, fig2, table1, safesets, rounds, fig3, guarantee, thm4, fig4, fig5, compare, distributed, ablate, broadcast, traffic, ghcube, churn, diagnose)")
 	seed := fs.Uint64("seed", 0, "RNG seed (0 = the recorded default)")
 	trials := fs.Int("trials", 0, "Monte-Carlo trials per point (0 = the recorded default)")
 	csv := fs.Bool("csv", false, "emit CSV instead of formatted tables")
@@ -78,10 +79,13 @@ func run(args []string, out, errOut io.Writer) int {
 		"churn": func() []*expt.Table {
 			return []*expt.Table{expt.ChurnRepair(cfg)}
 		},
+		"diagnose": func() []*expt.Table {
+			return []*expt.Table{expt.DiagnoseSweep(cfg)}
+		},
 	}
 	order := []string{"fig1", "fig2", "table1", "safesets", "rounds", "fig3",
 		"guarantee", "thm4", "fig4", "fig5", "compare", "distributed", "ablate",
-		"broadcast", "traffic", "ghcube", "churn"}
+		"broadcast", "traffic", "ghcube", "churn", "diagnose"}
 
 	var selected []string
 	if *experiment == "all" {

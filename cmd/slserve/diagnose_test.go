@@ -1,0 +1,153 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	safecube "repro"
+	"repro/internal/diagnose"
+	"repro/internal/topo"
+)
+
+// TestDiagnoseAgainstUpstream closes the loop over HTTP: the upstream
+// serves its PMC syndrome on /syndrome, the downstream fetches and
+// decodes it, and one identified sweep declares the whole faulty set
+// into the downstream engine — where /diagnosis exposes the verdict.
+func TestDiagnoseAgainstUpstream(t *testing.T) {
+	up := safecube.MustNew(4)
+	if err := up.FailNamed("0011", "1100"); err != nil {
+		t.Fatal(err)
+	}
+	upReg := safecube.NewRegistry()
+	upSrv, err := up.Serve(safecube.ServeOptions{QueueDepth: 8, Registry: upReg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	upTS := httptest.NewServer(newHandler(upSrv, up, upReg, handlerOpts{queueCap: 8}))
+	t.Cleanup(func() { upTS.Close(); upSrv.Close() })
+
+	down := safecube.MustNew(4)
+	reg := safecube.NewRegistry()
+	srv, err := down.Serve(safecube.ServeOptions{QueueDepth: 8, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dedup := diagnose.NewDedup(diagnose.ApplyFunc(func(_ context.Context, node int, dn bool) error {
+		if dn {
+			return srv.FailNode(safecube.NodeID(node))
+		}
+		return srv.RecoverNode(safecube.NodeID(node))
+	}))
+	tp := srv.CurrentFaults().Topology()
+	diag, err := diagnose.NewReconciler(
+		diagnose.HTTPSource{URL: upTS.URL + "/syndrome?seed=5&adversary=invert", Topology: tp},
+		dedup,
+		diagnose.ReconcilerOptions{Topology: tp, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newHandler(srv, down, reg, handlerOpts{queueCap: 8, diag: diag}))
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	// One sweep identifies and declares the upstream's whole fault set.
+	res, err := diag.Tick(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != diagnose.VerdictIdentified || res.Declared != 2 {
+		t.Fatalf("sweep: %+v", res)
+	}
+	srv.Flush()
+	for _, name := range []string{"0011", "1100"} {
+		if !srv.NodeFaulty(down.MustParse(name)) {
+			t.Fatalf("diagnosed fault %s did not land downstream", name)
+		}
+	}
+
+	v := getJSON(t, ts.URL+"/diagnosis", http.StatusOK)
+	if v["verdict"] != "identified" {
+		t.Fatalf("/diagnosis verdict %v", v["verdict"])
+	}
+	if declared, _ := v["declared"].([]any); len(declared) != 2 {
+		t.Fatalf("/diagnosis declared %v, want 2 nodes", v["declared"])
+	}
+
+	// An upstream recovery un-declares on the next sweep.
+	if err := upSrv.RecoverNode(up.MustParse("0011")); err != nil {
+		t.Fatal(err)
+	}
+	upSrv.Flush()
+	res, err = diag.Tick(context.Background())
+	if err != nil || res.Recovered != 1 {
+		t.Fatalf("recovery sweep: %+v err=%v", res, err)
+	}
+	srv.Flush()
+	if srv.NodeFaulty(down.MustParse("0011")) {
+		t.Fatal("recovered node still declared downstream")
+	}
+}
+
+// TestSyndromeEndpoint checks the wire contract of /syndrome: the body
+// parses against the server's topology, decodes to its declared fault
+// set, is deterministic per seed, and rejects bad parameters.
+func TestSyndromeEndpoint(t *testing.T) {
+	ts, _ := testServer(t)
+
+	get := func(q string) []byte {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/syndrome" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /syndrome%s: status %d", q, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	body := get("?seed=3&adversary=invert")
+	tp, err := topo.NewCube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn, err := diagnose.ParseSyndrome(body, tp)
+	if err != nil {
+		t.Fatalf("syndrome body does not parse: %v", err)
+	}
+	diag := diagnose.Decode(syn, diagnose.Options{})
+	if diag.Verdict != diagnose.VerdictIdentified || len(diag.Faulty) != 2 {
+		t.Fatalf("decoded %+v, want the server's 2 faults", diag)
+	}
+
+	if string(get("?seed=3&adversary=random")) != string(get("?seed=3&adversary=random")) {
+		t.Fatal("same seed produced different syndromes")
+	}
+	var blob map[string]any
+	if err := json.Unmarshal(body, &blob); err != nil || blob["format"] != diagnose.SyndromeFormat {
+		t.Fatalf("body format %v err=%v", blob["format"], err)
+	}
+
+	for _, q := range []string{"?seed=no", "?adversary=liar"} {
+		resp, err := http.Get(ts.URL + "/syndrome" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET /syndrome%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+
+	// Without -diagnose-target the status endpoint is a 404, but the
+	// syndrome stays mounted (this server can still be the tested side).
+	getJSON(t, ts.URL+"/diagnosis", http.StatusNotFound)
+}

@@ -32,6 +32,13 @@
 //	/monitor                    self-healing monitor status (declared
 //	                            nodes, probe counters); 404 unless the
 //	                            monitor is enabled
+//	/syndrome                   PMC self-test syndrome of the served
+//	                            snapshot (?seed=N&adversary=POLICY
+//	                            override the -diagnose-* defaults);
+//	                            always mounted
+//	/diagnosis                  syndrome-decoder status (verdict,
+//	                            declared nodes, sweep counters); 404
+//	                            unless -diagnose-target is set
 //	/healthz                    generation, queue depth, inflight, state
 //	/metrics, /vars             Prometheus text / JSON registry dump
 //	/debug/flight               flight recorder: recent request records
@@ -58,6 +65,20 @@
 // down, with flap hysteresis (see internal/monitor). Do not point a
 // server's monitor at itself: its own declarations would read back as
 // misses and stick forever.
+//
+// Syndrome diagnosis (-diagnose-target URL): fetch the upstream
+// slserve's /syndrome — the full PMC neighbor-test syndrome of its
+// served snapshot — decode it (internal/diagnose), and declare the
+// identified faulty set into THIS server's fault set every
+// -diagnose-every. Unlike the monitor, which needs -monitor-k
+// consecutive sweeps per node, one identified sweep declares the whole
+// set; an ambiguous decode (fault count past the diagnosability bound)
+// declares nothing and is surfaced on /diagnosis, in
+// diagnose_ambiguous_total and as a diagnosis-ambiguous incident.
+// Monitor and diagnoser may run together: both feed one shared
+// deduplicating applier, so a node both of them declare produces a
+// single churn event and a single journal delta. The same self-test
+// caveat applies: do not point -diagnose-target at the server itself.
 // Exit status: 0 ok (including a clean drain), 1 drain timeout,
 // 2 usage error.
 package main
@@ -81,6 +102,7 @@ import (
 	"time"
 
 	safecube "repro"
+	"repro/internal/diagnose"
 	"repro/internal/monitor"
 	"repro/internal/obs"
 )
@@ -129,6 +151,11 @@ func run(args []string, out io.Writer) (int, error) {
 	monEvery := fs.Duration("monitor-every", time.Second, "monitor probe sweep interval")
 	monK := fs.Int("monitor-k", 3, "consecutive missed probes before a node is declared faulty")
 	monRecover := fs.Int("monitor-recover", 2, "consecutive healthy probes before a declared node recovers")
+	diagTarget := fs.String("diagnose-target", "", "upstream slserve base URL whose /syndrome to decode; declares the diagnosed faulty set into this server's fault set")
+	diagEvery := fs.Duration("diagnose-every", 2*time.Second, "diagnosis sweep interval")
+	diagBound := fs.Int("diagnose-bound", 0, "diagnosability bound override (0 means the topology's own bound)")
+	diagAdversary := fs.String("diagnose-adversary", "", "faulty-tester policy for /syndrome and the upstream fetch: truthful, stealth, slander, invert or random (default invert)")
+	diagSeed := fs.Uint64("diagnose-seed", 1, "seed for deterministic faulty-tester reports on /syndrome")
 	flightRecords := fs.Int("flight-records", 4096, "flight-recorder ring capacity in request records")
 	flightIncidents := fs.Int("flight-incidents", 64, "incident buffer capacity")
 	flightSlow := fs.Duration("flight-slow", 50*time.Millisecond, "per-route latency threshold that promotes a request to an incident")
@@ -207,6 +234,21 @@ func run(args []string, out io.Writer) (int, error) {
 	}
 	defer srv.Close()
 
+	adv, err := diagnose.ParseAdversary(*diagAdversary)
+	if err != nil {
+		return 2, err
+	}
+
+	// Monitor and diagnoser both declare into this server; route both
+	// through ONE deduplicating applier so a node they agree on lands as
+	// a single churn event and a single journal delta.
+	dedup := diagnose.NewDedup(diagnose.ApplyFunc(func(_ context.Context, node int, down bool) error {
+		if down {
+			return srv.FailNode(safecube.NodeID(node))
+		}
+		return srv.RecoverNode(safecube.NodeID(node))
+	}))
+
 	var mon *monitor.Monitor
 	var monCancel context.CancelFunc
 	if *monTarget != "" {
@@ -215,12 +257,7 @@ func run(args []string, out io.Writer) (int, error) {
 			monitor.HTTPProber{URL: func(node int) string {
 				return base + "/probe?node=" + url.QueryEscape(nm.Format(safecube.NodeID(node)))
 			}},
-			monitor.ApplyFunc(func(_ context.Context, node int, down bool) error {
-				if down {
-					return srv.FailNode(safecube.NodeID(node))
-				}
-				return srv.RecoverNode(safecube.NodeID(node))
-			}),
+			dedup,
 			monitor.Options{
 				Nodes:    nm.Nodes(),
 				FailK:    *monK,
@@ -235,6 +272,31 @@ func run(args []string, out io.Writer) (int, error) {
 		monCtx, monCancel = context.WithCancel(context.Background())
 		defer monCancel()
 		go mon.Run(monCtx)
+	}
+
+	var diag *diagnose.Reconciler
+	var diagCancel context.CancelFunc
+	if *diagTarget != "" {
+		base := strings.TrimRight(*diagTarget, "/")
+		synURL := fmt.Sprintf("%s/syndrome?seed=%d&adversary=%s",
+			base, *diagSeed, url.QueryEscape(string(adv)))
+		diag, err = diagnose.NewReconciler(
+			diagnose.HTTPSource{URL: synURL, Topology: srv.CurrentFaults().Topology()},
+			dedup,
+			diagnose.ReconcilerOptions{
+				Topology: srv.CurrentFaults().Topology(),
+				Bound:    *diagBound,
+				Interval: *diagEvery,
+				Registry: reg,
+				Flight:   flight,
+			})
+		if err != nil {
+			return 2, err
+		}
+		var diagCtx context.Context
+		diagCtx, diagCancel = context.WithCancel(context.Background())
+		defer diagCancel()
+		go diag.Run(diagCtx)
 	}
 
 	var wireSrv *safecube.WireServer
@@ -258,6 +320,9 @@ func run(args []string, out io.Writer) (int, error) {
 		deadline: *deadline,
 		pprof:    *pprofOn,
 		mon:      mon,
+		diag:     diag,
+		diagSeed: *diagSeed,
+		diagAdv:  adv,
 	})
 	httpSrv := &http.Server{Addr: *listen, Handler: mux}
 	if wireSrv != nil {
@@ -285,6 +350,10 @@ func run(args []string, out io.Writer) (int, error) {
 			// Stop the monitor first so no new declarations race the
 			// engine drain.
 			monCancel()
+		}
+		if diagCancel != nil {
+			// Same for the diagnoser: no sweep may declare mid-drain.
+			diagCancel()
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
@@ -347,6 +416,12 @@ type handlerOpts struct {
 	pprof bool
 	// mon, when non-nil, backs the /monitor status endpoint.
 	mon *monitor.Monitor
+	// diag, when non-nil, backs the /diagnosis status endpoint.
+	diag *diagnose.Reconciler
+	// diagSeed and diagAdv are the /syndrome defaults when the request
+	// carries no seed/adversary parameters.
+	diagSeed uint64
+	diagAdv  diagnose.Adversary
 }
 
 // newHandler builds the serving mux on top of the registry's /metrics
@@ -571,6 +646,41 @@ func newHandler(srv *safecube.Server, nm naming, reg *safecube.Registry, opts ha
 			return
 		}
 		writeJSON(w, http.StatusOK, opts.mon.Status())
+	})
+
+	// /syndrome is always mounted: any slserve can be the tested system,
+	// whether or not it also runs a diagnoser. The syndrome is collected
+	// from ONE published snapshot, so every neighbor test in the sweep
+	// observes the same fault-set generation.
+	mux.HandleFunc("/syndrome", instrument(obs.MetricLatencyHTTPSyndrome, func(w http.ResponseWriter, r *http.Request) {
+		seed := opts.diagSeed
+		if raw := r.URL.Query().Get("seed"); raw != "" {
+			v, err := strconv.ParseUint(raw, 10, 64)
+			if err != nil {
+				httpErr(w, http.StatusBadRequest, fmt.Errorf("bad seed %q, want an unsigned integer", raw))
+				return
+			}
+			seed = v
+		}
+		adv := opts.diagAdv
+		if raw := r.URL.Query().Get("adversary"); raw != "" {
+			v, err := diagnose.ParseAdversary(raw)
+			if err != nil {
+				httpErr(w, http.StatusBadRequest, err)
+				return
+			}
+			adv = v
+		}
+		syn := diagnose.Collect(srv.CurrentFaults(), diagnose.CollectOptions{Seed: seed, Adversary: adv})
+		writeJSON(w, http.StatusOK, syn)
+	}))
+
+	mux.HandleFunc("/diagnosis", func(w http.ResponseWriter, r *http.Request) {
+		if opts.diag == nil {
+			httpErr(w, http.StatusNotFound, errors.New("diagnosis disabled (start slserve with -diagnose-target)"))
+			return
+		}
+		writeJSON(w, http.StatusOK, opts.diag.Status())
 	})
 
 	mux.HandleFunc("/healthz", instrument(obs.MetricLatencyHTTPHealthz, func(w http.ResponseWriter, r *http.Request) {

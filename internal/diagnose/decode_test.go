@@ -1,0 +1,308 @@
+package diagnose
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// failSet builds a fault set over t with exactly the given nodes down.
+func failSet(t *testing.T, tp topo.Topology, nodes []topo.NodeID) *faults.Set {
+	t.Helper()
+	set := faults.NewSet(tp)
+	for _, a := range nodes {
+		if err := set.FailNode(a); err != nil {
+			t.Fatalf("FailNode(%d): %v", a, err)
+		}
+	}
+	return set
+}
+
+// combinations invokes fn with every k-subset of [0, n).
+func combinations(n, k int, fn func(sel []topo.NodeID)) {
+	sel := make([]topo.NodeID, k)
+	var rec func(start, idx int)
+	rec = func(start, idx int) {
+		if idx == k {
+			fn(sel)
+			return
+		}
+		for v := start; v <= n-(k-idx); v++ {
+			sel[idx] = topo.NodeID(v)
+			rec(v+1, idx+1)
+		}
+	}
+	rec(0, 0)
+}
+
+func wantExact(t *testing.T, diag *Diagnosis, truth []topo.NodeID, ctx string) {
+	t.Helper()
+	if diag.Verdict != VerdictIdentified {
+		t.Fatalf("%s: verdict %v (candidates %v), want identified", ctx, diag.Verdict, diag.Candidates)
+	}
+	want := append([]topo.NodeID(nil), truth...)
+	if len(want) == 0 {
+		want = []topo.NodeID{}
+	}
+	got := diag.Faulty
+	if len(got) == 0 {
+		got = []topo.NodeID{}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: decoded %v, want %v", ctx, got, want)
+	}
+}
+
+// TestDecodeQ3Exhaustive sweeps EVERY fault set of Q3 within the
+// diagnosability bound (|F| ≤ 3) against every adversary policy: the
+// decode must identify the exact injected set regardless of what the
+// faulty testers reported.
+func TestDecodeQ3Exhaustive(t *testing.T) {
+	exhaustiveWithinBound(t, 3)
+}
+
+// TestDecodeQ4Exhaustive is the same sweep over Q4 (|F| ≤ 4): 2517
+// fault sets × 5 adversary policies.
+func TestDecodeQ4Exhaustive(t *testing.T) {
+	exhaustiveWithinBound(t, 4)
+}
+
+func exhaustiveWithinBound(t *testing.T, n int) {
+	tp, err := topo.NewCube(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := Diagnosability(tp)
+	for k := 0; k <= bound; k++ {
+		combinations(tp.Nodes(), k, func(sel []topo.NodeID) {
+			set := failSet(t, tp, sel)
+			for _, adv := range Adversaries() {
+				syn := Collect(set, CollectOptions{Seed: 42, Adversary: adv})
+				diag := Decode(syn, Options{})
+				wantExact(t, diag, sel, fmt.Sprintf("Q%d F=%v adv=%s", n, sel, adv))
+			}
+		})
+	}
+}
+
+// consistent reports whether fault set F explains syn under PMC rules:
+// every completed test by a tester outside F reports exactly whether
+// its testee is in F (testers inside F may say anything).
+func consistent(syn *Syndrome, tp topo.Topology, F []topo.NodeID) bool {
+	in := make(map[topo.NodeID]bool, len(F))
+	for _, a := range F {
+		in[a] = true
+	}
+	var scratch []topo.NodeID
+	for u := 0; u < tp.Nodes(); u++ {
+		uid := topo.NodeID(u)
+		if in[uid] {
+			continue
+		}
+		for d := 0; d < tp.Dim(); d++ {
+			scratch = tp.Siblings(uid, d, scratch[:0])
+			for _, v := range scratch {
+				if says, tested := syn.Result(uid, v); tested && says != in[v] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// TestDecodeAmbiguousIffBeyondBound pins the decoder's verdict law.
+// Within the bound, Ambiguous never occurs (the exhaustive sweeps
+// above). One past the bound (|F| = n+1 on Q3 and Q4):
+//
+//   - under the worst-case adversaries (invert — faulty testers lie
+//     maximally — and stealth) EVERY syndrome decodes Ambiguous: the
+//     verdict is "iff the bound is exceeded" exactly;
+//   - under benign adversaries (truthful, slander) the one
+//     information-theoretic blind spot appears: F ⊇ {v} ∪ N(v) with v's
+//     faulty neighbors truthfully accusing v is indistinguishable from
+//     the ≤-bound set F \ {v}, so the decoder names that smaller set.
+//     No decoder can do better — the test pins that every Identified
+//     verdict is still a consistent explanation of size ≤ bound, never
+//     a guess.
+//
+// It also pins the classical zero-candidate witness: the even-parity
+// independent 4-set of Q3 under invert yields the all-ones syndrome,
+// which NO ≤3-set explains.
+func TestDecodeAmbiguousIffBeyondBound(t *testing.T) {
+	for _, n := range []int{3, 4} {
+		tp, err := topo.NewCube(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := Diagnosability(tp)
+		combinations(tp.Nodes(), bound+1, func(sel []topo.NodeID) {
+			set := failSet(t, tp, sel)
+			for _, adv := range Adversaries() {
+				syn := Collect(set, CollectOptions{Seed: 7, Adversary: adv})
+				diag := Decode(syn, Options{})
+				switch diag.Verdict {
+				case VerdictAmbiguous:
+					// The only correct verdict beyond the bound.
+				case VerdictIdentified:
+					if adv == AdversaryInvert || adv == AdversaryStealth {
+						t.Fatalf("Q%d F=%v adv=%s: identified %v beyond the bound under a worst-case adversary",
+							n, sel, adv, diag.Faulty)
+					}
+					if len(diag.Faulty) > bound || !consistent(syn, tp, diag.Faulty) {
+						t.Fatalf("Q%d F=%v adv=%s: identified %v is not a consistent ≤%d explanation",
+							n, sel, adv, diag.Faulty, bound)
+					}
+				}
+			}
+		})
+	}
+
+	// The even-parity nodes of Q3 form an independent 4-set; with
+	// invert every completed test reports 1, and no labeling with ≤3
+	// faults explains an all-ones syndrome.
+	tp, err := topo.NewCube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parity := []topo.NodeID{0b000, 0b011, 0b101, 0b110}
+	syn := Collect(failSet(t, tp, parity), CollectOptions{Adversary: AdversaryInvert})
+	diag := Decode(syn, Options{})
+	if diag.Verdict != VerdictAmbiguous {
+		t.Fatalf("even-parity invert: verdict %v, want ambiguous", diag.Verdict)
+	}
+	if len(diag.Candidates) != 0 || !diag.Exhaustive {
+		t.Fatalf("even-parity invert: candidates %v exhaustive %v, want none/true",
+			diag.Candidates, diag.Exhaustive)
+	}
+}
+
+// TestDecodeQ2BoundIsOne pins the small-cube special case: Q2 is only
+// 1-diagnosable. Single faults decode exactly; the 4-cycle's antipodal
+// 2-sets are indistinguishable under an adversarial syndrome.
+func TestDecodeQ2BoundIsOne(t *testing.T) {
+	tp, err := topo.NewCube(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Diagnosability(tp); got != 1 {
+		t.Fatalf("Diagnosability(Q2) = %d, want 1", got)
+	}
+	for a := 0; a < 4; a++ {
+		for _, adv := range Adversaries() {
+			set := failSet(t, tp, []topo.NodeID{topo.NodeID(a)})
+			syn := Collect(set, CollectOptions{Seed: 3, Adversary: adv})
+			wantExact(t, Decode(syn, Options{}), []topo.NodeID{topo.NodeID(a)},
+				fmt.Sprintf("Q2 F={%d} adv=%s", a, adv))
+		}
+	}
+	// {00,11} under invert produces the all-ones syndrome, which the
+	// antipodal pair {01,10} explains equally well: raising the bound
+	// to 2 must yield ambiguity with both candidates, not a guess —
+	// the 4-cycle counterexample behind Q2's bound of 1.
+	set := failSet(t, tp, []topo.NodeID{0b00, 0b11})
+	syn := Collect(set, CollectOptions{Adversary: AdversaryInvert})
+	diag := Decode(syn, Options{Bound: 2})
+	if diag.Verdict != VerdictAmbiguous || len(diag.Candidates) != 2 {
+		t.Fatalf("Q2 antipodal at bound 2: verdict %v candidates %v, want ambiguous with both antipodal pairs",
+			diag.Verdict, diag.Candidates)
+	}
+}
+
+// TestDecodeRandomQ5Q6 spot-checks bigger cubes: seeded random fault
+// sets within the bound decode exactly under every adversary.
+func TestDecodeRandomQ5Q6(t *testing.T) {
+	for _, n := range []int{5, 6} {
+		tp, err := topo.NewCube(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := stats.NewRNG(uint64(n) * 1001)
+		for trial := 0; trial < 40; trial++ {
+			k := rng.Intn(n + 1)
+			var sel []topo.NodeID
+			for _, v := range rng.Sample(tp.Nodes(), k) {
+				sel = append(sel, topo.NodeID(v))
+			}
+			sortNodes(sel)
+			set := failSet(t, tp, sel)
+			for _, adv := range Adversaries() {
+				syn := Collect(set, CollectOptions{Seed: uint64(trial), Adversary: adv})
+				diag := Decode(syn, Options{})
+				wantExact(t, diag, sel, fmt.Sprintf("Q%d trial %d adv=%s F=%v", n, trial, adv, sel))
+			}
+		}
+	}
+}
+
+// TestDecodeGH smoke-tests the generalized hypercube: the conservative
+// bound min(degree, (N-1)/2) still yields exact decodes within it.
+func TestDecodeGH(t *testing.T) {
+	tp, err := topo.NewMixed([]int{2, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := Diagnosability(tp)
+	if bound <= 0 {
+		t.Fatalf("Diagnosability(GH 2x3x2) = %d, want positive", bound)
+	}
+	rng := stats.NewRNG(99)
+	for trial := 0; trial < 30; trial++ {
+		k := rng.Intn(bound + 1)
+		var sel []topo.NodeID
+		for _, v := range rng.Sample(tp.Nodes(), k) {
+			sel = append(sel, topo.NodeID(v))
+		}
+		sortNodes(sel)
+		set := failSet(t, tp, sel)
+		for _, adv := range Adversaries() {
+			syn := Collect(set, CollectOptions{Seed: uint64(trial), Adversary: adv})
+			diag := Decode(syn, Options{})
+			wantExact(t, diag, sel, fmt.Sprintf("GH trial %d adv=%s F=%v", trial, adv, sel))
+		}
+	}
+}
+
+// TestDecodeWithLinkFaults pins the untested-edge semantics: tests
+// across faulty links are skipped, and as long as enough tests remain
+// the node decode stays exact. A dimension cut (every dimension-0 link
+// down) removes one test pair per node and still decodes node faults
+// exactly.
+func TestDecodeWithLinkFaults(t *testing.T) {
+	tp, err := topo.NewCube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := faults.NewSet(tp)
+	for _, l := range faults.DimensionLinks(tp, 0) {
+		if err := set.FailLink(l.A, l.B); err != nil {
+			t.Fatal(err)
+		}
+	}
+	truth := []topo.NodeID{3, 9}
+	for _, a := range truth {
+		if err := set.FailNode(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, adv := range Adversaries() {
+		syn := Collect(set, CollectOptions{Seed: 5, Adversary: adv})
+		if syn.Tests() >= tp.Nodes()*tp.Degree() {
+			t.Fatalf("adv=%s: expected missing tests under a dimension cut, got %d", adv, syn.Tests())
+		}
+		diag := Decode(syn, Options{})
+		wantExact(t, diag, truth, fmt.Sprintf("dimcut adv=%s", adv))
+	}
+}
+
+func sortNodes(s []topo.NodeID) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

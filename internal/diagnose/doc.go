@@ -1,0 +1,28 @@
+// Package diagnose closes the test→diagnose→journal→route loop: it
+// collects PMC-model neighbor-test syndromes, decodes them into the
+// faulty node set, and feeds the decoded set to the same applier-first
+// journal that declared faults and the probe monitor use — so routing
+// (the safety-level unicasting of Wu's ICPP 1995 paper, see PAPER.md)
+// can run against a fault view that was *diagnosed* rather than
+// declared.
+//
+// In the PMC (Preparata–Metze–Chien) model each node tests its n
+// neighbors and reports 0 (fault-free) or 1 (faulty). Reports from
+// fault-free testers are truthful; reports from faulty testers are
+// arbitrary. Here "arbitrary" is made deterministic by an Adversary
+// policy seeded per (seed, tester, testee), so every syndrome is
+// replayable. Tests across faulty links never complete and are
+// recorded as untested — they contribute no constraint, which is how
+// link faults coexist with node diagnosis.
+//
+// The key invariant is soundness under the diagnosability bound: the
+// n-cube is n-diagnosable (n >= 3), so whenever |F| <= Bound the
+// decoder returns VerdictIdentified with exactly the true fault set,
+// under every adversary. Beyond the bound the decoder never guesses
+// silently — worst-case adversaries (invert, stealth) force
+// VerdictAmbiguous with the surviving candidate sets, and any
+// Identified verdict a benign adversary permits is still a consistent
+// explanation within the bound. docs/DIAGNOSIS.md spells out the
+// guarantees, the {v} ∪ N(v) blind spot behind that asymmetry, and
+// the operator runbook.
+package diagnose

@@ -1,0 +1,54 @@
+package diagnose
+
+import (
+	"context"
+
+	"repro/internal/simnet"
+	"repro/internal/topo"
+)
+
+// EngineSource collects syndromes through simnet self-test exchanges:
+// every live node unicasts each neighbor over the message-passing
+// engine and reads the outcome as its test result, so the syndrome is
+// produced by the same inbox/goroutine machinery that carries real
+// traffic — not read off the fault oracle. Faulty nodes run no code;
+// the Adversary policy synthesizes their (arbitrary, per the PMC
+// model) reports. Run a GS phase on the engine before the first sweep
+// so levels are in place.
+type EngineSource struct {
+	Eng       *simnet.Engine
+	Seed      uint64
+	Adversary Adversary
+}
+
+// Syndrome implements Source.
+func (s EngineSource) Syndrome(context.Context) (*Syndrome, error) {
+	set := s.Eng.Faults()
+	t := set.Topology()
+	syn := NewSyndrome(t)
+	var scratch []topo.NodeID
+	for u := 0; u < t.Nodes(); u++ {
+		uid := topo.NodeID(u)
+		uFaulty := set.NodeFaulty(uid)
+		for d := 0; d < t.Dim(); d++ {
+			scratch = t.Siblings(uid, d, scratch[:0])
+			for _, v := range scratch {
+				if set.LinkFaulty(uid, v) {
+					continue
+				}
+				if uFaulty {
+					syn.Record(uid, v, s.Adversary.report(s.Seed, uid, v, set.NodeFaulty(v)))
+					continue
+				}
+				faulty, tested, err := s.Eng.SelfTest(uid, v)
+				if err != nil {
+					return nil, err
+				}
+				if tested {
+					syn.Record(uid, v, faulty)
+				}
+			}
+		}
+	}
+	return syn, nil
+}

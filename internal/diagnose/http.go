@@ -1,0 +1,52 @@
+package diagnose
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/topo"
+)
+
+// HTTPSource fetches a serialized syndrome from an upstream slserve
+// /syndrome endpoint and parses it against the local topology, so a
+// downstream server can diagnose — not merely mirror — the upstream's
+// fault state. A shape mismatch between the two servers surfaces as a
+// parse error on the first sweep, never as a silent misdecode.
+type HTTPSource struct {
+	// URL is the full syndrome URL including any seed/adversary query
+	// parameters, e.g. "http://up:8080/syndrome?seed=7&adversary=invert".
+	URL string
+	// Topology validates the fetched syndrome's shape.
+	Topology topo.Topology
+	// Client overrides http.DefaultClient (a 5s-timeout client is used
+	// when both are nil-ish; syndromes are small but O(N·n) in size).
+	Client *http.Client
+}
+
+// Syndrome implements Source.
+func (s HTTPSource) Syndrome(ctx context.Context) (*Syndrome, error) {
+	client := s.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.URL, nil)
+	if err != nil {
+		return nil, fmt.Errorf("diagnose: syndrome request: %w", err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("diagnose: syndrome fetch: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("diagnose: syndrome read: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("diagnose: syndrome fetch: %s returned %s", s.URL, resp.Status)
+	}
+	return ParseSyndrome(body, s.Topology)
+}

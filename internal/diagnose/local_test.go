@@ -1,0 +1,101 @@
+package diagnose
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// TestLocalQ3Exhaustive classifies EVERY node of Q3 under EVERY fault
+// set within the bound and every adversary: a conclusive local verdict
+// must match ground truth (soundness), and conclusive verdicts must
+// actually occur.
+func TestLocalQ3Exhaustive(t *testing.T) {
+	tp, err := topo.NewCube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := Diagnosability(tp)
+	conclusive, total := 0, 0
+	for k := 0; k <= bound; k++ {
+		combinations(tp.Nodes(), k, func(sel []topo.NodeID) {
+			set := failSet(t, tp, sel)
+			in := map[topo.NodeID]bool{}
+			for _, a := range sel {
+				in[a] = true
+			}
+			for _, adv := range Adversaries() {
+				syn := Collect(set, CollectOptions{Seed: 13, Adversary: adv})
+				for u := 0; u < tp.Nodes(); u++ {
+					res := DiagnoseLocal(syn, topo.NodeID(u), Options{})
+					total++
+					switch res.Verdict {
+					case LocalGood:
+						conclusive++
+						if in[topo.NodeID(u)] {
+							t.Fatalf("F=%v adv=%s node %d: local verdict good but faulty", sel, adv, u)
+						}
+					case LocalFaulty:
+						conclusive++
+						if !in[topo.NodeID(u)] {
+							t.Fatalf("F=%v adv=%s node %d: local verdict faulty but good", sel, adv, u)
+						}
+					}
+				}
+			}
+		})
+	}
+	if conclusive == 0 {
+		t.Fatalf("no conclusive local verdict in %d classifications", total)
+	}
+	// On Q3 the 2-ball is 7 of 8 nodes; local diagnosis should be
+	// conclusive nearly always. Guard against silent degradation.
+	if ratio := float64(conclusive) / float64(total); ratio < 0.9 {
+		t.Fatalf("only %.1f%% of local verdicts conclusive, want ≥90%%", 100*ratio)
+	}
+}
+
+// TestLocalQ5Random spot-checks a cube whose 2-ball is a small fraction
+// of the whole: soundness must hold and the truthful-adversary case
+// must classify every node conclusively.
+func TestLocalQ5Random(t *testing.T) {
+	tp, err := topo.NewCube(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(55)
+	for trial := 0; trial < 20; trial++ {
+		k := rng.Intn(tp.Dim() + 1)
+		var sel []topo.NodeID
+		for _, v := range rng.Sample(tp.Nodes(), k) {
+			sel = append(sel, topo.NodeID(v))
+		}
+		set := failSet(t, tp, sel)
+		in := map[topo.NodeID]bool{}
+		for _, a := range sel {
+			in[a] = true
+		}
+		for _, adv := range Adversaries() {
+			syn := Collect(set, CollectOptions{Seed: uint64(trial), Adversary: adv})
+			for u := 0; u < tp.Nodes(); u++ {
+				res := DiagnoseLocal(syn, topo.NodeID(u), Options{})
+				ctx := fmt.Sprintf("trial %d adv=%s F=%v node %d", trial, adv, sel, u)
+				switch res.Verdict {
+				case LocalGood:
+					if in[topo.NodeID(u)] {
+						t.Fatalf("%s: good but faulty", ctx)
+					}
+				case LocalFaulty:
+					if !in[topo.NodeID(u)] {
+						t.Fatalf("%s: faulty but good", ctx)
+					}
+				}
+				if len(res.Ball) >= tp.Nodes() {
+					t.Fatalf("%s: 2-ball covers the whole cube (%d nodes)", ctx, len(res.Ball))
+				}
+			}
+		}
+	}
+}

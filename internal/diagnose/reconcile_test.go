@@ -1,0 +1,390 @@
+package diagnose
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/monitor"
+	"repro/internal/obs"
+	"repro/internal/simnet"
+	"repro/internal/topo"
+)
+
+// recordingApplier applies declarations onto a faults.Set and counts
+// calls; refuse makes every call fail.
+type recordingApplier struct {
+	mu     sync.Mutex
+	set    *faults.Set
+	calls  int
+	refuse bool
+}
+
+func (a *recordingApplier) Fault(_ context.Context, node int, down bool) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.calls++
+	if a.refuse {
+		return errors.New("applier refused")
+	}
+	if down {
+		return a.set.FailNode(topo.NodeID(node))
+	}
+	return a.set.RecoverNode(topo.NodeID(node))
+}
+
+// TestReconcilerTickLifecycle drives a fault through inject → declare →
+// recover and checks the applier-first journal at each step.
+func TestReconcilerTickLifecycle(t *testing.T) {
+	tp, err := topo.NewCube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := faults.NewSet(tp)
+	declared := faults.NewSet(tp)
+	app := &recordingApplier{set: declared}
+	reg := obs.NewRegistry()
+	rec, err := NewReconciler(SetSource{Set: truth, Adversary: AdversaryInvert}, app,
+		ReconcilerOptions{Topology: tp, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean cube: nothing declared.
+	res, err := rec.Tick(context.Background())
+	if err != nil || res.Verdict != VerdictIdentified || res.Declared != 0 {
+		t.Fatalf("clean tick: %+v err=%v", res, err)
+	}
+
+	// Three faults appear: one sweep declares all three.
+	for _, a := range []topo.NodeID{2, 9, 11} {
+		if err := truth.FailNode(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err = rec.Tick(context.Background())
+	if err != nil || res.Declared != 3 {
+		t.Fatalf("fault tick: %+v err=%v", res, err)
+	}
+	for _, a := range []topo.NodeID{2, 9, 11} {
+		if !declared.NodeFaulty(a) {
+			t.Fatalf("node %d not declared into the applied set", a)
+		}
+	}
+
+	// One recovers: the next sweep un-declares exactly it.
+	if err := truth.RecoverNode(9); err != nil {
+		t.Fatal(err)
+	}
+	res, err = rec.Tick(context.Background())
+	if err != nil || res.Recovered != 1 || res.Declared != 0 {
+		t.Fatalf("recover tick: %+v err=%v", res, err)
+	}
+	if declared.NodeFaulty(9) {
+		t.Fatal("node 9 still declared after recovery")
+	}
+
+	// The journal replays to exactly the declared view, idempotently.
+	j := rec.Journal()
+	replay := faults.NewSet(tp)
+	for _, ev := range j {
+		if err := replay.Apply(ev); err != nil {
+			t.Fatalf("journal replay: %v", err)
+		}
+	}
+	if !reflect.DeepEqual(replay.FaultyNodes(), declared.FaultyNodes()) {
+		t.Fatalf("journal replay %v != declared %v", replay.FaultyNodes(), declared.FaultyNodes())
+	}
+	st := rec.Status()
+	if st.Verdict != "identified" || st.Sweeps != 3 || len(st.Declared) != 2 {
+		t.Fatalf("status: %+v", st)
+	}
+}
+
+// TestReconcilerAmbiguousHoldsState pins the safety rule: an ambiguous
+// decode must not churn the declared view, and must surface through the
+// counters and the flight recorder as a diagnosis-ambiguous incident.
+func TestReconcilerAmbiguousHoldsState(t *testing.T) {
+	tp, err := topo.NewCube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := faults.NewSet(tp)
+	declared := faults.NewSet(tp)
+	app := &recordingApplier{set: declared}
+	flight := obs.NewFlightRecorder(obs.FlightOptions{Records: 16, Incidents: 4})
+	rec, err := NewReconciler(SetSource{Set: truth, Adversary: AdversaryInvert}, app,
+		ReconcilerOptions{Topology: tp, Flight: flight})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Declare one real fault first.
+	if err := truth.FailNode(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Tick(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Push past the bound with the even-parity independent set: the
+	// all-ones invert syndrome is ambiguous.
+	for _, a := range []topo.NodeID{0b000, 0b011, 0b110} {
+		if err := truth.FailNode(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := app.calls
+	res, err := rec.Tick(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != VerdictAmbiguous || res.Declared != 0 || res.Recovered != 0 {
+		t.Fatalf("ambiguous tick acted: %+v", res)
+	}
+	if app.calls != before {
+		t.Fatalf("ambiguous tick reached the applier (%d calls)", app.calls-before)
+	}
+	if !declared.NodeFaulty(5) {
+		t.Fatal("ambiguity must not roll back earlier declarations")
+	}
+	st := rec.Status()
+	if st.Ambiguous != 1 || st.Verdict != "ambiguous" {
+		t.Fatalf("status after ambiguity: %+v", st)
+	}
+	incidents := flight.Incidents()
+	if len(incidents.Incidents) == 0 || incidents.Incidents[0].Reason != "diagnosis-ambiguous" {
+		t.Fatalf("want a diagnosis-ambiguous incident, got %+v", incidents)
+	}
+}
+
+// TestReconcilerApplyErrorRetries: a refused apply leaves the node
+// undeclared and the journal empty; the next sweep retries and lands.
+func TestReconcilerApplyErrorRetries(t *testing.T) {
+	tp, err := topo.NewCube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := faults.NewSet(tp)
+	declared := faults.NewSet(tp)
+	app := &recordingApplier{set: declared, refuse: true}
+	rec, err := NewReconciler(SetSource{Set: truth, Adversary: AdversaryTruthful}, app,
+		ReconcilerOptions{Topology: tp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := truth.FailNode(4); err != nil {
+		t.Fatal(err)
+	}
+	res, err := rec.Tick(context.Background())
+	if err != nil || res.Declared != 0 {
+		t.Fatalf("refused tick: %+v err=%v", res, err)
+	}
+	if len(rec.Journal()) != 0 {
+		t.Fatal("journal recorded a transition that never landed")
+	}
+	app.mu.Lock()
+	app.refuse = false
+	app.mu.Unlock()
+	res, err = rec.Tick(context.Background())
+	if err != nil || res.Declared != 1 {
+		t.Fatalf("retry tick: %+v err=%v", res, err)
+	}
+	if !declared.NodeFaulty(4) {
+		t.Fatal("retry did not land")
+	}
+}
+
+// TestDedupCoalescesMonitorAndDiagnose is the duplicate-declaration
+// fix: a monitor and a diagnosis reconciler feeding the same engine
+// through ONE shared Dedup produce exactly one applier call and one
+// journal delta per actual transition, however many front-ends declare
+// it — and the merged journal replays idempotently.
+func TestDedupCoalescesMonitorAndDiagnose(t *testing.T) {
+	tp, err := topo.NewCube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := faults.NewSet(tp)
+	declared := faults.NewSet(tp)
+	app := &recordingApplier{set: declared}
+	dedup := NewDedup(app)
+
+	mon, err := monitor.New(
+		monitor.ProbeFunc(func(_ context.Context, node int) error {
+			if truth.NodeFaulty(topo.NodeID(node)) {
+				return errors.New("down")
+			}
+			return nil
+		}),
+		dedup,
+		monitor.Options{Nodes: tp.Nodes(), FailK: 1, RecoverK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewReconciler(SetSource{Set: truth, Adversary: AdversaryInvert}, dedup,
+		ReconcilerOptions{Topology: tp})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Both front-ends see the same fault and both declare it.
+	if err := truth.FailNode(7); err != nil {
+		t.Fatal(err)
+	}
+	mon.Tick(context.Background())
+	if _, err := rec.Tick(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mon.Tick(context.Background())
+	if _, err := rec.Tick(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	if app.calls != 1 {
+		t.Fatalf("underlying applier saw %d calls, want 1", app.calls)
+	}
+	if j := dedup.Journal(); len(j) != 1 ||
+		j[0] != (faults.ChurnEvent{Kind: faults.DeltaFailNode, A: 7}) {
+		t.Fatalf("merged journal %v, want one fail-node(7) delta", j)
+	}
+	forwarded, coalesced, _ := dedup.Stats()
+	if forwarded != 1 || coalesced == 0 {
+		t.Fatalf("dedup stats forwarded=%d coalesced=%d", forwarded, coalesced)
+	}
+	if got := dedup.Declared(); !reflect.DeepEqual(got, []int{7}) {
+		t.Fatalf("declared view %v", got)
+	}
+
+	// Recovery flows through once, too.
+	if err := truth.RecoverNode(7); err != nil {
+		t.Fatal(err)
+	}
+	mon.Tick(context.Background())
+	if _, err := rec.Tick(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mon.Tick(context.Background())
+	if app.calls != 2 {
+		t.Fatalf("underlying applier saw %d calls, want 2", app.calls)
+	}
+
+	// Idempotent replay: the merged journal applied once — or twice —
+	// onto an empty set reproduces the declared view exactly.
+	j := dedup.Journal()
+	if len(j) != 2 {
+		t.Fatalf("merged journal %v, want fail+recover", j)
+	}
+	replay := faults.NewSet(tp)
+	for pass := 0; pass < 2; pass++ {
+		for _, ev := range j {
+			if err := replay.Apply(ev); err != nil {
+				t.Fatalf("replay pass %d: %v", pass, err)
+			}
+		}
+	}
+	if !reflect.DeepEqual(replay.FaultyNodes(), declared.FaultyNodes()) {
+		t.Fatalf("replayed %v != declared %v", replay.FaultyNodes(), declared.FaultyNodes())
+	}
+}
+
+// TestReplayScheduleIdentity: while a schedule keeps the node-fault
+// count within the bound, diagnosing after every event reproduces the
+// schedule event for event, for every adversary.
+func TestReplayScheduleIdentity(t *testing.T) {
+	tp, err := topo.NewCube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []faults.ChurnEvent{
+		{Kind: faults.DeltaFailNode, A: 3},
+		{Kind: faults.DeltaFailLink, A: 0, B: 8},
+		{Kind: faults.DeltaFailNode, A: 12},
+		{Kind: faults.DeltaRecoverNode, A: 3},
+		{Kind: faults.DeltaFailNode, A: 5},
+		{Kind: faults.DeltaRecoverLink, A: 0, B: 8},
+		{Kind: faults.DeltaFailNode, A: 9},
+		{Kind: faults.DeltaRecoverNode, A: 12},
+	}
+	for _, adv := range Adversaries() {
+		got, err := ReplaySchedule(tp, events, ReplayOptions{Seed: 21, Adversary: adv})
+		if err != nil {
+			t.Fatalf("adv=%s: %v", adv, err)
+		}
+		if !reflect.DeepEqual(got, events) {
+			t.Fatalf("adv=%s: diagnosed schedule %v != truth %v", adv, got, events)
+		}
+	}
+}
+
+// TestReplayScheduleAmbiguousErrors: a schedule that pushes past the
+// bound makes the replay fail loudly with ErrAmbiguous instead of
+// declaring a guess.
+func TestReplayScheduleAmbiguousErrors(t *testing.T) {
+	tp, err := topo.NewCube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []faults.ChurnEvent{
+		{Kind: faults.DeltaFailNode, A: 0b000},
+		{Kind: faults.DeltaFailNode, A: 0b011},
+		{Kind: faults.DeltaFailNode, A: 0b101},
+		{Kind: faults.DeltaFailNode, A: 0b110},
+	}
+	_, err = ReplaySchedule(tp, events, ReplayOptions{Adversary: AdversaryInvert})
+	if !errors.Is(err, ErrAmbiguous) {
+		t.Fatalf("err = %v, want ErrAmbiguous", err)
+	}
+}
+
+// TestEngineSourceMatchesGroundTruth: the syndrome assembled from real
+// simnet self-test exchanges equals the one collected directly from
+// the fault oracle, and decodes to the engine's true fault set.
+func TestEngineSourceMatchesGroundTruth(t *testing.T) {
+	tp, err := topo.NewCube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := faults.NewSet(tp)
+	truth := []topo.NodeID{1, 6, 12}
+	for _, a := range truth {
+		if err := set.FailNode(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng := simnet.New(set)
+	defer eng.Close()
+	eng.RunGS(2 * tp.Dim())
+
+	for _, adv := range Adversaries() {
+		src := EngineSource{Eng: eng, Seed: 17, Adversary: adv}
+		syn, err := src.Syndrome(context.Background())
+		if err != nil {
+			t.Fatalf("adv=%s: %v", adv, err)
+		}
+		want := Collect(set, CollectOptions{Seed: 17, Adversary: adv})
+		if syn.Tests() != want.Tests() {
+			t.Fatalf("adv=%s: %d tests, want %d", adv, syn.Tests(), want.Tests())
+		}
+		wantExact(t, Decode(syn, Options{}), truth, "engine adv="+string(adv))
+	}
+
+	// And through a reconciler: one sweep declares the engine's faults.
+	declared := faults.NewSet(tp)
+	app := &recordingApplier{set: declared}
+	rec, err := NewReconciler(EngineSource{Eng: eng, Adversary: AdversaryInvert}, app,
+		ReconcilerOptions{Topology: tp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rec.Tick(context.Background())
+	if err != nil || res.Declared != len(truth) {
+		t.Fatalf("engine tick: %+v err=%v", res, err)
+	}
+	if !reflect.DeepEqual(declared.FaultyNodes(), set.FaultyNodes()) {
+		t.Fatalf("declared %v != truth %v", declared.FaultyNodes(), set.FaultyNodes())
+	}
+}

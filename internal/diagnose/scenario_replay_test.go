@@ -1,0 +1,82 @@
+package diagnose
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/faults"
+	"repro/internal/topo"
+)
+
+// TestScheduleReplayDiagnosedScenarios is the closed-loop differential
+// the issue's acceptance criterion names: replay correlated-fault
+// scenario profiles through syndrome diagnosis instead of declared
+// faults, and require the diagnosed schedule to drive chaos.RunEvents
+// to a bit-identical report. Profiles are tuned so the simultaneous
+// node-fault count stays within the Q4 diagnosability bound (dimcut is
+// link-only and passes through untouched).
+func TestScheduleReplayDiagnosedScenarios(t *testing.T) {
+	tp, err := topo.NewCube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		profile faults.ScenarioProfile
+		opts    faults.ScenarioOptions
+	}{
+		{faults.ScenarioRolling, faults.ScenarioOptions{RollWidth: 3}},
+		{faults.ScenarioFlap, faults.ScenarioOptions{FlapNodes: 4, FlapToggles: 2}},
+		{faults.ScenarioSubcube, faults.ScenarioOptions{Subdim: 2}},
+		{faults.ScenarioDimCut, faults.ScenarioOptions{}},
+	}
+	chaosOpts := chaos.Options{OracleSources: 4, Unicasts: 8, Seed: 5}
+	for _, tc := range cases {
+		truth, err := faults.ScenarioSchedule(tp, tc.profile, 13, tc.opts)
+		if err != nil {
+			t.Fatalf("%s: schedule: %v", tc.profile, err)
+		}
+		for _, adv := range Adversaries() {
+			diagnosed, err := ReplaySchedule(tp, truth, ReplayOptions{Seed: 31, Adversary: adv})
+			if err != nil {
+				t.Fatalf("%s/%s: replay: %v", tc.profile, adv, err)
+			}
+			if !reflect.DeepEqual(diagnosed, truth) {
+				t.Fatalf("%s/%s: diagnosed schedule diverged from the truth schedule", tc.profile, adv)
+			}
+			// Belt and braces: run the full per-event differential on
+			// both schedules and require identical reports.
+			want, err := chaos.RunEvents(tp, truth, chaosOpts)
+			if err != nil {
+				t.Fatalf("%s/%s: chaos on truth: %v", tc.profile, adv, err)
+			}
+			got, err := chaos.RunEvents(tp, diagnosed, chaosOpts)
+			if err != nil {
+				t.Fatalf("%s/%s: chaos on diagnosed: %v", tc.profile, adv, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s/%s: chaos report diverged:\n got %+v\nwant %+v", tc.profile, adv, got, want)
+			}
+		}
+	}
+}
+
+// TestScheduleReplayDiagnosedPartitionAmbiguous: the partition profile
+// fails a whole subcube boundary at once — far past the bound — so a
+// diagnosed replay under the worst-case adversary must refuse with
+// ErrAmbiguous rather than invent a schedule.
+func TestScheduleReplayDiagnosedPartitionAmbiguous(t *testing.T) {
+	tp, err := topo.NewCube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := faults.ScenarioSchedule(tp, faults.ScenarioPartition, 7, faults.ScenarioOptions{Subdim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReplaySchedule(tp, truth, ReplayOptions{Adversary: AdversaryInvert})
+	if !errors.Is(err, ErrAmbiguous) {
+		t.Fatalf("partition replay err = %v, want ErrAmbiguous", err)
+	}
+}

@@ -1,0 +1,141 @@
+package diagnose
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/topo"
+)
+
+func TestParseAdversary(t *testing.T) {
+	for _, adv := range Adversaries() {
+		got, err := ParseAdversary(string(adv))
+		if err != nil || got != adv {
+			t.Fatalf("ParseAdversary(%q) = %v, %v", adv, got, err)
+		}
+	}
+	if got, err := ParseAdversary(""); err != nil || got != AdversaryInvert {
+		t.Fatalf("empty adversary = %v, %v; want invert default", got, err)
+	}
+	if _, err := ParseAdversary("liar"); err == nil {
+		t.Fatal("unknown adversary accepted")
+	}
+}
+
+// TestCollectDeterminism: the same (set, seed, adversary) always yields
+// an identical syndrome, and the random adversary actually depends on
+// the seed.
+func TestCollectDeterminism(t *testing.T) {
+	tp, err := topo.NewCube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := faults.NewSet(tp)
+	for _, a := range []topo.NodeID{2, 7, 13} {
+		if err := set.FailNode(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := Collect(set, CollectOptions{Seed: 9, Adversary: AdversaryRandom})
+	b := Collect(set, CollectOptions{Seed: 9, Adversary: AdversaryRandom})
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatal("same seed produced different syndromes")
+	}
+	c := Collect(set, CollectOptions{Seed: 10, Adversary: AdversaryRandom})
+	cj, _ := json.Marshal(c)
+	if string(aj) == string(cj) {
+		t.Fatal("seed change did not perturb the random adversary")
+	}
+}
+
+// TestSyndromeJSONRoundTrip: marshal → parse preserves every test and
+// the decode result, across topologies.
+func TestSyndromeJSONRoundTrip(t *testing.T) {
+	cube, err := topo.NewCube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gh, err := topo.NewMixed([]int{2, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range []topo.Topology{cube, gh} {
+		set := faults.NewSet(tp)
+		if err := set.FailNode(3); err != nil {
+			t.Fatal(err)
+		}
+		syn := Collect(set, CollectOptions{Seed: 4, Adversary: AdversaryInvert})
+		blob, err := json.Marshal(syn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseSyndrome(blob, tp)
+		if err != nil {
+			t.Fatalf("ParseSyndrome: %v", err)
+		}
+		if back.Tests() != syn.Tests() {
+			t.Fatalf("round trip lost tests: %d != %d", back.Tests(), syn.Tests())
+		}
+		wantExact(t, Decode(back, Options{}), []topo.NodeID{3}, "round trip")
+		// Every (tester, testee, result, tested) triple survives.
+		for u := 0; u < tp.Nodes(); u++ {
+			uid := topo.NodeID(u)
+			var sib []topo.NodeID
+			for d := 0; d < tp.Dim(); d++ {
+				sib = tp.Siblings(uid, d, sib[:0])
+				for _, v := range sib {
+					gr, gt := syn.Result(uid, v)
+					br, bt := back.Result(uid, v)
+					if gr != br || gt != bt {
+						t.Fatalf("test %d->%d changed: (%v,%v) != (%v,%v)", u, v, gr, gt, br, bt)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParseSyndromeRejectsMismatch(t *testing.T) {
+	q3, err := topo.NewCube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q4, err := topo.NewCube(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(Collect(faults.NewSet(q3), CollectOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseSyndrome(blob, q4); err == nil {
+		t.Fatal("Q3 syndrome parsed against Q4 topology")
+	}
+	for _, bad := range []string{
+		`{`,
+		`{"format":"something-else"}`,
+		strings.Replace(string(blob), SyndromeFormat, "pmc-bitset-v0", 1),
+	} {
+		if _, err := ParseSyndrome([]byte(bad), q3); err == nil {
+			t.Fatalf("bad blob parsed: %s", bad)
+		}
+	}
+}
+
+func TestRecordPanicsOnNonAdjacent(t *testing.T) {
+	tp, err := topo.NewCube(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syn := NewSyndrome(tp)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Record accepted a non-adjacent pair")
+		}
+	}()
+	syn.Record(0, 3, true)
+}

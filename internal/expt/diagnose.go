@@ -1,0 +1,104 @@
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/diagnose"
+	"repro/internal/faults"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// DiagnoseSweep (E21) measures the PMC syndrome decoder against ground
+// truth across fault-set sizes and adversary policies: every trial
+// injects a uniform random node-fault set, collects the full self-test
+// syndrome under the adversary, decodes it, and scores the verdict.
+// Within the diagnosability bound the exact-rate column must read
+// 1.000 for every adversary — that is the paper-level guarantee the
+// decoder differential pins — while past the bound the worst-case
+// adversaries (invert, stealth) must be ambiguous every time and the
+// benign ones may still identify a consistent within-bound explanation
+// (the {v} ∪ N(v) blind spot, docs/DIAGNOSIS.md).
+func DiagnoseSweep(cfg Config) *Table {
+	cfg = cfg.withDefaults(60)
+	t := &Table{
+		ID:    "E21",
+		Title: "PMC syndrome diagnosis vs. ground truth",
+		Header: []string{"shape", "bound", "|F|", "adversary", "trials",
+			"identified", "exact", "ambiguous", "avg tests", "avg branches"},
+	}
+	shapes := []struct {
+		name string
+		tp   topo.Topology
+	}{
+		{"Q6", topo.MustCube(6)},
+		{"GH(2x3x2)", topo.MustMixed(2, 3, 2)},
+	}
+	for si, s := range shapes {
+		bound := diagnose.Diagnosability(s.tp)
+		for _, k := range []int{bound / 2, bound, bound + 2} {
+			for ai, adv := range diagnose.Adversaries() {
+				rng := stats.NewRNG(cfg.Seed + uint64(si*1000+k*10+ai))
+				identified, exact, ambiguous := 0, 0, 0
+				tests, branches := 0, 0
+				for trial := 0; trial < cfg.Trials; trial++ {
+					set := faults.NewSet(s.tp)
+					for _, a := range rng.Sample(s.tp.Nodes(), k) {
+						if err := set.FailNode(topo.NodeID(a)); err != nil {
+							panic(err)
+						}
+					}
+					syn := diagnose.Collect(set, diagnose.CollectOptions{
+						Seed:      cfg.Seed + uint64(trial),
+						Adversary: adv,
+					})
+					diag := diagnose.Decode(syn, diagnose.Options{})
+					tests += diag.Stats.Tests
+					branches += diag.Stats.Branches
+					switch diag.Verdict {
+					case diagnose.VerdictIdentified:
+						identified++
+						if exactMatch(diag.Faulty, set) {
+							exact++
+						}
+					case diagnose.VerdictAmbiguous:
+						ambiguous++
+					}
+					if k <= bound && diag.Verdict != diagnose.VerdictIdentified {
+						panic(fmt.Sprintf("E21: %s |F|=%d <= bound %d decoded %s under %s",
+							s.name, k, bound, diag.Verdict, adv))
+					}
+				}
+				t.AddRow(s.name, bound, k, string(adv), cfg.Trials,
+					ratio(identified, cfg.Trials), ratio(exact, cfg.Trials),
+					ratio(ambiguous, cfg.Trials),
+					float64(tests)/float64(cfg.Trials),
+					float64(branches)/float64(cfg.Trials))
+			}
+		}
+	}
+	t.Note("exact = identified AND the decoded set equals the injected one; within the bound it must be 1.000 for every adversary")
+	t.Note("beyond the bound, invert/stealth decode ambiguous; truthful/slander/random may still identify a consistent within-bound set")
+	return t
+}
+
+// exactMatch reports whether the decoded faulty list equals the
+// injected fault set exactly.
+func exactMatch(decoded []topo.NodeID, set *faults.Set) bool {
+	truth := set.FaultyNodes()
+	if len(decoded) != len(truth) {
+		return false
+	}
+	seen := make(map[topo.NodeID]bool, len(truth))
+	for _, a := range truth {
+		seen[a] = true
+	}
+	for _, a := range decoded {
+		if !seen[a] {
+			return false
+		}
+	}
+	return true
+}
+
+func ratio(n, total int) float64 { return float64(n) / float64(total) }

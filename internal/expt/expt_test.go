@@ -395,3 +395,33 @@ func TestTableJSON(t *testing.T) {
 		t.Errorf("decoded %+v", doc)
 	}
 }
+
+// TestDiagnoseSweepTable pins E21's law: within the diagnosability
+// bound every adversary row reads identified = exact = 1 and ambiguous
+// = 0; beyond the bound the worst-case adversaries (invert, stealth)
+// read ambiguous = 1.
+func TestDiagnoseSweepTable(t *testing.T) {
+	tab := DiagnoseSweep(Config{Seed: 42, Trials: 10})
+	if tab.ID != "E21" || len(tab.Rows) == 0 {
+		t.Fatalf("table %s with %d rows", tab.ID, len(tab.Rows))
+	}
+	for row := range tab.Rows {
+		bound, _ := strconv.Atoi(cell(t, tab, row, 1))
+		k, _ := strconv.Atoi(cell(t, tab, row, 2))
+		adv := cell(t, tab, row, 3)
+		identified := cellFloat(t, tab, row, 5)
+		exact := cellFloat(t, tab, row, 6)
+		ambiguous := cellFloat(t, tab, row, 7)
+		if k <= bound {
+			if identified != 1 || exact != 1 || ambiguous != 0 {
+				t.Errorf("row %d (|F|=%d <= %d, %s): identified %v exact %v ambiguous %v",
+					row, k, bound, adv, identified, exact, ambiguous)
+			}
+		} else if adv == "invert" || adv == "stealth" {
+			if ambiguous != 1 {
+				t.Errorf("row %d (|F|=%d > %d, %s): ambiguous %v, want 1",
+					row, k, bound, adv, ambiguous)
+			}
+		}
+	}
+}

@@ -37,6 +37,10 @@ const (
 	ReqRouteAll
 	// ReqApply is a churn write (only recorded when refused: backlog).
 	ReqApply
+	// ReqDiagnose is one PMC diagnosis sweep (internal/diagnose
+	// Reconciler.Tick): an Ambiguous decode records OutcomeFailure,
+	// which the anomaly classifier promotes to an incident.
+	ReqDiagnose
 
 	numReqKinds
 )
@@ -52,6 +56,8 @@ func (k ReqKind) String() string {
 		return "routeall"
 	case ReqApply:
 		return "apply"
+	case ReqDiagnose:
+		return "diagnose"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -72,6 +78,8 @@ func (k *ReqKind) UnmarshalText(b []byte) error {
 		*k = ReqRouteAll
 	case "apply":
 		*k = ReqApply
+	case "diagnose":
+		*k = ReqDiagnose
 	default:
 		return fmt.Errorf("obs: unknown request kind %q", b)
 	}
@@ -563,6 +571,9 @@ func (f *FlightRecorder) anomaly(rec *FlightRecord) (string, int) {
 		return "error:" + rec.Err.String(), int(rec.Err) - 1
 	}
 	if rec.Outcome == OutcomeFailure {
+		if rec.Kind == ReqDiagnose {
+			return "diagnosis-ambiguous", classFailure
+		}
 		return "route-failure", classFailure
 	}
 	if rec.Detours > 0 || (rec.Outcome != OutcomeNone && rec.Hops > rec.Hamming) {
@@ -580,7 +591,7 @@ type Incident struct {
 	// Seq is the promotion sequence number (1-based, monotonic).
 	Seq uint64 `json:"seq"`
 	// Reason names the trigger: "error:<class>", "route-failure",
-	// "non-minimal" or "slow".
+	// "diagnosis-ambiguous", "non-minimal" or "slow".
 	Reason string `json:"reason"`
 	// AtUS is the promotion wall time in Unix microseconds.
 	AtUS   int64        `json:"at_us"`

@@ -29,6 +29,7 @@ const (
 	MetricLatencyHTTPFault    = "latency_http_fault_us"
 	MetricLatencyHTTPHealthz  = "latency_http_healthz_us"
 	MetricLatencyHTTPProbe    = "latency_http_probe_us"
+	MetricLatencyHTTPSyndrome = "latency_http_syndrome_us"
 )
 
 // LatencyBuckets are log-spaced (1-2-5 per decade) microsecond bounds

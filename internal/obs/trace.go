@@ -261,6 +261,18 @@ const (
 	MetricMonitorFlapSuppressed  = "monitor_flap_suppressions_total"
 	MetricMonitorApplyErrors     = "monitor_apply_errors_total"
 	MetricMonitorDeclaredNodes   = "monitor_declared_nodes"
+	// PMC syndrome-diagnosis metrics (internal/diagnose): collect and
+	// decode sweeps, verdict split, declarations driven through the
+	// apply path, and the decode latency histogram.
+	MetricDiagnoseSweepsTotal     = "diagnose_sweeps_total"
+	MetricDiagnoseTestsTotal      = "diagnose_tests_total"
+	MetricDiagnoseIdentifiedTotal = "diagnose_identified_total"
+	MetricDiagnoseAmbiguousTotal  = "diagnose_ambiguous_total"
+	MetricDiagnoseDeclaredTotal   = "diagnose_declared_total"
+	MetricDiagnoseRecoveredTotal  = "diagnose_recovered_total"
+	MetricDiagnoseApplyErrors     = "diagnose_apply_errors_total"
+	MetricDiagnoseDeclaredNodes   = "diagnose_declared_nodes"
+	MetricLatencyDecode           = "diagnose_decode_us"
 )
 
 // RouteObserver builds (or rebuilds) an observer bound to the registry,

@@ -76,6 +76,12 @@ func (sn *Snapshot) Assignment() *core.Assignment { return sn.as }
 // Level returns node a's public safety level in this snapshot.
 func (sn *Snapshot) Level(a topo.NodeID) int { return sn.as.Level(a) }
 
+// Faults returns the snapshot's fault view — the detached assignment's
+// cloned fault-set state, immutable and consistent with the levels the
+// snapshot routes on. Diagnosis front-ends collect syndromes from it
+// so every test in one sweep sees one generation.
+func (sn *Snapshot) Faults() *faults.Set { return sn.as.Faults() }
+
 // Route unicasts from src to dst pinned to this snapshot. Callers that
 // must answer several queries against one consistent state (the batch
 // path, the property tests) hold a snapshot and route on it directly.
@@ -302,6 +308,11 @@ func (s *Service) Current() *Snapshot { return s.cur.Load() }
 
 // Generation returns the generation of the published snapshot.
 func (s *Service) Generation() uint64 { return s.cur.Load().Generation() }
+
+// CurrentFaults returns the published snapshot's immutable fault view
+// (see Snapshot.Faults). Lock-free; successive calls may observe
+// different generations as churn lands.
+func (s *Service) CurrentFaults() *faults.Set { return s.cur.Load().Faults() }
 
 // QueueDepth returns the number of apply messages waiting (a live
 // backpressure signal; also exported as serve_apply_queue_depth).

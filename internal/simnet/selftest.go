@@ -1,0 +1,43 @@
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/topo"
+)
+
+// Faults exposes the engine's live fault oracle so diagnosis front-ends
+// (internal/diagnose) can enumerate testers and synthesize faulty
+// nodes' reports. Callers must treat it as read-only: churn goes
+// through Apply/KillNode/ReviveNode so the node goroutines stay in
+// sync.
+func (e *Engine) Faults() *faults.Set { return e.set }
+
+// SelfTest performs one PMC neighbor test as a real message exchange:
+// tester u sends its adjacent neighbor v a unicast and reads the
+// outcome as the test result — delivery means v answered (fault-free),
+// a refusal means it did not. Run a GS phase first so levels are in
+// place, exactly as for any other unicast.
+//
+// The return triple mirrors a syndrome entry: faulty is u's report,
+// tested is false when the u–v link is itself faulty (the exchange
+// never completes, so the test contributes no constraint), and err
+// flags misuse — a non-adjacent pair or a faulty tester, whose report
+// cannot be produced by a message exchange at all (the adversary policy
+// in internal/diagnose synthesizes it instead).
+func (e *Engine) SelfTest(u, v topo.NodeID) (faulty, tested bool, err error) {
+	if !e.t.Contains(u) || !e.t.Contains(v) || !e.t.Adjacent(u, v) {
+		return false, false, fmt.Errorf("simnet: self-test wants adjacent nodes, got %s and %s",
+			e.t.Format(u), e.t.Format(v))
+	}
+	if e.nodes[u] == nil {
+		return false, false, fmt.Errorf("simnet: self-tester %s is faulty", e.t.Format(u))
+	}
+	if e.set.LinkFaulty(u, v) {
+		return false, false, nil
+	}
+	res := e.Unicast(u, v)
+	return res.Outcome == core.Failure, true, nil
+}

@@ -131,6 +131,13 @@ func (s *Server) NodeFaulty(a NodeID) bool {
 	return s.svc.Current().Assignment().Faults().NodeFaulty(a)
 }
 
+// CurrentFaults returns the published snapshot's immutable fault view
+// — the same consistent state Unicast routes on. Diagnosis front-ends
+// (internal/diagnose) collect a whole PMC syndrome from one call so
+// every neighbor test in a sweep observes one generation; slserve's
+// /syndrome endpoint is built on it.
+func (s *Server) CurrentFaults() *faults.Set { return s.svc.CurrentFaults() }
+
 // BatchUnicast answers every pair against ONE snapshot — the results
 // are mutually consistent even while churn lands mid-batch — and
 // returns the routes in request order. Requests fan out over the
